@@ -1,0 +1,140 @@
+//! Brute-force optimal Explain-Table-Delta solver.
+//!
+//! Enumerates the full Cartesian product of per-attribute candidate
+//! functions, constructs each explanation via Prop. 3.6 and keeps the
+//! cheapest. Exponential, of course (the problem is NP-hard) — usable for
+//! tiny instances, for validating the heuristic's optimality, and as the
+//! decision procedure behind the 3-SAT reduction.
+
+use affidavit_core::explanation::Explanation;
+use affidavit_core::instance::ProblemInstance;
+use affidavit_functions::AttrFunction;
+
+/// An optimal solution found by exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// The cheapest explanation.
+    pub explanation: Explanation,
+    /// Its cost at the α used for the search.
+    pub cost: f64,
+    /// Number of function tuples evaluated.
+    pub evaluated: usize,
+}
+
+/// Exhaustively solve the instance over `candidates[a]` per attribute.
+///
+/// `alpha` weighs the Def. 3.10 cost. Panics if the product of candidate
+/// counts exceeds `limit` (protects against accidental blow-ups).
+pub fn solve_exact(
+    instance: &mut ProblemInstance,
+    candidates: &[Vec<AttrFunction>],
+    alpha: f64,
+    limit: usize,
+) -> ExactSolution {
+    assert_eq!(candidates.len(), instance.arity());
+    assert!(candidates.iter().all(|c| !c.is_empty()), "empty candidate set");
+    let combos: usize = candidates
+        .iter()
+        .map(|c| c.len())
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .expect("candidate space overflows usize");
+    assert!(
+        combos <= limit,
+        "candidate space has {combos} tuples, over the limit of {limit}"
+    );
+
+    let arity = instance.arity();
+    let mut indices = vec![0usize; arity];
+    let mut best: Option<(f64, Explanation)> = None;
+    let mut evaluated = 0usize;
+
+    loop {
+        let functions: Vec<AttrFunction> = indices
+            .iter()
+            .enumerate()
+            .map(|(a, &i)| candidates[a][i].clone())
+            .collect();
+        let explanation = Explanation::from_functions(functions, instance);
+        let cost = explanation.cost(alpha, arity);
+        evaluated += 1;
+        let better = match &best {
+            None => true,
+            Some((bc, _)) => cost < *bc,
+        };
+        if better {
+            best = Some((cost, explanation));
+        }
+        // Advance the mixed-radix counter.
+        let mut pos = 0;
+        loop {
+            if pos == arity {
+                let (cost, explanation) = best.expect("at least one tuple evaluated");
+                return ExactSolution {
+                    explanation,
+                    cost,
+                    evaluated,
+                };
+            }
+            indices[pos] += 1;
+            if indices[pos] < candidates[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_table::{Rational, Schema, Table, ValuePool};
+
+    fn instance() -> ProblemInstance {
+        let mut pool = ValuePool::new();
+        let s = Table::from_rows(
+            Schema::new(["Val", "Org"]),
+            &mut pool,
+            vec![
+                vec!["1000", "IBM"],
+                vec!["2000", "SAP"],
+                vec!["3000", "IBM"],
+            ],
+        );
+        let t = Table::from_rows(
+            Schema::new(["Val", "Org"]),
+            &mut pool,
+            vec![
+                vec!["1", "IBM"],
+                vec!["2", "SAP"],
+                vec!["3", "IBM"],
+            ],
+        );
+        ProblemInstance::new(s, t, pool).unwrap()
+    }
+
+    #[test]
+    fn finds_the_optimum() {
+        let mut inst = instance();
+        let div1000 = AttrFunction::Scale(Rational::new(1, 1000).unwrap());
+        let candidates = vec![
+            vec![AttrFunction::Identity, div1000.clone()],
+            vec![AttrFunction::Identity, AttrFunction::Uppercase],
+        ];
+        let sol = solve_exact(&mut inst, &candidates, 0.5, 1000);
+        assert_eq!(sol.evaluated, 4);
+        assert_eq!(sol.explanation.functions[0], div1000);
+        assert!(sol.explanation.functions[1].is_identity());
+        assert_eq!(sol.explanation.core_size(), 3);
+        assert_eq!(sol.cost, 1.0); // ψ(scale) = 1, nothing inserted
+    }
+
+    #[test]
+    #[should_panic(expected = "over the limit")]
+    fn limit_guards_blowup() {
+        let mut inst = instance();
+        let big: Vec<AttrFunction> = vec![AttrFunction::Identity; 100];
+        let candidates = vec![big.clone(), big];
+        let _ = solve_exact(&mut inst, &candidates, 0.5, 100);
+    }
+}

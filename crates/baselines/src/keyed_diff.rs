@@ -1,0 +1,136 @@
+//! Primary-key-aligned snapshot diff — the baseline every commercial tool
+//! in §2 implements.
+//!
+//! Records are aligned purely by equality on the key attributes; aligned
+//! pairs are reported as *updates* (with changed cells), unmatched source
+//! records as deletes and unmatched target records as inserts. This is
+//! exactly what breaks under the paper's motivating scenario: "keys of the
+//! same records sometimes get reassigned during the update", silently
+//! producing *wrong* update reports.
+
+use affidavit_table::{AttrId, FxHashMap, RecordId, Sym};
+
+use affidavit_core::instance::ProblemInstance;
+
+/// The report of a key-based diff.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedDiff {
+    /// `(source, target)` pairs aligned by key equality.
+    pub matched: Vec<(RecordId, RecordId)>,
+    /// Matched pairs with at least one differing non-key cell, with the
+    /// differing attributes.
+    pub updates: Vec<(RecordId, RecordId, Vec<AttrId>)>,
+    /// Source records whose key has no counterpart.
+    pub deletes: Vec<RecordId>,
+    /// Target records whose key has no counterpart.
+    pub inserts: Vec<RecordId>,
+}
+
+impl KeyedDiff {
+    /// Fraction of `matched` pairs also present in a reference alignment —
+    /// the baseline's alignment accuracy.
+    pub fn alignment_accuracy(&self, reference: &[(RecordId, RecordId)]) -> f64 {
+        if reference.is_empty() {
+            return if self.matched.is_empty() { 1.0 } else { 0.0 };
+        }
+        let truth: std::collections::HashSet<_> = reference.iter().collect();
+        let hits = self.matched.iter().filter(|p| truth.contains(p)).count();
+        hits as f64 / reference.len() as f64
+    }
+}
+
+/// Diff two snapshots by equality on `key_attrs`. Duplicate keys are
+/// matched in record order (multiset semantics), mirroring what the
+/// commercial tools do on non-unique keys.
+pub fn keyed_diff(instance: &ProblemInstance, key_attrs: &[AttrId]) -> KeyedDiff {
+    let mut by_key: FxHashMap<Vec<Sym>, (Vec<RecordId>, usize)> = FxHashMap::default();
+    for (tid, rec) in instance.target.iter() {
+        let key: Vec<Sym> = key_attrs.iter().map(|a| rec.get(a.index())).collect();
+        by_key.entry(key).or_default().0.push(tid);
+    }
+
+    let mut out = KeyedDiff::default();
+    for (sid, rec) in instance.source.iter() {
+        let key: Vec<Sym> = key_attrs.iter().map(|a| rec.get(a.index())).collect();
+        match by_key.get_mut(&key) {
+            Some((tids, next)) if *next < tids.len() => {
+                let tid = tids[*next];
+                *next += 1;
+                out.matched.push((sid, tid));
+                let changed: Vec<AttrId> = instance
+                    .schema()
+                    .attr_ids()
+                    .filter(|a| !key_attrs.contains(a))
+                    .filter(|a| instance.source.value(sid, *a) != instance.target.value(tid, *a))
+                    .collect();
+                if !changed.is_empty() {
+                    out.updates.push((sid, tid, changed));
+                }
+            }
+            _ => out.deletes.push(sid),
+        }
+    }
+    for (tids, next) in by_key.values() {
+        out.inserts.extend_from_slice(&tids[*next..]);
+    }
+    out.inserts.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_table::{Schema, Table, ValuePool};
+
+    fn instance(src: Vec<Vec<&str>>, tgt: Vec<Vec<&str>>) -> ProblemInstance {
+        let mut pool = ValuePool::new();
+        let s = Table::from_rows(Schema::new(["id", "v"]), &mut pool, src);
+        let t = Table::from_rows(Schema::new(["id", "v"]), &mut pool, tgt);
+        ProblemInstance::new(s, t, pool).unwrap()
+    }
+
+    #[test]
+    fn stable_keys_diff_correctly() {
+        let inst = instance(
+            vec![vec!["1", "a"], vec!["2", "b"], vec!["3", "c"]],
+            vec![vec!["1", "a"], vec!["2", "B"], vec!["4", "d"]],
+        );
+        let d = keyed_diff(&inst, &[AttrId(0)]);
+        assert_eq!(d.matched.len(), 2);
+        assert_eq!(d.updates.len(), 1); // record 2 changed v
+        assert_eq!(d.deletes.len(), 1); // id 3
+        assert_eq!(d.inserts.len(), 1); // id 4
+    }
+
+    #[test]
+    fn reassigned_keys_produce_wrong_alignment() {
+        // The paper's failure mode: keys permuted, values unchanged.
+        // Key diff "aligns" everything but pairs the wrong records.
+        let inst = instance(
+            vec![vec!["1", "a"], vec!["2", "b"]],
+            vec![vec!["2", "a"], vec!["1", "b"]],
+        );
+        let d = keyed_diff(&inst, &[AttrId(0)]);
+        assert_eq!(d.matched.len(), 2);
+        // It reports 2 spurious updates …
+        assert_eq!(d.updates.len(), 2);
+        // … and its alignment accuracy against the true pairing is 0.
+        let truth = vec![
+            (RecordId(0), RecordId(0)), // "a" row
+            (RecordId(1), RecordId(1)), // "b" row
+        ];
+        assert_eq!(d.alignment_accuracy(&truth), 0.0);
+    }
+
+    #[test]
+    fn duplicate_keys_multiset_matched() {
+        let inst = instance(
+            vec![vec!["1", "a"], vec!["1", "b"]],
+            vec![vec!["1", "x"]],
+        );
+        let d = keyed_diff(&inst, &[AttrId(0)]);
+        assert_eq!(d.matched.len(), 1);
+        assert_eq!(d.deletes.len(), 1);
+        assert!(d.inserts.is_empty());
+    }
+}

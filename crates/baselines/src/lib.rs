@@ -1,0 +1,25 @@
+//! Baselines and hardness artifacts for the Affidavit reproduction.
+//!
+//! * [`keyed_diff`](mod@keyed_diff) — the classic primary-key-aligned snapshot diff (the
+//!   commercial tool family of §2). Demonstrably breaks when keys are
+//!   reassigned.
+//! * [`exact`] — a brute-force optimal Explain-Table-Delta solver over an
+//!   explicit candidate function space; validates the heuristic's
+//!   optimality on small instances.
+//! * [`sat`] — the polynomial-time reduction from 3-SAT of Theorem 3.12,
+//!   including the Figure 2 example; combined with the exact solver it
+//!   decides satisfiability through optimal explanations.
+//! * [`linker`] — a similarity-only record linker (record linking without
+//!   function synthesis), the unsupervised-matching strawman of §2.
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod keyed_diff;
+pub mod linker;
+pub mod sat;
+
+pub use exact::{solve_exact, ExactSolution};
+pub use keyed_diff::{keyed_diff, KeyedDiff};
+pub use linker::{similarity_link, LinkerResult};
+pub use sat::{Cnf, Clause, Lit, SatReduction};

@@ -1,0 +1,239 @@
+//! The NP-hardness reduction of Theorem 3.12, executable.
+//!
+//! A 3-SAT instance becomes an Explain-Table-Delta instance with one
+//! source record per clause and one target record per satisfying partial
+//! assignment of each clause (2^k − 1 for a k-literal clause). The
+//! candidate functions per variable attribute are `id` (variable := true)
+//! and boolean negation (variable := false) — both parameter-free in the
+//! proof's function space, so explanation costs are determined solely by
+//! `|T^E+|` (we use α = 1 to reproduce this). The formula is satisfiable
+//! iff the optimal explanation deletes no source record, and a model can
+//! then be read off the attribute functions.
+
+use affidavit_core::explanation::Explanation;
+use affidavit_core::instance::ProblemInstance;
+use affidavit_functions::{AttrFunction, ValueMap};
+use affidavit_table::{Record, Schema, Sym, Table, ValuePool};
+
+use crate::exact::solve_exact;
+
+/// A literal: variable index (0-based) and polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// 0-based variable index.
+    pub var: usize,
+    /// `true` for a positive literal.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal on `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal on `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+}
+
+/// A clause of up to three literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula.
+#[derive(Debug, Clone)]
+pub struct Cnf {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Evaluate under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var] == l.positive)
+        })
+    }
+}
+
+/// The example formula of Figure 2, read off the source-record rows:
+/// `(v1 ∨ v2 ∨ ¬v3) ∧ (¬v1 ∨ v4) ∧ v3` — 3 source and 11 target records.
+pub fn figure2_cnf() -> Cnf {
+    Cnf {
+        num_vars: 4,
+        clauses: vec![
+            vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)],
+            vec![Lit::neg(0), Lit::pos(3)],
+            vec![Lit::pos(2)],
+        ],
+    }
+}
+
+/// The reduction output: instance plus the proof's candidate functions.
+#[derive(Debug)]
+pub struct SatReduction {
+    /// The Explain-Table-Delta instance.
+    pub instance: ProblemInstance,
+    /// Per-attribute candidate functions (`[id]` for `#`, `[id, negation]`
+    /// for each variable attribute).
+    pub candidates: Vec<Vec<AttrFunction>>,
+    /// Number of variables (for model extraction).
+    pub num_vars: usize,
+}
+
+/// Build the Theorem 3.12 reduction for a CNF formula.
+pub fn reduce(cnf: &Cnf) -> SatReduction {
+    let mut pool = ValuePool::new();
+    let zero = pool.intern("0");
+    let one = pool.intern("1");
+    let dash = pool.intern("-");
+
+    let mut names = vec!["#".to_owned()];
+    names.extend((1..=cnf.num_vars).map(|i| format!("v{i}")));
+    let schema = Schema::new(names);
+
+    let mut source = Table::new(schema.clone());
+    let mut target = Table::new(schema);
+
+    for (ci, clause) in cnf.clauses.iter().enumerate() {
+        let tag = pool.intern(&format!("c{}", ci + 1));
+        // Source record: literal polarities.
+        let mut row: Vec<Sym> = vec![tag; cnf.num_vars + 1];
+        for v in row.iter_mut().skip(1) {
+            *v = dash;
+        }
+        for lit in clause {
+            row[lit.var + 1] = if lit.positive { one } else { zero };
+        }
+        source.push(Record::new(row));
+
+        // Target records: one per satisfying assignment of the clause's
+        // own variables (2^k − 1 of them).
+        let k = clause.len();
+        for bits in 0..(1u32 << k) {
+            let truth = |j: usize| bits & (1 << j) != 0;
+            let satisfied = clause
+                .iter()
+                .enumerate()
+                .any(|(j, lit)| truth(j) == lit.positive);
+            if !satisfied {
+                continue;
+            }
+            let mut row: Vec<Sym> = vec![tag; cnf.num_vars + 1];
+            for v in row.iter_mut().skip(1) {
+                *v = dash;
+            }
+            for (j, lit) in clause.iter().enumerate() {
+                // '1' iff the literal's polarity agrees with the model.
+                row[lit.var + 1] = if truth(j) == lit.positive { one } else { zero };
+            }
+            target.push(Record::new(row));
+        }
+    }
+
+    // Boolean negation: swap '0' and '1', identity otherwise. In the
+    // proof's function space ψ(negation) = 0; we reproduce the "costs are
+    // solely |T^E+|" property by solving at α = 1.
+    let negation = AttrFunction::Map(ValueMap::from_pairs([(zero, one), (one, zero)]));
+    let mut candidates = vec![vec![AttrFunction::Identity]];
+    for _ in 0..cnf.num_vars {
+        candidates.push(vec![AttrFunction::Identity, negation.clone()]);
+    }
+
+    SatReduction {
+        instance: ProblemInstance::new(source, target, pool).expect("schemas match"),
+        candidates,
+        num_vars: cnf.num_vars,
+    }
+}
+
+impl SatReduction {
+    /// Decide satisfiability by solving the reduction optimally. Returns
+    /// the model if satisfiable.
+    pub fn solve(&mut self) -> Option<Vec<bool>> {
+        let sol = solve_exact(&mut self.instance, &self.candidates, 1.0, 1 << 24);
+        if sol.explanation.deleted.is_empty() {
+            Some(Self::extract_model(&sol.explanation, self.num_vars))
+        } else {
+            None
+        }
+    }
+
+    /// Read the model off an explanation's attribute functions:
+    /// `vi := true` iff `f_vi = id`.
+    pub fn extract_model(explanation: &Explanation, num_vars: usize) -> Vec<bool> {
+        (0..num_vars)
+            .map(|v| explanation.functions[v + 1].is_identity())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let red = reduce(&figure2_cnf());
+        assert_eq!(red.instance.source.len(), 3, "3 source records");
+        assert_eq!(red.instance.target.len(), 11, "11 target records");
+        assert_eq!(red.instance.arity(), 5); // # + v1..v4
+    }
+
+    #[test]
+    fn figure2_is_satisfiable_with_a_real_model() {
+        let cnf = figure2_cnf();
+        let mut red = reduce(&cnf);
+        let model = red.solve().expect("Figure 2's formula is satisfiable");
+        assert!(cnf.eval(&model), "extracted model must satisfy the CNF");
+        // v3 must be true (unit clause c3).
+        assert!(model[2]);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_detected() {
+        let cnf = Cnf {
+            num_vars: 1,
+            clauses: vec![vec![Lit::pos(0)], vec![Lit::neg(0)]],
+        };
+        let mut red = reduce(&cnf);
+        assert!(red.solve().is_none());
+    }
+
+    #[test]
+    fn all_models_enumerated_per_clause() {
+        // A 3-literal clause yields 7 targets, a 2-literal 3, a unit 1.
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)]],
+        };
+        let red = reduce(&cnf);
+        assert_eq!(red.instance.target.len(), 7);
+    }
+
+    #[test]
+    fn tautology_free_structure() {
+        // Satisfiable 2-clause formula over shared variables.
+        let cnf = Cnf {
+            num_vars: 2,
+            clauses: vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::pos(1)],
+            ],
+        };
+        let mut red = reduce(&cnf);
+        let model = red.solve().expect("satisfiable");
+        assert!(cnf.eval(&model));
+        assert!(model[1], "v2 = true is forced in every solution");
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 5: runtime vs record count on scaled
+//! flight-500k instances (η=τ=0.3, H^id).
+//!
+//! The paper's claim is linear scaling; criterion's per-size estimates
+//! divided by the record count should stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use affidavit_bench::harness::ConfigKind;
+use affidavit_core::Affidavit;
+use affidavit_datagen::blueprint::{Blueprint, GenConfig};
+use affidavit_datasets::specs::by_name;
+use affidavit_datasets::synth::generate_rows;
+
+fn bench_fig5(c: &mut Criterion) {
+    let spec = by_name("flight-500k").expect("spec exists");
+    // Bench-scale base: 20k rows, scaled 25 %, 50 %, 75 %, 100 %.
+    let base_rows = 20_000;
+    let (base, pool) = generate_rows(&spec, base_rows, 500);
+    let blueprint = Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, 500));
+
+    let mut group = c.benchmark_group("fig5_rows");
+    group.sample_size(10);
+    for pct in [25u32, 50, 75, 100] {
+        let scale = pct as f64 / 100.0;
+        let records = blueprint.materialize(scale).instance.source.len();
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &scale, |b, &scale| {
+            b.iter(|| {
+                let mut generated = blueprint.materialize(scale);
+                let solver = Affidavit::new(ConfigKind::Hid.to_config(500));
+                std::hint::black_box(solver.explain(&mut generated.instance))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

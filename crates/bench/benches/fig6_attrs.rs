@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 6: runtime vs attribute count at a fixed
+//! record count (η=τ=0.3, H^id).
+//!
+//! Uses the wide Table 2 datasets (28–182 attributes) at 400 rows each so
+//! the per-record normalization of the figure is directly comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use affidavit_bench::harness::ConfigKind;
+use affidavit_core::Affidavit;
+use affidavit_datagen::blueprint::{Blueprint, GenConfig};
+use affidavit_datasets::specs::by_name;
+use affidavit_datasets::synth::generate_rows;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_attrs");
+    group.sample_size(10);
+    for name in ["horse", "plista", "flight-1k", "uniprot"] {
+        let spec = by_name(name).expect("dataset exists");
+        let rows = 400;
+        let (base, pool) = generate_rows(&spec, rows, 6);
+        let blueprint = Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, 6));
+        group.throughput(Throughput::Elements(spec.attrs as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}attrs_{name}", spec.attrs)),
+            &blueprint,
+            |b, blueprint| {
+                b.iter(|| {
+                    let mut generated = blueprint.materialize_full();
+                    let solver = Affidavit::new(ConfigKind::Hid.to_config(6));
+                    std::hint::black_box(solver.explain(&mut generated.instance))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Minimal dependency-free flag parsing for the repro binaries.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags: `--key value` pairs and bare `--switch`es.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn parse() -> Args {
+        Args::from_items(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_items(items: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut it = items.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                eprintln!("warning: ignoring positional argument {arg:?}");
+                continue;
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = it.next().expect("peeked");
+                    out.values.insert(name.to_owned(), v);
+                }
+                _ => out.switches.push(name.to_owned()),
+            }
+        }
+        out
+    }
+
+    /// True if `--name` was passed as a switch.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// The value of `--name value`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.values.get(name).and_then(|v| v.parse().ok())
+    }
+
+    /// The value of `--name`, with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// Raw string value.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_items(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = args(&["--runs", "5", "--full", "--rows", "2000"]);
+        assert_eq!(a.get::<usize>("runs"), Some(5));
+        assert_eq!(a.get_or::<usize>("rows", 1), 2000);
+        assert!(a.has("full"));
+        assert!(!a.has("json"));
+    }
+
+    #[test]
+    fn trailing_switch() {
+        let a = args(&["--full"]);
+        assert!(a.has("full"));
+    }
+
+    #[test]
+    fn default_when_missing() {
+        let a = args(&[]);
+        assert_eq!(a.get_or::<u64>("seed", 42), 42);
+    }
+}

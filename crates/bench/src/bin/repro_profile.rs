@@ -1,0 +1,98 @@
+//! Whole-snapshot profiling throughput — the paper's stated operating
+//! point of comparing "database snapshots with hundreds of tables" (§1/§2)
+//! with no per-table user effort.
+//!
+//! Materializes `--tables N` table pairs (cycling through the evaluation
+//! dataset shapes, each synthetically transformed at η = τ = 0.3 with its
+//! own seed), writes them as two snapshot directories, and profiles the
+//! whole pair with `core::profiling::profile_dirs` (parallel across
+//! tables). Prints the per-table outcomes plus aggregate throughput.
+//!
+//! Flags: `--tables N` (default 24), `--rows N` (cap per table, default
+//! 400), `--seed N`, `--align` (exercise the schema-repair path).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use affidavit_bench::args::Args;
+use affidavit_core::profiling::{profile_dirs, ProfileOptions, TableOutcome};
+use affidavit_datagen::blueprint::{Blueprint, GenConfig};
+use affidavit_datasets::specs::all_specs;
+use affidavit_datasets::synth::generate_rows;
+use affidavit_table::csv;
+
+fn main() {
+    let args = Args::parse();
+    let tables = args.get_or("tables", 24usize);
+    let rows_cap = args.get_or("rows", 400usize);
+    let seed: u64 = args.get_or("seed", 0xF00D);
+    let align = args.has("align");
+
+    let root = std::env::temp_dir().join(format!("affidavit-repro-profile-{seed}"));
+    std::fs::remove_dir_all(&root).ok();
+    let before: PathBuf = root.join("before");
+    let after: PathBuf = root.join("after");
+    std::fs::create_dir_all(&before).expect("temp dir");
+    std::fs::create_dir_all(&after).expect("temp dir");
+
+    let specs = all_specs();
+    let started_gen = Instant::now();
+    let mut total_records = 0usize;
+    for i in 0..tables {
+        let spec = &specs[i % specs.len()];
+        let s = seed + i as u64;
+        let rows = spec.rows.min(rows_cap);
+        let (base, pool) = generate_rows(spec, rows, s);
+        let generated =
+            Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, s)).materialize_full();
+        total_records += generated.instance.source.len() + generated.instance.target.len();
+        let name = format!("{}_{i:03}", spec.name);
+        for (dir, table) in [
+            (&before, &generated.instance.source),
+            (&after, &generated.instance.target),
+        ] {
+            csv::write_path(
+                dir.join(format!("{name}.csv")),
+                table,
+                &generated.instance.pool,
+                csv::CsvOptions::default(),
+            )
+            .expect("write snapshot CSV");
+        }
+    }
+    println!(
+        "materialized {tables} table pairs ({total_records} records) in {:.2?}\n",
+        started_gen.elapsed()
+    );
+
+    let opts = ProfileOptions {
+        align,
+        ..ProfileOptions::default()
+    };
+    let started = Instant::now();
+    let profile = profile_dirs(&before, &after, &opts).expect("profiling succeeds");
+    let elapsed = started.elapsed();
+
+    println!("{}", profile.render());
+
+    let explained = profile
+        .tables
+        .iter()
+        .filter(|t| matches!(t.outcome, TableOutcome::Explained { .. }))
+        .count();
+    let failed = profile
+        .tables
+        .iter()
+        .filter(|t| matches!(t.outcome, TableOutcome::Failed { .. }))
+        .count();
+    println!(
+        "profiled {tables} tables in {:.2?} ({:.0} ms/table, {} explained, {} failed)",
+        elapsed,
+        elapsed.as_secs_f64() * 1e3 / tables as f64,
+        explained,
+        failed,
+    );
+    assert_eq!(failed, 0, "no table pair may fail to profile");
+
+    std::fs::remove_dir_all(&root).ok();
+}

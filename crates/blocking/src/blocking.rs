@@ -1,0 +1,267 @@
+//! Blocking results Φ^H (Definitions 4.3 and 4.4) with incremental
+//! refinement.
+
+use affidavit_functions::AppliedFunction;
+use affidavit_table::{AttrId, FxHashMap, FxHashSet, RecordId, Sym, Table, ValuePool};
+
+/// One block φ(κ): the source and target records sharing a blocking index.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Source records in the block (`φ_S(κ)`).
+    pub src: Vec<RecordId>,
+    /// Target records in the block (`φ_T(κ)`).
+    pub tgt: Vec<RecordId>,
+}
+
+impl Block {
+    /// True if the block holds both source and target records — only such
+    /// blocks can contribute alignment examples.
+    pub fn is_mixed(&self) -> bool {
+        !self.src.is_empty() && !self.tgt.is_empty()
+    }
+
+    /// Target surplus `max(0, |φ_T| − |φ_S|)`.
+    pub fn target_surplus(&self) -> u64 {
+        (self.tgt.len() as u64).saturating_sub(self.src.len() as u64)
+    }
+
+    /// Source surplus `max(0, |φ_S| − |φ_T|)`.
+    pub fn source_surplus(&self) -> u64 {
+        (self.src.len() as u64).saturating_sub(self.tgt.len() as u64)
+    }
+}
+
+/// The blocking result Φ^H of a search state.
+///
+/// `dead_src` holds source records on which some assigned function was
+/// inapplicable (partial application returned `None`); they can never align
+/// with any target under this state and count towards the `cs` lower bound.
+#[derive(Debug, Clone, Default)]
+pub struct Blocking {
+    /// All blocks, in deterministic (parent-order, first-seen) order.
+    pub blocks: Vec<Block>,
+    /// Source records excluded by partial function application.
+    pub dead_src: Vec<RecordId>,
+}
+
+impl Blocking {
+    /// The root blocking of the empty assignment `H^∅ = (∗, …, ∗)`: a
+    /// single block containing every record.
+    pub fn root(source: &Table, target: &Table) -> Blocking {
+        Blocking {
+            blocks: vec![Block {
+                src: source.record_ids().collect(),
+                tgt: target.record_ids().collect(),
+            }],
+            dead_src: Vec::new(),
+        }
+    }
+
+    /// Refine on a newly assigned attribute: every block splits by the
+    /// *transformed* source value vs. the raw target value of `attr`.
+    pub fn refine(
+        &self,
+        attr: AttrId,
+        func: &mut AppliedFunction,
+        source: &Table,
+        target: &Table,
+        pool: &mut ValuePool,
+    ) -> Blocking {
+        let mut out = Blocking {
+            blocks: Vec::with_capacity(self.blocks.len()),
+            dead_src: self.dead_src.clone(),
+        };
+        // Workhorse map reused across blocks (cleared via drain).
+        let mut groups: FxHashMap<Sym, Block> = FxHashMap::default();
+        let mut order: Vec<Sym> = Vec::new();
+        for block in &self.blocks {
+            for &sid in &block.src {
+                let raw = source.value(sid, attr);
+                match func.apply(raw, pool) {
+                    Some(key) => {
+                        let entry = groups.entry(key).or_insert_with(|| {
+                            order.push(key);
+                            Block::default()
+                        });
+                        entry.src.push(sid);
+                    }
+                    None => out.dead_src.push(sid),
+                }
+            }
+            for &tid in &block.tgt {
+                let key = target.value(tid, attr);
+                let entry = groups.entry(key).or_insert_with(|| {
+                    order.push(key);
+                    Block::default()
+                });
+                entry.tgt.push(tid);
+            }
+            for key in order.drain(..) {
+                let b = groups.remove(&key).expect("key was inserted above");
+                out.blocks.push(b);
+            }
+        }
+        out
+    }
+
+    /// Lower bound on inserted targets from this blocking alone:
+    /// `ct(H) = Σ_{|φ_T| > |φ_S|} (|φ_T| − |φ_S|)` (§4.5).
+    pub fn ct(&self) -> u64 {
+        self.blocks.iter().map(Block::target_surplus).sum()
+    }
+
+    /// Lower bound on deleted sources:
+    /// `cs(H) = Σ_{|φ_S| > |φ_T|} (|φ_S| − |φ_T|)` plus the dead sources.
+    pub fn cs(&self) -> u64 {
+        let surplus: u64 = self.blocks.iter().map(Block::source_surplus).sum();
+        surplus + self.dead_src.len() as u64
+    }
+
+    /// Iterate over the mixed blocks (both sides non-empty).
+    pub fn mixed_blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter().filter(|b| b.is_mixed())
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Indeterminacy estimate of an attribute under this blocking (§4.3):
+    /// the maximum number of distinct *source* values of `attr` over all
+    /// mixed blocks — an upper bound for how many source values compete as
+    /// the origin of a target value.
+    pub fn indeterminacy(&self, attr: AttrId, source: &Table) -> usize {
+        let mut distinct: FxHashSet<Sym> = FxHashSet::default();
+        let mut max = 0usize;
+        for block in self.mixed_blocks() {
+            distinct.clear();
+            for &sid in &block.src {
+                distinct.insert(source.value(sid, attr));
+            }
+            max = max.max(distinct.len());
+        }
+        max
+    }
+
+    /// Total number of source records still inside blocks (excludes dead).
+    pub fn live_sources(&self) -> usize {
+        self.blocks.iter().map(|b| b.src.len()).sum()
+    }
+
+    /// Total number of target records (always all of T).
+    pub fn total_targets(&self) -> usize {
+        self.blocks.iter().map(|b| b.tgt.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_functions::AttrFunction;
+    use affidavit_table::Schema;
+
+    fn tables() -> (Table, Table, ValuePool) {
+        let mut pool = ValuePool::new();
+        // Mirrors the spirit of Figure 3: Type / Val / Unit / Org.
+        let s = Table::from_rows(
+            Schema::new(["Type", "Val", "Unit", "Org"]),
+            &mut pool,
+            vec![
+                vec!["C", "6540", "USD", "SAP"],
+                vec!["C", "9800", "USD", "SAP"],
+                vec!["C", "0", "USD", "SAP"],
+                vec!["A", "80000", "USD", "IBM"],
+            ],
+        );
+        let t = Table::from_rows(
+            Schema::new(["Type", "Val", "Unit", "Org"]),
+            &mut pool,
+            vec![
+                vec!["C", "9.8", "k $", "SAP"],
+                vec!["C", "6.54", "k $", "SAP"],
+                vec!["A", "80", "k $", "IBM"],
+            ],
+        );
+        (s, t, pool)
+    }
+
+    #[test]
+    fn root_has_single_block() {
+        let (s, t, _) = tables();
+        let b = Blocking::root(&s, &t);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.blocks[0].src.len(), 4);
+        assert_eq!(b.blocks[0].tgt.len(), 3);
+        assert_eq!(b.ct(), 0);
+        assert_eq!(b.cs(), 1); // 4 sources, 3 targets in one block
+    }
+
+    #[test]
+    fn figure3_style_refinement() {
+        // Refine on Type (id), Unit (const 'k $'), Org (id) — the block of
+        // index ('C', 'k $', 'SAP') must hold 3 sources and 2 targets.
+        let (s, t, mut pool) = tables();
+        let mut id1 = AppliedFunction::new(AttrFunction::Identity);
+        let ksym = pool.intern("k $");
+        let mut cst = AppliedFunction::new(AttrFunction::Constant(ksym));
+        let mut id2 = AppliedFunction::new(AttrFunction::Identity);
+
+        let b = Blocking::root(&s, &t)
+            .refine(AttrId(0), &mut id1, &s, &t, &mut pool)
+            .refine(AttrId(2), &mut cst, &s, &t, &mut pool)
+            .refine(AttrId(3), &mut id2, &s, &t, &mut pool);
+
+        let mixed: Vec<&Block> = b.mixed_blocks().collect();
+        assert_eq!(mixed.len(), 2);
+        let sap = mixed.iter().find(|blk| blk.src.len() == 3).unwrap();
+        assert_eq!(sap.tgt.len(), 2);
+        assert_eq!(b.cs(), 1);
+        assert_eq!(b.ct(), 0);
+    }
+
+    #[test]
+    fn dead_sources_counted_in_cs() {
+        let (s, t, mut pool) = tables();
+        // Scaling applies to Val but not to Type — refine on Type with a
+        // numeric function: every source dies.
+        let mut f = AppliedFunction::new(AttrFunction::Scale(
+            affidavit_table::Rational::new(1, 1000).unwrap(),
+        ));
+        let b = Blocking::root(&s, &t).refine(AttrId(0), &mut f, &s, &t, &mut pool);
+        assert_eq!(b.dead_src.len(), 4);
+        assert_eq!(b.cs(), 4);
+        assert_eq!(b.ct(), 3); // all targets now unmatched
+    }
+
+    #[test]
+    fn indeterminacy_shrinks_with_refinement() {
+        let (s, t, mut pool) = tables();
+        let root = Blocking::root(&s, &t);
+        let before = root.indeterminacy(AttrId(1), &s); // all 4 Val values
+        assert_eq!(before, 4);
+        let mut id = AppliedFunction::new(AttrFunction::Identity);
+        let refined = root.refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let after = refined.indeterminacy(AttrId(1), &s);
+        assert_eq!(after, 3); // the C-block has 3 distinct Val values
+    }
+
+    #[test]
+    fn refinement_order_is_deterministic() {
+        let (s, t, mut pool) = tables();
+        let mut id_a = AppliedFunction::new(AttrFunction::Identity);
+        let mut id_b = AppliedFunction::new(AttrFunction::Identity);
+        let b1 = Blocking::root(&s, &t).refine(AttrId(3), &mut id_a, &s, &t, &mut pool);
+        let b2 = Blocking::root(&s, &t).refine(AttrId(3), &mut id_b, &s, &t, &mut pool);
+        let shape1: Vec<(usize, usize)> =
+            b1.blocks.iter().map(|b| (b.src.len(), b.tgt.len())).collect();
+        let shape2: Vec<(usize, usize)> =
+            b2.blocks.iter().map(|b| (b.src.len(), b.tgt.len())).collect();
+        assert_eq!(shape1, shape2);
+    }
+}

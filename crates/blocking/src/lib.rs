@@ -1,0 +1,24 @@
+//! Blocking substrate for the Affidavit search.
+//!
+//! A search state's partial function assignments act as standard blocking
+//! criteria (Def. 4.3): source records are projected through the assigned
+//! functions, target records through the raw values, and records with equal
+//! projections land in the same block (Def. 4.4). The search only ever adds
+//! one assignment at a time, so a child state's blocking is computed by
+//! *refining* the parent's blocks on the newly assigned attribute — O(N)
+//! with small constants instead of re-hashing full-width keys.
+//!
+//! The crate also provides the two alignment tools Algorithm 1 needs:
+//! random alignments respecting a blocking result (for the greedy-map
+//! baseline `Hg` and for ⊞ finalization) and the overlap-score a-priori
+//! matcher that builds the `Hs` start state (§4.2).
+
+#![warn(missing_docs)]
+
+pub mod alignment;
+pub mod blocking;
+pub mod overlap;
+
+pub use alignment::{greedy_map_from_alignment, sample_random_alignment};
+pub use blocking::{Block, Blocking};
+pub use overlap::{overlap_start_attrs, OverlapConfig};

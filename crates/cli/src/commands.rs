@@ -1,0 +1,662 @@
+//! CLI subcommand implementations.
+
+use std::path::Path;
+
+use affidavit_core::apply::transform_table;
+use affidavit_core::portable::PortableExplanation;
+use affidavit_core::report::{render_report, to_sql};
+use affidavit_core::{Affidavit, AffidavitConfig, ProblemInstance};
+use affidavit_datagen::blueprint::{Blueprint, GenConfig};
+use affidavit_table::{csv, AttrId, Table, ValuePool};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+affidavit — explain differences between unaligned table snapshots (EDBT 2020)
+
+USAGE:
+  affidavit explain <source.csv> <target.csv> [--config id|overlap] [--seed N]
+                    [--sql TABLE] [--trace] [--align] [--corpus] [--extended]
+                    [--save F.json]
+  affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
+  affidavit apply   <source.csv> <target.csv> <unseen.csv> [--out FILE]
+  affidavit apply   --explanation F.json <unseen.csv> [--out FILE]
+  affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
+  affidavit profile <source_dir> <target_dir> [--align] [--extended]
+                    [--config id|overlap] [--seed N] [--json FILE]
+  affidavit help";
+
+/// Simple positional + flag splitter.
+struct Parsed<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+fn parse(args: &[String]) -> Parsed<'_> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(String::as_str);
+            if value.is_some() {
+                i += 1;
+            }
+            flags.push((name, value));
+        } else {
+            positional.push(args[i].as_str());
+        }
+        i += 1;
+    }
+    Parsed { positional, flags }
+}
+
+impl<'a> Parsed<'a> {
+    fn flag(&self, name: &str) -> Option<Option<&'a str>> {
+        self.flags.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn flag_value(&self, name: &str) -> Option<&'a str> {
+        self.flag(name).flatten()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flag(name).is_some()
+    }
+}
+
+fn load_instance(src: &str, tgt: &str) -> Result<ProblemInstance, String> {
+    let mut pool = ValuePool::new();
+    let source = read_csv(src, &mut pool)?;
+    let target = read_csv(tgt, &mut pool)?;
+    ProblemInstance::new(source, target, pool).map_err(|e| e.to_string())
+}
+
+fn read_csv(path: &str, pool: &mut ValuePool) -> Result<Table, String> {
+    csv::read_path(path, pool, csv::CsvOptions::default())
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn build_config(p: &Parsed<'_>) -> Result<AffidavitConfig, String> {
+    let mut cfg = match p.flag_value("config").unwrap_or("id") {
+        "id" => AffidavitConfig::paper_id(),
+        "overlap" => AffidavitConfig::paper_overlap(),
+        other => return Err(format!("unknown --config {other:?} (use id|overlap)")),
+    };
+    if let Some(seed) = p.flag_value("seed") {
+        cfg.seed = seed.parse().map_err(|_| format!("bad --seed {seed:?}"))?;
+    }
+    if p.has("trace") {
+        cfg.trace = true;
+    }
+    if p.has("corpus") {
+        cfg.use_corpus = true;
+    }
+    if p.has("extended") {
+        cfg.registry = affidavit_functions::Registry::extended();
+    }
+    Ok(cfg)
+}
+
+/// `affidavit explain`: learn the transformation and alignment.
+pub fn explain(args: &[String]) -> Result<(), String> {
+    let p = parse(args);
+    let [src, tgt] = p.positional[..] else {
+        return Err(format!("explain needs two CSV paths\n{USAGE}"));
+    };
+    let mut instance = if p.has("align") {
+        // §6 future work: align renamed/reordered target columns by
+        // content before explaining; with unequal arity, first look for
+        // merged/split columns and normalize.
+        let mut pool = ValuePool::new();
+        let mut source = read_csv(src, &mut pool)?;
+        let mut target = read_csv(tgt, &mut pool)?;
+        if source.schema().arity() != target.schema().arity() {
+            let Some((s2, t2, applied)) =
+                affidavit_core::restructure::normalize_arity(&source, &target, &mut pool)
+            else {
+                return Err(
+                    "--align: column counts differ and no merge/split evidence was found"
+                        .to_owned(),
+                );
+            };
+            for r in &applied {
+                match r {
+                    affidavit_core::restructure::Restructure::Merge {
+                        target, left, right, sep, score,
+                    } => eprintln!(
+                        "detected merge: source {:?} ◦ {sep:?} ◦ {:?} → target {:?} (score {score:.2})",
+                        source.schema().name(*left),
+                        source.schema().name(*right),
+                        t2.schema().name(*target),
+                    ),
+                    affidavit_core::restructure::Restructure::Split {
+                        source: col, left, right, sep, score,
+                    } => eprintln!(
+                        "detected split: source {:?} → target {:?} ◦ {sep:?} ◦ {:?} (score {score:.2})",
+                        source.schema().name(*col),
+                        target.schema().name(*left),
+                        target.schema().name(*right),
+                    ),
+                }
+            }
+            source = s2;
+            target = t2;
+        }
+        let alignment = affidavit_core::schema_align::align_schemas(&source, &target, &pool);
+        let pairs: Vec<String> = alignment
+            .pairs()
+            .map(|(i, j)| {
+                format!(
+                    "{} ← {}",
+                    source.schema().name(i),
+                    target.schema().name(j)
+                )
+            })
+            .collect();
+        eprintln!(
+            "schema alignment (min confidence {:.2}): {}",
+            alignment.min_confidence(),
+            pairs.join(", ")
+        );
+        let target = alignment.reorder_target(&target, source.schema());
+        ProblemInstance::new(source, target, pool).map_err(|e| e.to_string())?
+    } else {
+        load_instance(src, tgt)?
+    };
+    let cfg = build_config(&p)?;
+    let outcome = Affidavit::new(cfg).explain(&mut instance);
+    println!("{}", render_report(&outcome.explanation, &instance));
+    println!(
+        "search: {} states polled, {} generated, {:?}",
+        outcome.stats.polled, outcome.stats.states_generated, outcome.stats.duration
+    );
+    if let Some(trace) = outcome.trace {
+        println!("\nsearch tree:\n{}", trace.render());
+    }
+    if let Some(table) = p.flag_value("sql") {
+        println!("\n{}", to_sql(&outcome.explanation, &instance, table));
+    }
+    if let Some(path) = p.flag_value("save") {
+        let portable = PortableExplanation::from_explanation(&outcome.explanation, &instance);
+        std::fs::write(path, portable.to_json()).map_err(|e| e.to_string())?;
+        eprintln!("saved explanation to {path}");
+    }
+    Ok(())
+}
+
+/// `affidavit profile`: explain every table pair in two snapshot
+/// directories (paired by file stem).
+pub fn profile(args: &[String]) -> Result<(), String> {
+    let p = parse(args);
+    let [src_dir, tgt_dir] = p.positional[..] else {
+        return Err(format!("profile needs two directories\n{USAGE}"));
+    };
+    let opts = affidavit_core::profiling::ProfileOptions {
+        config: build_config(&p)?,
+        align: p.has("align"),
+    };
+    let profile = affidavit_core::profiling::profile_dirs(
+        Path::new(src_dir),
+        Path::new(tgt_dir),
+        &opts,
+    )?;
+    println!("{}", profile.render());
+    if let Some(path) = p.flag_value("json") {
+        std::fs::write(path, profile.to_json()).map_err(|e| e.to_string())?;
+        eprintln!("wrote machine-readable profile to {path}");
+    }
+    Ok(())
+}
+
+/// `affidavit diff`: classic key-based comparison.
+pub fn diff(args: &[String]) -> Result<(), String> {
+    let p = parse(args);
+    let [src, tgt] = p.positional[..] else {
+        return Err(format!("diff needs two CSV paths\n{USAGE}"));
+    };
+    let keys = p
+        .flag_value("key")
+        .ok_or_else(|| "diff requires --key COL[,COL...]".to_owned())?;
+    let instance = load_instance(src, tgt)?;
+    let key_attrs: Vec<AttrId> = keys
+        .split(',')
+        .map(|name| {
+            instance
+                .schema()
+                .find(name.trim())
+                .ok_or_else(|| format!("unknown key column {name:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let report = affidavit_baselines_diff(&instance, &key_attrs);
+    println!("{report}");
+    Ok(())
+}
+
+// The baselines crate is not a CLI dependency (keeps the binary lean), so
+// reimplement the small key-diff report here on top of the core types.
+fn affidavit_baselines_diff(instance: &ProblemInstance, keys: &[AttrId]) -> String {
+    use affidavit_table::{FxHashMap, Sym};
+    let mut by_key: FxHashMap<Vec<Sym>, (Vec<affidavit_table::RecordId>, usize)> =
+        FxHashMap::default();
+    for (tid, rec) in instance.target.iter() {
+        let key: Vec<Sym> = keys.iter().map(|a| rec.get(a.index())).collect();
+        by_key.entry(key).or_default().0.push(tid);
+    }
+    let mut matched = 0usize;
+    let mut updates = 0usize;
+    let mut deletes = 0usize;
+    for (sid, rec) in instance.source.iter() {
+        let key: Vec<Sym> = keys.iter().map(|a| rec.get(a.index())).collect();
+        match by_key.get_mut(&key) {
+            Some((tids, next)) if *next < tids.len() => {
+                let tid = tids[*next];
+                *next += 1;
+                matched += 1;
+                let changed = instance
+                    .schema()
+                    .attr_ids()
+                    .filter(|a| !keys.contains(a))
+                    .any(|a| instance.source.value(sid, a) != instance.target.value(tid, a));
+                if changed {
+                    updates += 1;
+                }
+            }
+            _ => deletes += 1,
+        }
+    }
+    let inserts: usize = by_key.values().map(|(tids, next)| tids.len() - next).sum();
+    format!(
+        "key-based diff: {matched} matched ({updates} updated), {deletes} deleted, {inserts} inserted\n\
+         note: if keys were reassigned between snapshots this alignment is unreliable — use `affidavit explain`"
+    )
+}
+
+/// `affidavit apply`: transform unseen rows, either with a freshly learned
+/// explanation (three CSV paths) or with a saved one (`--explanation`).
+pub fn apply(args: &[String]) -> Result<(), String> {
+    let p = parse(args);
+    if let Some(expl_path) = p.flag_value("explanation") {
+        let [unseen_path] = p.positional[..] else {
+            return Err(format!("apply --explanation needs one CSV path\n{USAGE}"));
+        };
+        let json = std::fs::read_to_string(expl_path).map_err(|e| format!("{expl_path}: {e}"))?;
+        let portable = PortableExplanation::from_json(&json)?;
+        let mut pool = ValuePool::new();
+        let unseen = read_csv(unseen_path, &mut pool)?;
+        let names: Vec<&str> = unseen.schema().names().collect();
+        if names != portable.schema.iter().map(String::as_str).collect::<Vec<_>>() {
+            return Err(format!(
+                "schema mismatch: explanation was learned over {:?}, input has {:?}",
+                portable.schema, names
+            ));
+        }
+        let functions = portable.functions(&mut pool)?;
+        let e = affidavit_core::Explanation::new(functions, vec![], vec![], vec![]);
+        let (transformed, failed) = transform_table(&e, &unseen, &mut pool);
+        eprintln!(
+            "applied saved explanation: {} transformed, {} untransformable",
+            transformed.len(),
+            failed.len()
+        );
+        return match p.flag_value("out") {
+            Some(path) => {
+                csv::write_path(path, &transformed, &pool, csv::CsvOptions::default())
+                    .map_err(|e| e.to_string())?;
+                eprintln!("wrote {path}");
+                Ok(())
+            }
+            None => {
+                let mut stdout = std::io::stdout();
+                csv::write(&mut stdout, &transformed, &pool, csv::CsvOptions::default())
+                    .map_err(|e| e.to_string())
+            }
+        };
+    }
+    let [src, tgt, unseen_path] = p.positional[..] else {
+        return Err(format!("apply needs three CSV paths\n{USAGE}"));
+    };
+    let mut instance = load_instance(src, tgt)?;
+    let unseen = {
+        let mut pool_ref = std::mem::take(&mut instance.pool);
+        let t = read_csv(unseen_path, &mut pool_ref)?;
+        instance.pool = pool_ref;
+        t
+    };
+    if unseen.schema() != instance.schema() {
+        return Err("unseen table schema differs from the snapshots".to_owned());
+    }
+    let cfg = build_config(&p)?;
+    let outcome = Affidavit::new(cfg).explain(&mut instance);
+    let (transformed, failed) = transform_table(&outcome.explanation, &unseen, &mut instance.pool);
+    eprintln!(
+        "learned explanation (core {}, cost {}); transformed {} records, {} untransformable",
+        outcome.explanation.core_size(),
+        outcome.explanation.cost_units(instance.arity()),
+        transformed.len(),
+        failed.len()
+    );
+    match p.flag_value("out") {
+        Some(path) => {
+            csv::write_path(path, &transformed, &instance.pool, csv::CsvOptions::default())
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => {
+            let mut stdout = std::io::stdout();
+            csv::write(&mut stdout, &transformed, &instance.pool, csv::CsvOptions::default())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// `affidavit gen`: write a synthetic §5.1 snapshot pair.
+pub fn gen(args: &[String]) -> Result<(), String> {
+    let p = parse(args);
+    let [dataset] = p.positional[..] else {
+        return Err(format!("gen needs a dataset name\n{USAGE}"));
+    };
+    let spec = affidavit_datasets::by_name(dataset)
+        .ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
+    let eta: f64 = p.flag_value("eta").unwrap_or("0.3").parse().map_err(|_| "bad --eta")?;
+    let tau: f64 = p.flag_value("tau").unwrap_or("0.3").parse().map_err(|_| "bad --tau")?;
+    let seed: u64 = p.flag_value("seed").unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let rows: usize = match p.flag_value("rows") {
+        Some(r) => r.parse().map_err(|_| "bad --rows")?,
+        None => spec.rows,
+    };
+    let out_dir = p
+        .flag_value("out-dir")
+        .ok_or_else(|| "gen requires --out-dir DIR".to_owned())?;
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+
+    let (base, pool) = affidavit_datasets::synth::generate_rows(&spec, rows, seed);
+    let generated = Blueprint::new(base, pool, GenConfig::new(eta, tau, seed)).materialize_full();
+    let dir = Path::new(out_dir);
+    let src_path = dir.join(format!("{dataset}_source.csv"));
+    let tgt_path = dir.join(format!("{dataset}_target.csv"));
+    csv::write_path(&src_path, &generated.instance.source, &generated.instance.pool, csv::CsvOptions::default())
+        .map_err(|e| e.to_string())?;
+    csv::write_path(&tgt_path, &generated.instance.target, &generated.instance.pool, csv::CsvOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} and {} (η={eta}, τ={tau}, {} records each, reference cost {})",
+        src_path.display(),
+        tgt_path.display(),
+        generated.instance.source.len(),
+        generated.reference.cost_units(generated.instance.arity())
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_positional_and_flags() {
+        let args = argv(&["a.csv", "b.csv", "--config", "overlap", "--trace", "--seed", "9"]);
+        let p = parse(&args);
+        assert_eq!(p.positional, vec!["a.csv", "b.csv"]);
+        assert_eq!(p.flag_value("config"), Some("overlap"));
+        assert_eq!(p.flag_value("seed"), Some("9"));
+        assert!(p.has("trace"));
+        assert!(!p.has("sql"));
+    }
+
+    #[test]
+    fn build_config_variants() {
+        let good = argv(&["--config", "overlap", "--seed", "123"]);
+        let cfg = build_config(&parse(&good)).unwrap();
+        assert_eq!(cfg.seed, 123);
+        assert_eq!(cfg.queue_width, 1);
+        let bad = argv(&["--config", "nope"]);
+        assert!(build_config(&parse(&bad)).is_err());
+    }
+
+    #[test]
+    fn explain_rejects_missing_args() {
+        assert!(explain(&argv(&["only-one.csv"])).is_err());
+        assert!(diff(&argv(&["a.csv", "b.csv"])).is_err()); // missing --key
+        assert!(apply(&argv(&["a.csv", "b.csv"])).is_err());
+        assert!(gen(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn gen_then_explain_roundtrip() {
+        let dir = std::env::temp_dir().join("affidavit-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_string_lossy().to_string();
+        gen(&argv(&[
+            "iris", "--rows", "100", "--seed", "3", "--out-dir", &dir_s,
+        ]))
+        .unwrap();
+        let src = dir.join("iris_source.csv");
+        let tgt = dir.join("iris_target.csv");
+        assert!(src.is_file() && tgt.is_file());
+        explain(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            "--seed",
+            "4",
+        ]))
+        .unwrap();
+        diff(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            "--key",
+            "pk",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_transforms_unseen_rows() {
+        let dir = std::env::temp_dir().join("affidavit-cli-apply-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("s.csv");
+        let tgt = dir.join("t.csv");
+        let unseen = dir.join("u.csv");
+        let out = dir.join("o.csv");
+        std::fs::write(&src, "k,v\na,1000\nb,2000\nc,3000\n").unwrap();
+        std::fs::write(&tgt, "k,v\na,1\nb,2\nc,3\n").unwrap();
+        std::fs::write(&unseen, "k,v\nz,9000\n").unwrap();
+        apply(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            unseen.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&out).unwrap();
+        assert!(written.contains("z,9"), "learned x/1000 must apply: {written}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gen_unknown_dataset_fails() {
+        assert!(gen(&argv(&["not-a-dataset", "--out-dir", "/tmp"])).is_err());
+    }
+
+    #[test]
+    fn profile_two_snapshot_directories() {
+        let root = std::env::temp_dir().join("affidavit-cli-profile-test");
+        std::fs::remove_dir_all(&root).ok();
+        let src = root.join("v1");
+        let tgt = root.join("v2");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(&tgt).unwrap();
+        std::fs::write(src.join("a.csv"), "k,v\nx,1000\ny,2000\nz,3000\n").unwrap();
+        std::fs::write(tgt.join("a.csv"), "k,v\nx,1\ny,2\nz,3\n").unwrap();
+        std::fs::write(src.join("gone.csv"), "c\n1\n").unwrap();
+        let json = root.join("profile.json");
+        profile(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&json).unwrap();
+        assert!(written.contains("\"missing_in_target\""), "{written}");
+        assert!(written.contains("\"explained\""), "{written}");
+        // Bad arguments fail cleanly.
+        assert!(profile(&argv(&["only-one-dir"])).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn extended_flag_learns_formatting_and_applies_to_unseen() {
+        let dir = std::env::temp_dir().join("affidavit-cli-extended-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("s.csv");
+        let tgt = dir.join("t.csv");
+        let unseen = dir.join("u.csv");
+        let outp = dir.join("o.csv");
+        let saved = dir.join("e.json");
+        // Amount column gains thousands grouping; org stays put.
+        let mut s = String::from("amount,org\n");
+        let mut t = String::from("amount,org\n");
+        for i in 0..30 {
+            let v = 10_000 + i * 7_919;
+            let o = ["IBM", "SAP", "BASF"][i % 3];
+            s.push_str(&format!("{v},{o}\n"));
+            // Grouped amounts contain commas, so the CSV field is quoted.
+            t.push_str(&format!(
+                "\"{}\",{o}\n",
+                affidavit_functions::numeric_format::add_thousands_sep(&v.to_string(), ',')
+                    .unwrap()
+            ));
+        }
+        std::fs::write(&src, s).unwrap();
+        std::fs::write(&tgt, t).unwrap();
+        std::fs::write(&unseen, "amount,org\n7654321,DAB\n").unwrap();
+        explain(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            "--extended",
+            "--save",
+            saved.to_str().unwrap(),
+        ]))
+        .unwrap();
+        apply(&argv(&[
+            "--explanation",
+            saved.to_str().unwrap(),
+            unseen.to_str().unwrap(),
+            "--out",
+            outp.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&outp).unwrap();
+        assert!(
+            written.contains("7,654,321"),
+            "grouping must generalize: {written}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_align_normalizes_merged_columns() {
+        let dir = std::env::temp_dir().join("affidavit-cli-merge-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("s.csv");
+        let tgt = dir.join("t.csv");
+        // Source keeps first/last separate; the target merged them.
+        let mut s = String::from("first,last,org\n");
+        let mut t = String::from("name,org\n");
+        for i in 0..25 {
+            let f = ["John", "Jane", "Max", "Ada", "Alan"][i % 5];
+            let l = ["Doe", "Weber", "Turing", "Hopper", "Liskov"][(i * 2) % 5];
+            let o = ["IBM", "SAP"][i % 2];
+            s.push_str(&format!("{f}{i},{l},{o}\n"));
+            t.push_str(&format!("{f}{i} {l},{o}\n"));
+        }
+        std::fs::write(&src, s).unwrap();
+        std::fs::write(&tgt, t).unwrap();
+        explain(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            "--align",
+        ]))
+        .unwrap();
+        // Without --align the arity mismatch must be a clean error.
+        assert!(explain(&argv(&[src.to_str().unwrap(), tgt.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod portable_tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn save_then_apply_saved_explanation() {
+        let dir = std::env::temp_dir().join("affidavit-cli-portable-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("s.csv");
+        let tgt = dir.join("t.csv");
+        let expl = dir.join("e.json");
+        let unseen = dir.join("u.csv");
+        let out = dir.join("o.csv");
+        std::fs::write(&src, "k,v\na,1000\nb,2000\nc,3000\n").unwrap();
+        std::fs::write(&tgt, "k,v\na,1\nb,2\nc,3\n").unwrap();
+        std::fs::write(&unseen, "k,v\nz,7000\n").unwrap();
+        explain(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            "--save",
+            expl.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(expl.is_file());
+        apply(&argv(&[
+            "--explanation",
+            expl.to_str().unwrap(),
+            unseen.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let written = std::fs::read_to_string(&out).unwrap();
+        assert!(written.contains("z,7"), "{written}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn apply_saved_rejects_schema_mismatch() {
+        let dir = std::env::temp_dir().join("affidavit-cli-portable-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let expl = dir.join("e.json");
+        let portable = affidavit_core::portable::PortableExplanation {
+            schema: vec!["x".into()],
+            functions: vec![affidavit_core::portable::PortableFunction::Identity],
+            core_size: 0,
+            deleted: 0,
+            inserted: 0,
+        };
+        std::fs::write(&expl, portable.to_json()).unwrap();
+        let unseen = dir.join("u.csv");
+        std::fs::write(&unseen, "different\n1\n").unwrap();
+        let err = apply(&argv(&[
+            "--explanation",
+            expl.to_str().unwrap(),
+            unseen.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

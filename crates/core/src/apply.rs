@@ -1,0 +1,109 @@
+//! Generalizing a learned explanation to unseen records.
+//!
+//! The paper's headline benefit over diff tools: the explanation "can be
+//! used to transform additional, unseen records of the source table because
+//! it generalizes the value changes instead of only listing them" (§1).
+
+use affidavit_functions::{AppliedFunction, AttrFunction};
+use affidavit_table::{Record, Table, ValuePool};
+
+use crate::explanation::Explanation;
+
+/// Apply an explanation's attribute functions to a single record.
+/// Returns `None` if any attribute value cannot be transformed.
+pub fn transform_record(
+    functions: &[AttrFunction],
+    record: &Record,
+    pool: &mut ValuePool,
+) -> Option<Record> {
+    debug_assert_eq!(functions.len(), record.arity());
+    let mut out = Vec::with_capacity(record.arity());
+    let mut applied: Vec<AppliedFunction> = functions
+        .iter()
+        .cloned()
+        .map(AppliedFunction::new)
+        .collect();
+    for (a, f) in applied.iter_mut().enumerate() {
+        out.push(f.apply(record.get(a), pool)?);
+    }
+    Some(Record::new(out))
+}
+
+/// Apply an explanation to a whole table of unseen records. Records with
+/// untransformable values are reported separately.
+pub fn transform_table(
+    explanation: &Explanation,
+    table: &Table,
+    pool: &mut ValuePool,
+) -> (Table, Vec<affidavit_table::RecordId>) {
+    let mut out = Table::with_capacity(table.schema().clone(), table.len());
+    let mut failed = Vec::new();
+    let mut applied: Vec<AppliedFunction> = explanation
+        .functions
+        .iter()
+        .cloned()
+        .map(AppliedFunction::new)
+        .collect();
+    for (rid, record) in table.iter() {
+        let mut values = Vec::with_capacity(record.arity());
+        let mut ok = true;
+        for (a, f) in applied.iter_mut().enumerate() {
+            match f.apply(record.get(a), pool) {
+                Some(v) => values.push(v),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            out.push(Record::new(values));
+        } else {
+            failed.push(rid);
+        }
+    }
+    (out, failed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_table::{Rational, Schema};
+
+    #[test]
+    fn transforms_unseen_records() {
+        let mut pool = ValuePool::new();
+        let unseen = Table::from_rows(
+            Schema::new(["Val", "Unit"]),
+            &mut pool,
+            vec![vec!["123000", "USD"], vec!["7", "USD"]],
+        );
+        let k = pool.intern("k $");
+        let functions = vec![
+            AttrFunction::Scale(Rational::new(1, 1000).unwrap()),
+            AttrFunction::Constant(k),
+        ];
+        let rec = transform_record(&functions, unseen.record(affidavit_table::RecordId(0)), &mut pool)
+            .unwrap();
+        assert_eq!(pool.get(rec.get(0)), "123");
+        assert_eq!(pool.get(rec.get(1)), "k $");
+        let rec2 = transform_record(&functions, unseen.record(affidavit_table::RecordId(1)), &mut pool)
+            .unwrap();
+        assert_eq!(pool.get(rec2.get(0)), "0.007");
+    }
+
+    #[test]
+    fn untransformable_records_are_reported() {
+        let mut pool = ValuePool::new();
+        let unseen = Table::from_rows(
+            Schema::new(["Val"]),
+            &mut pool,
+            vec![vec!["1000"], vec!["not-a-number"]],
+        );
+        let functions = vec![AttrFunction::Scale(Rational::new(1, 1000).unwrap())];
+        let expl = Explanation::new(functions, vec![], vec![], vec![]);
+        let (out, failed) = transform_table(&expl, &unseen, &mut pool);
+        assert_eq!(out.len(), 1);
+        assert_eq!(failed.len(), 1);
+    }
+}

@@ -1,0 +1,250 @@
+//! State extension — the `Extensions(H)` procedure of Algorithm 1.
+//!
+//! For a polled state, the β most determined undecided attributes are
+//! tried: candidate functions are induced from block-sampled examples,
+//! ranked by histogram overlap, and an extension is kept only if it is
+//! cheaper than extending with the *greedy map* `Hд` built from a random
+//! alignment — the signal that a simple function genuinely explains the
+//! attribute. Attributes where the greedy map wins are ⊞-marked; if every
+//! remaining attribute is map-suited the state is finalized into an end
+//! state by resolving the ⊞s one after another (§4.3).
+
+use affidavit_blocking::{greedy_map_from_alignment, sample_random_alignment};
+use affidavit_functions::{AppliedFunction, AttrFunction};
+use affidavit_table::AttrId;
+use std::sync::Arc;
+
+use crate::cost::state_cost;
+use crate::induction::{induce_candidates, InductionParams};
+use crate::ranking::rank_candidates;
+use crate::search::Ctx;
+use crate::state::{Assignment, SearchState};
+use crate::trace::TraceNode;
+
+/// Create the child of `state` that assigns `func` to `attr`, refining the
+/// blocking and computing the child's cost.
+pub(crate) fn make_child(
+    ctx: &mut Ctx<'_>,
+    state: &SearchState,
+    attr: usize,
+    func: AttrFunction,
+) -> SearchState {
+    let mut assignments = state.assignments.clone();
+    assignments[attr] = Assignment::Assigned(func.clone());
+    let mut applied = AppliedFunction::new(func.clone());
+    let blocking = state.blocking.refine(
+        AttrId(attr as u32),
+        &mut applied,
+        &ctx.instance.source,
+        &ctx.instance.target,
+        &mut ctx.instance.pool,
+    );
+    let cost = state_cost(
+        &assignments,
+        &blocking,
+        ctx.delta,
+        ctx.cfg.alpha,
+        ctx.arity,
+    );
+    let id = ctx.next_id();
+    ctx.stats.states_generated += 1;
+    if let Some(trace) = ctx.trace.as_mut() {
+        let name = ctx.instance.schema().name(AttrId(attr as u32)).to_owned();
+        let label = format!("{} ← {}", name, func.display(&ctx.instance.pool));
+        let level = assignments
+            .iter()
+            .filter(|a| matches!(a, Assignment::Assigned(_)))
+            .count();
+        trace.add(TraceNode {
+            id,
+            parent: Some(state.id),
+            level,
+            cost,
+            label,
+            polled_order: None,
+            kept: false,
+            end: assignments.iter().all(|a| matches!(a, Assignment::Assigned(_))),
+        });
+    }
+    SearchState {
+        assignments,
+        blocking: Arc::new(blocking),
+        cost,
+        id,
+        parent: Some(state.id),
+    }
+}
+
+/// Undecided attributes ordered by indeterminacy (most determined first,
+/// ties towards the lower attribute index) — the `Order-By-Indeterminacy`
+/// step.
+pub(crate) fn order_by_indeterminacy(ctx: &Ctx<'_>, state: &SearchState) -> Vec<usize> {
+    let mut attrs = state.undecided_attrs();
+    let keys: Vec<usize> = attrs
+        .iter()
+        .map(|&a| state.blocking.indeterminacy(AttrId(a as u32), &ctx.instance.source))
+        .collect();
+    let mut order: Vec<usize> = (0..attrs.len()).collect();
+    order.sort_by_key(|&i| (keys[i], attrs[i]));
+    attrs = order.into_iter().map(|i| attrs[i]).collect();
+    attrs
+}
+
+/// The `Extensions(H)` procedure. Returns the kept extensions, or — when
+/// every undecided attribute turns out to be map-suited — a single
+/// finalized end state.
+pub(crate) fn extensions(ctx: &mut Ctx<'_>, state: &SearchState) -> Vec<SearchState> {
+    let astar = order_by_indeterminacy(ctx, state);
+    debug_assert!(!astar.is_empty(), "extensions called on an end state");
+
+    let alignment = sample_random_alignment(&state.blocking, &mut ctx.rng);
+    let mut ext: Vec<SearchState> = Vec::new();
+    let mut cursor = astar.iter().copied();
+    // Poll β attributes first, then one at a time.
+    let mut batch: Vec<usize> = cursor.by_ref().take(ctx.cfg.beta.max(1)).collect();
+
+    while ext.is_empty() && !batch.is_empty() {
+        for &attr in &batch {
+            // The greedy-map benchmark Hд. An empty map (every aligned
+            // value already agrees) is the identity — normalize so
+            // explanations never show `map{}`.
+            let gmap = greedy_map_from_alignment(
+                &alignment,
+                AttrId(attr as u32),
+                &ctx.instance.source,
+                &ctx.instance.target,
+            );
+            let g_func = if gmap.is_empty() {
+                AttrFunction::Identity
+            } else {
+                AttrFunction::Map(gmap)
+            };
+            let hg = make_child(ctx, state, attr, g_func);
+
+            // Induce and rank candidates for this attribute.
+            let params = InductionParams {
+                k: ctx.k_induce,
+                min_support: ctx.cfg.min_support,
+                max_examples_per_target: ctx.cfg.max_examples_per_target,
+                use_corpus: ctx.cfg.use_corpus,
+            };
+            let cands = induce_candidates(
+                &state.blocking,
+                AttrId(attr as u32),
+                &ctx.instance.source,
+                &ctx.instance.target,
+                &mut ctx.instance.pool,
+                &ctx.cfg.registry,
+                params,
+                &mut ctx.rng,
+            );
+            let ranked = rank_candidates(
+                &state.blocking,
+                AttrId(attr as u32),
+                cands.into_iter().map(|c| c.func).collect(),
+                &ctx.instance.source,
+                &ctx.instance.target,
+                &mut ctx.instance.pool,
+                ctx.k_rank,
+                ctx.cfg.beta.max(1),
+                &mut ctx.rng,
+            );
+
+            let mut kept_any = false;
+            for rc in ranked {
+                let hf = make_child(ctx, state, attr, rc.func);
+                if hf.cost < hg.cost {
+                    kept_any = true;
+                    ext.push(hf);
+                }
+            }
+            let _ = kept_any; // map-marking is implicit: unkept attrs stay ∗
+        }
+        batch = cursor.by_ref().take(1).collect();
+    }
+
+    if ext.is_empty() {
+        // Every undecided attribute is best served by a value mapping:
+        // mark all ⊞ and finalize (Algorithm 1's fallback branch).
+        return vec![crate::finalize::finalize(ctx, state)];
+    }
+    ext
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AffidavitConfig;
+    use crate::instance::ProblemInstance;
+    use crate::search::Ctx;
+    use affidavit_blocking::Blocking;
+    use affidavit_table::{Schema, Table, ValuePool};
+
+    fn instance() -> ProblemInstance {
+        let mut pool = ValuePool::new();
+        let rows_s: Vec<Vec<String>> = (0..30)
+            .map(|i| vec![format!("k{i}"), format!("{}", i * 1000), "usd".into()])
+            .collect();
+        let rows_t: Vec<Vec<String>> = (0..30)
+            .map(|i| vec![format!("k{i}"), format!("{i}"), "USD".into()])
+            .collect();
+        let s = Table::from_rows(Schema::new(["k", "Val", "Unit"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["k", "Val", "Unit"]), &mut pool, rows_t);
+        ProblemInstance::new(s, t, pool).unwrap()
+    }
+
+    #[test]
+    fn extends_with_cheap_functions() {
+        let mut inst = instance();
+        let cfg = AffidavitConfig::paper_id();
+        let mut ctx = Ctx::new(&mut inst, &cfg);
+        // Start from the state that assigns id to the key attribute.
+        let root = ctx.root_state();
+        let start = make_child(&mut ctx, &root, 0, AttrFunction::Identity);
+        let exts = extensions(&mut ctx, &start);
+        assert!(!exts.is_empty());
+        // Every extension must be cheaper than its greedy-map benchmark
+        // and strictly extend the parent.
+        for e in &exts {
+            assert_eq!(e.level(), 2);
+            assert_eq!(e.parent, Some(start.id));
+        }
+        // Among the extensions there should be the true scaling or the
+        // uppercase function (both are dramatically cheaper than maps).
+        let found_structural = exts.iter().any(|e| {
+            e.assignments.iter().any(|a| {
+                matches!(
+                    a,
+                    Assignment::Assigned(AttrFunction::Scale(_))
+                        | Assignment::Assigned(AttrFunction::Uppercase)
+                )
+            })
+        });
+        assert!(found_structural);
+    }
+
+    #[test]
+    fn indeterminacy_ordering_prefers_determined() {
+        let mut inst = instance();
+        let cfg = AffidavitConfig::paper_id();
+        let mut ctx = Ctx::new(&mut inst, &cfg);
+        let root = ctx.root_state();
+        let start = make_child(&mut ctx, &root, 0, AttrFunction::Identity);
+        let order = order_by_indeterminacy(&ctx, &start);
+        // Unit has 1 distinct source value per block; Val has 1 as well
+        // (singleton blocks) — ties break towards the lower index (1).
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn root_state_blocking_is_single_block() {
+        let mut inst = instance();
+        let cfg = AffidavitConfig::paper_id();
+        let mut ctx = Ctx::new(&mut inst, &cfg);
+        let root = ctx.root_state();
+        assert_eq!(root.blocking.len(), 1);
+        assert!(Blocking::root(&ctx.instance.source, &ctx.instance.target)
+            .blocks[0]
+            .is_mixed());
+    }
+}

@@ -1,0 +1,78 @@
+//! Problem instances (Def. 3.1).
+//!
+//! An instance bundles the source snapshot `S`, the target snapshot `T`
+//! (same schema `A`) and the shared [`ValuePool`] both were interned into.
+//! The candidate function set `F` is described implicitly by the enabled
+//! meta functions in the search configuration.
+
+use affidavit_table::{Schema, Table, TableError, ValuePool};
+
+/// A problem instance `I = (S, T, A, F)`.
+#[derive(Debug, Clone)]
+pub struct ProblemInstance {
+    /// Source snapshot `S`.
+    pub source: Table,
+    /// Target snapshot `T`.
+    pub target: Table,
+    /// The shared value pool. Mutated during search as transformed values
+    /// are interned.
+    pub pool: ValuePool,
+}
+
+impl ProblemInstance {
+    /// Build an instance, verifying the snapshots share a schema.
+    pub fn new(source: Table, target: Table, pool: ValuePool) -> Result<ProblemInstance, TableError> {
+        if source.schema() != target.schema() {
+            return Err(TableError::SchemaMismatch {
+                detail: format!(
+                    "source schema {:?} != target schema {:?}",
+                    source.schema().names().collect::<Vec<_>>(),
+                    target.schema().names().collect::<Vec<_>>()
+                ),
+            });
+        }
+        Ok(ProblemInstance {
+            source,
+            target,
+            pool,
+        })
+    }
+
+    /// The shared schema `A`.
+    pub fn schema(&self) -> &Schema {
+        self.source.schema()
+    }
+
+    /// Number of attributes `d = |A|`.
+    pub fn arity(&self) -> usize {
+        self.source.schema().arity()
+    }
+
+    /// `Δ = |S| − |T|` (Corollary 4.5).
+    pub fn delta(&self) -> i64 {
+        self.source.len() as i64 - self.target.len() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut pool = ValuePool::new();
+        let s = Table::from_rows(Schema::new(["a"]), &mut pool, vec![vec!["1"]]);
+        let t = Table::from_rows(Schema::new(["b"]), &mut pool, vec![vec!["1"]]);
+        assert!(ProblemInstance::new(s, t, pool).is_err());
+    }
+
+    #[test]
+    fn delta() {
+        let mut pool = ValuePool::new();
+        let s = Table::from_rows(Schema::new(["a"]), &mut pool, vec![vec!["1"], vec!["2"]]);
+        let t = Table::from_rows(Schema::new(["a"]), &mut pool, vec![vec!["1"]]);
+        let inst = ProblemInstance::new(s, t, pool).unwrap();
+        assert_eq!(inst.delta(), 1);
+        assert_eq!(inst.arity(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Explanation reporting: pretty printing and SQL export.
+//!
+//! The table-comparison tools of §2 "export executable SQL scripts that
+//! implement the transformation of the data" but "do not generalize well to
+//! unknown records because the value changes are explicitly stated per
+//! record". An Affidavit explanation exports *generalizing* SQL: one
+//! `UPDATE` per systematically transformed attribute, plus explicit
+//! `DELETE`/`INSERT` only for the noise records.
+
+use std::fmt::Write as _;
+
+use affidavit_functions::AttrFunction;
+use affidavit_table::AttrId;
+
+use crate::explanation::Explanation;
+use crate::instance::ProblemInstance;
+
+/// Render a human-readable report of an explanation.
+pub fn render_report(explanation: &Explanation, instance: &ProblemInstance) -> String {
+    let mut out = String::new();
+    let arity = instance.arity();
+    let _ = writeln!(
+        out,
+        "Explanation: core={} deleted={} inserted={} cost={}",
+        explanation.core_size(),
+        explanation.deleted.len(),
+        explanation.inserted.len(),
+        explanation.cost_units(arity),
+    );
+    let _ = writeln!(
+        out,
+        "  L(T+)={} (|A|={} × {} inserted), L(F)={}",
+        explanation.l_inserted(arity),
+        arity,
+        explanation.inserted.len(),
+        explanation.l_functions(),
+    );
+    let _ = writeln!(out, "Attribute functions:");
+    for (a, f) in explanation.functions.iter().enumerate() {
+        let name = instance.schema().name(AttrId(a as u32));
+        let _ = writeln!(
+            out,
+            "  f_{name}: {}   (ψ={})",
+            f.display(&instance.pool),
+            f.psi()
+        );
+    }
+    out
+}
+
+/// Quote a value as a SQL string literal.
+fn sql_quote(v: &str) -> String {
+    format!("'{}'", v.replace('\'', "''"))
+}
+
+/// Quote an identifier.
+fn sql_ident(v: &str) -> String {
+    format!("\"{}\"", v.replace('"', "\"\""))
+}
+
+/// Render one attribute function as the right-hand side of
+/// `SET col = <expr>`; `None` for identity (no update needed).
+fn sql_expr(f: &AttrFunction, col: &str, instance: &ProblemInstance) -> Option<String> {
+    let pool = &instance.pool;
+    let c = sql_ident(col);
+    match f {
+        AttrFunction::Identity => None,
+        AttrFunction::Uppercase => Some(format!("UPPER({c})")),
+        AttrFunction::Lowercase => Some(format!("LOWER({c})")),
+        AttrFunction::Constant(v) => Some(sql_quote(pool.get(*v))),
+        AttrFunction::Add(y) => Some(format!("{c} + {y}")),
+        AttrFunction::Scale(r) => {
+            if r.den() == 1 {
+                Some(format!("{c} * {}", r.num()))
+            } else if r.num() == 1 {
+                Some(format!("{c} / {}", r.den()))
+            } else {
+                Some(format!("{c} * {} / {}", r.num(), r.den()))
+            }
+        }
+        AttrFunction::FrontMask(m) => {
+            let mask = pool.get(*m);
+            let k = mask.chars().count();
+            Some(format!(
+                "{} || SUBSTR({c}, {})",
+                sql_quote(mask),
+                k + 1
+            ))
+        }
+        AttrFunction::BackMask(m) => {
+            let mask = pool.get(*m);
+            let k = mask.chars().count();
+            Some(format!(
+                "SUBSTR({c}, 1, LENGTH({c}) - {k}) || {}",
+                sql_quote(mask)
+            ))
+        }
+        AttrFunction::FrontCharTrim(ch) => Some(format!("LTRIM({c}, {})", sql_quote(&ch.to_string()))),
+        AttrFunction::BackCharTrim(ch) => Some(format!("RTRIM({c}, {})", sql_quote(&ch.to_string()))),
+        AttrFunction::Prefix(y) => Some(format!("{} || {c}", sql_quote(pool.get(*y)))),
+        AttrFunction::Suffix(y) => Some(format!("{c} || {}", sql_quote(pool.get(*y)))),
+        AttrFunction::PrefixReplace(y, z) => {
+            let y = pool.get(*y);
+            let z = pool.get(*z);
+            Some(format!(
+                "CASE WHEN {c} LIKE {like} THEN {zq} || SUBSTR({c}, {n}) ELSE {c} END",
+                like = sql_quote(&format!("{y}%")),
+                zq = sql_quote(z),
+                n = y.chars().count() + 1,
+            ))
+        }
+        AttrFunction::SuffixReplace(y, z) => {
+            let y = pool.get(*y);
+            let z = pool.get(*z);
+            Some(format!(
+                "CASE WHEN {c} LIKE {like} THEN SUBSTR({c}, 1, LENGTH({c}) - {n}) || {zq} ELSE {c} END",
+                like = sql_quote(&format!("%{y}")),
+                zq = sql_quote(z),
+                n = y.chars().count(),
+            ))
+        }
+        AttrFunction::DateConvert(from, to) => Some(format!(
+            "/* date {} -> {} */ {c}",
+            from.name(),
+            to.name()
+        )),
+        AttrFunction::ZeroPad(w) => Some(format!(
+            "CASE WHEN LENGTH({c}) < {w} THEN SUBSTR('{zeros}', 1, {w} - LENGTH({c})) || {c} ELSE {c} END",
+            zeros = "0".repeat(*w as usize),
+        )),
+        // Locale-dependent number formatting has no portable SQL; emit the
+        // intent as a comment so the migration script stays reviewable.
+        AttrFunction::ThousandsSep(sep) => Some(format!(
+            "/* group thousands with {:?} */ {c}",
+            sep
+        )),
+        AttrFunction::SepStrip(sep) => Some(format!(
+            "REPLACE({c}, {}, '')",
+            sql_quote(&sep.to_string())
+        )),
+        AttrFunction::Round(places) => Some(format!("ROUND({c}, {places})")),
+        AttrFunction::TokenProgram(prog) => Some(format!(
+            "/* token program: {} */ {c}",
+            prog.display(pool)
+        )),
+        AttrFunction::Map(m) => {
+            let mut expr = String::from("CASE");
+            for (k, v) in m.entries() {
+                let _ = write!(
+                    expr,
+                    " WHEN {c} = {} THEN {}",
+                    sql_quote(pool.get(*k)),
+                    sql_quote(pool.get(*v))
+                );
+            }
+            let _ = write!(expr, " ELSE {c} END");
+            Some(expr)
+        }
+    }
+}
+
+/// Export the explanation as a SQL migration script for `table_name`.
+pub fn to_sql(explanation: &Explanation, instance: &ProblemInstance, table_name: &str) -> String {
+    let mut out = String::new();
+    let tbl = sql_ident(table_name);
+    let _ = writeln!(
+        out,
+        "-- Affidavit migration script: {} core, {} deleted, {} inserted",
+        explanation.core_size(),
+        explanation.deleted.len(),
+        explanation.inserted.len()
+    );
+    // Systematic attribute transformations.
+    let mut sets: Vec<String> = Vec::new();
+    for (a, f) in explanation.functions.iter().enumerate() {
+        let col = instance.schema().name(AttrId(a as u32));
+        if let Some(expr) = sql_expr(f, col, instance) {
+            sets.push(format!("{} = {}", sql_ident(col), expr));
+        }
+    }
+    if !sets.is_empty() {
+        let _ = writeln!(out, "UPDATE {tbl} SET\n  {};", sets.join(",\n  "));
+    }
+    // Noise records.
+    for &sid in &explanation.deleted {
+        let rec = instance.source.record(sid);
+        let conds: Vec<String> = rec
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(a, &v)| {
+                format!(
+                    "{} = {}",
+                    sql_ident(instance.schema().name(AttrId(a as u32))),
+                    sql_quote(instance.pool.get(v))
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "DELETE FROM {tbl} WHERE {};", conds.join(" AND "));
+    }
+    for &tid in &explanation.inserted {
+        let rec = instance.target.record(tid);
+        let cols: Vec<String> = instance
+            .schema()
+            .names()
+            .map(sql_ident)
+            .collect();
+        let vals: Vec<String> = rec
+            .values()
+            .iter()
+            .map(|&v| sql_quote(instance.pool.get(v)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "INSERT INTO {tbl} ({}) VALUES ({});",
+            cols.join(", "),
+            vals.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_table::{Rational, Schema, Table, ValuePool};
+
+    fn instance() -> ProblemInstance {
+        let mut pool = ValuePool::new();
+        let s = Table::from_rows(
+            Schema::new(["Val", "Unit"]),
+            &mut pool,
+            vec![vec!["80000", "USD"], vec!["999", "USD"]],
+        );
+        let t = Table::from_rows(
+            Schema::new(["Val", "Unit"]),
+            &mut pool,
+            vec![vec!["80", "k $"], vec!["5", "k $"]],
+        );
+        ProblemInstance::new(s, t, pool).unwrap()
+    }
+
+    fn explanation(instance: &mut ProblemInstance) -> Explanation {
+        let k = instance.pool.intern("k $");
+        Explanation::from_functions(
+            vec![
+                AttrFunction::Scale(Rational::new(1, 1000).unwrap()),
+                AttrFunction::Constant(k),
+            ],
+            instance,
+        )
+    }
+
+    #[test]
+    fn report_mentions_all_functions() {
+        let mut inst = instance();
+        let e = explanation(&mut inst);
+        let report = render_report(&e, &inst);
+        assert!(report.contains("f_Val"));
+        assert!(report.contains("f_Unit"));
+        assert!(report.contains("x / 1000"));
+    }
+
+    #[test]
+    fn sql_contains_generalizing_update() {
+        let mut inst = instance();
+        let e = explanation(&mut inst);
+        let sql = to_sql(&e, &inst, "erp_values");
+        assert!(sql.contains("UPDATE \"erp_values\" SET"));
+        assert!(sql.contains("\"Val\" = \"Val\" / 1000"));
+        assert!(sql.contains("\"Unit\" = 'k $'"));
+        // One deleted source (999 doesn't divide to 5) + one inserted.
+        assert!(sql.contains("DELETE FROM"));
+        assert!(sql.contains("INSERT INTO"));
+    }
+
+    #[test]
+    fn sql_quoting_escapes() {
+        assert_eq!(sql_quote("o'brien"), "'o''brien'");
+        assert_eq!(sql_ident("we\"ird"), "\"we\"\"ird\"");
+    }
+
+    #[test]
+    fn sql_for_extension_kinds() {
+        let mut inst = instance();
+        let e = Explanation::from_functions(
+            vec![AttrFunction::ZeroPad(6), AttrFunction::Round(2)],
+            &mut inst,
+        );
+        let sql = to_sql(&e, &inst, "t");
+        assert!(sql.contains("LENGTH(\"Val\") < 6"), "{sql}");
+        assert!(sql.contains("ROUND(\"Unit\", 2)"), "{sql}");
+    }
+
+    #[test]
+    fn sql_comments_for_non_portable_kinds() {
+        use affidavit_functions::substring::{Segment, TokenProgram};
+        let mut inst = instance();
+        let prog = TokenProgram::new(vec![
+            Segment::Token { idx: 1, from_end: false },
+            Segment::Literal(inst.pool.intern(" ")),
+            Segment::Token { idx: 0, from_end: false },
+        ])
+        .unwrap();
+        let e = Explanation::from_functions(
+            vec![
+                AttrFunction::TokenProgram(prog),
+                AttrFunction::ThousandsSep(','),
+            ],
+            &mut inst,
+        );
+        let sql = to_sql(&e, &inst, "t");
+        // No portable SQL exists; the intent must survive as a comment so
+        // the script stays reviewable rather than silently wrong.
+        assert!(sql.contains("/* token program:"), "{sql}");
+        assert!(sql.contains("/* group thousands"), "{sql}");
+    }
+}

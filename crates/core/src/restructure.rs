@@ -1,0 +1,539 @@
+//! Schema restructuring — the second half of the §6 future-work variant:
+//! "table modifications like attribute renaming, **merging or splitting**
+//! could be supported".
+//!
+//! [`crate::schema_align`] recovers renamed/reordered columns but requires
+//! equal arity. This module handles the arity-changing cases:
+//!
+//! * **merge** — two source columns were concatenated (with a separator)
+//!   into one target column, e.g. `first` + `last` → `full_name`;
+//! * **split** — one source column was cut into two target columns, e.g.
+//!   `period` → `year` + `month`.
+//!
+//! Detection works **without any record alignment**, in the same spirit as
+//! the overlap matcher of §4.2: a candidate `(left, right, sep, whole)` is
+//! scored by the fraction of distinct *whole*-column values that decompose
+//! as `l ◦ sep ◦ r` with `l` and `r` drawn from the *left*/*right* columns'
+//! distinct-value sets. Membership tests are interning lookups, so scoring
+//! a candidate is linear in the number of distinct values examined.
+//!
+//! [`normalize_arity`] applies detected restructures until both snapshots
+//! have the same arity, after which [`crate::schema_align::align_schemas`]
+//! and the ordinary search take over.
+//!
+//! ```
+//! use affidavit_core::restructure::{normalize_arity, Restructure};
+//! use affidavit_table::{Schema, Table, ValuePool};
+//!
+//! let mut pool = ValuePool::new();
+//! let source = Table::from_rows(
+//!     Schema::new(["first", "last"]),
+//!     &mut pool,
+//!     vec![vec!["John", "Doe"], vec!["Ada", "Lovelace"], vec!["Alan", "Turing"]],
+//! );
+//! let target = Table::from_rows(
+//!     Schema::new(["name"]),
+//!     &mut pool,
+//!     vec![vec!["John Doe"], vec!["Ada Lovelace"], vec!["Alan Turing"]],
+//! );
+//! let (source, target, applied) = normalize_arity(&source, &target, &mut pool).unwrap();
+//! assert_eq!(source.schema().arity(), target.schema().arity());
+//! assert!(matches!(&applied[0], Restructure::Merge { sep, .. } if sep == " "));
+//! ```
+
+use affidavit_table::{AttrId, FxHashSet, Record, Schema, Sym, Table, ValuePool};
+
+/// Candidate separators, tried in order; the empty separator (any split
+/// position) comes last so that an explicit separator wins ties.
+pub const SEPARATORS: [&str; 8] = [" ", ", ", "-", "_", "/", ":", ",", ""];
+
+/// Minimum fraction of decomposable whole-column values for a candidate to
+/// be reported. Noise records (η) dilute the score, so this is
+/// deliberately below the paper's practical noise ceiling of 0.7.
+pub const MIN_SCORE: f64 = 0.55;
+
+/// Cap on the distinct whole-column values examined per candidate.
+const MAX_PROBED: usize = 1_000;
+
+/// One detected arity-changing schema modification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Restructure {
+    /// Source columns `left` and `right` were concatenated (with `sep`)
+    /// into target column `target`.
+    Merge {
+        /// The merged target column.
+        target: AttrId,
+        /// Source column providing the part before the separator.
+        left: AttrId,
+        /// Source column providing the part after the separator.
+        right: AttrId,
+        /// The separator between the parts (possibly empty).
+        sep: String,
+        /// Fraction of probed target values that decompose.
+        score: f64,
+    },
+    /// Source column `source` was split into target columns `left` and
+    /// `right` (separated by `sep` in the source value).
+    Split {
+        /// The split source column.
+        source: AttrId,
+        /// Target column receiving the part before the separator.
+        left: AttrId,
+        /// Target column receiving the part after the separator.
+        right: AttrId,
+        /// The separator between the parts (possibly empty).
+        sep: String,
+        /// Fraction of probed source values that decompose.
+        score: f64,
+    },
+}
+
+impl Restructure {
+    /// The evidence score of the candidate.
+    pub fn score(&self) -> f64 {
+        match self {
+            Restructure::Merge { score, .. } | Restructure::Split { score, .. } => *score,
+        }
+    }
+}
+
+fn distinct_column(table: &Table, col: usize) -> Vec<Sym> {
+    let mut seen: FxHashSet<Sym> = FxHashSet::default();
+    let mut out = Vec::new();
+    for rec in table.records() {
+        let v = rec.get(col);
+        if seen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Does `v = l ◦ sep ◦ r` for some non-empty `l ∈ left`, `r ∈ right`?
+fn decomposes(
+    v: &str,
+    sep: &str,
+    left: &FxHashSet<Sym>,
+    right: &FxHashSet<Sym>,
+    pool: &ValuePool,
+) -> bool {
+    let in_set = |part: &str, set: &FxHashSet<Sym>| {
+        !part.is_empty() && pool.lookup(part).is_some_and(|s| set.contains(&s))
+    };
+    if sep.is_empty() {
+        // Any interior char boundary.
+        v.char_indices()
+            .skip(1)
+            .any(|(i, _)| in_set(&v[..i], left) && in_set(&v[i..], right))
+    } else {
+        v.match_indices(sep)
+            .any(|(i, _)| in_set(&v[..i], left) && in_set(&v[i + sep.len()..], right))
+    }
+}
+
+/// Fraction of (up to [`MAX_PROBED`]) distinct whole-column values that
+/// decompose into the two part columns with `sep`.
+fn concat_score(
+    whole: &[Sym],
+    sep: &str,
+    left: &FxHashSet<Sym>,
+    right: &FxHashSet<Sym>,
+    pool: &ValuePool,
+) -> f64 {
+    if whole.is_empty() {
+        return 0.0;
+    }
+    let probe = &whole[..whole.len().min(MAX_PROBED)];
+    let hits = probe
+        .iter()
+        .filter(|&&v| decomposes(pool.get(v), sep, left, right, pool))
+        .count();
+    hits as f64 / probe.len() as f64
+}
+
+/// Detect merge candidates: `source` has more columns than `target`, so
+/// some target column may hold the concatenation of two source columns.
+fn detect_merges(source: &Table, target: &Table, pool: &ValuePool) -> Vec<Restructure> {
+    let s_arity = source.schema().arity();
+    let t_arity = target.schema().arity();
+    let src_sets: Vec<FxHashSet<Sym>> = (0..s_arity)
+        .map(|c| distinct_column(source, c).into_iter().collect())
+        .collect();
+    let mut out = Vec::new();
+    for j in 0..t_arity {
+        let whole = distinct_column(target, j);
+        let mut best: Option<Restructure> = None;
+        for a in 0..s_arity {
+            for b in 0..s_arity {
+                if a == b {
+                    continue;
+                }
+                for sep in SEPARATORS {
+                    let score = concat_score(&whole, sep, &src_sets[a], &src_sets[b], pool);
+                    if score >= MIN_SCORE
+                        && best.as_ref().is_none_or(|r| score > r.score())
+                    {
+                        best = Some(Restructure::Merge {
+                            target: AttrId(j as u32),
+                            left: AttrId(a as u32),
+                            right: AttrId(b as u32),
+                            sep: sep.to_owned(),
+                            score,
+                        });
+                    }
+                }
+            }
+        }
+        out.extend(best);
+    }
+    out
+}
+
+/// Detect split candidates: `target` has more columns than `source`, so
+/// some source column may decompose into two target columns.
+fn detect_splits(source: &Table, target: &Table, pool: &ValuePool) -> Vec<Restructure> {
+    let s_arity = source.schema().arity();
+    let t_arity = target.schema().arity();
+    let tgt_sets: Vec<FxHashSet<Sym>> = (0..t_arity)
+        .map(|c| distinct_column(target, c).into_iter().collect())
+        .collect();
+    let mut out = Vec::new();
+    for a in 0..s_arity {
+        let whole = distinct_column(source, a);
+        let mut best: Option<Restructure> = None;
+        for j in 0..t_arity {
+            for k in 0..t_arity {
+                if j == k {
+                    continue;
+                }
+                for sep in SEPARATORS {
+                    let score = concat_score(&whole, sep, &tgt_sets[j], &tgt_sets[k], pool);
+                    if score >= MIN_SCORE
+                        && best.as_ref().is_none_or(|r| score > r.score())
+                    {
+                        best = Some(Restructure::Split {
+                            source: AttrId(a as u32),
+                            left: AttrId(j as u32),
+                            right: AttrId(k as u32),
+                            sep: sep.to_owned(),
+                            score,
+                        });
+                    }
+                }
+            }
+        }
+        out.extend(best);
+    }
+    out
+}
+
+/// Detect arity-changing schema modifications between two snapshots.
+/// Returns merge candidates when the source is wider, split candidates when
+/// the target is wider, and nothing for equal arity. Candidates are sorted
+/// by descending score.
+pub fn detect_restructures(source: &Table, target: &Table, pool: &ValuePool) -> Vec<Restructure> {
+    let s = source.schema().arity();
+    let t = target.schema().arity();
+    let mut found = match s.cmp(&t) {
+        std::cmp::Ordering::Greater => detect_merges(source, target, pool),
+        std::cmp::Ordering::Less => detect_splits(source, target, pool),
+        std::cmp::Ordering::Equal => Vec::new(),
+    };
+    found.sort_by(|x, y| {
+        y.score()
+            .partial_cmp(&x.score())
+            .expect("scores are finite")
+    });
+    found
+}
+
+/// Replace columns `a` and `b` of `table` by their concatenation
+/// `a ◦ sep ◦ b` (placed at `a`'s position; `b` is dropped). The merged
+/// column is named `"{name_a}+{name_b}"`.
+fn concat_columns(table: &Table, a: usize, b: usize, sep: &str, pool: &mut ValuePool) -> Table {
+    let arity = table.schema().arity();
+    let names: Vec<String> = (0..arity)
+        .filter(|&c| c != b)
+        .map(|c| {
+            if c == a {
+                format!(
+                    "{}+{}",
+                    table.schema().name(AttrId(a as u32)),
+                    table.schema().name(AttrId(b as u32))
+                )
+            } else {
+                table.schema().name(AttrId(c as u32)).to_owned()
+            }
+        })
+        .collect();
+    let schema = Schema::new(names);
+    let mut out = Table::with_capacity(schema, table.len());
+    let mut buf = String::new();
+    for rec in table.records() {
+        let values: Vec<Sym> = (0..arity)
+            .filter(|&c| c != b)
+            .map(|c| {
+                if c == a {
+                    buf.clear();
+                    buf.push_str(pool.get(rec.get(a)));
+                    buf.push_str(sep);
+                    buf.push_str(pool.get(rec.get(b)));
+                    pool.intern(&buf)
+                } else {
+                    rec.get(c)
+                }
+            })
+            .collect();
+        out.push(Record::new(values));
+    }
+    out
+}
+
+/// Apply detected restructures until both snapshots have the same arity.
+///
+/// Merges are *applied to the source* (re-creating the concatenated column
+/// the target already has); splits are *applied to the target* (undoing the
+/// cut so the source column matches). Returns the rewritten tables and the
+/// applied restructures, or `None` when the arity gap cannot be explained
+/// by concatenation evidence.
+pub fn normalize_arity(
+    source: &Table,
+    target: &Table,
+    pool: &mut ValuePool,
+) -> Option<(Table, Table, Vec<Restructure>)> {
+    let mut src = source.clone();
+    let mut tgt = target.clone();
+    let mut applied = Vec::new();
+    while src.schema().arity() != tgt.schema().arity() {
+        let found = detect_restructures(&src, &tgt, pool);
+        let best = found.into_iter().next()?;
+        match &best {
+            Restructure::Merge { left, right, sep, .. } => {
+                src = concat_columns(&src, left.0 as usize, right.0 as usize, sep, pool);
+            }
+            Restructure::Split { left, right, sep, .. } => {
+                tgt = concat_columns(&tgt, left.0 as usize, right.0 as usize, sep, pool);
+            }
+        }
+        applied.push(best);
+    }
+    Some((src, tgt, applied))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AffidavitConfig;
+    use crate::instance::ProblemInstance;
+    use crate::schema_align::align_schemas;
+    use crate::search::Affidavit;
+
+    fn names() -> (Vec<&'static str>, Vec<&'static str>) {
+        (
+            vec!["John", "Jane", "Max", "Ada", "Alan", "Grace", "Kurt", "Emmy", "Carl", "Sofia"],
+            vec![
+                "Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether", "Gauss", "Euler",
+                "Curie", "Mayer",
+            ],
+        )
+    }
+
+    /// Source: (first, last, org); target: ("first last", org).
+    fn merge_tables(pool: &mut ValuePool) -> (Table, Table) {
+        let (firsts, lasts) = names();
+        let orgs = ["IBM", "SAP", "BASF"];
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..30usize {
+            let f = firsts[i % firsts.len()];
+            let l = lasts[(i * 3) % lasts.len()];
+            let o = orgs[i % orgs.len()];
+            rows_s.push(vec![f.to_owned(), l.to_owned(), o.to_owned()]);
+            rows_t.push(vec![format!("{f} {l}"), o.to_owned()]);
+        }
+        let s = Table::from_rows(Schema::new(["first", "last", "org"]), pool, rows_s);
+        let t = Table::from_rows(Schema::new(["name", "org"]), pool, rows_t);
+        (s, t)
+    }
+
+    #[test]
+    fn detects_merge_with_separator() {
+        let mut pool = ValuePool::new();
+        let (s, t) = merge_tables(&mut pool);
+        let found = detect_restructures(&s, &t, &pool);
+        assert!(!found.is_empty());
+        let Restructure::Merge { target, left, right, sep, score } = &found[0] else {
+            panic!("expected merge, got {:?}", found[0]);
+        };
+        assert_eq!((*target, *left, *right), (AttrId(0), AttrId(0), AttrId(1)));
+        assert_eq!(sep, " ");
+        assert!(*score > 0.9, "score {score}");
+    }
+
+    #[test]
+    fn detects_split() {
+        let mut pool = ValuePool::new();
+        // Source has "2019-08" periods; target splits into year / month.
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..24usize {
+            let y = 2015 + i / 12;
+            let m = 1 + i % 12;
+            rows_s.push(vec![format!("{y}-{m:02}"), format!("v{i}")]);
+            rows_t.push(vec![format!("{y}"), format!("{m:02}"), format!("v{i}")]);
+        }
+        let s = Table::from_rows(Schema::new(["period", "val"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["year", "month", "val"]), &mut pool, rows_t);
+        let found = detect_restructures(&s, &t, &pool);
+        let Restructure::Split { source, left, right, sep, .. } = &found[0] else {
+            panic!("expected split, got {:?}", found[0]);
+        };
+        assert_eq!((*source, *left, *right), (AttrId(0), AttrId(0), AttrId(1)));
+        assert_eq!(sep, "-");
+    }
+
+    #[test]
+    fn empty_separator_merge() {
+        let mut pool = ValuePool::new();
+        // Codes "AA"‥ and "01"‥ merged without separator.
+        let letters = ["AA", "BB", "CC", "DD"];
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..20usize {
+            let l = letters[i % letters.len()];
+            let n = format!("{:02}", i % 50);
+            rows_s.push(vec![l.to_owned(), n.clone(), format!("x{i}")]);
+            rows_t.push(vec![format!("{l}{n}"), format!("x{i}")]);
+        }
+        let s = Table::from_rows(Schema::new(["cls", "num", "k"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["code", "k"]), &mut pool, rows_t);
+        let found = detect_restructures(&s, &t, &pool);
+        let Restructure::Merge { sep, left, right, .. } = &found[0] else {
+            panic!("expected merge");
+        };
+        assert_eq!(sep, "");
+        assert_eq!((*left, *right), (AttrId(0), AttrId(1)));
+    }
+
+    #[test]
+    fn equal_arity_detects_nothing() {
+        let mut pool = ValuePool::new();
+        let (s, _) = merge_tables(&mut pool);
+        assert!(detect_restructures(&s, &s, &pool).is_empty());
+    }
+
+    #[test]
+    fn merge_detected_under_noise() {
+        // 30 % of target rows are inserts whose parts never occur in the
+        // source — the score drops but stays above MIN_SCORE.
+        let mut pool = ValuePool::new();
+        let (firsts, lasts) = names();
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..30usize {
+            let f = format!("{}{i}", firsts[i % firsts.len()]);
+            let l = lasts[(i * 3) % lasts.len()];
+            rows_s.push(vec![f.clone(), l.to_owned(), format!("k{i}")]);
+            rows_t.push(vec![format!("{f} {l}"), format!("k{i}")]);
+        }
+        for i in 0..12usize {
+            rows_t.push(vec![format!("Unseen Person{i}"), format!("n{i}")]);
+        }
+        let s = Table::from_rows(Schema::new(["first", "last", "k"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["name", "k"]), &mut pool, rows_t);
+        let found = detect_restructures(&s, &t, &pool);
+        let Restructure::Merge { score, sep, .. } = &found[0] else {
+            panic!("expected merge under noise");
+        };
+        assert_eq!(sep, " ");
+        assert!(*score >= MIN_SCORE && *score < 1.0, "score {score}");
+    }
+
+    #[test]
+    fn explicit_separator_beats_empty_on_ties() {
+        // Both " " and "" decompose every value (parts interned either
+        // way); the explicit separator must win because "" is tried last
+        // and ties keep the first maximum.
+        let mut pool = ValuePool::new();
+        let (firsts, lasts) = names();
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..20usize {
+            let f = firsts[i % firsts.len()];
+            let l = lasts[(i * 7) % lasts.len()];
+            rows_s.push(vec![format!("{f} "), l.to_owned(), format!("k{i}")]);
+            rows_t.push(vec![format!("{f} {l}"), format!("k{i}")]);
+        }
+        let s = Table::from_rows(Schema::new(["a", "b", "k"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["m", "k"]), &mut pool, rows_t);
+        let found = detect_restructures(&s, &t, &pool);
+        assert!(!found.is_empty());
+        // Whatever separator wins, the normalization must reproduce the
+        // target column exactly.
+        let (s2, _, _) = normalize_arity(&s, &t, &mut pool).expect("normalizable");
+        let merged: Vec<&str> = s2
+            .records()
+            .iter()
+            .map(|r| pool.get(r.get(0)))
+            .collect();
+        assert!(merged.iter().all(|v| v.contains(' ')));
+    }
+
+    #[test]
+    fn unrelated_wide_table_yields_none() {
+        let mut pool = ValuePool::new();
+        let rows_s: Vec<Vec<String>> = (0..20)
+            .map(|i| vec![format!("alpha{i}"), format!("beta{i}"), format!("gamma{i}")])
+            .collect();
+        let rows_t: Vec<Vec<String>> = (0..20)
+            .map(|i| vec![format!("delta{i}"), format!("epsilon{i}")])
+            .collect();
+        let s = Table::from_rows(Schema::new(["a", "b", "c"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["x", "y"]), &mut pool, rows_t);
+        assert!(normalize_arity(&s, &t, &mut pool).is_none());
+    }
+
+    #[test]
+    fn normalize_then_search_explains_merge() {
+        let mut pool = ValuePool::new();
+        let (s, t) = merge_tables(&mut pool);
+        let (s2, t2, applied) = normalize_arity(&s, &t, &mut pool).expect("normalizable");
+        assert_eq!(applied.len(), 1);
+        assert_eq!(s2.schema().arity(), 2);
+        assert_eq!(s2.schema().name(AttrId(0)), "first+last");
+
+        // After normalization the ordinary pipeline takes over.
+        let al = align_schemas(&s2, &t2, &pool);
+        let t3 = al.reorder_target(&t2, s2.schema());
+        let mut inst = ProblemInstance::new(s2, t3, pool).unwrap();
+        let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst);
+        out.explanation.validate(&mut inst).unwrap();
+        assert_eq!(out.explanation.core_size(), 30);
+        assert!(out.explanation.functions.iter().all(|f| f.is_identity()));
+    }
+
+    #[test]
+    fn normalize_applies_split_to_target() {
+        let mut pool = ValuePool::new();
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..24usize {
+            let y = 2015 + i / 12;
+            let m = 1 + i % 12;
+            rows_s.push(vec![format!("{y}-{m:02}"), format!("v{i}")]);
+            rows_t.push(vec![format!("{y}"), format!("{m:02}"), format!("v{i}")]);
+        }
+        let s = Table::from_rows(Schema::new(["period", "val"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["year", "month", "val"]), &mut pool, rows_t);
+        let (s2, t2, applied) = normalize_arity(&s, &t, &mut pool).expect("normalizable");
+        assert_eq!(applied.len(), 1);
+        assert_eq!(s2.schema().arity(), t2.schema().arity());
+
+        let al = align_schemas(&s2, &t2, &pool);
+        let t3 = al.reorder_target(&t2, s2.schema());
+        let mut inst = ProblemInstance::new(s2, t3, pool).unwrap();
+        let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst);
+        out.explanation.validate(&mut inst).unwrap();
+        assert_eq!(out.explanation.core_size(), 24);
+    }
+}

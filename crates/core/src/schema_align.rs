@@ -1,0 +1,267 @@
+//! Schema alignment — the §6 future-work variant "without knowledge of the
+//! schema alignment", covering attribute **renaming and reordering**
+//! (merging/splitting is out of scope, as in the paper's sketch).
+//!
+//! Target columns are matched to source columns by a blend of
+//!
+//! * **value overlap** — histogram intersection of the two columns' value
+//!   multisets (strong when the attribute was not transformed), and
+//! * **profile similarity** — numeric fraction, distinct fraction and mean
+//!   string length (robust when the values were systematically transformed
+//!   and exact overlap is zero).
+//!
+//! The resulting column permutation lets the ordinary Affidavit search run
+//! on snapshots whose schemas no longer line up by name or position.
+
+use affidavit_table::{AttrId, FxHashMap, Record, Sym, Table, ValuePool};
+
+/// A proposed column correspondence.
+#[derive(Debug, Clone)]
+pub struct SchemaAlignment {
+    /// `mapping[i] = j` — source column `i` corresponds to target column
+    /// `j`. A permutation of `0..arity`.
+    pub mapping: Vec<usize>,
+    /// Per-source-column confidence scores in `[0, 1]`.
+    pub scores: Vec<f64>,
+}
+
+/// Per-column profile used for the transformed-column fallback signal.
+#[derive(Debug, Clone, Copy, Default)]
+struct ColumnProfile {
+    numeric_fraction: f64,
+    distinct_fraction: f64,
+    mean_len: f64,
+}
+
+fn profile(table: &Table, col: usize, pool: &ValuePool) -> ColumnProfile {
+    let n = table.len();
+    if n == 0 {
+        return ColumnProfile::default();
+    }
+    let mut numeric = 0usize;
+    let mut len_sum = 0usize;
+    let mut distinct: affidavit_table::FxHashSet<Sym> = Default::default();
+    for rec in table.records() {
+        let v = rec.get(col);
+        distinct.insert(v);
+        if pool.decimal(v).is_some() {
+            numeric += 1;
+        }
+        len_sum += pool.get(v).chars().count();
+    }
+    ColumnProfile {
+        numeric_fraction: numeric as f64 / n as f64,
+        distinct_fraction: distinct.len() as f64 / n as f64,
+        mean_len: len_sum as f64 / n as f64,
+    }
+}
+
+fn histogram(table: &Table, col: usize) -> FxHashMap<Sym, u32> {
+    let mut h: FxHashMap<Sym, u32> = FxHashMap::default();
+    for rec in table.records() {
+        *h.entry(rec.get(col)).or_default() += 1;
+    }
+    h
+}
+
+/// Normalized histogram intersection in `[0, 1]`.
+fn overlap(a: &FxHashMap<Sym, u32>, b: &FxHashMap<Sym, u32>, rows: usize) -> f64 {
+    if rows == 0 {
+        return 0.0;
+    }
+    let mut inter = 0u64;
+    for (v, &na) in a {
+        if let Some(&nb) = b.get(v) {
+            inter += na.min(nb) as u64;
+        }
+    }
+    inter as f64 / rows as f64
+}
+
+/// Profile closeness in `[0, 1]` (1 = identical profiles).
+fn profile_similarity(a: ColumnProfile, b: ColumnProfile) -> f64 {
+    let num = 1.0 - (a.numeric_fraction - b.numeric_fraction).abs();
+    let dis = 1.0 - (a.distinct_fraction - b.distinct_fraction).abs();
+    let len_max = a.mean_len.max(b.mean_len).max(1.0);
+    let len = 1.0 - (a.mean_len - b.mean_len).abs() / len_max;
+    (num + dis + len) / 3.0
+}
+
+/// Weight of exact value overlap vs profile similarity in the blend.
+const OVERLAP_WEIGHT: f64 = 0.7;
+
+/// Align the target's columns to the source's by content. Both tables must
+/// have equal arity; the result is a permutation (greedy best-first
+/// assignment on the blended score matrix).
+pub fn align_schemas(source: &Table, target: &Table, pool: &ValuePool) -> SchemaAlignment {
+    let arity = source.schema().arity();
+    assert_eq!(
+        arity,
+        target.schema().arity(),
+        "schema alignment requires equal arity (merging/splitting is out of scope)"
+    );
+    let rows = source.len().min(target.len());
+
+    let src_hists: Vec<_> = (0..arity).map(|c| histogram(source, c)).collect();
+    let tgt_hists: Vec<_> = (0..arity).map(|c| histogram(target, c)).collect();
+    let src_profiles: Vec<_> = (0..arity).map(|c| profile(source, c, pool)).collect();
+    let tgt_profiles: Vec<_> = (0..arity).map(|c| profile(target, c, pool)).collect();
+
+    let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(arity * arity);
+    for i in 0..arity {
+        for j in 0..arity {
+            let ov = overlap(&src_hists[i], &tgt_hists[j], rows);
+            let ps = profile_similarity(src_profiles[i], tgt_profiles[j]);
+            scored.push((OVERLAP_WEIGHT * ov + (1.0 - OVERLAP_WEIGHT) * ps, i, j));
+        }
+    }
+    // Greedy best-first unique assignment; ties towards (i, j) order for
+    // determinism (same-name columns win ties implicitly via ordering when
+    // schemas agree).
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("scores are finite")
+            .then((a.1, a.2).cmp(&(b.1, b.2)))
+    });
+    let mut mapping = vec![usize::MAX; arity];
+    let mut scores = vec![0.0; arity];
+    let mut used_tgt = vec![false; arity];
+    let mut assigned = 0;
+    for (score, i, j) in scored {
+        if mapping[i] == usize::MAX && !used_tgt[j] {
+            mapping[i] = j;
+            scores[i] = score;
+            used_tgt[j] = true;
+            assigned += 1;
+            if assigned == arity {
+                break;
+            }
+        }
+    }
+    SchemaAlignment { mapping, scores }
+}
+
+impl SchemaAlignment {
+    /// Rewrite `target` into the source's column order (and the source's
+    /// column *names*), so an ordinary [`crate::instance::ProblemInstance`]
+    /// can be built.
+    pub fn reorder_target(&self, target: &Table, source_schema: &affidavit_table::Schema) -> Table {
+        let mut out = Table::with_capacity(source_schema.clone(), target.len());
+        for rec in target.records() {
+            let values: Vec<Sym> = self.mapping.iter().map(|&j| rec.get(j)).collect();
+            out.push(Record::new(values));
+        }
+        out
+    }
+
+    /// The permutation as `(source AttrId, target AttrId)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (AttrId, AttrId)> + '_ {
+        self.mapping
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| (AttrId(i as u32), AttrId(j as u32)))
+    }
+
+    /// Minimum per-column confidence — a low value signals that some column
+    /// correspondence is guesswork.
+    pub fn min_confidence(&self) -> f64 {
+        self.scores.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_table::Schema;
+
+    fn source(pool: &mut ValuePool) -> Table {
+        let rows: Vec<Vec<String>> = (0..40)
+            .map(|i| {
+                vec![
+                    format!("k{i}"),
+                    format!("{}", i * 100),
+                    ["red", "blue", "green"][i % 3].to_owned(),
+                ]
+            })
+            .collect();
+        Table::from_rows(Schema::new(["key", "amount", "color"]), pool, rows)
+    }
+
+    #[test]
+    fn recovers_column_permutation() {
+        let mut pool = ValuePool::new();
+        let s = source(&mut pool);
+        // Target: same values, columns rotated and renamed.
+        let rows: Vec<Vec<String>> = (0..40)
+            .map(|i| {
+                vec![
+                    ["red", "blue", "green"][i % 3].to_owned(),
+                    format!("k{i}"),
+                    format!("{}", i * 100),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(Schema::new(["c1", "c2", "c3"]), &mut pool, rows);
+        let al = align_schemas(&s, &t, &pool);
+        assert_eq!(al.mapping, vec![1, 2, 0]);
+        assert!(al.min_confidence() > 0.7);
+    }
+
+    #[test]
+    fn transformed_column_matched_by_profile() {
+        let mut pool = ValuePool::new();
+        let s = source(&mut pool);
+        // Amount rescaled (zero exact overlap) and moved to column 0; the
+        // other two columns keep their values.
+        let rows: Vec<Vec<String>> = (0..40)
+            .map(|i| {
+                vec![
+                    format!("{}", i), // amount / 100
+                    ["red", "blue", "green"][i % 3].to_owned(),
+                    format!("k{i}"),
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(Schema::new(["a", "b", "c"]), &mut pool, rows);
+        let al = align_schemas(&s, &t, &pool);
+        // key → c (2), color → b (1); amount must take the leftover 0.
+        assert_eq!(al.mapping, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn reorder_target_enables_ordinary_search() {
+        let mut pool = ValuePool::new();
+        let s = source(&mut pool);
+        let rows: Vec<Vec<String>> = (0..40)
+            .map(|i| {
+                vec![
+                    ["red", "blue", "green"][i % 3].to_owned(),
+                    format!("k{i}"),
+                    format!("{}", i), // amount / 100
+                ]
+            })
+            .collect();
+        let t = Table::from_rows(Schema::new(["x", "y", "z"]), &mut pool, rows);
+        let al = align_schemas(&s, &t, &pool);
+        let t2 = al.reorder_target(&t, s.schema());
+        let mut inst = crate::instance::ProblemInstance::new(s, t2, pool).unwrap();
+        let out = crate::search::Affidavit::new(crate::config::AffidavitConfig::paper_id())
+            .explain(&mut inst);
+        out.explanation.validate(&mut inst).unwrap();
+        assert_eq!(out.explanation.core_size(), 40);
+        // amount / 100 learned despite the column shuffle.
+        assert!(matches!(
+            &out.explanation.functions[1],
+            affidavit_functions::AttrFunction::Scale(r) if r.den() == 100
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn arity_mismatch_panics() {
+        let mut pool = ValuePool::new();
+        let s = source(&mut pool);
+        let t = Table::from_rows(Schema::new(["only"]), &mut pool, vec![vec!["x"]]);
+        let _ = align_schemas(&s, &t, &pool);
+    }
+}

@@ -1,0 +1,222 @@
+//! Search tracing — enough to reproduce Figure 4's search tree.
+//!
+//! When `AffidavitConfig::trace` is set, every generated state becomes a
+//! node with a human-readable label, its cost, parent link, whether it was
+//! kept (entered the queue) and the order in which it was polled. The
+//! renderer prints an indented tree with `[n]` poll-order markers like the
+//! figure.
+
+/// One node of the search tree.
+#[derive(Debug, Clone)]
+pub struct TraceNode {
+    /// State id.
+    pub id: usize,
+    /// Parent state id.
+    pub parent: Option<usize>,
+    /// Lattice level (number of assignments).
+    pub level: usize,
+    /// State cost.
+    pub cost: f64,
+    /// Human-readable description of the newest assignment (or the start
+    /// state).
+    pub label: String,
+    /// Poll order (1-based), if the state was ever extracted from the queue.
+    pub polled_order: Option<usize>,
+    /// Whether the state entered the queue (false = rejected/pruned, the
+    /// greyed-out arrows of Figure 4).
+    pub kept: bool,
+    /// Whether this is an end state.
+    pub end: bool,
+}
+
+/// A recorded search tree.
+#[derive(Debug, Clone, Default)]
+pub struct SearchTrace {
+    /// All nodes, indexed by state id.
+    pub nodes: Vec<TraceNode>,
+    next_poll: usize,
+}
+
+impl SearchTrace {
+    /// Create an empty trace.
+    pub fn new() -> SearchTrace {
+        SearchTrace::default()
+    }
+
+    /// Record a generated state. Ids must be dense and increasing.
+    pub fn add(&mut self, node: TraceNode) {
+        debug_assert_eq!(node.id, self.nodes.len(), "trace ids must be dense");
+        self.nodes.push(node);
+    }
+
+    /// Mark a state as polled, assigning the next poll order.
+    pub fn mark_polled(&mut self, id: usize) {
+        self.next_poll += 1;
+        if let Some(n) = self.nodes.get_mut(id) {
+            n.polled_order = Some(self.next_poll);
+        }
+    }
+
+    /// Mark whether a generated state was kept in the queue.
+    pub fn mark_kept(&mut self, id: usize, kept: bool) {
+        if let Some(n) = self.nodes.get_mut(id) {
+            n.kept = kept;
+        }
+    }
+
+    /// Render the tree as indented ASCII (Figure 4 style): poll order in
+    /// square brackets, costs in parentheses, `✗` for pruned states.
+    pub fn render(&self) -> String {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        let mut roots = Vec::new();
+        for n in &self.nodes {
+            match n.parent {
+                Some(p) => children[p].push(n.id),
+                None => roots.push(n.id),
+            }
+        }
+        let mut out = String::new();
+        for &r in &roots {
+            self.render_node(r, 0, &children, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, id: usize, depth: usize, children: &[Vec<usize>], out: &mut String) {
+        let n = &self.nodes[id];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match n.polled_order {
+            Some(k) => out.push_str(&format!("[{k}] ")),
+            None => out.push_str(if n.kept { "    " } else { " ✗  " }),
+        }
+        out.push_str(&n.label);
+        out.push_str(&format!(" (c={:.0})", n.cost));
+        if n.end {
+            out.push_str("  ◀ end state");
+        }
+        out.push('\n');
+        for &c in &children[id] {
+            self.render_node(c, depth + 1, children, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: usize, parent: Option<usize>, label: &str) -> TraceNode {
+        TraceNode {
+            id,
+            parent,
+            level: 0,
+            cost: 42.0,
+            label: label.to_owned(),
+            polled_order: None,
+            kept: true,
+            end: false,
+        }
+    }
+
+    #[test]
+    fn render_tree() {
+        let mut t = SearchTrace::new();
+        t.add(node(0, None, "start"));
+        t.add(node(1, Some(0), "ID2 ← id"));
+        t.add(node(2, Some(0), "Unit ← const"));
+        t.mark_polled(0);
+        t.mark_polled(2);
+        t.mark_kept(1, false);
+        let s = t.render();
+        assert!(s.contains("[1] start"));
+        assert!(s.contains("[2] Unit ← const"));
+        assert!(s.contains("✗  ID2 ← id"));
+    }
+
+    #[test]
+    fn poll_order_is_sequential() {
+        let mut t = SearchTrace::new();
+        t.add(node(0, None, "a"));
+        t.add(node(1, Some(0), "b"));
+        t.mark_polled(0);
+        t.mark_polled(1);
+        assert_eq!(t.nodes[0].polled_order, Some(1));
+        assert_eq!(t.nodes[1].polled_order, Some(2));
+    }
+}
+
+impl SearchTrace {
+    /// Render the search tree as Graphviz DOT (Figure 4 as a diagram):
+    /// polled states carry their extraction order, pruned states are grey.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph search {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        for n in &self.nodes {
+            let label = n
+                .label
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"");
+            let order = n
+                .polled_order
+                .map(|k| format!("[{k}] "))
+                .unwrap_or_default();
+            let style = if n.end {
+                ", style=filled, fillcolor=lightblue"
+            } else if n.polled_order.is_some() {
+                ", style=filled, fillcolor=lightyellow"
+            } else if !n.kept {
+                ", color=grey, fontcolor=grey"
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "  n{} [label=\"{}{} (c={:.0})\"{}];\n",
+                n.id, order, label, n.cost, style
+            ));
+            if let Some(p) = n.parent {
+                let edge_style = if n.kept { "" } else { " [color=grey]" };
+                out.push_str(&format!("  n{p} -> n{}{edge_style};\n", n.id));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_is_wellformed() {
+        let mut t = SearchTrace::new();
+        t.add(TraceNode {
+            id: 0,
+            parent: None,
+            level: 0,
+            cost: 1.0,
+            label: "root \"quoted\"".into(),
+            polled_order: None,
+            kept: true,
+            end: false,
+        });
+        t.add(TraceNode {
+            id: 1,
+            parent: Some(0),
+            level: 1,
+            cost: 2.0,
+            label: "child".into(),
+            polled_order: None,
+            kept: false,
+            end: true,
+        });
+        t.mark_polled(0);
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph search {"));
+        assert!(dot.contains("n0 -> n1 [color=grey];"));
+        assert!(dot.contains("\\\"quoted\\\""));
+        assert!(dot.contains("[1] root"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic problem-instance generation — the evaluation protocol of §5.1.
+//!
+//! From a base table, an instance is produced by:
+//!
+//! 1. dropping attributes that are fully empty or have a distinct-value
+//!    fraction above 0.7;
+//! 2. splitting records into a core plus source- and target-noise sets so
+//!    that noise makes up a fraction η of each snapshot
+//!    (`|S| = |T| = D / (1 + η)` for a base table of `D` records);
+//! 3. sampling, per attribute with probability τ, a non-identity
+//!    transformation fitting the attribute's domain (resampling if *every*
+//!    attribute would be transformed — at least one must stay `id`);
+//! 4. applying the transformations to the core (→ core image) and to the
+//!    target noise ("its data format should be similar");
+//! 5. augmenting both snapshots with an artificial primary key of running
+//!    integers in two different permutations;
+//! 6. shuffling record order.
+//!
+//! The generator returns the instance together with the *reference
+//! explanation* and implements the Δcore / Δcosts / acc metrics of §5.2 and
+//! the instance scaling of §5.4.1 (Figure 5).
+
+#![warn(missing_docs)]
+
+pub mod blueprint;
+pub mod metrics;
+pub mod sampler;
+
+pub use blueprint::{Blueprint, GenConfig, GeneratedInstance};
+pub use metrics::{evaluate, InstanceMetrics};
+pub use sampler::sample_transformation;

@@ -1,0 +1,389 @@
+//! Transformation sampling (§5.1).
+//!
+//! "To sample a function for an attribute that is to be transformed, we
+//! randomly instantiate a function from the meta functions described in
+//! Table 1. We make sure to generate functions that fit the domain of the
+//! attribute, e.g. we do not use uppercasing on numerical attributes. In
+//! the case of value mappings, we instantiate it as a random permutation of
+//! the source values."
+//!
+//! A sampled function must be *total* on the attribute's distinct values
+//! (partial application would make the reference explanation invalid);
+//! candidates failing this check are rejected and resampled, with a random
+//! permutation value map as the always-valid fallback.
+
+use affidavit_functions::datetime::DateFormat;
+use affidavit_functions::{AttrFunction, ValueMap};
+use affidavit_table::{stats::AttrStats, Decimal, Rational, Sym, ValuePool};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample a non-identity transformation fitting the attribute's domain.
+/// `values` are the attribute's distinct values in the base table; the
+/// returned function is guaranteed to apply to all of them.
+pub fn sample_transformation(
+    values: &[Sym],
+    stats: &AttrStats,
+    pool: &mut ValuePool,
+    rng: &mut StdRng,
+) -> AttrFunction {
+    sample_transformation_with(values, stats, pool, rng, false)
+}
+
+/// Like [`sample_transformation`], but optionally drawing from the
+/// extension kinds (numeric formatting, token programs) as well — used to
+/// generate instances that exercise `Registry::extended`.
+pub fn sample_transformation_with(
+    values: &[Sym],
+    stats: &AttrStats,
+    pool: &mut ValuePool,
+    rng: &mut StdRng,
+    extended: bool,
+) -> AttrFunction {
+    for _ in 0..16 {
+        let candidate = if extended && rng.gen_bool(0.35) {
+            propose_extension(values, stats, pool, rng)
+        } else {
+            propose(values, stats, pool, rng)
+        };
+        if applies_to_all(&candidate, values, pool) && changes_something(&candidate, values, pool) {
+            return candidate;
+        }
+    }
+    random_permutation_map(values, rng)
+}
+
+/// Propose one of the extension kinds; totality and non-identity are
+/// checked by the rejection loop above.
+fn propose_extension(
+    values: &[Sym],
+    stats: &AttrStats,
+    pool: &mut ValuePool,
+    rng: &mut StdRng,
+) -> AttrFunction {
+    use affidavit_functions::substring::{Segment, TokenProgram};
+
+    if stats.is_numeric() {
+        match rng.gen_range(0..3u8) {
+            0 => AttrFunction::ThousandsSep(*[',', ' '].choose(rng).expect("non-empty")),
+            1 => {
+                // Pad past the longest value so the function is not a no-op.
+                let max_len = values
+                    .iter()
+                    .map(|&v| pool.get(v).len())
+                    .max()
+                    .unwrap_or(1);
+                AttrFunction::ZeroPad((max_len + rng.gen_range(1..3usize)) as u32)
+            }
+            _ => AttrFunction::Round(rng.gen_range(0..2u32)),
+        }
+    } else {
+        // Token reorder: swap the first two tokens. The rejection loop
+        // discards it on columns whose values don't all have two tokens.
+        let glue = pool.intern([" ", "-", ", "].choose(rng).expect("non-empty"));
+        AttrFunction::TokenProgram(
+            TokenProgram::new(vec![
+                Segment::Token {
+                    idx: 1,
+                    from_end: false,
+                },
+                Segment::Literal(glue),
+                Segment::Token {
+                    idx: 0,
+                    from_end: false,
+                },
+            ])
+            .expect("two-token reorder is a valid program"),
+        )
+    }
+}
+
+/// One proposal draw.
+fn propose(
+    values: &[Sym],
+    stats: &AttrStats,
+    pool: &mut ValuePool,
+    rng: &mut StdRng,
+) -> AttrFunction {
+    // Weights roughly mirror picking uniformly among the applicable
+    // Table 1 meta functions: explicit value maps are one choice among
+    // many (~10-15 %), not a quarter — they are "potentially the hardest
+    // transformations to learn" and would otherwise dominate the noise.
+    //
+    // Date columns (which would otherwise register as numeric in the
+    // yyyymmdd encoding) get date-appropriate transformations, exercising
+    // the §6 date-conversion extension end to end.
+    if is_date_column(values, pool) {
+        return match rng.gen_range(0..10u8) {
+            0..=4 => {
+                let to = *[
+                    DateFormat::IsoDashed,
+                    DateFormat::DottedDmy,
+                    DateFormat::SlashMdy,
+                    DateFormat::YyyyDdMm,
+                ]
+                .choose(rng)
+                .expect("non-empty");
+                AttrFunction::DateConvert(DateFormat::YyyyMmDd, to)
+            }
+            5..=7 => {
+                // Sentinel-style prefix rewrite, like Figure 1's f_Date.
+                sample_prefix_replace(values, pool, rng)
+                    .unwrap_or_else(|| random_permutation_map(values, rng))
+            }
+            _ => random_permutation_map(values, rng),
+        };
+    }
+    if stats.is_numeric() {
+        match rng.gen_range(0..10u8) {
+            0..=2 => {
+                // Addition with a small non-zero integer or decimal.
+                let y = *[-1000, -250, -7, 5, 42, 100, 2500]
+                    .choose(rng)
+                    .expect("non-empty");
+                AttrFunction::Add(Decimal::from_int(y))
+            }
+            3..=5 => {
+                // Division by a power of ten (the classic ERP rescale).
+                let den = *[10i128, 100, 1000].choose(rng).expect("non-empty");
+                AttrFunction::Scale(Rational::new(1, den).expect("non-zero"))
+            }
+            6..=8 => {
+                // Multiplication by a power of ten.
+                let num = *[10i128, 100, 1000].choose(rng).expect("non-empty");
+                AttrFunction::Scale(Rational::new(num, 1).expect("non-zero"))
+            }
+            _ => random_permutation_map(values, rng),
+        }
+    } else {
+        let has_lower = stats.has_lowercase > 0;
+        match rng.gen_range(0..10u8) {
+            0 | 1 if has_lower => AttrFunction::Uppercase,
+            0..=3 => {
+                let y = pool.intern(["X-", "new_", "v2:"].choose(rng).expect("non-empty"));
+                AttrFunction::Prefix(y)
+            }
+            4..=6 => {
+                let y = pool.intern(["-x", "_new", ":v2"].choose(rng).expect("non-empty"));
+                AttrFunction::Suffix(y)
+            }
+            7 | 8 => {
+                // Prefix replacement on the most common first character.
+                sample_prefix_replace(values, pool, rng)
+                    .unwrap_or_else(|| random_permutation_map(values, rng))
+            }
+            _ => random_permutation_map(values, rng),
+        }
+    }
+}
+
+/// True if ≥ 90 % of the values parse as `yyyymmdd` dates.
+fn is_date_column(values: &[Sym], pool: &ValuePool) -> bool {
+    if values.is_empty() {
+        return false;
+    }
+    let hits = values
+        .iter()
+        .filter(|&&v| DateFormat::YyyyMmDd.parse(pool.get(v)).is_some())
+        .count();
+    hits * 10 >= values.len() * 9
+}
+
+/// Build a prefix replacement from the most frequent leading character of
+/// the values (mirrors Figure 1's `'9999123'x ↦ '2018070'x` style).
+fn sample_prefix_replace(
+    values: &[Sym],
+    pool: &mut ValuePool,
+    rng: &mut StdRng,
+) -> Option<AttrFunction> {
+    // Find a first character shared by at least two values.
+    let mut counts: affidavit_table::FxHashMap<char, usize> = Default::default();
+    for &v in values {
+        if let Some(c) = pool.get(v).chars().next() {
+            *counts.entry(c).or_default() += 1;
+        }
+    }
+    let (&c, _) = counts.iter().max_by_key(|&(&c, &n)| (n, c as u32))?;
+    let y = pool.intern(&c.to_string());
+    let replacement = *["Q", "Z#", "9"].choose(rng).expect("non-empty");
+    let z = pool.intern(replacement);
+    if y == z {
+        return None;
+    }
+    Some(AttrFunction::PrefixReplace(y, z))
+}
+
+/// A value map that is a random permutation of the distinct source values
+/// — "potentially the hardest transformations to learn".
+pub fn random_permutation_map(values: &[Sym], rng: &mut StdRng) -> AttrFunction {
+    let mut shuffled: Vec<Sym> = values.to_vec();
+    shuffled.shuffle(rng);
+    // A derangement-ish rotation guard: if the shuffle fixed everything
+    // (tiny domains), rotate by one so the map is not the identity.
+    if shuffled.iter().zip(values).all(|(a, b)| a == b) && values.len() > 1 {
+        shuffled.rotate_left(1);
+    }
+    AttrFunction::Map(ValueMap::from_pairs(
+        values.iter().copied().zip(shuffled),
+    ))
+}
+
+fn applies_to_all(f: &AttrFunction, values: &[Sym], pool: &mut ValuePool) -> bool {
+    values.iter().all(|&v| f.apply(v, pool).is_some())
+}
+
+fn changes_something(f: &AttrFunction, values: &[Sym], pool: &mut ValuePool) -> bool {
+    values.iter().any(|&v| f.apply(v, pool) != Some(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_table::stats::attribute_stats;
+    use affidavit_table::{AttrId, Schema, Table};
+    use rand::SeedableRng;
+
+    fn column(values: &[&str]) -> (Vec<Sym>, AttrStats, ValuePool) {
+        let mut pool = ValuePool::new();
+        let t = Table::from_rows(
+            Schema::new(["a"]),
+            &mut pool,
+            values.iter().map(|v| vec![*v]),
+        );
+        let stats = attribute_stats(&t, &pool).remove(0);
+        let vals = affidavit_table::stats::distinct_values(&t, AttrId(0));
+        (vals, stats, pool)
+    }
+
+    #[test]
+    fn numeric_columns_get_numeric_functions() {
+        let (vals, stats, mut pool) = column(&["100", "250", "3000", "42"]);
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation(&vals, &stats, &mut pool, &mut rng);
+            assert!(
+                matches!(
+                    f,
+                    AttrFunction::Add(_) | AttrFunction::Scale(_) | AttrFunction::Map(_)
+                ),
+                "seed {seed}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_uppercasing_on_numbers() {
+        let (vals, stats, mut pool) = column(&["1", "2", "3"]);
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation(&vals, &stats, &mut pool, &mut rng);
+            assert!(!matches!(f, AttrFunction::Uppercase), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sampled_function_is_total_and_non_identity() {
+        let (vals, stats, mut pool) = column(&["alpha", "beta", "gamma", "delta"]);
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation(&vals, &stats, &mut pool, &mut rng);
+            let mut changed = false;
+            for &v in &vals {
+                let out = f.apply(v, &mut pool).expect("must be total");
+                changed |= out != v;
+            }
+            assert!(changed, "seed {seed}: function is identity-like {f:?}");
+        }
+    }
+
+    #[test]
+    fn date_columns_get_date_transformations() {
+        let (vals, stats, mut pool) = column(&["20130416", "20120128", "99991231", "20150203"]);
+        let mut seen_convert = false;
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation(&vals, &stats, &mut pool, &mut rng);
+            assert!(
+                matches!(
+                    f,
+                    AttrFunction::DateConvert(..)
+                        | AttrFunction::PrefixReplace(..)
+                        | AttrFunction::Map(_)
+                ),
+                "seed {seed}: unexpected date-column function {f:?}"
+            );
+            seen_convert |= matches!(f, AttrFunction::DateConvert(..));
+        }
+        assert!(seen_convert, "date conversion never sampled in 40 draws");
+    }
+
+    #[test]
+    fn extension_sampling_is_total_and_non_identity() {
+        let (vals, stats, mut pool) = column(&["1234567", "89000", "42", "5000000"]);
+        let mut seen_ext = false;
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation_with(&vals, &stats, &mut pool, &mut rng, true);
+            let mut changed = false;
+            for &v in &vals {
+                let out = f.apply(v, &mut pool).expect("must be total");
+                changed |= out != v;
+            }
+            assert!(changed, "seed {seed}: identity-like {f:?}");
+            seen_ext |= f.kind().is_extension();
+        }
+        assert!(seen_ext, "extension kind never sampled in 40 draws");
+    }
+
+    #[test]
+    fn token_reorder_rejected_on_single_token_columns() {
+        // Values with a single token each: the two-token reorder program is
+        // partial and must be rejected in favour of a total function.
+        let (vals, stats, mut pool) = column(&["alpha", "beta", "gamma", "delta"]);
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation_with(&vals, &stats, &mut pool, &mut rng, true);
+            for &v in &vals {
+                assert!(f.apply(v, &mut pool).is_some(), "seed {seed}: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn token_reorder_sampled_on_two_token_columns() {
+        let (vals, stats, mut pool) =
+            column(&["Doe, John", "Fink, Manuel", "Hopper, Grace", "Turing, Alan"]);
+        let mut seen = false;
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation_with(&vals, &stats, &mut pool, &mut rng, true);
+            seen |= matches!(f, AttrFunction::TokenProgram(_));
+        }
+        assert!(seen, "token program never sampled on a two-token column");
+    }
+
+    #[test]
+    fn classic_mode_never_samples_extensions() {
+        let (vals, stats, mut pool) = column(&["1234567", "89000", "42", "5000000"]);
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = sample_transformation(&vals, &stats, &mut pool, &mut rng);
+            assert!(!f.kind().is_extension(), "seed {seed}: {f:?}");
+        }
+    }
+
+    #[test]
+    fn permutation_map_is_total_bijection() {
+        let (vals, _, _) = column(&["a", "b", "c", "d", "e"]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let AttrFunction::Map(m) = random_permutation_map(&vals, &mut rng) else {
+            panic!("expected map");
+        };
+        let mut outputs: Vec<Sym> = vals.iter().map(|&v| m.apply(v)).collect();
+        outputs.sort();
+        let mut sorted = vals.clone();
+        sorted.sort();
+        assert_eq!(outputs, sorted, "must be a permutation");
+    }
+}

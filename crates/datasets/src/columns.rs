@@ -1,0 +1,237 @@
+//! Hand-specified column layouts for the flagship datasets.
+//!
+//! The generic profile cycling in [`crate::synth`] preserves the shape
+//! statistics; for the datasets whose structure the paper's analysis leans
+//! on most, this module provides **named, realistic layouts** (the UCI
+//! attribute lists) so generated instances read like the originals —
+//! `sepal_length`, `workclass`, `voter_status` instead of `a03`. Domains
+//! stay within the 0.7-distinctness cleaning threshold.
+//!
+//! Layouts shorter than a spec's attribute count are padded with generic
+//! profile columns (only relevant for the very wide tables).
+
+use rand::rngs::StdRng;
+
+use crate::specs::DatasetSpec;
+use crate::synth::ColumnKind;
+
+fn cat(values: &[&str]) -> ColumnKind {
+    ColumnKind::Categorical(values.iter().map(|s| s.to_string()).collect())
+}
+
+fn dec(rows: usize, frac: f64, scale: u32) -> ColumnKind {
+    let domain = (((rows as f64) * frac).max(2.0)) as u64;
+    ColumnKind::Decimal { domain, scale }
+}
+
+fn int(rows: usize, frac: f64) -> ColumnKind {
+    let domain = (((rows as f64) * frac).max(2.0)) as u64;
+    ColumnKind::Int { domain }
+}
+
+/// The hand layout for `spec`, if one exists: `(name, kind)` per column.
+pub fn named_layout(spec: &DatasetSpec, rows: usize) -> Option<Vec<(String, ColumnKind)>> {
+    let layout: Vec<(&str, ColumnKind)> = match spec.name {
+        "iris" => vec![
+            ("sepal_length", dec(rows, 0.25, 1)),
+            ("sepal_width", dec(rows, 0.2, 1)),
+            ("petal_length", dec(rows, 0.3, 1)),
+            ("petal_width", dec(rows, 0.15, 1)),
+            ("class", cat(&["Iris-setosa", "Iris-versicolor", "Iris-virginica"])),
+        ],
+        "balance" => vec![
+            ("class", cat(&["L", "B", "R"])),
+            ("left_weight", int(rows, 0.008)),
+            ("left_distance", int(rows, 0.008)),
+            ("right_weight", int(rows, 0.008)),
+            ("right_distance", int(rows, 0.008)),
+        ],
+        "abalone" => vec![
+            ("sex", cat(&["M", "F", "I"])),
+            ("length", dec(rows, 0.1, 3)),
+            ("diameter", dec(rows, 0.1, 3)),
+            ("height", dec(rows, 0.05, 3)),
+            ("whole_weight", dec(rows, 0.3, 4)),
+            ("shucked_weight", dec(rows, 0.3, 4)),
+            ("viscera_weight", dec(rows, 0.2, 4)),
+            ("rings", int(rows, 0.007)),
+        ],
+        "bridges" => vec![
+            ("river", cat(&["A", "M", "O", "Y"])),
+            ("location", int(rows, 0.45)),
+            ("erected", ColumnKind::Date { start_year: 1880, domain: 60 }),
+            ("purpose", cat(&["HIGHWAY", "RR", "AQUEDUCT", "WALK"])),
+            ("lanes", cat(&["1", "2", "4", "6"])),
+            ("clear_g", cat(&["N", "G"])),
+            ("t_or_d", cat(&["THROUGH", "DECK"])),
+            ("material", cat(&["WOOD", "IRON", "STEEL"])),
+            ("span", cat(&["SHORT", "MEDIUM", "LONG"])),
+        ],
+        "adult" => vec![
+            ("age", int(rows, 0.0015)),
+            ("workclass", cat(&["Private", "Self-emp", "Federal-gov", "Local-gov", "State-gov", "Without-pay"])),
+            ("fnlwgt", int(rows, 0.4)),
+            ("education", cat(&["Bachelors", "HS-grad", "11th", "Masters", "Some-college", "Assoc-acdm", "Doctorate"])),
+            ("education_num", int(rows, 0.0004)),
+            ("marital_status", cat(&["Married-civ-spouse", "Divorced", "Never-married", "Separated", "Widowed"])),
+            ("occupation", cat(&["Tech-support", "Craft-repair", "Sales", "Exec-managerial", "Prof-specialty", "Handlers-cleaners"])),
+            ("relationship", cat(&["Wife", "Own-child", "Husband", "Not-in-family", "Unmarried"])),
+            ("race", cat(&["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"])),
+            ("sex", cat(&["Male", "Female"])),
+            ("capital_gain", int(rows, 0.01)),
+            ("capital_loss", int(rows, 0.005)),
+            ("hours_per_week", int(rows, 0.002)),
+            ("native_country", cat(&["United-States", "Mexico", "Philippines", "Germany", "Canada", "India", "England"])),
+        ],
+        "ncvoter-1k" => vec![
+            ("county_id", int(rows, 0.1)),
+            ("voter_reg_num", ColumnKind::Code { prefix: "VR", width: 6, domain: ((rows as f64) * 0.6) as u64 }),
+            ("last_name", cat(&["SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "DAVIS", "MILLER", "WILSON"])),
+            ("first_name", cat(&["JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL"])),
+            ("midl_name", cat(&["A", "B", "C", "D", "E", "L", "M"])),
+            ("status_cd", cat(&["A", "I", "D", "R"])),
+            ("voter_status_desc", cat(&["ACTIVE", "INACTIVE", "DENIED", "REMOVED"])),
+            ("reason_cd", cat(&["AV", "IN", "DN", "RL"])),
+            ("city", cat(&["RALEIGH", "CHARLOTTE", "DURHAM", "GREENSBORO", "WILMINGTON", "ASHEVILLE"])),
+            ("state_cd", cat(&["NC"])),
+            ("zip_code", int(rows, 0.2)),
+            ("registr_dt", ColumnKind::Date { start_year: 1990, domain: ((rows as f64) * 0.3).max(2.0) as u64 }),
+            ("race_code", cat(&["W", "B", "A", "I", "O", "U"])),
+            ("ethnic_code", cat(&["HL", "NL", "UN"])),
+            ("party_cd", cat(&["DEM", "REP", "UNA", "LIB"])),
+        ],
+        "chess" => vec![
+            ("white_king_file", cat(&["a", "b", "c", "d"])),
+            ("white_king_rank", cat(&["1", "2", "3", "4"])),
+            ("white_rook_file", cat(&["a", "b", "c", "d", "e", "f", "g", "h"])),
+            ("white_rook_rank", cat(&["1", "2", "3", "4", "5", "6", "7", "8"])),
+            ("black_king_file", cat(&["a", "b", "c", "d", "e", "f", "g", "h"])),
+            ("black_king_rank", cat(&["1", "2", "3", "4", "5", "6", "7", "8"])),
+            ("outcome", cat(&["draw", "zero", "one", "two", "three", "four", "five", "six", "seven", "eight"])),
+        ],
+        "nursery" => vec![
+            ("parents", cat(&["usual", "pretentious", "great_pret"])),
+            ("has_nurs", cat(&["proper", "less_proper", "improper", "critical", "very_crit"])),
+            ("form", cat(&["complete", "completed", "incomplete", "foster"])),
+            ("children", cat(&["1", "2", "3", "more"])),
+            ("housing", cat(&["convenient", "less_conv", "critical"])),
+            ("finance", cat(&["convenient", "inconv"])),
+            ("social", cat(&["nonprob", "slightly_prob", "problematic"])),
+            ("health", cat(&["recommended", "priority", "not_recom"])),
+            ("class", cat(&["not_recom", "recommend", "very_recom", "priority", "spec_prior"])),
+        ],
+        "letter" => {
+            // 16 integer features in 0..16 plus the class letter.
+            let mut cols: Vec<(&str, ColumnKind)> = vec![(
+                "lettr",
+                cat(&["A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M",
+                      "N", "O", "P", "Q", "R", "S", "T", "U", "V", "W", "X", "Y", "Z"]),
+            )];
+            for name in [
+                "x-box", "y-box", "width", "high", "onpix", "x-bar", "y-bar", "x2bar",
+                "y2bar", "xybar", "x2ybr", "xy2br", "x-ege", "xegvy", "y-ege", "yegvx",
+            ] {
+                cols.push((name, ColumnKind::Int { domain: 16 }));
+            }
+            cols
+        }
+        "echo" => vec![
+            ("survival", int(rows, 0.3)),
+            ("still_alive", cat(&["0", "1"])),
+            ("age_at_heart_attack", int(rows, 0.35)),
+            ("pericardial_effusion", cat(&["0", "1"])),
+            ("fractional_shortening", dec(rows, 0.3, 3)),
+            ("epss", dec(rows, 0.35, 2)),
+            ("lvdd", dec(rows, 0.35, 2)),
+            ("wall_motion_score", int(rows, 0.2)),
+            ("alive_at_1", cat(&["0", "1"])),
+        ],
+        "breast" => vec![
+            ("clump_thickness", ColumnKind::Int { domain: 10 }),
+            ("uniformity_cell_size", ColumnKind::Int { domain: 10 }),
+            ("uniformity_cell_shape", ColumnKind::Int { domain: 10 }),
+            ("marginal_adhesion", ColumnKind::Int { domain: 10 }),
+            ("single_epithelial_cell_size", ColumnKind::Int { domain: 10 }),
+            ("bare_nuclei", ColumnKind::Int { domain: 10 }),
+            ("bland_chromatin", ColumnKind::Int { domain: 10 }),
+            ("normal_nucleoli", ColumnKind::Int { domain: 10 }),
+            ("mitoses", ColumnKind::Int { domain: 9 }),
+            ("class", cat(&["2", "4"])),
+        ],
+        _ => return None,
+    };
+    Some(
+        layout
+            .into_iter()
+            .map(|(n, k)| (n.to_owned(), k))
+            .collect(),
+    )
+}
+
+/// Build the full column list for a spec: the hand layout when available
+/// (padded with generic columns if the spec is wider), otherwise `None`.
+pub fn layout_for(
+    spec: &DatasetSpec,
+    rows: usize,
+    rng: &mut StdRng,
+) -> Option<Vec<(String, ColumnKind)>> {
+    let mut layout = named_layout(spec, rows)?;
+    let want = spec.base_attrs();
+    if layout.len() > want {
+        layout.truncate(want);
+    }
+    if layout.len() < want {
+        let generic = crate::synth::column_kinds(spec, rows, rng);
+        for (i, kind) in generic.into_iter().enumerate().skip(layout.len()) {
+            layout.push((format!("x{i:02}"), kind));
+        }
+        layout.truncate(want);
+    }
+    Some(layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::by_name;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layouts_match_spec_arity() {
+        for name in ["iris", "balance", "abalone", "bridges", "adult", "ncvoter-1k", "chess", "nursery", "letter", "echo", "breast"] {
+            let spec = by_name(name).unwrap();
+            let mut rng = StdRng::seed_from_u64(1);
+            let layout = layout_for(&spec, spec.rows.min(2000), &mut rng).unwrap();
+            assert_eq!(layout.len(), spec.base_attrs(), "{name}");
+            // Unique names.
+            let mut names: Vec<&str> = layout.iter().map(|(n, _)| n.as_str()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), spec.base_attrs(), "{name}: duplicate names");
+        }
+    }
+
+    #[test]
+    fn wide_datasets_have_no_hand_layout() {
+        let spec = by_name("uniprot").unwrap();
+        assert!(named_layout(&spec, 1000).is_none());
+    }
+
+    #[test]
+    fn domains_respect_distinctness_threshold() {
+        use affidavit_table::stats::attribute_stats;
+        for name in ["adult", "ncvoter-1k", "abalone"] {
+            let spec = by_name(name).unwrap();
+            let rows = spec.rows.min(2000);
+            let (t, pool) = crate::synth::generate_rows(&spec, rows, 5);
+            for st in attribute_stats(&t, &pool) {
+                assert!(
+                    st.distinct_fraction() <= 0.7,
+                    "{name} attr {:?}: {}",
+                    st.attr,
+                    st.distinct_fraction()
+                );
+            }
+        }
+    }
+}

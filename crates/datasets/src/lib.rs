@@ -1,0 +1,30 @@
+//! Evaluation datasets for the Affidavit reproduction.
+//!
+//! The paper evaluates on the HPI FD-discovery repeatability datasets
+//! (iris … uniprot, flight-500k). Those files are not redistributable here,
+//! so this crate provides **shape-faithful synthetic stand-ins**: for every
+//! dataset a deterministic generator matching the published record count,
+//! attribute count and — crucially — the *value-distinctness profile* the
+//! paper's analysis hinges on (low-distinctness tables like chess/nursery/
+//! letter break the `Hs` overlap matcher; wide sparse tables like uniprot
+//! stress attribute scalability). See DESIGN.md §4 for the substitution
+//! rationale.
+//!
+//! Real data can be dropped into `data/<name>.csv`; [`loader::load_or_generate`]
+//! prefers the file when present.
+//!
+//! The crate also embeds the paper's running example
+//! ([`running_example::figure1_instance`]) with its reference explanation
+//! E1 (cost 77) and the trivial explanation E∅ (cost 112).
+
+#![warn(missing_docs)]
+
+pub mod columns;
+pub mod loader;
+pub mod running_example;
+pub mod specs;
+pub mod synth;
+
+pub use loader::load_or_generate;
+pub use specs::{all_specs, by_name, DatasetSpec, Profile};
+pub use synth::generate;

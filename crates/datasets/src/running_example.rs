@@ -1,0 +1,203 @@
+//! The paper's running example — Figure 1's snapshots S1/T1 and the
+//! reference explanation E1.
+//!
+//! The §3.1 cost calculation is reproduced exactly: `c(E1) = 77` at
+//! α = 0.5 (21 for the three inserted records × 7 attributes, 56 for the
+//! functions incl. two 13-entry value maps) and `c(E∅) = 112` for the
+//! trivial explanation.
+
+use affidavit_core::explanation::Explanation;
+use affidavit_core::instance::ProblemInstance;
+use affidavit_functions::{AttrFunction, ValueMap};
+use affidavit_table::{RecordId, Rational, Schema, Table, ValuePool};
+
+/// Schema of the running example.
+pub const ATTRS: [&str; 7] = ["ID1", "ID2", "Date", "Type", "Val", "Unit", "Org"];
+
+/// Source snapshot S1 of Figure 1.
+pub const SOURCE_ROWS: [[&str; 7]; 17] = [
+    ["S01", "0000", "20130416", "A", "80000", "USD", "IBM"],
+    ["S02", "0001", "20120128", "A", "180000", "USD", "IBM"],
+    ["S03", "0002", "20130315", "A", "220000", "USD", "IBM"],
+    ["S04", "0003", "20120128", "B", "3780000", "USD", "IBM"],
+    ["S05", "0004", "20120731", "B", "425000", "USD", "IBM"],
+    ["S06", "0005", "20120731", "C", "21000", "USD", "IBM"],
+    ["S07", "0006", "20140503", "C", "422400", "USD", "IBM"],
+    ["S08", "0007", "20140503", "C", "6540", "USD", "SAP"],
+    ["S09", "0008", "20131021", "C", "9800", "USD", "SAP"],
+    ["S10", "0009", "20121125", "C", "0", "USD", "SAP"],
+    ["S11", "0010", "99991231", "D", "65", "USD", "SAP"],
+    ["S12", "0011", "99991231", "D", "180000", "USD", "BASF"],
+    ["S13", "0012", "99991231", "D", "220000", "USD", "BASF"],
+    ["S14", "0013", "20150203", "D", "21000", "USD", "BASF"],
+    ["S15", "0014", "20150213", "D", "65", "USD", "BASF"],
+    ["S16", "0015", "20160807", "E", "80000", "USD", "BASF"],
+    ["S17", "0016", "20161231", "E", "80000", "USD", "BASF"],
+];
+
+/// Target snapshot T1 of Figure 1.
+pub const TARGET_ROWS: [[&str; 7]; 16] = [
+    ["T01", "0000", "99991231", "A", "80", "k $", "IBM"],
+    ["T02", "0001", "20120128", "A", "180", "k $", "IBM"],
+    ["T03", "0002", "20120731", "C", "21", "k $", "IBM"],
+    ["T04", "0003", "20120731", "B", "425", "k $", "IBM"],
+    ["T05", "0004", "20121125", "B", "0.022", "k $", "DAB"],
+    ["T06", "0005", "20130315", "A", "220", "k $", "IBM"],
+    ["T07", "0006", "20130416", "A", "80", "k $", "IBM"],
+    ["T08", "0007", "20131021", "C", "9.8", "k $", "SAP"],
+    ["T09", "0008", "20140503", "C", "422.4", "k $", "IBM"],
+    ["T10", "0009", "20140503", "C", "6.54", "k $", "SAP"],
+    ["T11", "0010", "20150213", "D", "0.065", "k $", "BASF"],
+    ["T12", "0011", "20161231", "E", "80", "k $", "BASF"],
+    ["T13", "0012", "20180701", "D", "0.065", "k $", "SAP"],
+    ["T14", "0013", "20180701", "D", "180", "k $", "BASF"],
+    ["T15", "0014", "20180701", "D", "220", "k $", "BASF"],
+    ["T16", "0015", "99991231", "F", "0.45", "k $", "SAP"],
+];
+
+/// The correct core alignment of E1 as `(source row, target row)` indices
+/// (0-based; `(0, 6)` is S01 ↦ T07).
+pub const CORE_PAIRS: [(u32, u32); 13] = [
+    (0, 6),   // S01 -> T07
+    (1, 1),   // S02 -> T02
+    (2, 5),   // S03 -> T06
+    (4, 3),   // S05 -> T04
+    (5, 2),   // S06 -> T03
+    (6, 8),   // S07 -> T09
+    (7, 9),   // S08 -> T10
+    (8, 7),   // S09 -> T08
+    (10, 12), // S11 -> T13
+    (11, 13), // S12 -> T14
+    (12, 14), // S13 -> T15
+    (14, 10), // S15 -> T11
+    (16, 11), // S17 -> T12
+];
+
+/// Deleted source rows of E1 (S10, S04, S14, S16).
+pub const DELETED_ROWS: [u32; 4] = [9, 3, 13, 15];
+
+/// Inserted target rows of E1 (T01, T05, T16).
+pub const INSERTED_ROWS: [u32; 3] = [0, 4, 15];
+
+/// Build the problem instance I1 of Figure 1.
+pub fn figure1_instance() -> ProblemInstance {
+    let mut pool = ValuePool::new();
+    let source = Table::from_rows(
+        Schema::new(ATTRS),
+        &mut pool,
+        SOURCE_ROWS.iter().map(|r| r.to_vec()),
+    );
+    let target = Table::from_rows(
+        Schema::new(ATTRS),
+        &mut pool,
+        TARGET_ROWS.iter().map(|r| r.to_vec()),
+    );
+    ProblemInstance::new(source, target, pool).expect("schemas match")
+}
+
+/// Build the reference explanation E1 with the exact functions of Figure 1
+/// (value maps keep the paper's `0001 ↦ 0001` identity entry so the cost is
+/// exactly 77).
+pub fn figure1_reference(instance: &mut ProblemInstance) -> Explanation {
+    let pool = &mut instance.pool;
+    // f_ID1 / f_ID2: 13-entry value maps from the core alignment.
+    let id1_pairs: Vec<_> = CORE_PAIRS
+        .iter()
+        .map(|&(s, t)| {
+            (
+                pool.intern(SOURCE_ROWS[s as usize][0]),
+                pool.intern(TARGET_ROWS[t as usize][0]),
+            )
+        })
+        .collect();
+    let id2_pairs: Vec<_> = CORE_PAIRS
+        .iter()
+        .map(|&(s, t)| {
+            (
+                pool.intern(SOURCE_ROWS[s as usize][1]),
+                pool.intern(TARGET_ROWS[t as usize][1]),
+            )
+        })
+        .collect();
+    let f_id1 = AttrFunction::Map(ValueMap::from_pairs_keep_identity(id1_pairs));
+    let f_id2 = AttrFunction::Map(ValueMap::from_pairs_keep_identity(id2_pairs));
+    let f_date = AttrFunction::PrefixReplace(pool.intern("9999123"), pool.intern("2018070"));
+    let f_val = AttrFunction::Scale(Rational::new(1, 1000).expect("non-zero"));
+    let f_unit = AttrFunction::Constant(pool.intern("k $"));
+
+    let functions = vec![
+        f_id1,
+        f_id2,
+        f_date,
+        AttrFunction::Identity, // Type
+        f_val,
+        f_unit,
+        AttrFunction::Identity, // Org
+    ];
+    Explanation::new(
+        functions,
+        DELETED_ROWS.iter().map(|&r| RecordId(r)).collect(),
+        INSERTED_ROWS.iter().map(|&r| RecordId(r)).collect(),
+        CORE_PAIRS
+            .iter()
+            .map(|&(s, t)| (RecordId(s), RecordId(t)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_shape() {
+        let inst = figure1_instance();
+        assert_eq!(inst.source.len(), 17);
+        assert_eq!(inst.target.len(), 16);
+        assert_eq!(inst.arity(), 7);
+        assert_eq!(inst.delta(), 1);
+    }
+
+    #[test]
+    fn reference_is_valid() {
+        let mut inst = figure1_instance();
+        let e1 = figure1_reference(&mut inst);
+        e1.validate(&mut inst).expect("E1 must be valid");
+        assert_eq!(e1.core_size(), 13);
+        assert_eq!(e1.deleted.len(), 4);
+        assert_eq!(e1.inserted.len(), 3);
+    }
+
+    #[test]
+    fn paper_cost_is_77() {
+        // §3.1: c(E1) = (7·3) + (13·2 + 13·2 + 2 + 0 + 1 + 1 + 0) = 77.
+        let mut inst = figure1_instance();
+        let e1 = figure1_reference(&mut inst);
+        assert_eq!(e1.l_inserted(7), 21);
+        assert_eq!(e1.l_functions(), 56);
+        assert_eq!(e1.cost_units(7), 77);
+        assert_eq!(e1.cost(0.5, 7), 77.0);
+    }
+
+    #[test]
+    fn trivial_cost_is_112() {
+        // §3.1: c(E∅) = |A1| · |T1| = 7 · 16 = 112.
+        let inst = figure1_instance();
+        let trivial = Explanation::trivial(&inst);
+        assert_eq!(trivial.cost_units(7), 112);
+    }
+
+    #[test]
+    fn apply_functions_reproduces_t07_from_s01() {
+        // The worked example of §3: F^E1(S01 record) = T07 record.
+        let mut inst = figure1_instance();
+        let e1 = figure1_reference(&mut inst);
+        let rec = inst.source.record(RecordId(0)).clone();
+        let out = affidavit_core::apply::transform_record(&e1.functions, &rec, &mut inst.pool)
+            .expect("S01 is transformable");
+        let expected = ["T07", "0006", "20130416", "A", "80", "k $", "IBM"];
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(inst.pool.get(out.get(i)), *want, "attr {i}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Memoized function application.
+//!
+//! During the search, the same attribute function is applied to the same
+//! distinct value over and over (once per record, per blocking pass, per
+//! cost evaluation). [`AppliedFunction`] caches `Sym → Option<Sym>` so each
+//! distinct value is transformed exactly once per function.
+
+use affidavit_table::{FxHashMap, Sym, ValuePool};
+
+use crate::function::AttrFunction;
+
+/// An attribute function bundled with its application memo.
+#[derive(Debug, Clone)]
+pub struct AppliedFunction {
+    func: AttrFunction,
+    memo: FxHashMap<Sym, Option<Sym>>,
+}
+
+impl AppliedFunction {
+    /// Wrap a function with an empty memo.
+    pub fn new(func: AttrFunction) -> AppliedFunction {
+        AppliedFunction {
+            func,
+            memo: FxHashMap::default(),
+        }
+    }
+
+    /// The underlying function.
+    pub fn func(&self) -> &AttrFunction {
+        &self.func
+    }
+
+    /// Apply with memoization.
+    #[inline]
+    pub fn apply(&mut self, x: Sym, pool: &mut ValuePool) -> Option<Sym> {
+        if let Some(&cached) = self.memo.get(&x) {
+            return cached;
+        }
+        let result = self.func.apply(x, pool);
+        self.memo.insert(x, result);
+        result
+    }
+
+    /// Number of memoized inputs (for diagnostics/benches).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+impl From<AttrFunction> for AppliedFunction {
+    fn from(func: AttrFunction) -> Self {
+        AppliedFunction::new(func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_table::Rational;
+
+    #[test]
+    fn memoizes() {
+        let mut pool = ValuePool::new();
+        let x = pool.intern("80000");
+        let mut f = AppliedFunction::new(AttrFunction::Scale(Rational::new(1, 1000).unwrap()));
+        let a = f.apply(x, &mut pool);
+        let b = f.apply(x, &mut pool);
+        assert_eq!(a, b);
+        assert_eq!(f.memo_len(), 1);
+        assert_eq!(pool.get(a.unwrap()), "80");
+    }
+
+    #[test]
+    fn memoizes_failures() {
+        let mut pool = ValuePool::new();
+        let x = pool.intern("IBM");
+        let mut f = AppliedFunction::new(AttrFunction::Scale(Rational::new(1, 1000).unwrap()));
+        assert_eq!(f.apply(x, &mut pool), None);
+        assert_eq!(f.apply(x, &mut pool), None);
+        assert_eq!(f.memo_len(), 1);
+    }
+}

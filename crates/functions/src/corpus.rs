@@ -1,0 +1,215 @@
+//! A miniature retrieval corpus of ready-made transformations — the
+//! paper's §6 future-work direction ("it would be interesting to integrate
+//! a function corpus like it was done in TDE \[15\] instead of manually
+//! extending the supported functions").
+//!
+//! TDE crawled 50 k functions from GitHub/StackOverflow and *retrieved*
+//! fitting ones instead of inducing them. This module is the same idea at
+//! library scale: a curated list of common real-world cell transformations
+//! (unit conversions, casing, trimming, sentinel rewrites, date formats).
+//! [`corpus_candidates`] filters the corpus against a single input-output
+//! example, exactly like induction — so retrieved functions flow through
+//! the ordinary ranking machinery.
+
+use affidavit_table::{Rational, Sym, ValuePool};
+
+use crate::datetime::DateFormat;
+use crate::function::AttrFunction;
+use crate::substring::{Segment, TokenProgram};
+
+/// Entries that need no interning (fixed parameters).
+fn fixed_entries() -> Vec<AttrFunction> {
+    let mut out = vec![
+        AttrFunction::Uppercase,
+        AttrFunction::Lowercase,
+        AttrFunction::FrontCharTrim('0'),
+        AttrFunction::FrontCharTrim(' '),
+        AttrFunction::BackCharTrim(' '),
+        AttrFunction::BackCharTrim('0'),
+    ];
+    // Formatting staples: zero-padded code widths, thousands grouping,
+    // precision cuts (all extension kinds, retrieved like anything else).
+    for w in [4u32, 6, 8, 10] {
+        out.push(AttrFunction::ZeroPad(w));
+    }
+    for sep in [',', ' '] {
+        out.push(AttrFunction::ThousandsSep(sep));
+        out.push(AttrFunction::SepStrip(sep));
+    }
+    for places in [0u32, 1, 2] {
+        out.push(AttrFunction::Round(places));
+    }
+    // Power-of-ten rescales (cents↔euros, milli/kilo/mega units).
+    for k in [10i128, 100, 1000, 1_000_000] {
+        out.push(AttrFunction::Scale(Rational::new(1, k).expect("non-zero")));
+        out.push(AttrFunction::Scale(Rational::new(k, 1).expect("non-zero")));
+    }
+    // Common non-decimal unit ratios.
+    for (num, den) in [(1i128, 60i128), (60, 1), (1, 1024), (1024, 1)] {
+        out.push(AttrFunction::Scale(Rational::new(num, den).expect("non-zero")));
+    }
+    // Date format conversions between all catalogued formats.
+    for from in DateFormat::ALL {
+        for to in DateFormat::ALL {
+            if from != to {
+                out.push(AttrFunction::DateConvert(from, to));
+            }
+        }
+    }
+    out
+}
+
+/// Entries with string parameters (interned on construction).
+fn interned_entries(pool: &mut ValuePool) -> Vec<AttrFunction> {
+    let mut out = Vec::new();
+    // Common boolean / flag rewrites as prefix replacements of the whole
+    // value (conditional, identity on everything else).
+    for (y, z) in [
+        ("yes", "true"),
+        ("no", "false"),
+        ("Y", "1"),
+        ("N", "0"),
+        ("true", "1"),
+        ("false", "0"),
+    ] {
+        let y = pool.intern(y);
+        let z = pool.intern(z);
+        out.push(AttrFunction::PrefixReplace(y, z));
+    }
+    // The classic name flip, "Last, First" ↔ "First Last", as token
+    // programs (the most common FlashFill demo for a reason).
+    let space = pool.intern(" ");
+    let comma_space = pool.intern(", ");
+    for glue in [space, comma_space] {
+        out.push(AttrFunction::TokenProgram(
+            TokenProgram::new(vec![
+                Segment::Token {
+                    idx: 1,
+                    from_end: false,
+                },
+                Segment::Literal(glue),
+                Segment::Token {
+                    idx: 0,
+                    from_end: false,
+                },
+            ])
+            .expect("two-token flip is a valid program"),
+        ));
+    }
+    out
+}
+
+/// The whole corpus (built fresh; callers usually go through
+/// [`corpus_candidates`], which filters by example).
+pub fn full_corpus(pool: &mut ValuePool) -> Vec<AttrFunction> {
+    let mut out = fixed_entries();
+    out.extend(interned_entries(pool));
+    out
+}
+
+/// Retrieve the corpus functions consistent with one example `(s, t)`:
+/// every returned `f` satisfies `f(s) = t`. The complement of induction —
+/// no parameters are learned, fitting entries are simply looked up.
+pub fn corpus_candidates(s: Sym, t: Sym, pool: &mut ValuePool) -> Vec<AttrFunction> {
+    if s == t {
+        return Vec::new(); // identity is not a corpus matter
+    }
+    full_corpus(pool)
+        .into_iter()
+        .filter(|f| f.apply(s, pool) == Some(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retrieve(s: &str, t: &str) -> (Vec<AttrFunction>, ValuePool) {
+        let mut pool = ValuePool::new();
+        let ss = pool.intern(s);
+        let tt = pool.intern(t);
+        let c = corpus_candidates(ss, tt, &mut pool);
+        (c, pool)
+    }
+
+    #[test]
+    fn corpus_is_nontrivial() {
+        let mut pool = ValuePool::new();
+        assert!(full_corpus(&mut pool).len() > 60);
+    }
+
+    #[test]
+    fn retrieves_unit_conversions() {
+        let (c, _) = retrieve("2048", "2");
+        assert!(c
+            .iter()
+            .any(|f| matches!(f, AttrFunction::Scale(r) if r.den() == 1024)));
+    }
+
+    #[test]
+    fn retrieves_minutes_to_hours() {
+        let (c, _) = retrieve("120", "2");
+        assert!(c
+            .iter()
+            .any(|f| matches!(f, AttrFunction::Scale(r) if r.den() == 60)));
+    }
+
+    #[test]
+    fn retrieves_flag_rewrites() {
+        let (c, pool) = retrieve("yes", "true");
+        assert!(c.iter().any(|f| matches!(f, AttrFunction::PrefixReplace(y, _)
+            if pool.get(*y) == "yes")));
+    }
+
+    #[test]
+    fn retrieves_date_conversions() {
+        let (c, _) = retrieve("20190230", "2019-02-30");
+        assert!(c.iter().any(|f| matches!(
+            f,
+            AttrFunction::DateConvert(DateFormat::YyyyMmDd, DateFormat::IsoDashed)
+        )));
+    }
+
+    #[test]
+    fn every_retrieved_function_fits_the_example() {
+        for (s, t) in [("000x", "x"), ("ab", "AB"), ("5000", "5"), ("N", "0")] {
+            let mut pool = ValuePool::new();
+            let ss = pool.intern(s);
+            let tt = pool.intern(t);
+            for f in corpus_candidates(ss, tt, &mut pool) {
+                let got = f.apply(ss, &mut pool).map(|g| pool.get(g).to_owned());
+                assert_eq!(got.as_deref(), Some(t), "{f:?} on {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let (c, _) = retrieve("alpha", "omega");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn retrieves_formatting_entries() {
+        let (c, _) = retrieve("65", "000065");
+        assert!(c.contains(&AttrFunction::ZeroPad(6)), "{c:?}");
+        let (c, _) = retrieve("3780000", "3,780,000");
+        assert!(c.contains(&AttrFunction::ThousandsSep(',')), "{c:?}");
+        let (c, _) = retrieve("422.437", "422.44");
+        assert!(c.contains(&AttrFunction::Round(2)), "{c:?}");
+    }
+
+    #[test]
+    fn retrieves_name_flip_program() {
+        let (c, pool) = retrieve("Doe, John", "John Doe");
+        let flip = c.iter().find_map(|f| match f {
+            AttrFunction::TokenProgram(p) => Some(p),
+            _ => None,
+        });
+        let flip = flip.expect("name flip retrieved");
+        assert_eq!(
+            flip.apply_str("Hopper, Grace", &pool).as_deref(),
+            Some("Grace Hopper")
+        );
+    }
+}

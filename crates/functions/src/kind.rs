@@ -1,0 +1,214 @@
+//! Meta-function kinds and the configurable registry.
+//!
+//! A problem instance's candidate set `F` is described implicitly by a set
+//! of *meta functions* (Def. 3.1); the registry records which meta functions
+//! are enabled. This mirrors the paper's extension point ("administrators
+//! ... are able to customize Affidavit by adding further meta functions").
+
+use serde::{Deserialize, Serialize};
+
+/// The meta functions supported by this implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MetaKind {
+    /// `x ↦ x`.
+    Identity,
+    /// `x ↦ UPPERCASE(x)`.
+    Uppercase,
+    /// `x ↦ lowercase(x)` (inverse variant of uppercasing).
+    Lowercase,
+    /// `x ↦ c`.
+    Constant,
+    /// `x ↦ x + y` on numeric values (y may be negative).
+    Addition,
+    /// `x ↦ x · r` on numeric values; canonical form of division
+    /// (`r = 1/y`) and multiplication (`r = y`).
+    Scaling,
+    /// Replace the first `|m|` characters with `m`.
+    FrontMask,
+    /// Replace the last `|m|` characters with `m` (inverse variant).
+    BackMask,
+    /// Strip all leading repetitions of one character.
+    FrontCharTrim,
+    /// Strip all trailing repetitions of one character (inverse variant).
+    BackCharTrim,
+    /// `x ↦ y ◦ x`.
+    Prefix,
+    /// `x ↦ x ◦ y` (inverse variant).
+    Suffix,
+    /// `y ◦ x ↦ z ◦ x`, identity on values not starting with `y`.
+    PrefixReplace,
+    /// `x ◦ y ↦ x ◦ z`, identity on values not ending with `y` (inverse).
+    SuffixReplace,
+    /// Date format conversion (the §6 extension).
+    DateConvert,
+    /// Zero-pad digit strings to a fixed width (extension kind).
+    ZeroPad,
+    /// Insert a thousands separator every three integer digits (extension).
+    ThousandsSep,
+    /// Remove a thousands separator, validating grouping (extension).
+    SepStrip,
+    /// Round to a fixed number of fraction digits (extension kind).
+    Round,
+    /// FlashFill-lite token programs (extension kind; §6 future work).
+    TokenProgram,
+    /// Explicit value mapping (only induced at finalization, §4.4.1).
+    ValueMap,
+}
+
+impl MetaKind {
+    /// All kinds, in canonical order.
+    pub const ALL: [MetaKind; 21] = [
+        MetaKind::Identity,
+        MetaKind::Uppercase,
+        MetaKind::Lowercase,
+        MetaKind::Constant,
+        MetaKind::Addition,
+        MetaKind::Scaling,
+        MetaKind::FrontMask,
+        MetaKind::BackMask,
+        MetaKind::FrontCharTrim,
+        MetaKind::BackCharTrim,
+        MetaKind::Prefix,
+        MetaKind::Suffix,
+        MetaKind::PrefixReplace,
+        MetaKind::SuffixReplace,
+        MetaKind::DateConvert,
+        MetaKind::ZeroPad,
+        MetaKind::ThousandsSep,
+        MetaKind::SepStrip,
+        MetaKind::Round,
+        MetaKind::TokenProgram,
+        MetaKind::ValueMap,
+    ];
+
+    /// True for the extension kinds that go beyond the paper's evaluated
+    /// catalogue (Table 1 + inverses + date conversion). Extension kinds
+    /// are only enabled by [`Registry::extended`].
+    pub fn is_extension(self) -> bool {
+        matches!(
+            self,
+            MetaKind::ZeroPad
+                | MetaKind::ThousandsSep
+                | MetaKind::SepStrip
+                | MetaKind::Round
+                | MetaKind::TokenProgram
+        )
+    }
+}
+
+/// The set of enabled meta functions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Registry {
+    enabled: Vec<MetaKind>,
+}
+
+impl Default for Registry {
+    /// Everything from Table 1 plus inverse variants plus date conversion —
+    /// the catalogue the paper's experiments run with. The formatting and
+    /// token-program extension kinds are opt-in via [`Registry::extended`]
+    /// so that the reproduced experiments match the paper's search space.
+    fn default() -> Self {
+        Registry::with_kinds(MetaKind::ALL.into_iter().filter(|k| !k.is_extension()))
+    }
+}
+
+impl Registry {
+    /// Registry with exactly the given kinds (identity is always implied —
+    /// `F ⊃ {id}` per Def. 3.1 — and added if missing).
+    pub fn with_kinds(kinds: impl IntoIterator<Item = MetaKind>) -> Registry {
+        let mut enabled: Vec<MetaKind> = kinds.into_iter().collect();
+        if !enabled.contains(&MetaKind::Identity) {
+            enabled.push(MetaKind::Identity);
+        }
+        enabled.sort();
+        enabled.dedup();
+        Registry { enabled }
+    }
+
+    /// The Table 1 set exactly as printed (no date conversion), with
+    /// inverse variants.
+    pub fn paper_table1() -> Registry {
+        Registry::with_kinds(
+            MetaKind::ALL
+                .into_iter()
+                .filter(|k| *k != MetaKind::DateConvert && !k.is_extension()),
+        )
+    }
+
+    /// The full catalogue including the extension kinds (numeric
+    /// formatting and FlashFill-lite token programs).
+    pub fn extended() -> Registry {
+        Registry::with_kinds(MetaKind::ALL)
+    }
+
+    /// True if `kind` is enabled.
+    pub fn contains(&self, kind: MetaKind) -> bool {
+        self.enabled.contains(&kind)
+    }
+
+    /// The enabled kinds.
+    pub fn kinds(&self) -> &[MetaKind] {
+        &self.enabled
+    }
+
+    /// Disable a kind (identity cannot be disabled).
+    pub fn disable(&mut self, kind: MetaKind) {
+        if kind != MetaKind::Identity {
+            self.enabled.retain(|k| *k != kind);
+        }
+    }
+
+    /// Enable a kind.
+    pub fn enable(&mut self, kind: MetaKind) {
+        if !self.enabled.contains(&kind) {
+            self.enabled.push(kind);
+            self.enabled.sort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_paper_catalogue_only() {
+        let r = Registry::default();
+        for k in MetaKind::ALL {
+            assert_eq!(r.contains(k), !k.is_extension(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn extended_has_all() {
+        let r = Registry::extended();
+        for k in MetaKind::ALL {
+            assert!(r.contains(k));
+        }
+    }
+
+    #[test]
+    fn identity_is_always_present() {
+        let r = Registry::with_kinds([MetaKind::Constant]);
+        assert!(r.contains(MetaKind::Identity));
+        let mut r = Registry::default();
+        r.disable(MetaKind::Identity);
+        assert!(r.contains(MetaKind::Identity));
+    }
+
+    #[test]
+    fn disable_enable() {
+        let mut r = Registry::default();
+        r.disable(MetaKind::DateConvert);
+        assert!(!r.contains(MetaKind::DateConvert));
+        r.enable(MetaKind::DateConvert);
+        assert!(r.contains(MetaKind::DateConvert));
+    }
+
+    #[test]
+    fn paper_table1_excludes_dates() {
+        let r = Registry::paper_table1();
+        assert!(!r.contains(MetaKind::DateConvert));
+        assert!(r.contains(MetaKind::ValueMap));
+    }
+}

@@ -1,0 +1,211 @@
+//! Numeric *formatting* meta functions (extension kinds).
+//!
+//! The Table 1 catalogue manipulates numeric **values** (addition, scaling);
+//! real ERP migrations just as often change numeric **presentation**:
+//! zero-padding of code columns, thousands grouping of amount columns, and
+//! precision reduction. All three are learnable from a single input-output
+//! example (§4.4.1's admission criterion) and carry ψ = 1.
+//!
+//! Semantics follow the identity-fallback convention of prefix replacement
+//! (Figure 1): a value that is already in the target presentation is left
+//! unchanged, while a value outside the function's domain (non-numeric for
+//! grouping, wrong grouping for stripping) yields `None`.
+//!
+//! ```
+//! use affidavit_functions::numeric_format::{add_thousands_sep, zero_pad};
+//!
+//! assert_eq!(add_thousands_sep("3780000", ',').as_deref(), Some("3,780,000"));
+//! assert_eq!(zero_pad("65", 5).as_deref(), Some("00065"));
+//! assert_eq!(add_thousands_sep("USD", ','), None); // not a number
+//! ```
+
+use affidavit_table::decimal::pow10;
+use affidavit_table::Decimal;
+
+/// Zero-pad a digit string to `width` characters. `None` for non-digit
+/// input; inputs already at least `width` long are unchanged.
+pub fn zero_pad(s: &str, width: usize) -> Option<String> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    if s.len() >= width {
+        return Some(s.to_owned());
+    }
+    let mut out = String::with_capacity(width);
+    for _ in 0..width - s.len() {
+        out.push('0');
+    }
+    out.push_str(s);
+    Some(out)
+}
+
+/// Split a plain decimal string into (sign, integer digits, fraction
+/// digits-with-dot). `None` unless `s` is `-?[0-9]+(\.[0-9]+)?`.
+fn split_number(s: &str) -> Option<(&str, &str, &str)> {
+    let (sign, rest) = match s.strip_prefix('-') {
+        Some(r) => ("-", r),
+        None => ("", s),
+    };
+    let (int, frac) = match rest.find('.') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, ""),
+    };
+    let frac_digits = frac.strip_prefix('.').unwrap_or("");
+    if int.is_empty()
+        || !int.bytes().all(|b| b.is_ascii_digit())
+        || (!frac.is_empty() && (frac_digits.is_empty() || !frac_digits.bytes().all(|b| b.is_ascii_digit())))
+    {
+        return None;
+    }
+    Some((sign, int, frac))
+}
+
+/// Insert `sep` every three digits (from the right) into the integer part
+/// of a plain decimal string. `None` for non-numeric input; numbers with at
+/// most three integer digits are unchanged.
+pub fn add_thousands_sep(s: &str, sep: char) -> Option<String> {
+    let (sign, int, frac) = split_number(s)?;
+    if int.len() <= 3 {
+        return Some(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len() + int.len() / 3 + 1);
+    out.push_str(sign);
+    let lead = int.len() % 3;
+    if lead > 0 {
+        out.push_str(&int[..lead]);
+    }
+    for (i, chunk) in int.as_bytes()[lead..].chunks(3).enumerate() {
+        if i > 0 || lead > 0 {
+            out.push(sep);
+        }
+        out.push_str(std::str::from_utf8(chunk).expect("ascii digits"));
+    }
+    out.push_str(frac);
+    Some(out)
+}
+
+/// Remove thousands separators, validating the 3-digit grouping. A plain
+/// number without any separator passes through unchanged (identity
+/// fallback); malformed grouping yields `None`.
+pub fn strip_thousands_sep(s: &str, sep: char) -> Option<String> {
+    if !s.contains(sep) {
+        // Identity fallback — but only on values that are numbers at all.
+        split_number(s)?;
+        return Some(s.to_owned());
+    }
+    let (sign, rest) = match s.strip_prefix('-') {
+        Some(r) => ("-", r),
+        None => ("", s),
+    };
+    let (int, frac) = match rest.find('.') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, ""),
+    };
+    if !frac.is_empty() {
+        let fd = frac.strip_prefix('.')?;
+        if fd.is_empty() || !fd.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+    }
+    let groups: Vec<&str> = int.split(sep).collect();
+    if groups.len() < 2 {
+        return None; // separator was in the fraction part: malformed
+    }
+    let first_ok = !groups[0].is_empty()
+        && groups[0].len() <= 3
+        && groups[0].bytes().all(|b| b.is_ascii_digit());
+    let rest_ok = groups[1..]
+        .iter()
+        .all(|g| g.len() == 3 && g.bytes().all(|b| b.is_ascii_digit()));
+    if !first_ok || !rest_ok {
+        return None;
+    }
+    let mut out = String::with_capacity(s.len());
+    out.push_str(sign);
+    for g in &groups {
+        out.push_str(g);
+    }
+    out.push_str(frac);
+    Some(out)
+}
+
+/// Round a decimal to `places` fraction digits, half away from zero.
+/// Values that already fit are unchanged.
+pub fn round_decimal(d: Decimal, places: u32) -> Option<Decimal> {
+    if d.scale() <= places {
+        return Some(d);
+    }
+    let drop = d.scale() - places;
+    let div = pow10(drop)?;
+    let m = d.mantissa();
+    let quot = m / div;
+    let rem = m % div;
+    let rounded = if rem.abs() * 2 >= div {
+        quot + m.signum()
+    } else {
+        quot
+    };
+    Some(Decimal::new(rounded, places))
+}
+
+/// The separator characters tried during induction. `.` is deliberately
+/// absent: a dot thousands separator is ambiguous with the decimal point
+/// and would make induction unsound.
+pub const SEPARATORS: [char; 4] = [',', ' ', '\'', '_'];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_pad_basics() {
+        assert_eq!(zero_pad("65", 5).unwrap(), "00065");
+        assert_eq!(zero_pad("12345", 5).unwrap(), "12345");
+        assert_eq!(zero_pad("123456", 5).unwrap(), "123456"); // already longer
+        assert!(zero_pad("-5", 3).is_none());
+        assert!(zero_pad("1.5", 4).is_none());
+        assert!(zero_pad("", 4).is_none());
+        assert!(zero_pad("abc", 4).is_none());
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(add_thousands_sep("3780000", ',').unwrap(), "3,780,000");
+        assert_eq!(add_thousands_sep("425000", ' ').unwrap(), "425 000");
+        assert_eq!(add_thousands_sep("-1234567.89", ',').unwrap(), "-1,234,567.89");
+        assert_eq!(add_thousands_sep("999", ',').unwrap(), "999"); // unchanged
+        assert_eq!(add_thousands_sep("1000", ',').unwrap(), "1,000");
+        assert!(add_thousands_sep("USD", ',').is_none());
+        assert!(add_thousands_sep("1,000", ',').is_none()); // already grouped
+    }
+
+    #[test]
+    fn strip_grouping() {
+        assert_eq!(strip_thousands_sep("3,780,000", ',').unwrap(), "3780000");
+        assert_eq!(strip_thousands_sep("-1,234,567.89", ',').unwrap(), "-1234567.89");
+        assert_eq!(strip_thousands_sep("999", ',').unwrap(), "999"); // fallback
+        assert!(strip_thousands_sep("1,00", ',').is_none());
+        assert!(strip_thousands_sep("1,0000", ',').is_none());
+        assert!(strip_thousands_sep(",000", ',').is_none());
+        assert!(strip_thousands_sep("USD", ',').is_none());
+    }
+
+    #[test]
+    fn grouping_roundtrip() {
+        for v in ["1000", "3780000", "-42", "123456789.5", "7"] {
+            let grouped = add_thousands_sep(v, ',').unwrap();
+            assert_eq!(strip_thousands_sep(&grouped, ',').unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rounding() {
+        let d = |s: &str| Decimal::parse(s).unwrap();
+        assert_eq!(round_decimal(d("1.25"), 1).unwrap().to_string(), "1.3");
+        assert_eq!(round_decimal(d("1.24"), 1).unwrap().to_string(), "1.2");
+        assert_eq!(round_decimal(d("-1.25"), 1).unwrap().to_string(), "-1.3");
+        assert_eq!(round_decimal(d("1.2"), 3).unwrap().to_string(), "1.2");
+        assert_eq!(round_decimal(d("0.9999"), 2).unwrap().to_string(), "1");
+        assert_eq!(round_decimal(d("422.4"), 0).unwrap().to_string(), "422");
+    }
+}

@@ -1,0 +1,388 @@
+//! FlashFill-lite token programs (the §6 "richer set of functions").
+//!
+//! A [`TokenProgram`] rebuilds a target value by concatenating *tokens* of
+//! the source value (maximal digit/letter runs, addressed by position from
+//! the front or from the back) with literal glue strings. This captures the
+//! reorder/extract/reformat transformations of the FlashFill family
+//! (§2, [12–14, 23]) while remaining learnable from a **single**
+//! input-output example — the admission criterion of §4.4.1.
+//!
+//! Examples of learnable programs:
+//!
+//! * `"Doe, John" ↦ "John Doe"` — `tok[1] ◦ " " ◦ tok[0]` (reordering),
+//! * `"2019-08-01" ↦ "08/01/2019"` — field extraction and re-gluing,
+//! * `"ID-00123" ↦ "00123"` — extracting the payload of a composite key.
+//!
+//! ψ counts one parameter per segment (a literal string or a token index),
+//! consistent with Def. 3.9's "count of data values".
+//!
+//! ```
+//! use affidavit_functions::substring::induce_token_programs;
+//! use affidavit_table::ValuePool;
+//!
+//! let mut pool = ValuePool::new();
+//! let programs = induce_token_programs("Doe, John", "John Doe", &mut pool);
+//! // The induced reorder generalizes to unseen names.
+//! assert_eq!(
+//!     programs[0].apply_str("Fink, Manuel", &pool).as_deref(),
+//!     Some("Manuel Fink"),
+//! );
+//! ```
+
+use std::fmt;
+
+use affidavit_table::{Sym, ValuePool};
+
+use crate::tokens::tokenize;
+
+/// Upper bound on program length: longer decompositions are record-specific
+/// noise, not systematic transformations, and would be dominated by value
+/// maps anyway.
+pub const MAX_SEGMENTS: usize = 8;
+
+/// One building block of a token program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Segment {
+    /// A literal glue string (interned).
+    Literal(Sym),
+    /// The `idx`-th token of the input's tokenization; counted from the
+    /// back when `from_end` is set (`idx = 0` is then the last token).
+    Token {
+        /// 0-based token position.
+        idx: u8,
+        /// Count positions from the back instead of the front.
+        from_end: bool,
+    },
+}
+
+/// A concatenation of source tokens and literals.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenProgram {
+    segments: Vec<Segment>,
+}
+
+impl TokenProgram {
+    /// Build a program from segments. Returns `None` for programs that are
+    /// degenerate (no token reference, or longer than [`MAX_SEGMENTS`]) —
+    /// those are constants or noise, not token programs.
+    pub fn new(segments: Vec<Segment>) -> Option<TokenProgram> {
+        if segments.is_empty() || segments.len() > MAX_SEGMENTS {
+            return None;
+        }
+        if !segments.iter().any(|s| matches!(s, Segment::Token { .. })) {
+            return None;
+        }
+        Some(TokenProgram { segments })
+    }
+
+    /// The program's segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Description length: one parameter per segment (Def. 3.9).
+    pub fn psi(&self) -> u64 {
+        self.segments.len() as u64
+    }
+
+    /// Apply to a plain string. `None` when a referenced token does not
+    /// exist in the input's tokenization.
+    pub fn apply_str(&self, input: &str, pool: &ValuePool) -> Option<String> {
+        let toks = tokenize(input);
+        let mut out = String::with_capacity(input.len());
+        for seg in &self.segments {
+            match seg {
+                Segment::Literal(l) => out.push_str(pool.get(*l)),
+                Segment::Token { idx, from_end } => {
+                    let i = if *from_end {
+                        toks.len().checked_sub(1 + *idx as usize)?
+                    } else {
+                        *idx as usize
+                    };
+                    out.push_str(toks.get(i)?.text);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Display adapter (literals need the pool).
+    pub fn display<'a>(&'a self, pool: &'a ValuePool) -> DisplayProgram<'a> {
+        DisplayProgram { prog: self, pool }
+    }
+}
+
+/// Display adapter for [`TokenProgram`].
+pub struct DisplayProgram<'a> {
+    prog: &'a TokenProgram,
+    pool: &'a ValuePool,
+}
+
+impl fmt::Display for DisplayProgram<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(out, "x ↦ ⟨")?;
+        for (i, seg) in self.prog.segments.iter().enumerate() {
+            if i > 0 {
+                write!(out, " ◦ ")?;
+            }
+            match seg {
+                Segment::Literal(l) => write!(out, "{:?}", self.pool.get(*l))?,
+                Segment::Token { idx, from_end: false } => write!(out, "tok[{idx}]")?,
+                Segment::Token { idx, from_end: true } => {
+                    write!(out, "tok[-{}]", *idx as usize + 1)?
+                }
+            }
+        }
+        write!(out, "⟩")
+    }
+}
+
+/// Induce token programs consistent with the single example `s ↦ t`
+/// (every returned program `p` satisfies `p(s) = t`).
+///
+/// The decomposition is greedy: at each position of `t`, the longest source
+/// token matching there is preferred (ties broken towards the earliest
+/// token); unmatched characters accumulate into literals. Two addressing
+/// variants are generated — front-indexed and back-indexed — because a
+/// single example cannot distinguish them, mirroring the paper's treatment
+/// of ambiguous date examples ("one could simply generate both candidate
+/// functions").
+///
+/// Programs where literal glue outweighs token material are suppressed:
+/// such candidates explain the example mostly by *storing* it, which the
+/// constant/value-map functions already cover at equal or lower cost.
+pub fn induce_token_programs(s: &str, t: &str, pool: &mut ValuePool) -> Vec<TokenProgram> {
+    if s == t || t.is_empty() {
+        return Vec::new();
+    }
+    let toks = tokenize(s);
+    if toks.is_empty() {
+        return Vec::new();
+    }
+
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut literal = String::new();
+    let mut token_bytes = 0usize;
+    let mut pos = 0usize;
+    while pos < t.len() {
+        let rest = &t[pos..];
+        // Longest source token matching at this position; earliest wins ties.
+        let best = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, tk)| rest.starts_with(tk.text))
+            .max_by_key(|(i, tk)| (tk.text.len(), usize::MAX - i));
+        match best {
+            Some((i, tk)) if i < 256 => {
+                if !literal.is_empty() {
+                    segments.push(Segment::Literal(pool.intern(&literal)));
+                    literal.clear();
+                }
+                segments.push(Segment::Token {
+                    idx: i as u8,
+                    from_end: false,
+                });
+                token_bytes += tk.text.len();
+                pos += tk.text.len();
+            }
+            _ => {
+                let c = rest.chars().next().expect("pos < t.len()");
+                literal.push(c);
+                pos += c.len_utf8();
+            }
+        }
+        if segments.len() > MAX_SEGMENTS {
+            return Vec::new();
+        }
+    }
+    if !literal.is_empty() {
+        segments.push(Segment::Literal(pool.intern(&literal)));
+    }
+
+    // Quality gates: must reference a token, token material must dominate
+    // the literal glue, and a pure `[tok[0]]` on a single-token string is
+    // the identity in disguise.
+    if token_bytes == 0 || token_bytes < t.len() - token_bytes {
+        return Vec::new();
+    }
+    if segments.len() == 1 && toks.len() == 1 {
+        return Vec::new();
+    }
+
+    let mut out = Vec::with_capacity(2);
+    // Back-indexed variant: same tokens addressed from the end.
+    let n = toks.len();
+    let back: Vec<Segment> = segments
+        .iter()
+        .map(|seg| match *seg {
+            Segment::Token { idx, from_end: false } if (idx as usize) < n => Segment::Token {
+                idx: (n - 1 - idx as usize) as u8,
+                from_end: true,
+            },
+            other => other,
+        })
+        .collect();
+    if let Some(p) = TokenProgram::new(segments) {
+        out.push(p);
+    }
+    if let Some(p) = TokenProgram::new(back) {
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn induce(s: &str, t: &str) -> (Vec<TokenProgram>, ValuePool) {
+        let mut pool = ValuePool::new();
+        let progs = induce_token_programs(s, t, &mut pool);
+        (progs, pool)
+    }
+
+    fn assert_consistent(s: &str, t: &str) {
+        let (progs, pool) = induce(s, t);
+        for p in &progs {
+            assert_eq!(
+                p.apply_str(s, &pool).as_deref(),
+                Some(t),
+                "program {p:?} is not consistent with {s:?} ↦ {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_name() {
+        let (progs, pool) = induce("Doe, John", "John Doe");
+        assert!(!progs.is_empty());
+        // Front variant: tok[1] ◦ " " ◦ tok[0].
+        let front = &progs[0];
+        assert_eq!(front.psi(), 3);
+        assert_eq!(front.apply_str("Doe, John", &pool).unwrap(), "John Doe");
+        // It generalizes to unseen names.
+        assert_eq!(front.apply_str("Fink, Manuel", &pool).unwrap(), "Manuel Fink");
+        assert_consistent("Doe, John", "John Doe");
+    }
+
+    #[test]
+    fn date_regrouping() {
+        let (progs, pool) = induce("2019-08-01", "08/01/2019");
+        assert!(!progs.is_empty());
+        assert_eq!(
+            progs[0].apply_str("2021-12-31", &pool).unwrap(),
+            "12/31/2021"
+        );
+        assert_consistent("2019-08-01", "08/01/2019");
+    }
+
+    #[test]
+    fn extraction() {
+        let (progs, pool) = induce("ID-00123", "00123");
+        assert!(!progs.is_empty());
+        assert_eq!(progs[0].apply_str("ID-99", &pool).unwrap(), "99");
+        assert_consistent("ID-00123", "00123");
+    }
+
+    #[test]
+    fn back_indexing_differs_on_variable_token_count() {
+        let (progs, pool) = induce("a b c", "c");
+        // tok[2] (front) and tok[-1] (back) agree on the example ...
+        assert!(progs.len() == 2);
+        for p in &progs {
+            assert_eq!(p.apply_str("a b c", &pool).as_deref(), Some("c"));
+        }
+        // ... but disagree on a 4-token input.
+        let outs: Vec<Option<String>> =
+            progs.iter().map(|p| p.apply_str("w x y z", &pool)).collect();
+        assert_eq!(outs[0].as_deref(), Some("y"));
+        assert_eq!(outs[1].as_deref(), Some("z"));
+    }
+
+    #[test]
+    fn missing_token_is_none() {
+        let (progs, pool) = induce("2019-08-01", "08/01/2019");
+        // The program references tok[2]; a two-token input cannot supply it.
+        assert!(progs[0].apply_str("2019-08", &pool).is_none());
+        assert!(progs[0].apply_str("---", &pool).is_none());
+    }
+
+    #[test]
+    fn identity_and_empty_are_rejected() {
+        assert!(induce("same", "same").0.is_empty());
+        assert!(induce("x", "").0.is_empty());
+        assert!(induce("---", "-").0.is_empty()); // no tokens in source
+    }
+
+    #[test]
+    fn literal_heavy_targets_are_rejected() {
+        // Token "65" covers 2 of 5 bytes of "0.065": literal glue dominates.
+        assert!(induce("65", "0.065").0.is_empty());
+    }
+
+    #[test]
+    fn single_token_identity_disguise_rejected() {
+        // s is one token and t = that token ⇒ would be identity; covered by
+        // the `s == t` guard, but also for differently-tokenized inputs:
+        assert!(induce("42", "42").0.is_empty());
+    }
+
+    #[test]
+    fn longest_match_preferred() {
+        // Source tokens: ["12", "123"]; target "123" must bind the longer
+        // token, not "12" + literal "3".
+        let (progs, pool) = induce("12 123", "123");
+        assert!(!progs.is_empty());
+        assert_eq!(
+            progs[0].segments(),
+            &[Segment::Token {
+                idx: 1,
+                from_end: false
+            }]
+        );
+        assert_eq!(progs[0].apply_str("00 777", &pool).unwrap(), "777");
+    }
+
+    #[test]
+    fn psi_counts_segments() {
+        let (progs, _) = induce("Doe, John", "John Doe");
+        assert_eq!(progs[0].psi(), 3); // tok ◦ " " ◦ tok
+    }
+
+    #[test]
+    fn display_renders() {
+        let (progs, pool) = induce("Doe, John", "John Doe");
+        let shown = progs[0].display(&pool).to_string();
+        assert_eq!(shown, "x ↦ ⟨tok[1] ◦ \" \" ◦ tok[0]⟩");
+        let back = progs[1].display(&pool).to_string();
+        assert_eq!(back, "x ↦ ⟨tok[-1] ◦ \" \" ◦ tok[-2]⟩");
+    }
+
+    #[test]
+    fn unicode_program() {
+        assert_consistent("müller, jörg", "jörg müller");
+        let (progs, pool) = induce("müller, jörg", "jörg müller");
+        assert_eq!(
+            progs[0].apply_str("meier, hans", &pool).unwrap(),
+            "hans meier"
+        );
+    }
+
+    #[test]
+    fn program_new_rejects_degenerates() {
+        assert!(TokenProgram::new(vec![]).is_none());
+        let mut pool = ValuePool::new();
+        let l = pool.intern("lit");
+        assert!(TokenProgram::new(vec![Segment::Literal(l)]).is_none());
+        let too_long = vec![
+            Segment::Token {
+                idx: 0,
+                from_end: false
+            };
+            MAX_SEGMENTS + 1
+        ];
+        assert!(TokenProgram::new(too_long).is_none());
+    }
+}

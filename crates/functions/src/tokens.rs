@@ -1,0 +1,127 @@
+//! Tokenization substrate for the FlashFill-lite token programs.
+//!
+//! The §2 related-work systems (FlashFill, FlashMeta, TDE) operate on a
+//! token decomposition of strings: maximal runs of digits and maximal runs
+//! of letters are addressable *tokens*, everything between them is
+//! separator material. [`crate::substring::TokenProgram`] reassembles a
+//! target value from the tokens of a source value plus literal glue, which
+//! is exactly the class of "more expressive" transformations the paper's §6
+//! names as the future-work extension of its function catalogue.
+
+/// The character class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TokenClass {
+    /// A maximal run of numeric characters (`char::is_numeric`).
+    Digits,
+    /// A maximal run of alphabetic characters (`char::is_alphabetic`).
+    Letters,
+}
+
+/// One addressable token of a string: a maximal digit or letter run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text (a slice of the tokenized string).
+    pub text: &'a str,
+    /// Digit run or letter run.
+    pub class: TokenClass,
+    /// Byte offset of the token in the original string.
+    pub start: usize,
+}
+
+fn class_of(c: char) -> Option<TokenClass> {
+    if c.is_numeric() {
+        Some(TokenClass::Digits)
+    } else if c.is_alphabetic() {
+        Some(TokenClass::Letters)
+    } else {
+        None
+    }
+}
+
+/// Decompose `s` into its addressable tokens. Separator runs (whitespace,
+/// punctuation, symbols) are not tokens; they can only be reproduced as
+/// literals by a token program.
+pub fn tokenize(s: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let mut run_start = 0usize;
+    let mut run_class: Option<TokenClass> = None;
+    for (i, c) in s.char_indices() {
+        let cls = class_of(c);
+        if cls != run_class {
+            if let Some(class) = run_class {
+                out.push(Token {
+                    text: &s[run_start..i],
+                    class,
+                    start: run_start,
+                });
+            }
+            run_start = i;
+            run_class = cls;
+        }
+    }
+    if let Some(class) = run_class {
+        out.push(Token {
+            text: &s[run_start..],
+            class,
+            start: run_start,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<&str> {
+        tokenize(s).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn empty_and_separators_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" -/.,").is_empty());
+    }
+
+    #[test]
+    fn single_runs() {
+        assert_eq!(texts("20130416"), vec!["20130416"]);
+        assert_eq!(texts("IBM"), vec!["IBM"]);
+    }
+
+    #[test]
+    fn mixed_alnum_splits_by_class() {
+        // Classic FlashFill behaviour: "AB12" is two tokens.
+        assert_eq!(texts("AB12"), vec!["AB", "12"]);
+        assert_eq!(texts("ID-00123"), vec!["ID", "00123"]);
+    }
+
+    #[test]
+    fn date_like() {
+        assert_eq!(texts("2019-08-01"), vec!["2019", "08", "01"]);
+        assert_eq!(texts("Sep 31 2019"), vec!["Sep", "31", "2019"]);
+    }
+
+    #[test]
+    fn name_like() {
+        assert_eq!(texts("Doe, John"), vec!["Doe", "John"]);
+    }
+
+    #[test]
+    fn classes_and_offsets() {
+        let toks = tokenize("a1 b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0].class, TokenClass::Letters);
+        assert_eq!(toks[1].class, TokenClass::Digits);
+        assert_eq!(toks[2].class, TokenClass::Letters);
+        assert_eq!(toks[0].start, 0);
+        assert_eq!(toks[1].start, 1);
+        assert_eq!(toks[2].start, 3);
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        assert_eq!(texts("münchen 42"), vec!["münchen", "42"]);
+        assert_eq!(texts("日本語2020年"), vec!["日本語", "2020", "年"]);
+    }
+}

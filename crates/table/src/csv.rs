@@ -1,0 +1,332 @@
+//! Dependency-free RFC-4180 CSV reader/writer.
+//!
+//! Supports quoted fields (with escaped quotes `""`), embedded separators
+//! and newlines inside quotes, `\r\n` and `\n` line endings, and a
+//! configurable separator. The first row is the header (schema).
+
+use std::io::{BufReader, Read, Write};
+use std::path::Path;
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::ValuePool;
+
+/// CSV parsing options.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: u8,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { separator: b',' }
+    }
+}
+
+/// Parse raw CSV text into rows of fields.
+pub fn parse_rows(input: &str, opts: CsvOptions) -> Result<Vec<Vec<String>>, TableError> {
+    let bytes = input.as_bytes();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut row_started = false;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_quotes {
+            match b {
+                b'"' => {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        field.push('"');
+                        i += 2;
+                    } else {
+                        in_quotes = false;
+                        i += 1;
+                    }
+                }
+                b'\n' => {
+                    field.push('\n');
+                    line += 1;
+                    i += 1;
+                }
+                _ => {
+                    // Copy a full UTF-8 code point.
+                    let ch_len = utf8_len(b);
+                    field.push_str(&input[i..i + ch_len]);
+                    i += ch_len;
+                }
+            }
+            continue;
+        }
+        match b {
+            b'"' if field.is_empty() => {
+                in_quotes = true;
+                quote_start_line = line;
+                row_started = true;
+                i += 1;
+            }
+            b'\r' => {
+                i += 1; // handled by the following \n (or stripped bare)
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+                if row_started || !field.is_empty() || !row.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                    row_started = false;
+                }
+            }
+            _ if b == opts.separator => {
+                row.push(std::mem::take(&mut field));
+                row_started = true;
+                i += 1;
+            }
+            _ => {
+                let ch_len = utf8_len(b);
+                field.push_str(&input[i..i + ch_len]);
+                row_started = true;
+                i += ch_len;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if row_started || !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Read a table from CSV text. The first row is the header.
+pub fn read_str(input: &str, pool: &mut ValuePool, opts: CsvOptions) -> Result<Table, TableError> {
+    let mut rows = parse_rows(input, opts)?;
+    if rows.is_empty() {
+        return Err(TableError::EmptyInput);
+    }
+    let header = rows.remove(0);
+    let arity = header.len();
+    let schema = Schema::new(header);
+    let mut table = Table::with_capacity(schema, rows.len());
+    for (idx, row) in rows.into_iter().enumerate() {
+        if row.len() != arity {
+            return Err(TableError::ArityMismatch {
+                line: idx + 2,
+                expected: arity,
+                found: row.len(),
+            });
+        }
+        let syms: Vec<_> = row.iter().map(|v| pool.intern(v)).collect();
+        table.push(crate::record::Record::new(syms));
+    }
+    Ok(table)
+}
+
+/// Read a table from any reader.
+pub fn read<R: Read>(reader: R, pool: &mut ValuePool, opts: CsvOptions) -> Result<Table, TableError> {
+    let mut buf = String::new();
+    BufReader::new(reader).read_to_string(&mut buf)?;
+    read_str(&buf, pool, opts)
+}
+
+/// Read a table from a file path.
+pub fn read_path(
+    path: impl AsRef<Path>,
+    pool: &mut ValuePool,
+    opts: CsvOptions,
+) -> Result<Table, TableError> {
+    read(std::fs::File::open(path)?, pool, opts)
+}
+
+/// Write a table as CSV.
+pub fn write<W: Write>(
+    w: W,
+    table: &Table,
+    pool: &ValuePool,
+    opts: CsvOptions,
+) -> Result<(), TableError> {
+    let mut w = std::io::BufWriter::new(w);
+    let sep = [opts.separator];
+    let names: Vec<&str> = table.schema().names().collect();
+    for (i, name) in names.iter().enumerate() {
+        if i > 0 {
+            w.write_all(&sep)?;
+        }
+        write_escaped(&mut w, name, opts.separator)?;
+    }
+    w.write_all(b"\n")?;
+    for record in table.records() {
+        for (i, &sym) in record.values().iter().enumerate() {
+            if i > 0 {
+                w.write_all(&sep)?;
+            }
+            write_escaped(&mut w, pool.get(sym), opts.separator)?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn write_escaped<W: Write>(w: &mut W, field: &str, sep: u8) -> std::io::Result<()> {
+    let needs_quoting = field
+        .bytes()
+        .any(|b| b == sep || b == b'"' || b == b'\n' || b == b'\r');
+    if !needs_quoting {
+        return w.write_all(field.as_bytes());
+    }
+    w.write_all(b"\"")?;
+    let mut rest = field;
+    while let Some(pos) = rest.find('"') {
+        w.write_all(&rest.as_bytes()[..pos])?;
+        w.write_all(b"\"\"")?;
+        rest = &rest[pos + 1..];
+    }
+    w.write_all(rest.as_bytes())?;
+    w.write_all(b"\"")
+}
+
+/// Write a table to a file path.
+pub fn write_path(
+    path: impl AsRef<Path>,
+    table: &Table,
+    pool: &ValuePool,
+    opts: CsvOptions,
+) -> Result<(), TableError> {
+    write(std::fs::File::create(path)?, table, pool, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordId;
+    use crate::schema::AttrId;
+
+    fn opts() -> CsvOptions {
+        CsvOptions::default()
+    }
+
+    #[test]
+    fn simple_parse() {
+        let t = "a,b\n1,2\n3,4\n";
+        let rows = parse_rows(t, opts()).unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n";
+        let rows = parse_rows(t, opts()).unwrap();
+        assert_eq!(rows[1], vec!["x,y", "he said \"hi\""]);
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let t = "a\n\"line1\nline2\"\n";
+        let rows = parse_rows(t, opts()).unwrap();
+        assert_eq!(rows[1], vec!["line1\nline2"]);
+    }
+
+    #[test]
+    fn crlf_endings() {
+        let t = "a,b\r\n1,2\r\n";
+        let rows = parse_rows(t, opts()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let rows = parse_rows("a\n1", opts()).unwrap();
+        assert_eq!(rows, vec![vec!["a"], vec!["1"]]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        let rows = parse_rows("a,b,c\n,,\n", opts()).unwrap();
+        assert_eq!(rows[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(
+            parse_rows("a\n\"oops\n", opts()),
+            Err(TableError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let mut pool = ValuePool::new();
+        let err = read_str("a,b\n1\n", &mut pool, opts()).unwrap_err();
+        assert!(matches!(err, TableError::ArityMismatch { line: 2, .. }));
+    }
+
+    #[test]
+    fn read_into_table() {
+        let mut pool = ValuePool::new();
+        let t = read_str("Type,Org\nA,IBM\nC,SAP\n", &mut pool, opts()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().name(AttrId(1)), "Org");
+        assert_eq!(pool.get(t.value(RecordId(1), AttrId(0))), "C");
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut pool = ValuePool::new();
+        let t = read_str(
+            "a,b\nplain,\"quoted,comma\"\n\"multi\nline\",\"q\"\"uote\"\n",
+            &mut pool,
+            opts(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        write(&mut out, &t, &pool, opts()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut pool2 = ValuePool::new();
+        let t2 = read_str(&text, &mut pool2, opts()).unwrap();
+        assert_eq!(t2.len(), t.len());
+        for (id, r) in t.iter() {
+            let r2 = t2.record(id);
+            for (i, &sym) in r.values().iter().enumerate() {
+                assert_eq!(pool.get(sym), pool2.get(r2.get(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn custom_separator() {
+        let mut pool = ValuePool::new();
+        let t = read_str("a;b\n1;2\n", &mut pool, CsvOptions { separator: b';' }).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.schema().arity(), 2);
+    }
+
+    #[test]
+    fn utf8_content() {
+        let mut pool = ValuePool::new();
+        let t = read_str("städte\nmünchen\n東京\n", &mut pool, opts()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(pool.get(t.value(RecordId(1), AttrId(0))), "東京");
+    }
+}

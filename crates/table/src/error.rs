@@ -1,0 +1,67 @@
+//! Error type for the table substrate.
+
+use std::fmt;
+
+/// Errors produced by the table substrate (CSV parsing, schema mismatches).
+#[derive(Debug)]
+pub enum TableError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A CSV record had a different number of fields than the header.
+    ArityMismatch {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Number of fields expected (header width).
+        expected: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A quoted CSV field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the quoted field started.
+        line: usize,
+    },
+    /// The input contained no header row.
+    EmptyInput,
+    /// Two tables that must share a schema do not.
+    SchemaMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Io(e) => write!(f, "I/O error: {e}"),
+            TableError::ArityMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "CSV arity mismatch on line {line}: expected {expected} fields, found {found}"
+            ),
+            TableError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted CSV field starting on line {line}")
+            }
+            TableError::EmptyInput => write!(f, "CSV input is empty (no header row)"),
+            TableError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e)
+    }
+}

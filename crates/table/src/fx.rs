@@ -1,0 +1,122 @@
+//! A fast, non-cryptographic hasher for hot-path maps.
+//!
+//! The search layer hashes millions of interned symbols and block keys per
+//! extension; SipHash (the std default) is a measurable cost there. This is
+//! the well-known FxHash mixing function (as used by rustc), implemented
+//! locally so the workspace stays within its allowed dependency set.
+//! HashDoS resistance is irrelevant: all keys are internally generated.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative mixing constant (64-bit golden-ratio based, as in rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hash a single `u64` with the Fx mixing function (for rolling block keys).
+#[inline]
+pub fn mix(acc: u64, word: u64) -> u64 {
+    (acc.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let mut h = bh.build_hasher();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(b"affidavit"), hash_of(b"affidavit"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+        assert_ne!(hash_of(b""), hash_of(b"\0"));
+        // Length is mixed into the remainder word, so a trailing zero byte
+        // must change the hash.
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+    }
+
+    #[test]
+    fn mix_is_not_identity() {
+        assert_ne!(mix(0, 42), 42);
+        assert_ne!(mix(1, 42), mix(2, 42));
+    }
+}

@@ -1,0 +1,39 @@
+//! Table substrate for the Affidavit reproduction.
+//!
+//! This crate provides the storage layer the paper's algorithm operates on:
+//!
+//! * [`ValuePool`] — a string interner. Every attribute value in a problem
+//!   instance is interned exactly once and addressed by a compact [`Sym`]
+//!   (`u32`). All hot-path comparisons and hash lookups in the blocking and
+//!   search layers are therefore integer operations.
+//! * [`Decimal`] / [`Rational`] — exact numeric types used by the numeric
+//!   meta functions (addition, division). Floating point is never used for
+//!   value transformation: `65 / 1000` must yield the *string* `0.065`, not
+//!   `0.06500000000000001`.
+//! * [`Schema`], [`Record`], [`Table`] — relational snapshot representation.
+//! * [`csv`] — a dependency-free RFC-4180 CSV reader/writer so real datasets
+//!   can be loaded from disk.
+//! * [`stats`] — per-attribute statistics (distinct counts, emptiness,
+//!   numeric fraction) used by the evaluation protocol of §5.1.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod decimal;
+pub mod error;
+pub mod fx;
+pub mod rational;
+pub mod record;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use decimal::Decimal;
+pub use error::TableError;
+pub use fx::{FxHashMap, FxHashSet};
+pub use rational::Rational;
+pub use record::{Record, RecordId};
+pub use schema::{AttrId, Attribute, Schema};
+pub use table::Table;
+pub use value::{Sym, ValuePool};

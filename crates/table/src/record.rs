@@ -1,0 +1,75 @@
+//! Records: value tuples under a schema.
+
+use crate::value::Sym;
+
+/// Index of a record within its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A record is a fixed-arity tuple of interned values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Record {
+    values: Box<[Sym]>,
+}
+
+impl Record {
+    /// Build a record from interned values.
+    pub fn new(values: impl Into<Box<[Sym]>>) -> Record {
+        Record {
+            values: values.into(),
+        }
+    }
+
+    /// The value of attribute `i` (projection `Π_{a_i}`).
+    #[inline]
+    pub fn get(&self, i: usize) -> Sym {
+        self.values[i]
+    }
+
+    /// All values in schema order.
+    #[inline]
+    pub fn values(&self) -> &[Sym] {
+        &self.values
+    }
+
+    /// Arity of the tuple.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+impl From<Vec<Sym>> for Record {
+    fn from(v: Vec<Sym>) -> Record {
+        Record::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access() {
+        let r = Record::new(vec![Sym(3), Sym(1), Sym(4)]);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(1), Sym(1));
+        assert_eq!(r.values(), &[Sym(3), Sym(1), Sym(4)]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Record::new(vec![Sym(1), Sym(2)]);
+        let b = Record::new(vec![Sym(1), Sym(2)]);
+        let c = Record::new(vec![Sym(2), Sym(1)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,123 @@
+//! Schema representation: an ordered tuple of named attributes (Def. 3.1's
+//! `A`).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an attribute within a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute (column) name.
+    pub name: String,
+}
+
+/// An ordered attribute tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from attribute names.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Schema {
+        Schema {
+            attributes: names
+                .into_iter()
+                .map(|n| Attribute { name: n.into() })
+                .collect(),
+        }
+    }
+
+    /// Number of attributes `d = |A|`.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// All attribute ids in order.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.attributes.len() as u32).map(AttrId)
+    }
+
+    /// The attribute at `id`.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.index()]
+    }
+
+    /// Name of the attribute at `id`.
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attributes[id.index()].name
+    }
+
+    /// Find an attribute by name.
+    pub fn find(&self, name: &str) -> Option<AttrId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u32))
+    }
+
+    /// All attribute names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attributes.iter().map(|a| a.name.as_str())
+    }
+
+    /// Append an attribute, returning its id. Used by the instance generator
+    /// to add the artificial primary-key column (§5.1).
+    pub fn push(&mut self, name: impl Into<String>) -> AttrId {
+        let id = AttrId(self.attributes.len() as u32);
+        self.attributes.push(Attribute { name: name.into() });
+        id
+    }
+
+    /// A new schema keeping only the attributes in `keep` (in order).
+    pub fn project(&self, keep: &[AttrId]) -> Schema {
+        Schema {
+            attributes: keep
+                .iter()
+                .map(|id| self.attributes[id.index()].clone())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let s = Schema::new(["ID1", "ID2", "Date"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.name(AttrId(2)), "Date");
+        assert_eq!(s.find("ID2"), Some(AttrId(1)));
+        assert_eq!(s.find("Nope"), None);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut s = Schema::new(["a"]);
+        let id = s.push("pk");
+        assert_eq!(id, AttrId(1));
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.name(id), "pk");
+    }
+
+    #[test]
+    fn project_keeps_order() {
+        let s = Schema::new(["a", "b", "c"]);
+        let p = s.project(&[AttrId(2), AttrId(0)]);
+        let names: Vec<&str> = p.names().collect();
+        assert_eq!(names, vec!["c", "a"]);
+    }
+}

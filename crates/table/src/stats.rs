@@ -1,0 +1,163 @@
+//! Per-attribute statistics used by the evaluation protocol (§5.1) and the
+//! transformation sampler.
+//!
+//! The §5.1 protocol needs, per attribute: the fraction of distinct values
+//! (attributes above 0.7 are removed), emptiness (fully empty attributes are
+//! ignored), and whether the column is numeric (so sampled transformations
+//! "fit the domain of the attribute", e.g. no uppercasing on numbers).
+
+use crate::fx::FxHashSet;
+use crate::schema::AttrId;
+use crate::table::Table;
+use crate::value::{Sym, ValuePool};
+
+/// Statistics of one attribute over one table.
+#[derive(Debug, Clone)]
+pub struct AttrStats {
+    /// Attribute id.
+    pub attr: AttrId,
+    /// Number of records observed.
+    pub rows: usize,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Number of empty-string values.
+    pub empty: usize,
+    /// Number of values that parse as exact decimals.
+    pub numeric: usize,
+    /// Number of values containing at least one ASCII lowercase letter.
+    pub has_lowercase: usize,
+}
+
+impl AttrStats {
+    /// Fraction of distinct values (`0` for an empty table).
+    pub fn distinct_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.rows as f64
+        }
+    }
+
+    /// True if every value is the empty string.
+    pub fn is_all_empty(&self) -> bool {
+        self.rows > 0 && self.empty == self.rows
+    }
+
+    /// True if every non-empty value is numeric and at least one value is.
+    pub fn is_numeric(&self) -> bool {
+        self.numeric > 0 && self.numeric + self.empty == self.rows
+    }
+
+    /// Fraction of values that are numeric.
+    pub fn numeric_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.numeric as f64 / self.rows as f64
+        }
+    }
+}
+
+/// Compute [`AttrStats`] for every attribute of `table`.
+pub fn attribute_stats(table: &Table, pool: &ValuePool) -> Vec<AttrStats> {
+    let arity = table.schema().arity();
+    let mut distinct: Vec<FxHashSet<Sym>> = (0..arity)
+        .map(|_| FxHashSet::with_capacity_and_hasher(64, Default::default()))
+        .collect();
+    let mut empty = vec![0usize; arity];
+    let mut numeric = vec![0usize; arity];
+    let mut has_lower = vec![0usize; arity];
+
+    // Per-symbol property caching: a symbol's emptiness/numericness does not
+    // depend on the row, so evaluate once per distinct symbol.
+    for record in table.records() {
+        for (i, &sym) in record.values().iter().enumerate() {
+            if distinct[i].insert(sym) {
+                // First time this symbol appears in this column: nothing to
+                // do here, per-row counters below still need every row.
+            }
+            let s = pool.get(sym);
+            if s.is_empty() {
+                empty[i] += 1;
+            }
+            if pool.decimal(sym).is_some() {
+                numeric[i] += 1;
+            }
+            if s.bytes().any(|b| b.is_ascii_lowercase()) {
+                has_lower[i] += 1;
+            }
+        }
+    }
+
+    (0..arity)
+        .map(|i| AttrStats {
+            attr: AttrId(i as u32),
+            rows: table.len(),
+            distinct: distinct[i].len(),
+            empty: empty[i],
+            numeric: numeric[i],
+            has_lowercase: has_lower[i],
+        })
+        .collect()
+}
+
+/// The distinct values of one attribute, in first-seen order.
+pub fn distinct_values(table: &Table, attr: AttrId) -> Vec<Sym> {
+    let mut seen = FxHashSet::default();
+    let mut out = Vec::new();
+    for record in table.records() {
+        let sym = record.get(attr.index());
+        if seen.insert(sym) {
+            out.push(sym);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn table() -> (Table, ValuePool) {
+        let mut pool = ValuePool::new();
+        let t = Table::from_rows(
+            Schema::new(["num", "cat", "empty"]),
+            &mut pool,
+            vec![
+                vec!["1", "a", ""],
+                vec!["2", "b", ""],
+                vec!["2", "a", ""],
+                vec!["3.5", "a", ""],
+            ],
+        );
+        (t, pool)
+    }
+
+    #[test]
+    fn distinct_and_fractions() {
+        let (t, pool) = table();
+        let stats = attribute_stats(&t, &pool);
+        assert_eq!(stats[0].distinct, 3);
+        assert_eq!(stats[1].distinct, 2);
+        assert!((stats[0].distinct_fraction() - 0.75).abs() < 1e-12);
+        assert!(stats[0].is_numeric());
+        assert!(!stats[1].is_numeric());
+        assert!(stats[2].is_all_empty());
+    }
+
+    #[test]
+    fn lowercase_detection() {
+        let (t, pool) = table();
+        let stats = attribute_stats(&t, &pool);
+        assert_eq!(stats[1].has_lowercase, 4);
+        assert_eq!(stats[0].has_lowercase, 0);
+    }
+
+    #[test]
+    fn distinct_values_order() {
+        let (t, _) = table();
+        let vals = distinct_values(&t, AttrId(1));
+        assert_eq!(vals.len(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Table snapshots: a schema plus a bag of records.
+//!
+//! Tables are *multisets* — snapshots may legitimately contain duplicate
+//! rows, and the explanation semantics (Prop. 3.6) are defined over
+//! multiset matching (see DESIGN.md §5.4).
+
+use crate::record::{Record, RecordId};
+use crate::schema::{AttrId, Schema};
+use crate::value::{Sym, ValuePool};
+
+/// A table snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    schema: Schema,
+    records: Vec<Record>,
+}
+
+impl Table {
+    /// An empty table under `schema`.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            records: Vec::new(),
+        }
+    }
+
+    /// An empty table with capacity for `n` records.
+    pub fn with_capacity(schema: Schema, n: usize) -> Table {
+        Table {
+            schema,
+            records: Vec::with_capacity(n),
+        }
+    }
+
+    /// Build a table by interning rows of string values into `pool`.
+    ///
+    /// Panics if a row's arity does not match the schema (programmer error;
+    /// the CSV reader reports arity errors as [`crate::TableError`] instead).
+    pub fn from_rows<S: AsRef<str>>(
+        schema: Schema,
+        pool: &mut ValuePool,
+        rows: impl IntoIterator<Item = Vec<S>>,
+    ) -> Table {
+        let mut t = Table::new(schema);
+        for row in rows {
+            assert_eq!(
+                row.len(),
+                t.schema.arity(),
+                "row arity must match schema arity"
+            );
+            let syms: Vec<Sym> = row.iter().map(|v| pool.intern(v.as_ref())).collect();
+            t.records.push(Record::new(syms));
+        }
+        t
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record at `id`.
+    #[inline]
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id.index()]
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Iterate `(RecordId, &Record)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &Record)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RecordId(i as u32), r))
+    }
+
+    /// All record ids.
+    pub fn record_ids(&self) -> impl Iterator<Item = RecordId> {
+        (0..self.records.len() as u32).map(RecordId)
+    }
+
+    /// Append a record.
+    ///
+    /// Panics on arity mismatch (programmer error).
+    pub fn push(&mut self, record: Record) -> RecordId {
+        assert_eq!(record.arity(), self.schema.arity());
+        let id = RecordId(self.records.len() as u32);
+        self.records.push(record);
+        id
+    }
+
+    /// The value of attribute `attr` in record `id`.
+    #[inline]
+    pub fn value(&self, id: RecordId, attr: AttrId) -> Sym {
+        self.records[id.index()].get(attr.index())
+    }
+
+    /// A new table keeping only the attributes in `keep` (same record
+    /// order). Used by the §5.1 protocol to drop over-distinct or empty
+    /// columns.
+    pub fn project(&self, keep: &[AttrId]) -> Table {
+        let schema = self.schema.project(keep);
+        let records = self
+            .records
+            .iter()
+            .map(|r| Record::new(keep.iter().map(|a| r.get(a.index())).collect::<Vec<_>>()))
+            .collect();
+        Table { schema, records }
+    }
+
+    /// A new table containing the records at `ids` (in the given order).
+    pub fn select(&self, ids: &[RecordId]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            records: ids.iter().map(|id| self.records[id.index()].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Table, ValuePool) {
+        let mut pool = ValuePool::new();
+        let t = Table::from_rows(
+            Schema::new(["Type", "Org"]),
+            &mut pool,
+            vec![vec!["A", "IBM"], vec!["C", "SAP"], vec!["A", "IBM"]],
+        );
+        (t, pool)
+    }
+
+    #[test]
+    fn build_and_access() {
+        let (t, pool) = sample();
+        assert_eq!(t.len(), 3);
+        let v = t.value(RecordId(1), AttrId(1));
+        assert_eq!(pool.get(v), "SAP");
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let (t, _) = sample();
+        assert_eq!(t.record(RecordId(0)), t.record(RecordId(2)));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn project_and_select() {
+        let (t, pool) = sample();
+        let p = t.project(&[AttrId(1)]);
+        assert_eq!(p.schema().arity(), 1);
+        assert_eq!(pool.get(p.value(RecordId(0), AttrId(0))), "IBM");
+        let s = t.select(&[RecordId(2), RecordId(0)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.record(RecordId(0)), t.record(RecordId(2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(Schema::new(["a", "b"]));
+        t.push(Record::new(vec![Sym(0)]));
+    }
+}

@@ -1,0 +1,156 @@
+//! Value interning.
+//!
+//! Every attribute value of a problem instance is interned once in a
+//! [`ValuePool`] and referenced by a [`Sym`]. Blocking, histogram building
+//! and function memoization then operate on `u32`s instead of strings, which
+//! is what lets the search scale to the paper's 500 000-record instances.
+
+use std::sync::Arc;
+
+use crate::decimal::Decimal;
+use crate::fx::FxHashMap;
+
+/// An interned value symbol. `Sym`s are only meaningful relative to the
+/// [`ValuePool`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner with cached numeric interpretation per symbol.
+#[derive(Debug, Default, Clone)]
+pub struct ValuePool {
+    map: FxHashMap<Arc<str>, Sym>,
+    strings: Vec<Arc<str>>,
+    numeric: Vec<Option<Decimal>>,
+}
+
+impl ValuePool {
+    /// Create an empty pool.
+    pub fn new() -> ValuePool {
+        ValuePool::default()
+    }
+
+    /// Create a pool with pre-reserved capacity for `n` distinct values.
+    pub fn with_capacity(n: usize) -> ValuePool {
+        ValuePool {
+            map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            strings: Vec::with_capacity(n),
+            numeric: Vec::with_capacity(n),
+        }
+    }
+
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Sym(self.strings.len() as u32);
+        self.strings.push(arc.clone());
+        self.numeric.push(Decimal::parse(s));
+        self.map.insert(arc, sym);
+        sym
+    }
+
+    /// Look up a symbol without interning. Returns `None` for unseen values.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// The string a symbol denotes.
+    #[inline]
+    pub fn get(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// The cached exact-decimal interpretation of a symbol, if the value is
+    /// numeric.
+    #[inline]
+    pub fn decimal(&self, sym: Sym) -> Option<Decimal> {
+        self.numeric[sym.index()]
+    }
+
+    /// True if the symbol denotes the empty string.
+    pub fn is_empty_value(&self, sym: Sym) -> bool {
+        self.get(sym).is_empty()
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over all `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = ValuePool::new();
+        let a = pool.intern("USD");
+        let b = pool.intern("USD");
+        let c = pool.intern("k $");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(a), "USD");
+        assert_eq!(pool.get(c), "k $");
+    }
+
+    #[test]
+    fn numeric_cache() {
+        let mut pool = ValuePool::new();
+        let n = pool.intern("42.5");
+        let s = pool.intern("IBM");
+        assert_eq!(pool.decimal(n).unwrap().to_string(), "42.5");
+        assert!(pool.decimal(s).is_none());
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut pool = ValuePool::new();
+        pool.intern("x");
+        assert!(pool.lookup("x").is_some());
+        assert!(pool.lookup("y").is_none());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn empty_value() {
+        let mut pool = ValuePool::new();
+        let e = pool.intern("");
+        let a = pool.intern("a");
+        assert!(pool.is_empty_value(e));
+        assert!(!pool.is_empty_value(a));
+    }
+
+    #[test]
+    fn iter_order_is_interning_order() {
+        let mut pool = ValuePool::new();
+        pool.intern("b");
+        pool.intern("a");
+        let got: Vec<&str> = pool.iter().map(|(_, s)| s).collect();
+        assert_eq!(got, vec!["b", "a"]);
+    }
+}

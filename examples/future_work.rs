@@ -1,0 +1,110 @@
+//! The paper's §6 future-work directions, implemented:
+//!
+//! 1. **Date conversions** — learned as ordinary 2-parameter functions.
+//! 2. **Function corpus (TDE-style)** — ready-made transformations are
+//!    *retrieved* against examples instead of induced (`use_corpus`).
+//! 3. **Schema alignment** — target snapshots whose columns were renamed
+//!    and reordered are aligned by content before the search runs.
+//! 4. **Column merging/splitting** — arity-changing schema modifications
+//!    ("attribute renaming, merging or splitting") are detected from
+//!    concatenation evidence and normalized away before the search.
+//!
+//! ```sh
+//! cargo run --example future_work
+//! ```
+
+use affidavit::core::report::render_report;
+use affidavit::core::restructure::{normalize_arity, Restructure};
+use affidavit::core::schema_align::align_schemas;
+use affidavit::core::{Affidavit, AffidavitConfig, ProblemInstance};
+use affidavit::table::{Schema, Table, ValuePool};
+
+fn main() {
+    // A source snapshot: event log with yyyymmdd dates and sizes in KiB.
+    let mut pool = ValuePool::new();
+    let rows_s: Vec<Vec<String>> = (0..40)
+        .map(|i| {
+            vec![
+                format!("evt{i}"),
+                format!("20{:02}{:02}{:02}", 15 + i % 5, 1 + i % 12, 1 + i % 28),
+                format!("{}", (i + 1) * 1024),
+            ]
+        })
+        .collect();
+    let source = Table::from_rows(Schema::new(["event", "day", "size_kib"]), &mut pool, rows_s);
+
+    // The target snapshot after a migration: columns renamed AND reordered,
+    // dates reformatted to ISO, sizes rescaled to MiB.
+    let rows_t: Vec<Vec<String>> = (0..40)
+        .map(|i| {
+            vec![
+                format!("{}", i + 1), // size in MiB
+                format!("evt{i}"),
+                format!("20{:02}-{:02}-{:02}", 15 + i % 5, 1 + i % 12, 1 + i % 28),
+            ]
+        })
+        .collect();
+    let target = Table::from_rows(Schema::new(["c0", "c1", "c2"]), &mut pool, rows_t);
+
+    // 3. Schema alignment by content.
+    let alignment = align_schemas(&source, &target, &pool);
+    println!("schema alignment (min confidence {:.2}):", alignment.min_confidence());
+    for (i, j) in alignment.pairs() {
+        println!("  {} ← {}", source.schema().name(i), target.schema().name(j));
+    }
+    let target = alignment.reorder_target(&target, source.schema());
+
+    // 2. + 1. Corpus retrieval picks up the non-power-of-ten 1/1024 rescale
+    // and the date conversion in one shot.
+    let mut instance = ProblemInstance::new(source, target, pool).expect("aligned schemas");
+    let mut cfg = AffidavitConfig::paper_id();
+    cfg.use_corpus = true;
+    let outcome = Affidavit::new(cfg).explain(&mut instance);
+    println!("\n{}", render_report(&outcome.explanation, &instance));
+    assert_eq!(outcome.explanation.core_size(), 40, "everything must align");
+
+    // 4. Column merging: the target schema concatenated first/last names.
+    let mut pool = ValuePool::new();
+    let firsts = ["John", "Jane", "Max", "Ada", "Alan", "Grace"];
+    let lasts = ["Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether"];
+    let rows_s: Vec<Vec<String>> = (0..30)
+        .map(|i| {
+            vec![
+                firsts[i % firsts.len()].to_owned(),
+                lasts[(i * 5) % lasts.len()].to_owned(),
+                format!("acct{i}"),
+            ]
+        })
+        .collect();
+    let rows_t: Vec<Vec<String>> = (0..30)
+        .map(|i| {
+            vec![
+                format!("{} {}", firsts[i % firsts.len()], lasts[(i * 5) % lasts.len()]),
+                format!("acct{i}"),
+            ]
+        })
+        .collect();
+    let source = Table::from_rows(Schema::new(["first", "last", "account"]), &mut pool, rows_s);
+    let target = Table::from_rows(Schema::new(["name", "account"]), &mut pool, rows_t);
+
+    let (source, target, applied) =
+        normalize_arity(&source, &target, &mut pool).expect("merge evidence found");
+    println!("\ndetected schema restructures:");
+    for r in &applied {
+        match r {
+            Restructure::Merge { sep, score, .. } => {
+                println!("  merge with separator {sep:?} (score {score:.2})")
+            }
+            Restructure::Split { sep, score, .. } => {
+                println!("  split at separator {sep:?} (score {score:.2})")
+            }
+        }
+    }
+    // Normalization fixes the arity; alignment fixes names and order.
+    let alignment = align_schemas(&source, &target, &pool);
+    let target = alignment.reorder_target(&target, source.schema());
+    let mut instance = ProblemInstance::new(source, target, pool).expect("normalized arity");
+    let outcome = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut instance);
+    println!("\n{}", render_report(&outcome.explanation, &instance));
+    assert_eq!(outcome.explanation.core_size(), 30, "merge must be explained");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: explain the differences between two tiny snapshots.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use affidavit::core::report::render_report;
+use affidavit::prelude::*;
+
+fn main() {
+    // Build the two snapshots. In real use you would load CSVs via
+    // `affidavit::table::csv::read_path` — see the `csv_diff` example.
+    let mut pool = ValuePool::new();
+    let source = Table::from_rows(
+        Schema::new(["id", "amount", "currency", "customer"]),
+        &mut pool,
+        vec![
+            vec!["1", "80000", "USD", "IBM"],
+            vec!["2", "180000", "USD", "IBM"],
+            vec!["3", "6540", "USD", "SAP"],
+            vec!["4", "9800", "USD", "SAP"],
+            vec!["5", "21000", "USD", "BASF"],
+        ],
+    );
+    // The target snapshot: ids reassigned, amounts rescaled to thousands,
+    // currency renamed — plus one deleted and one inserted record.
+    let target = Table::from_rows(
+        Schema::new(["id", "amount", "currency", "customer"]),
+        &mut pool,
+        vec![
+            vec!["17", "180", "k $", "IBM"],
+            vec!["23", "6.54", "k $", "SAP"],
+            vec!["11", "80", "k $", "IBM"],
+            vec!["41", "9.8", "k $", "SAP"],
+            vec!["99", "0.45", "k $", "HP"], // inserted
+        ],
+    );
+
+    let mut instance = ProblemInstance::new(source, target, pool).expect("same schema");
+    let solver = Affidavit::new(AffidavitConfig::paper_id());
+    let outcome = solver.explain(&mut instance);
+
+    println!("{}", render_report(&outcome.explanation, &instance));
+    println!(
+        "search: {} states polled in {:?}",
+        outcome.stats.polled, outcome.stats.duration
+    );
+
+    // The explanation generalizes: transform a record that was never seen.
+    let mut unseen_pool = std::mem::take(&mut instance.pool);
+    let amount = unseen_pool.intern("123000");
+    let f_amount = &outcome.explanation.functions[1];
+    let rescaled = f_amount
+        .apply(amount, &mut unseen_pool)
+        .expect("numeric value");
+    println!(
+        "unseen amount 123000 ↦ {}  (learned {})",
+        unseen_pool.get(rescaled),
+        f_amount.display(&unseen_pool)
+    );
+}

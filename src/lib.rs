@@ -1,0 +1,37 @@
+//! Affidavit — explaining differences between unaligned table snapshots.
+//!
+//! Facade crate re-exporting the workspace's public API. See the individual
+//! crates for details:
+//!
+//! * [`table`] — storage substrate (interning, exact decimals, CSV).
+//! * [`functions`] — transformation meta functions and induction.
+//! * [`blocking`] — blocking indices, random alignments, overlap matching.
+//! * [`core`] — the Affidavit search algorithm (Algorithm 1).
+//! * [`datagen`] — the §5.1 synthetic problem-instance protocol.
+//! * [`datasets`] — evaluation dataset generators and the Figure 1 example.
+//! * [`baselines`] — keyed diff, exact solver, similarity linker, 3-SAT
+//!   reduction.
+
+#![warn(missing_docs)]
+
+pub use affidavit_baselines as baselines;
+pub use affidavit_blocking as blocking;
+pub use affidavit_core as core;
+pub use affidavit_datagen as datagen;
+pub use affidavit_datasets as datasets;
+pub use affidavit_functions as functions;
+pub use affidavit_table as table;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use affidavit_core::config::{AffidavitConfig, InitStrategy};
+    pub use affidavit_core::explanation::Explanation;
+    pub use affidavit_core::instance::ProblemInstance;
+    pub use affidavit_core::profiling::{profile_dirs, ProfileOptions};
+    pub use affidavit_core::restructure::normalize_arity;
+    pub use affidavit_core::schema_align::align_schemas;
+    pub use affidavit_core::search::Affidavit;
+    pub use affidavit_functions::function::AttrFunction;
+    pub use affidavit_functions::kind::{MetaKind, Registry};
+    pub use affidavit_table::{Schema, Table, ValuePool};
+}

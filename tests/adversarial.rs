@@ -1,0 +1,217 @@
+//! Adversarial and degenerate problem instances: the search must stay
+//! robust (valid explanations, no panics, sensible fallbacks) on inputs far
+//! outside the evaluation protocol's comfortable shapes.
+
+use affidavit::core::explanation::Explanation;
+use affidavit::core::{Affidavit, AffidavitConfig, InitStrategy, ProblemInstance};
+use affidavit::table::{Schema, Table, ValuePool};
+
+fn instance(src: Vec<Vec<&str>>, tgt: Vec<Vec<&str>>, cols: &[&str]) -> ProblemInstance {
+    let mut pool = ValuePool::new();
+    let schema = Schema::new(cols.iter().copied());
+    let s = Table::from_rows(schema.clone(), &mut pool, src);
+    let t = Table::from_rows(schema, &mut pool, tgt);
+    ProblemInstance::new(s, t, pool).expect("valid instance")
+}
+
+fn explain(inst: &mut ProblemInstance) -> Explanation {
+    let out = Affidavit::new(AffidavitConfig::paper_id()).explain(inst);
+    out.explanation.validate(inst).expect("valid explanation");
+    out.explanation
+}
+
+#[test]
+fn identical_snapshots_cost_zero() {
+    let rows = vec![
+        vec!["a", "1", "x"],
+        vec!["b", "2", "y"],
+        vec!["c", "3", "z"],
+    ];
+    let mut inst = instance(rows.clone(), rows, &["k", "n", "s"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.cost_units(inst.arity()), 0);
+    assert_eq!(e.core_size(), 3);
+    assert!(e.functions.iter().all(|f| f.is_identity()));
+}
+
+#[test]
+fn completely_disjoint_snapshots_fall_back_to_trivial() {
+    let src = (0..12).map(|i| vec![format!("s{i}"), format!("{}", i * 3)]).collect::<Vec<_>>();
+    let tgt = (0..12)
+        .map(|i| vec![format!("other{i}"), format!("x{}", 1000 + i)])
+        .collect::<Vec<_>>();
+    let mut pool = ValuePool::new();
+    let schema = Schema::new(["a", "b"]);
+    let s = Table::from_rows(schema.clone(), &mut pool, src);
+    let t = Table::from_rows(schema, &mut pool, tgt);
+    let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+    let e = explain(&mut inst);
+    let trivial = Explanation::trivial(&inst).cost_units(inst.arity());
+    assert!(e.cost_units(inst.arity()) <= trivial);
+    // Nothing can genuinely align: the core must stay empty (anything else
+    // would need value maps costing more than insertions).
+    assert_eq!(e.core_size(), 0, "core pairs: {:?}", e.core_pairs());
+}
+
+#[test]
+fn empty_target_means_everything_deleted() {
+    let src = vec![vec!["a", "1"], vec!["b", "2"]];
+    let mut inst = instance(src, Vec::new(), &["k", "v"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.deleted.len(), 2);
+    assert_eq!(e.inserted.len(), 0);
+    assert_eq!(e.core_size(), 0);
+}
+
+#[test]
+fn empty_source_means_everything_inserted() {
+    let tgt = vec![vec!["a", "1"], vec!["b", "2"]];
+    let mut inst = instance(Vec::new(), tgt, &["k", "v"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.deleted.len(), 0);
+    assert_eq!(e.inserted.len(), 2);
+}
+
+#[test]
+fn both_snapshots_empty() {
+    let mut inst = instance(Vec::new(), Vec::new(), &["k", "v"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.cost_units(inst.arity()), 0);
+}
+
+#[test]
+fn single_record_pair_aligns() {
+    let mut inst = instance(
+        vec![vec!["k1", "500", "IBM"]],
+        vec![vec!["k1", "0.5", "IBM"]],
+        &["k", "v", "org"],
+    );
+    let e = explain(&mut inst);
+    assert_eq!(e.core_size(), 1);
+}
+
+#[test]
+fn duplicate_rows_use_multiset_semantics() {
+    // Three identical source rows, two identical target rows: exactly two
+    // can be explained as core, one must be deleted.
+    let src = vec![vec!["dup", "1"], vec!["dup", "1"], vec!["dup", "1"], vec!["other", "2"]];
+    let tgt = vec![vec!["dup", "1"], vec!["dup", "1"], vec!["other", "2"]];
+    let mut inst = instance(src, tgt, &["k", "v"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.core_size(), 3);
+    assert_eq!(e.deleted.len(), 1);
+    assert_eq!(e.inserted.len(), 0);
+}
+
+#[test]
+fn unicode_values_survive_the_whole_pipeline() {
+    let src = vec![
+        vec!["münchen", "100", "日本語"],
+        vec!["köln", "200", "中文"],
+        vec!["zürich", "300", "한국어"],
+        vec!["graz", "400", "ελληνικά"],
+    ];
+    let tgt = vec![
+        vec!["MÜNCHEN", "1", "日本語"],
+        vec!["KÖLN", "2", "中文"],
+        vec!["ZÜRICH", "3", "한국어"],
+        vec!["GRAZ", "4", "ελληνικά"],
+    ];
+    let mut inst = instance(src, tgt, &["city", "v", "lang"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.core_size(), 4);
+    assert!(e
+        .functions
+        .iter()
+        .any(|f| matches!(f, affidavit::functions::AttrFunction::Uppercase)));
+}
+
+#[test]
+fn wide_table_smoke() {
+    // 60 columns, 30 rows; one scaled column, the rest identity.
+    let cols: Vec<String> = (0..60).map(|c| format!("c{c}")).collect();
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut pool = ValuePool::new();
+    let schema = Schema::new(col_refs.iter().copied());
+    let mk = |scale: bool| -> Vec<Vec<String>> {
+        (0..30usize)
+            .map(|r| {
+                (0..60usize)
+                    .map(|c| {
+                        let v = (r * 61 + c * 7) % 19;
+                        if c == 5 && scale {
+                            format!("{}", v * 100)
+                        } else {
+                            format!("{v}")
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let s = Table::from_rows(schema.clone(), &mut pool, mk(true));
+    let t = Table::from_rows(schema, &mut pool, mk(false));
+    let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+    let e = explain(&mut inst);
+    assert_eq!(e.core_size(), 30);
+}
+
+#[test]
+fn asymmetric_sizes_are_handled() {
+    // |S| >> |T| and |T| >> |S| both produce valid explanations.
+    let big: Vec<Vec<String>> = (0..40).map(|i| vec![format!("k{i}"), format!("{i}")]).collect();
+    let small: Vec<Vec<String>> = (0..5).map(|i| vec![format!("k{i}"), format!("{i}")]).collect();
+    for (a, b) in [(big.clone(), small.clone()), (small, big)] {
+        let mut pool = ValuePool::new();
+        let schema = Schema::new(["k", "v"]);
+        let s = Table::from_rows(schema.clone(), &mut pool, a);
+        let t = Table::from_rows(schema, &mut pool, b);
+        let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+        let e = explain(&mut inst);
+        assert_eq!(e.core_size(), 5);
+    }
+}
+
+#[test]
+fn all_init_strategies_survive_degenerate_inputs() {
+    for init in [InitStrategy::Empty, InitStrategy::Id, InitStrategy::Overlap] {
+        let mut inst = instance(
+            vec![vec!["x", ""], vec!["", "y"]],
+            vec![vec!["", ""], vec!["x", "y"]],
+            &["a", "b"],
+        );
+        let mut cfg = AffidavitConfig::paper_id();
+        cfg.init = init;
+        let out = Affidavit::new(cfg).explain(&mut inst);
+        out.explanation
+            .validate(&mut inst)
+            .unwrap_or_else(|e| panic!("{init:?}: {e}"));
+    }
+}
+
+#[test]
+fn pathological_identical_values_everywhere() {
+    // Every cell identical: blocking gives one giant block; multiset core
+    // must still come out right.
+    let rows = |n: usize| -> Vec<Vec<&'static str>> { (0..n).map(|_| vec!["same", "same"]).collect() };
+    let mut inst = instance(rows(10), rows(7), &["a", "b"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.core_size(), 7);
+    assert_eq!(e.deleted.len(), 3);
+}
+
+#[test]
+fn values_containing_csv_metacharacters() {
+    let src = vec![
+        vec!["a,b", "line\nbreak", "quote\"inside"],
+        vec!["c,d", "tab\there", "both\",\""],
+    ];
+    let tgt = vec![
+        vec!["a,b", "line\nbreak", "quote\"inside"],
+        vec!["c,d", "tab\there", "both\",\""],
+    ];
+    let mut inst = instance(src, tgt, &["x", "y", "z"]);
+    let e = explain(&mut inst);
+    assert_eq!(e.core_size(), 2);
+    assert_eq!(e.cost_units(inst.arity()), 0);
+}

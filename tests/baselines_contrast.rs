@@ -1,0 +1,189 @@
+//! Baseline contrast tests: the experiments that motivate the paper.
+//!
+//! * Key-based diff silently mis-aligns under reassigned keys; Affidavit
+//!   recovers the true alignment.
+//! * A similarity-only linker loses the records whose attributes were all
+//!   systematically transformed; Affidavit's function learning keeps them.
+//! * On small instances, the heuristic matches the brute-force optimum.
+
+use affidavit::baselines::exact::solve_exact;
+use affidavit::baselines::keyed_diff::keyed_diff;
+use affidavit::baselines::linker::similarity_link;
+use affidavit::baselines::sat::{reduce, Cnf, Lit};
+use affidavit::core::{Affidavit, AffidavitConfig};
+use affidavit::datagen::blueprint::{Blueprint, GenConfig};
+use affidavit::datasets::{by_name, synth};
+use affidavit::functions::AttrFunction;
+use affidavit::table::{Rational, Schema, Table, ValuePool};
+
+#[test]
+fn keyed_diff_breaks_under_reassigned_keys_affidavit_does_not() {
+    let spec = by_name("bridges").unwrap();
+    let (base, pool) = synth::generate(&spec, 13);
+    let mut gen = Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, 13)).materialize_full();
+    let truth = gen.reference.core_pairs().to_vec();
+
+    // Key diff on the artificial (permuted) pk.
+    let d = keyed_diff(&gen.instance, &[gen.pk_attr]);
+    let key_acc = d.alignment_accuracy(&truth);
+    assert!(
+        key_acc < 0.1,
+        "permuted keys should destroy key-based alignment, got {key_acc}"
+    );
+
+    // Affidavit without any key knowledge.
+    let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut gen.instance);
+    let aff_hits = out
+        .explanation
+        .core_pairs()
+        .iter()
+        .filter(|p| truth.contains(p))
+        .count();
+    let aff_acc = aff_hits as f64 / truth.len() as f64;
+    assert!(
+        aff_acc > 0.9,
+        "Affidavit should recover the alignment, got {aff_acc}"
+    );
+}
+
+#[test]
+fn similarity_linker_loses_transformed_records() {
+    // Two attributes: one stable group column with duplicates, one rescaled
+    // amount. Within a group, similarity alone cannot tell records apart,
+    // while the learned x/1000 can. Target rows are stored in a scrambled
+    // order so positional coincidences cannot rescue the linker.
+    let mut pool = ValuePool::new();
+    let rows_s: Vec<Vec<String>> = (0..40)
+        .map(|i| vec![format!("g{}", i % 8), format!("{}", (i + 1) * 1000)])
+        .collect();
+    // Target position j holds the (transformed) source record perm[j].
+    let perm: Vec<usize> = (0..40).map(|j| (j * 13 + 5) % 40).collect();
+    let rows_t: Vec<Vec<String>> = perm
+        .iter()
+        .map(|&i| vec![format!("g{}", i % 8), format!("{}", i + 1)])
+        .collect();
+    let s = Table::from_rows(Schema::new(["grp", "amount"]), &mut pool, rows_s);
+    let t = Table::from_rows(Schema::new(["grp", "amount"]), &mut pool, rows_t);
+    let mut inst = affidavit::core::ProblemInstance::new(s, t, pool).unwrap();
+
+    let truth: Vec<_> = perm
+        .iter()
+        .enumerate()
+        .map(|(j, &i)| {
+            (
+                affidavit::table::RecordId(i as u32),
+                affidavit::table::RecordId(j as u32),
+            )
+        })
+        .collect();
+    let link = similarity_link(&inst, 100_000);
+    let link_recall = link.alignment_recall(&truth);
+
+    let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst);
+    let aff_hits = out
+        .explanation
+        .core_pairs()
+        .iter()
+        .filter(|p| truth.contains(p))
+        .count();
+    let aff_recall = aff_hits as f64 / truth.len() as f64;
+    assert!(
+        aff_recall > link_recall,
+        "function learning should beat similarity-only linking: {aff_recall} vs {link_recall}"
+    );
+    assert_eq!(aff_recall, 1.0, "the learned x/1000 disambiguates groups");
+}
+
+#[test]
+fn heuristic_matches_exact_optimum_on_small_instance() {
+    // Per §4.2 the search assumes at least one unchanged attribute; give
+    // the instance a stable key column alongside the two transformed ones.
+    let mut pool = ValuePool::new();
+    let s = Table::from_rows(
+        Schema::new(["key", "Val", "Org"]),
+        &mut pool,
+        vec![
+            vec!["a", "1000", "ibm"],
+            vec!["b", "2000", "sap"],
+            vec!["c", "3000", "ibm"],
+            vec!["d", "9999", "del"],
+        ],
+    );
+    let t = Table::from_rows(
+        Schema::new(["key", "Val", "Org"]),
+        &mut pool,
+        vec![
+            vec!["a", "1", "IBM"],
+            vec!["b", "2", "SAP"],
+            vec!["c", "3", "IBM"],
+            vec!["e", "7", "INS"],
+        ],
+    );
+    let mut inst = affidavit::core::ProblemInstance::new(s, t, pool).unwrap();
+
+    // Exact optimum over a hand-picked candidate space.
+    let div1000 = AttrFunction::Scale(Rational::new(1, 1000).unwrap());
+    let candidates = vec![
+        vec![AttrFunction::Identity],
+        vec![AttrFunction::Identity, div1000.clone()],
+        vec![AttrFunction::Identity, AttrFunction::Uppercase],
+    ];
+    let exact = solve_exact(&mut inst, &candidates, 0.5, 10_000);
+
+    let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst);
+    assert!(
+        out.explanation.cost(0.5, 3) <= exact.cost,
+        "heuristic ({}) must match or beat the restricted-space optimum ({})",
+        out.explanation.cost(0.5, 3),
+        exact.cost
+    );
+    assert_eq!(out.explanation.functions[1], div1000);
+    assert_eq!(out.explanation.functions[2], AttrFunction::Uppercase);
+}
+
+#[test]
+fn random_cnfs_roundtrip_through_the_reduction() {
+    // Brute-force satisfiability must agree with the reduction+exact-solver
+    // decision on a spread of small formulas.
+    let formulas = [
+        Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(2)],
+            ],
+        },
+        Cnf {
+            num_vars: 2,
+            clauses: vec![
+                vec![Lit::pos(0)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(1)],
+            ],
+        },
+        Cnf {
+            num_vars: 2,
+            clauses: vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::pos(0), Lit::neg(1)],
+                vec![Lit::neg(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        },
+    ];
+    for (i, cnf) in formulas.iter().enumerate() {
+        let brute = (0..(1u32 << cnf.num_vars)).any(|bits| {
+            let assignment: Vec<bool> = (0..cnf.num_vars).map(|v| bits & (1 << v) != 0).collect();
+            cnf.eval(&assignment)
+        });
+        let mut red = reduce(cnf);
+        match red.solve() {
+            Some(model) => {
+                assert!(brute, "formula {i}: reduction found a model but formula is unsat");
+                assert!(cnf.eval(&model), "formula {i}: extracted model is wrong");
+            }
+            None => assert!(!brute, "formula {i}: reduction missed a model"),
+        }
+    }
+}

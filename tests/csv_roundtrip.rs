@@ -1,0 +1,62 @@
+//! Property-based CSV round-trip: anything we write we must read back
+//! verbatim, including separators, quotes, newlines and unicode.
+
+use affidavit::table::{csv, Record, Schema, Table, ValuePool};
+use proptest::prelude::*;
+
+/// Arbitrary cell content, adversarial for CSV: quotes, commas, newlines.
+fn cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z0-9]{0,8}",
+        "[a-z,\"\\n]{0,8}",
+        "\".*\"",
+        Just(String::new()),
+        "[äöü東京a-z]{0,5}",
+    ]
+}
+
+proptest! {
+    #[test]
+    fn write_read_roundtrip(
+        rows in prop::collection::vec(prop::collection::vec(cell(), 3), 0..20)
+    ) {
+        let mut pool = ValuePool::new();
+        let mut table = Table::new(Schema::new(["col a", "col,b", "col\"c"]));
+        for row in &rows {
+            let syms: Vec<_> = row.iter().map(|v| pool.intern(v)).collect();
+            table.push(Record::new(syms));
+        }
+        let mut buf = Vec::new();
+        csv::write(&mut buf, &table, &pool, csv::CsvOptions::default()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        let mut pool2 = ValuePool::new();
+        let table2 = csv::read_str(&text, &mut pool2, csv::CsvOptions::default()).unwrap();
+        prop_assert_eq!(table2.len(), table.len());
+        let names: Vec<&str> = table2.schema().names().collect();
+        prop_assert_eq!(names, vec!["col a", "col,b", "col\"c"]);
+        for (id, rec) in table.iter() {
+            let rec2 = table2.record(id);
+            for (i, &sym) in rec.values().iter().enumerate() {
+                prop_assert_eq!(pool.get(sym), pool2.get(rec2.get(i)));
+            }
+        }
+    }
+
+    /// Custom separators round-trip too.
+    #[test]
+    fn semicolon_roundtrip(rows in prop::collection::vec(prop::collection::vec("[a-z;]{0,6}", 2), 0..10)) {
+        let opts = csv::CsvOptions { separator: b';' };
+        let mut pool = ValuePool::new();
+        let mut table = Table::new(Schema::new(["x", "y"]));
+        for row in &rows {
+            let syms: Vec<_> = row.iter().map(|v| pool.intern(v)).collect();
+            table.push(Record::new(syms));
+        }
+        let mut buf = Vec::new();
+        csv::write(&mut buf, &table, &pool, opts).unwrap();
+        let mut pool2 = ValuePool::new();
+        let table2 = csv::read_str(std::str::from_utf8(&buf).unwrap(), &mut pool2, opts).unwrap();
+        prop_assert_eq!(table2.len(), table.len());
+    }
+}

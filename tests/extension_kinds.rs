@@ -1,0 +1,176 @@
+//! End-to-end tests for the extension meta functions (numeric formatting
+//! and FlashFill-lite token programs): the full Affidavit search must
+//! *learn* these transformations from unaligned snapshots when they are
+//! enabled via `Registry::extended`, and must degrade gracefully (value
+//! maps / higher cost) when they are not.
+
+use affidavit::core::{Affidavit, AffidavitConfig};
+use affidavit::datagen::blueprint::{Blueprint, GenConfig};
+use affidavit::datagen::metrics::evaluate;
+use affidavit::datasets::{by_name, synth};
+use affidavit::functions::{AttrFunction, MetaKind, Registry};
+use affidavit::prelude::ProblemInstance;
+use affidavit::table::{Schema, Table, ValuePool};
+
+/// Hand-built instance: four attributes, three of which require extension
+/// kinds, plus an unchanged anchor column and a little noise.
+///
+/// | attribute | transformation                      | extension kind |
+/// |-----------|-------------------------------------|----------------|
+/// | Name      | `"Last, First" ↦ "First Last"`      | TokenProgram   |
+/// | Code      | zero-pad to 6                       | ZeroPad        |
+/// | Amount    | thousands grouping with `,`         | ThousandsSep   |
+/// | Org       | unchanged                           | —              |
+fn formatting_instance() -> ProblemInstance {
+    let firsts = [
+        "John", "Jane", "Max", "Ada", "Alan", "Grace", "Edsger", "Barbara", "Kurt", "Emmy",
+        "Carl", "Sofia", "Leon", "Ida", "Noam", "Mary", "Paul", "Rosa", "Hans", "Vera",
+    ];
+    let lasts = [
+        "Doe", "Fink", "Weber", "Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Goedel",
+        "Noether", "Gauss", "Kovalev", "Euler", "Rhodes", "Chomsky", "Shelley", "Erdos",
+        "Luxemburg", "Bethe", "Rubin",
+    ];
+    let orgs = ["IBM", "SAP", "BASF", "DAB"];
+
+    let mut src_rows: Vec<Vec<String>> = Vec::new();
+    let mut tgt_rows: Vec<Vec<String>> = Vec::new();
+    for i in 0..60usize {
+        let first = firsts[i % firsts.len()];
+        let last = lasts[(i * 7) % lasts.len()];
+        let code = (i * 37 + 5).to_string();
+        let amount = (1_000 + i * 73_911).to_string();
+        let org = orgs[i % orgs.len()];
+        src_rows.push(vec![
+            format!("{last}, {first}"),
+            code.clone(),
+            amount.clone(),
+            org.to_owned(),
+        ]);
+        // The reference transformation of the core.
+        let padded = format!("{code:0>6}");
+        let grouped = group_thousands(&amount);
+        tgt_rows.push(vec![
+            format!("{first} {last}"),
+            padded,
+            grouped,
+            org.to_owned(),
+        ]);
+    }
+    // Source-only noise (deleted) and target-only noise (inserted).
+    src_rows.push(vec!["Deleted, Rec".into(), "9".into(), "77".into(), "IBM".into()]);
+    src_rows.push(vec!["Gone, Also".into(), "8".into(), "66".into(), "SAP".into()]);
+    tgt_rows.push(vec!["New Person".into(), "000042".into(), "1,234,567".into(), "DAB".into()]);
+
+    let schema = Schema::new(["Name", "Code", "Amount", "Org"]);
+    let mut pool = ValuePool::new();
+    let source = Table::from_rows(schema.clone(), &mut pool, src_rows);
+    let target = Table::from_rows(schema, &mut pool, tgt_rows);
+    ProblemInstance::new(source, target, pool).expect("valid instance")
+}
+
+fn group_thousands(s: &str) -> String {
+    affidavit::functions::numeric_format::add_thousands_sep(s, ',').expect("numeric")
+}
+
+fn extended_config() -> AffidavitConfig {
+    let mut cfg = AffidavitConfig::paper_id();
+    cfg.registry = Registry::extended();
+    cfg
+}
+
+#[test]
+fn search_learns_all_three_extension_kinds() {
+    let mut inst = formatting_instance();
+    let out = Affidavit::new(extended_config()).explain(&mut inst);
+    out.explanation.validate(&mut inst).unwrap();
+
+    let kinds: Vec<MetaKind> = out.explanation.functions.iter().map(AttrFunction::kind).collect();
+    assert_eq!(kinds[0], MetaKind::TokenProgram, "Name: {:?}", kinds);
+    assert_eq!(kinds[1], MetaKind::ZeroPad, "Code: {:?}", kinds);
+    assert_eq!(kinds[2], MetaKind::ThousandsSep, "Amount: {:?}", kinds);
+    assert_eq!(kinds[3], MetaKind::Identity, "Org: {:?}", kinds);
+
+    // All 60 core records aligned, the 2+1 noise records set aside.
+    assert_eq!(out.explanation.core_size(), 60);
+    assert_eq!(out.explanation.deleted.len(), 2);
+    assert_eq!(out.explanation.inserted.len(), 1);
+}
+
+#[test]
+fn learned_functions_generalize_to_unseen_records() {
+    let mut inst = formatting_instance();
+    let out = Affidavit::new(extended_config()).explain(&mut inst);
+    let fns = out.explanation.functions.clone();
+    let pool = &mut inst.pool;
+
+    let apply = |f: &AttrFunction, v: &str, pool: &mut ValuePool| {
+        let s = pool.intern(v);
+        let o = f.apply(s, pool).expect("applies");
+        pool.get(o).to_owned()
+    };
+    // None of these values occur in the instance.
+    assert_eq!(apply(&fns[0], "Curie, Marie", pool), "Marie Curie");
+    assert_eq!(apply(&fns[1], "7", pool), "000007");
+    assert_eq!(apply(&fns[2], "98765432", pool), "98,765,432");
+}
+
+#[test]
+fn classic_registry_pays_for_missing_extension_kinds() {
+    // Without the extension kinds the search must still produce a valid
+    // explanation, but the formatting columns need value maps (or worse),
+    // so the explanation is strictly more expensive.
+    let mut inst_ext = formatting_instance();
+    let ext = Affidavit::new(extended_config()).explain(&mut inst_ext);
+    let mut inst_classic = formatting_instance();
+    let classic =
+        Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst_classic);
+    classic.explanation.validate(&mut inst_classic).unwrap();
+
+    let arity = inst_ext.arity();
+    assert!(
+        ext.explanation.cost_units(arity) < classic.explanation.cost_units(arity),
+        "extended {} !< classic {}",
+        ext.explanation.cost_units(arity),
+        classic.explanation.cost_units(arity)
+    );
+    assert!(!classic
+        .explanation
+        .functions
+        .iter()
+        .any(|f| f.kind().is_extension()));
+}
+
+#[test]
+fn datagen_extension_instances_are_solved_by_extended_registry() {
+    let spec = by_name("abalone").expect("dataset exists");
+    let (base, pool) = synth::generate_rows(&spec, 500, 77);
+    let cfg = GenConfig::new(0.3, 0.5, 77).with_extension_kinds();
+    let mut gen = Blueprint::new(base, pool, cfg).materialize_full();
+
+    let out = Affidavit::new(extended_config()).explain(&mut gen.instance);
+    out.explanation.validate(&mut gen.instance).unwrap();
+    let m = evaluate(&out.explanation, &mut gen, out.stats.duration);
+    assert!(m.accuracy > 0.8, "acc {}", m.accuracy);
+    assert!(m.delta_core > 0.8, "Δcore {}", m.delta_core);
+}
+
+#[test]
+fn extension_explanations_roundtrip_through_portable_json() {
+    use affidavit::core::portable::PortableExplanation;
+
+    let mut inst = formatting_instance();
+    let out = Affidavit::new(extended_config()).explain(&mut inst);
+    let portable = PortableExplanation::from_explanation(&out.explanation, &inst);
+    let json = portable.to_json();
+    let back = PortableExplanation::from_json(&json).unwrap();
+
+    let mut pool = ValuePool::new();
+    let fns = back.functions(&mut pool).unwrap();
+    let v = pool.intern("Curie, Marie");
+    let o = fns[0].apply(v, &mut pool).unwrap();
+    assert_eq!(pool.get(o), "Marie Curie");
+    let v = pool.intern("4200000");
+    let o = fns[2].apply(v, &mut pool).unwrap();
+    assert_eq!(pool.get(o), "4,200,000");
+}

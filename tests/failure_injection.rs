@@ -1,0 +1,109 @@
+//! Failure injection: malformed inputs must produce precise errors, never
+//! panics or silent corruption.
+
+use affidavit::core::ProblemInstance;
+use affidavit::table::{csv, Schema, Table, TableError, ValuePool};
+
+#[test]
+fn csv_arity_mismatch_reports_line() {
+    let mut pool = ValuePool::new();
+    let err = csv::read_str("a,b\n1,2\n3\n4,5\n", &mut pool, csv::CsvOptions::default())
+        .unwrap_err();
+    match err {
+        TableError::ArityMismatch { line, expected, found } => {
+            assert_eq!((line, expected, found), (3, 2, 1));
+        }
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn csv_unterminated_quote_reports_start_line() {
+    let mut pool = ValuePool::new();
+    let err = csv::read_str("a\nok\n\"broken\n", &mut pool, csv::CsvOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, TableError::UnterminatedQuote { line: 3 }));
+}
+
+#[test]
+fn csv_empty_input_is_an_error() {
+    let mut pool = ValuePool::new();
+    assert!(matches!(
+        csv::read_str("", &mut pool, csv::CsvOptions::default()),
+        Err(TableError::EmptyInput)
+    ));
+}
+
+#[test]
+fn csv_missing_file_is_io_error() {
+    let mut pool = ValuePool::new();
+    let err = csv::read_path("/definitely/not/here.csv", &mut pool, csv::CsvOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, TableError::Io(_)));
+    assert!(err.to_string().contains("I/O error"));
+}
+
+#[test]
+fn schema_mismatch_names_both_schemas() {
+    let mut pool = ValuePool::new();
+    let s = Table::from_rows(Schema::new(["a", "b"]), &mut pool, vec![vec!["1", "2"]]);
+    let t = Table::from_rows(Schema::new(["a", "c"]), &mut pool, vec![vec!["1", "2"]]);
+    let err = ProblemInstance::new(s, t, pool).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("\"b\"") && msg.contains("\"c\""), "{msg}");
+}
+
+#[test]
+fn zero_attribute_instance_does_not_crash() {
+    // Degenerate but legal: a schema with no attributes. All records are
+    // empty tuples, so the core is the multiset minimum of the sizes.
+    let mut pool = ValuePool::new();
+    let mut s = Table::new(Schema::new(Vec::<String>::new()));
+    let mut t = Table::new(Schema::new(Vec::<String>::new()));
+    for _ in 0..3 {
+        s.push(affidavit::table::Record::new(vec![]));
+    }
+    for _ in 0..2 {
+        t.push(affidavit::table::Record::new(vec![]));
+    }
+    let _ = pool.intern("unused");
+    let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+    let out = affidavit::core::Affidavit::new(affidavit::core::AffidavitConfig::paper_id())
+        .explain(&mut inst);
+    out.explanation.validate(&mut inst).unwrap();
+    assert_eq!(out.explanation.core_size(), 2);
+    assert_eq!(out.explanation.deleted.len(), 1);
+}
+
+#[test]
+fn single_record_tables_work() {
+    let mut pool = ValuePool::new();
+    let s = Table::from_rows(Schema::new(["a"]), &mut pool, vec![vec!["5000"]]);
+    let t = Table::from_rows(Schema::new(["a"]), &mut pool, vec![vec!["5"]]);
+    let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+    let out = affidavit::core::Affidavit::new(affidavit::core::AffidavitConfig::paper_id())
+        .explain(&mut inst);
+    out.explanation.validate(&mut inst).unwrap();
+}
+
+#[test]
+fn unicode_values_flow_through_the_whole_pipeline() {
+    let mut pool = ValuePool::new();
+    let rows_s: Vec<Vec<String>> = (0..30)
+        .map(|i| vec![format!("k{i}"), format!("münchen-{}", i % 5)])
+        .collect();
+    let rows_t: Vec<Vec<String>> = (0..30)
+        .map(|i| vec![format!("k{i}"), format!("MÜNCHEN-{}", i % 5)])
+        .collect();
+    let s = Table::from_rows(Schema::new(["k", "city"]), &mut pool, rows_s);
+    let t = Table::from_rows(Schema::new(["k", "city"]), &mut pool, rows_t);
+    let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+    let out = affidavit::core::Affidavit::new(affidavit::core::AffidavitConfig::paper_id())
+        .explain(&mut inst);
+    out.explanation.validate(&mut inst).unwrap();
+    assert_eq!(
+        out.explanation.functions[1],
+        affidavit::functions::AttrFunction::Uppercase
+    );
+    assert_eq!(out.explanation.core_size(), 30);
+}

@@ -1,0 +1,26 @@
+//! End-to-end reproduction of the Figure 1 running example.
+
+use affidavit::core::config::AffidavitConfig;
+use affidavit::core::report::render_report;
+use affidavit::core::search::Affidavit;
+use affidavit::datasets::running_example::{figure1_instance, figure1_reference};
+
+#[test]
+fn solves_running_example_with_paper_id_config() {
+    let mut inst = figure1_instance();
+    let reference = figure1_reference(&mut inst);
+    let ref_cost = reference.cost_units(7);
+    assert_eq!(ref_cost, 77);
+
+    let cfg = AffidavitConfig::paper_id();
+    let out = Affidavit::new(cfg).explain(&mut inst);
+    let e = &out.explanation;
+    e.validate(&mut inst).unwrap();
+    eprintln!("{}", render_report(e, &inst));
+    eprintln!("cost: {} (reference 77)", e.cost_units(7));
+    assert!(
+        e.cost_units(7) <= ref_cost,
+        "found cost {} worse than reference 77",
+        e.cost_units(7)
+    );
+}

@@ -1,0 +1,118 @@
+//! Randomized optimality check: on small instances whose transformations
+//! come from a known finite candidate space, the heuristic search must
+//! match (or beat, via functions outside the restricted space) the
+//! brute-force optimum of `baselines::exact` — across many deterministic
+//! seeds, transformation choices and noise placements.
+
+use affidavit::baselines::exact::solve_exact;
+use affidavit::core::{Affidavit, AffidavitConfig, ProblemInstance};
+use affidavit::functions::AttrFunction;
+use affidavit::table::{Rational, Schema, Table, ValuePool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The candidate space the generator draws from (identity always present).
+fn val_candidates() -> Vec<AttrFunction> {
+    vec![
+        AttrFunction::Identity,
+        AttrFunction::Scale(Rational::new(1, 10).unwrap()),
+        AttrFunction::Scale(Rational::new(1, 100).unwrap()),
+        AttrFunction::Scale(Rational::new(100, 1).unwrap()),
+    ]
+}
+
+fn tag_candidates(pool: &mut ValuePool) -> Vec<AttrFunction> {
+    vec![
+        AttrFunction::Identity,
+        AttrFunction::Uppercase,
+        AttrFunction::Prefix(pool.intern("X-")),
+    ]
+}
+
+/// Build a 12-core-record instance with the chosen transformations and two
+/// noise rows per side; returns the instance and the exact-space optimum.
+fn build(seed: u64) -> (ProblemInstance, Vec<AttrFunction>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = ValuePool::new();
+
+    let vals = val_candidates();
+    let tags = tag_candidates(&mut pool);
+    let f_val = vals[rng.gen_range(0..vals.len())].clone();
+    let f_tag = tags[rng.gen_range(0..tags.len())].clone();
+
+    let tag_words = ["ibm", "sap", "basf", "dab"];
+    let mut rows_s: Vec<Vec<String>> = Vec::new();
+    let mut rows_t: Vec<Vec<String>> = Vec::new();
+    for i in 0..12usize {
+        let key = format!("k{i}");
+        let val = ((i + 1) * 100).to_string();
+        let tag = tag_words[i % tag_words.len()].to_owned();
+        rows_s.push(vec![key.clone(), val.clone(), tag.clone()]);
+        let v = pool.intern(&val);
+        let t = pool.intern(&tag);
+        let val_out = f_val.apply(v, &mut pool).expect("total on 100..1200");
+        let tag_out = f_tag.apply(t, &mut pool).expect("total on words");
+        rows_t.push(vec![
+            key,
+            pool.get(val_out).to_owned(),
+            pool.get(tag_out).to_owned(),
+        ]);
+    }
+    // Noise rows, format-consistent per side.
+    for n in 0..2usize {
+        rows_s.push(vec![
+            format!("del{n}"),
+            format!("{}", 7700 + n),
+            "gone".to_owned(),
+        ]);
+        rows_t.push(vec![
+            format!("ins{n}"),
+            format!("{}", 31 + n),
+            "NEW".to_owned(),
+        ]);
+    }
+
+    let schema = Schema::new(["key", "val", "tag"]);
+    let s = Table::from_rows(schema.clone(), &mut pool, rows_s);
+    let t = Table::from_rows(schema, &mut pool, rows_t);
+    let inst = ProblemInstance::new(s, t, pool).unwrap();
+    (inst, vec![f_val, f_tag])
+}
+
+#[test]
+fn heuristic_never_loses_to_exact_across_seeds() {
+    for seed in 0..15u64 {
+        let (mut inst, reference) = build(seed);
+        // Tag candidates built against the instance pool so syms line up.
+        let tag_cands = vec![
+            AttrFunction::Identity,
+            AttrFunction::Uppercase,
+            AttrFunction::Prefix(inst.pool.intern("X-")),
+        ];
+        let candidates = vec![
+            vec![AttrFunction::Identity],
+            val_candidates(),
+            tag_cands,
+        ];
+        let exact = solve_exact(&mut inst, &candidates, 0.5, 100_000);
+        let out = Affidavit::new(AffidavitConfig::paper_id().with_seed(seed)).explain(&mut inst);
+        out.explanation.validate(&mut inst).unwrap();
+
+        let heuristic_cost = out.explanation.cost(0.5, inst.arity());
+        assert!(
+            heuristic_cost <= exact.cost,
+            "seed {seed}: heuristic {heuristic_cost} worse than exact {exact_cost} \
+             (reference functions {reference:?})",
+            exact_cost = exact.cost,
+        );
+        // The learned value/tag functions reproduce the reference on every
+        // core value (they may be syntactically different but must agree).
+        let mut pool = inst.pool.clone();
+        for i in 0..12usize {
+            let v = pool.intern(&format!("{}", (i + 1) * 100));
+            let want = reference[0].apply(v, &mut pool);
+            let got = out.explanation.functions[1].apply(v, &mut pool);
+            assert_eq!(got, want, "seed {seed}: val column disagrees");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the blocking substrate: refinement order
+//! independence, lower-bound correctness, and alignment discipline.
+
+use affidavit::blocking::{sample_random_alignment, Blocking};
+use affidavit::functions::{AppliedFunction, AttrFunction};
+use affidavit::table::{AttrId, Record, Schema, Table, ValuePool};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generate a pair of small tables over a fixed 3-attribute schema with
+/// values from tight domains (so blocks actually collide).
+fn table_pair() -> impl Strategy<Value = (Vec<[u8; 3]>, Vec<[u8; 3]>)> {
+    (
+        prop::collection::vec(prop::array::uniform3(0u8..4), 1..30),
+        prop::collection::vec(prop::array::uniform3(0u8..4), 1..30),
+    )
+}
+
+fn build(rows: &[[u8; 3]], pool: &mut ValuePool) -> Table {
+    let mut t = Table::new(Schema::new(["a", "b", "c"]));
+    for r in rows {
+        let syms: Vec<_> = r.iter().map(|v| pool.intern(&format!("v{v}"))).collect();
+        t.push(Record::new(syms));
+    }
+    t
+}
+
+/// Canonical multiset of block shapes for comparison.
+fn shape(b: &Blocking) -> Vec<(usize, usize)> {
+    let mut s: Vec<(usize, usize)> = b
+        .blocks
+        .iter()
+        .map(|blk| (blk.src.len(), blk.tgt.len()))
+        .filter(|&(s, t)| s + t > 0)
+        .collect();
+    s.sort();
+    s
+}
+
+proptest! {
+    /// Refining on attributes in different orders yields the same final
+    /// partition (blocking is set-valued, order is an implementation detail).
+    #[test]
+    fn refinement_is_order_independent((src, tgt) in table_pair()) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        let refine_all = |order: [u32; 3], pool: &mut ValuePool| {
+            let mut b = Blocking::root(&s, &t);
+            for a in order {
+                let mut id = AppliedFunction::new(AttrFunction::Identity);
+                b = b.refine(AttrId(a), &mut id, &s, &t, pool);
+            }
+            b
+        };
+        let b1 = refine_all([0, 1, 2], &mut pool);
+        let b2 = refine_all([2, 0, 1], &mut pool);
+        prop_assert_eq!(shape(&b1), shape(&b2));
+    }
+
+    /// ct/cs from blocking are true lower bounds: under full identity
+    /// refinement they equal the exact unmatched counts of the identity
+    /// explanation, and coarser blockings never exceed them.
+    #[test]
+    fn bounds_are_monotone_under_refinement((src, tgt) in table_pair()) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        let mut b = Blocking::root(&s, &t);
+        let mut prev_ct = b.ct();
+        let mut prev_cs = b.cs();
+        for a in 0..3u32 {
+            let mut id = AppliedFunction::new(AttrFunction::Identity);
+            b = b.refine(AttrId(a), &mut id, &s, &t, &mut pool);
+            // Splitting blocks can only expose more surplus, never less.
+            prop_assert!(b.ct() >= prev_ct, "ct shrank under refinement");
+            prop_assert!(b.cs() >= prev_cs, "cs shrank under refinement");
+            prev_ct = b.ct();
+            prev_cs = b.cs();
+        }
+        // Fully refined: surplus = exact multiset difference of tuples.
+        let count = |table: &Table| {
+            let mut m = std::collections::HashMap::new();
+            for (_, r) in table.iter() {
+                *m.entry(r.values().to_vec()).or_insert(0i64) += 1;
+            }
+            m
+        };
+        let cs_map = count(&s);
+        let ct_map = count(&t);
+        let mut expect_ct = 0u64;
+        for (k, &n) in &ct_map {
+            let m = cs_map.get(k).copied().unwrap_or(0);
+            expect_ct += (n - m).max(0) as u64;
+        }
+        let mut expect_cs = 0u64;
+        for (k, &n) in &cs_map {
+            let m = ct_map.get(k).copied().unwrap_or(0);
+            expect_cs += (n - m).max(0) as u64;
+        }
+        prop_assert_eq!(b.ct(), expect_ct);
+        prop_assert_eq!(b.cs(), expect_cs);
+    }
+
+    /// Random alignments pair each record at most once and only within a
+    /// block, with exactly min(|src|, |tgt|) pairs per block.
+    #[test]
+    fn alignment_discipline((src, tgt) in table_pair(), seed in 0u64..1000) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        let mut id = AppliedFunction::new(AttrFunction::Identity);
+        let b = Blocking::root(&s, &t).refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = sample_random_alignment(&b, &mut rng);
+        let expected: usize = b.mixed_blocks().map(|blk| blk.src.len().min(blk.tgt.len())).sum();
+        prop_assert_eq!(pairs.len(), expected);
+        let mut seen_s = std::collections::HashSet::new();
+        let mut seen_t = std::collections::HashSet::new();
+        for (sid, tid) in pairs {
+            prop_assert!(seen_s.insert(sid), "source paired twice");
+            prop_assert!(seen_t.insert(tid), "target paired twice");
+            // Same block ⇒ same attr-0 value.
+            prop_assert_eq!(s.value(sid, AttrId(0)), t.value(tid, AttrId(0)));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for explanation construction (Prop. 3.6) and the
+//! cost model (Defs. 3.8–3.10).
+
+use affidavit::core::explanation::Explanation;
+use affidavit::core::instance::ProblemInstance;
+use affidavit::functions::AttrFunction;
+use affidavit::table::{Decimal, Record, Schema, Table, ValuePool};
+use proptest::prelude::*;
+
+fn table_pair() -> impl Strategy<Value = (Vec<[u8; 2]>, Vec<[u8; 2]>)> {
+    (
+        prop::collection::vec(prop::array::uniform2(0u8..5), 0..25),
+        prop::collection::vec(prop::array::uniform2(0u8..5), 0..25),
+    )
+}
+
+fn build(rows: &[[u8; 2]], pool: &mut ValuePool) -> Table {
+    let mut t = Table::new(Schema::new(["a", "b"]));
+    for r in rows {
+        // Numeric-friendly values so Add/Scale functions apply.
+        let syms: Vec<_> = r.iter().map(|v| pool.intern(&format!("{}", *v as u32 * 10))).collect();
+        t.push(Record::new(syms));
+    }
+    t
+}
+
+fn some_functions() -> impl Strategy<Value = (AttrFunction, AttrFunction)> {
+    let f = prop_oneof![
+        Just(AttrFunction::Identity),
+        Just(AttrFunction::Add(Decimal::from_int(5))),
+        Just(AttrFunction::Add(Decimal::from_int(-10))),
+        Just(AttrFunction::Uppercase),
+    ];
+    (f.clone(), f)
+}
+
+proptest! {
+    /// Prop. 3.6 always yields a *valid* explanation, for any function
+    /// tuple and any pair of snapshots (incl. duplicates and empties).
+    #[test]
+    fn from_functions_is_always_valid(
+        (src, tgt) in table_pair(),
+        (f1, f2) in some_functions(),
+    ) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+        let e = Explanation::from_functions(vec![f1, f2], &mut inst);
+        prop_assert!(e.validate(&mut inst).is_ok(), "{:?}", e.validate(&mut inst));
+        // Partition sizes.
+        prop_assert_eq!(e.deleted.len() + e.core_size(), inst.source.len());
+        prop_assert_eq!(e.inserted.len() + e.core_size(), inst.target.len());
+    }
+
+    /// The core chosen by Prop. 3.6 is maximal for the identity tuple:
+    /// its size equals the multiset intersection of the two tables.
+    #[test]
+    fn identity_core_is_multiset_intersection((src, tgt) in table_pair()) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        let mut count = std::collections::HashMap::new();
+        for (_, r) in s.iter() {
+            let e = count.entry(r.values().to_vec()).or_insert((0i64, 0i64));
+            e.0 += 1;
+        }
+        for (_, r) in t.iter() {
+            let e = count.entry(r.values().to_vec()).or_insert((0, 0));
+            e.1 += 1;
+        }
+        let expected: i64 = count.values().map(|&(a, b)| a.min(b)).sum();
+        let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+        let e = Explanation::from_functions(
+            vec![AttrFunction::Identity, AttrFunction::Identity],
+            &mut inst,
+        );
+        prop_assert_eq!(e.core_size() as i64, expected);
+    }
+
+    /// Cost formula: c(E) = 2α·|A|·|T+| + 2(1−α)·Σψ, linear in α.
+    #[test]
+    fn cost_is_linear_in_alpha(
+        (src, tgt) in table_pair(),
+        (f1, f2) in some_functions(),
+        alpha in 0.0f64..1.0,
+    ) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+        let e = Explanation::from_functions(vec![f1, f2], &mut inst);
+        let at0 = e.cost(0.0, 2);
+        let at1 = e.cost(1.0, 2);
+        let want = at0 + alpha * (at1 - at0);
+        prop_assert!((e.cost(alpha, 2) - want).abs() < 1e-9);
+        // Unit cost = midpoint scaled by 1 (α = 0.5 halves both doubles).
+        prop_assert_eq!(e.cost(0.5, 2), e.cost_units(2) as f64);
+    }
+
+    /// The trivial explanation is always valid and its cost is |A|·|T|.
+    #[test]
+    fn trivial_explanation_invariants((src, tgt) in table_pair()) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        let mut inst = ProblemInstance::new(s, t, pool).unwrap();
+        let e = Explanation::trivial(&inst);
+        prop_assert!(e.validate(&mut inst).is_ok());
+        prop_assert_eq!(e.cost_units(2), 2 * inst.target.len() as u64);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the extension machinery: numeric formatting
+//! laws, token-program induction soundness, and merge/split detection on
+//! generated instances.
+
+use affidavit::core::portable::PortableFunction;
+use affidavit::core::restructure::{detect_restructures, normalize_arity, Restructure};
+use affidavit::functions::numeric_format::{
+    add_thousands_sep, round_decimal, strip_thousands_sep, zero_pad,
+};
+use affidavit::functions::substring::induce_token_programs;
+use affidavit::functions::{induce_from_example, Registry};
+use affidavit::table::{Decimal, Schema, Table, ValuePool};
+use proptest::prelude::*;
+
+fn cell_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "(\\+|-)?[0-9]{1,10}",
+        "[0-9]{1,6}\\.[0-9]{1,4}",
+        "0{1,4}[0-9]{1,4}",
+        "[a-zA-Z]{1,10}",
+        "[A-Z]{1,3}-?[0-9]{1,5}",
+        "[A-Z][a-z]{1,6}, [A-Z][a-z]{1,6}",
+        "[0-9]{1,3}(,[0-9]{3}){1,3}",
+        "[a-zäöüß]{1,6}",
+    ]
+}
+
+proptest! {
+    /// Extended-registry induction is sound: every candidate maps s to t.
+    #[test]
+    fn extended_induction_is_sound(s in cell_value(), t in cell_value()) {
+        let mut pool = ValuePool::new();
+        let ss = pool.intern(&s);
+        let tt = pool.intern(&t);
+        let candidates = induce_from_example(ss, tt, &mut pool, &Registry::extended());
+        for f in &candidates {
+            let got = f.apply(ss, &mut pool);
+            prop_assert_eq!(
+                got.map(|g| pool.get(g).to_owned()),
+                Some(t.clone()),
+                "{:?} does not map {:?} to {:?}", f, s, t
+            );
+        }
+    }
+
+    /// Token programs induced from (s, t) always reproduce t from s, and
+    /// applying them twice to any input is deterministic.
+    #[test]
+    fn token_programs_are_consistent_and_deterministic(
+        s in cell_value(),
+        t in cell_value(),
+        probe in cell_value(),
+    ) {
+        let mut pool = ValuePool::new();
+        for p in induce_token_programs(&s, &t, &mut pool) {
+            let applied = p.apply_str(&s, &pool);
+            prop_assert_eq!(applied.as_deref(), Some(t.as_str()));
+            let a = p.apply_str(&probe, &pool);
+            let b = p.apply_str(&probe, &pool);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Thousands grouping and stripping are inverse on plain numbers.
+    #[test]
+    fn grouping_roundtrips(n in -9_999_999_999i64..9_999_999_999i64, frac in 0u32..10_000) {
+        let v = if frac == 0 { n.to_string() } else { format!("{n}.{frac:04}") };
+        for sep in [',', ' ', '\'', '_'] {
+            let grouped = add_thousands_sep(&v, sep).expect("plain number");
+            let stripped = strip_thousands_sep(&grouped, sep);
+            prop_assert_eq!(stripped.as_deref(), Some(v.as_str()));
+        }
+    }
+
+    /// Zero padding: output length is max(width, input length), the digits
+    /// are preserved, and padding is idempotent.
+    #[test]
+    fn zero_pad_laws(digits in "[0-9]{1,12}", width in 1usize..20) {
+        let padded = zero_pad(&digits, width).expect("digits");
+        prop_assert_eq!(padded.len(), width.max(digits.len()));
+        prop_assert!(padded.ends_with(&digits));
+        let twice = zero_pad(&padded, width);
+        prop_assert_eq!(twice.as_deref(), Some(padded.as_str()));
+    }
+
+    /// Rounding: idempotent, never increases the scale past `places`, and
+    /// moves the value by at most half a unit in the last place.
+    #[test]
+    fn rounding_laws(mantissa in -1_000_000_000i128..1_000_000_000, scale in 0u32..8, places in 0u32..6) {
+        let d = Decimal::new(mantissa, scale);
+        let r = round_decimal(d, places).expect("in range");
+        prop_assert!(r.scale() <= places);
+        let again = round_decimal(r, places).expect("in range");
+        prop_assert_eq!(r, again, "rounding must be idempotent");
+    }
+
+    /// Every function the (extended) induction can produce survives a JSON
+    /// roundtrip with behaviour intact — on the example it was induced
+    /// from *and* on an unrelated probe value.
+    #[test]
+    fn portable_roundtrip_preserves_behaviour(
+        s in cell_value(),
+        t in cell_value(),
+        probe in cell_value(),
+    ) {
+        let mut pool = ValuePool::new();
+        let ss = pool.intern(&s);
+        let tt = pool.intern(&t);
+        for f in induce_from_example(ss, tt, &mut pool, &Registry::extended()) {
+            let portable = PortableFunction::from_attr(&f, &pool);
+            let json = serde_json::to_string(&portable).expect("serializable");
+            let back: PortableFunction = serde_json::from_str(&json).expect("deserializable");
+            let mut pool2 = ValuePool::new();
+            let f2 = back.to_attr(&mut pool2).expect("valid portable function");
+            for input in [s.as_str(), probe.as_str()] {
+                let a = {
+                    let x = pool.intern(input);
+                    f.apply(x, &mut pool).map(|o| pool.get(o).to_owned())
+                };
+                let b = {
+                    let x = pool2.intern(input);
+                    f2.apply(x, &mut pool2).map(|o| pool2.get(o).to_owned())
+                };
+                prop_assert_eq!(a, b, "behaviour differs after roundtrip: {:?}", f);
+            }
+        }
+    }
+
+    /// Merge detection: for any generated (left, right, sep) concatenation
+    /// the detector finds a merge with a perfect score, and normalization
+    /// reconstructs equal-arity tables with the same row counts.
+    #[test]
+    fn merges_are_always_detected(
+        seed in 0u64..500,
+        sep_idx in 0usize..4,
+    ) {
+        let sep = [" ", "-", "/", ", "][sep_idx];
+        let mut pool = ValuePool::new();
+        let mut rows_s = Vec::new();
+        let mut rows_t = Vec::new();
+        for i in 0..25usize {
+            // Letter-only parts so no accidental cross-class collisions.
+            let l = format!("left{}", (seed as usize + i * 3) % 17);
+            let r = format!("right{}", (seed as usize + i * 5) % 13);
+            rows_s.push(vec![l.clone(), r.clone(), format!("k{i}")]);
+            rows_t.push(vec![format!("{l}{sep}{r}"), format!("k{i}")]);
+        }
+        let s = Table::from_rows(Schema::new(["l", "r", "k"]), &mut pool, rows_s);
+        let t = Table::from_rows(Schema::new(["m", "k"]), &mut pool, rows_t);
+        let found = detect_restructures(&s, &t, &pool);
+        prop_assert!(!found.is_empty());
+        let Restructure::Merge { score, .. } = &found[0] else {
+            return Err(TestCaseError::fail("expected a merge"));
+        };
+        prop_assert!(*score > 0.99);
+
+        let (s2, t2, applied) = normalize_arity(&s, &t, &mut pool).expect("normalizable");
+        prop_assert_eq!(applied.len(), 1);
+        prop_assert_eq!(s2.schema().arity(), t2.schema().arity());
+        prop_assert_eq!(s2.len(), s.len());
+        prop_assert_eq!(t2.len(), t.len());
+    }
+}

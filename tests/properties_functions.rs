@@ -1,0 +1,126 @@
+//! Property-based tests for the function library: induction soundness,
+//! application determinism, and exact-decimal arithmetic laws.
+
+use affidavit::functions::{induce_from_example, AttrFunction, Registry};
+use affidavit::table::{Decimal, Rational, ValuePool};
+use proptest::prelude::*;
+
+/// Arbitrary "cell value" strings: a healthy mix of numerics, codes, words
+/// and unicode, like real table cells.
+fn cell_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // numerics (incl. padded / signed / decimal)
+        "(\\+|-)?[0-9]{1,10}",
+        "[0-9]{1,6}\\.[0-9]{1,4}",
+        "0{1,4}[0-9]{1,4}",
+        // words and codes
+        "[a-zA-Z]{1,10}",
+        "[A-Z]{1,3}-?[0-9]{1,5}",
+        // dates
+        "20[0-9]{2}(0[1-9]|1[0-2])(0[1-9]|1[0-9]|2[0-8])",
+        // a little unicode
+        "[a-zäöüß]{1,6}",
+    ]
+}
+
+proptest! {
+    /// Every candidate induced from an example (s, t) maps s to t.
+    #[test]
+    fn induction_is_sound(s in cell_value(), t in cell_value()) {
+        let mut pool = ValuePool::new();
+        let ss = pool.intern(&s);
+        let tt = pool.intern(&t);
+        let candidates = induce_from_example(ss, tt, &mut pool, &Registry::default());
+        // Constant(t) always applies, so the set is never empty.
+        prop_assert!(!candidates.is_empty());
+        for f in &candidates {
+            let got = f.apply(ss, &mut pool);
+            prop_assert_eq!(
+                got.map(|g| pool.get(g).to_owned()),
+                Some(t.clone()),
+                "{:?} does not map {:?} to {:?}", f, s, t
+            );
+        }
+    }
+
+    /// Function application is deterministic and stable under re-interning.
+    #[test]
+    fn application_is_deterministic(s in cell_value(), t in cell_value()) {
+        let mut pool = ValuePool::new();
+        let ss = pool.intern(&s);
+        let tt = pool.intern(&t);
+        let candidates = induce_from_example(ss, tt, &mut pool, &Registry::default());
+        for f in &candidates {
+            let a = f.apply(ss, &mut pool);
+            let b = f.apply(ss, &mut pool);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// ψ is consistent with the Def. 3.9 parameter counts.
+    #[test]
+    fn psi_matches_parameter_count(s in cell_value(), t in cell_value()) {
+        let mut pool = ValuePool::new();
+        let ss = pool.intern(&s);
+        let tt = pool.intern(&t);
+        for f in induce_from_example(ss, tt, &mut pool, &Registry::default()) {
+            let expected = match &f {
+                AttrFunction::Identity
+                | AttrFunction::Uppercase
+                | AttrFunction::Lowercase => 0,
+                AttrFunction::PrefixReplace(..)
+                | AttrFunction::SuffixReplace(..)
+                | AttrFunction::DateConvert(..) => 2,
+                AttrFunction::Map(m) => 2 * m.len() as u64,
+                _ => 1,
+            };
+            prop_assert_eq!(f.psi(), expected);
+        }
+    }
+
+    /// Decimal parse/format round-trips canonically.
+    #[test]
+    fn decimal_roundtrip(m in -1_000_000_000i64..1_000_000_000, scale in 0u32..9) {
+        let d = Decimal::new(m as i128, scale);
+        let s = d.to_string();
+        let back = Decimal::parse(&s).expect("canonical string parses");
+        prop_assert_eq!(d, back);
+    }
+
+    /// Addition is commutative and subtraction is its inverse.
+    #[test]
+    fn decimal_add_laws(
+        a in -1_000_000i64..1_000_000, sa in 0u32..6,
+        b in -1_000_000i64..1_000_000, sb in 0u32..6,
+    ) {
+        let x = Decimal::new(a as i128, sa);
+        let y = Decimal::new(b as i128, sb);
+        let xy = x.checked_add(y).expect("no overflow in range");
+        let yx = y.checked_add(x).expect("no overflow in range");
+        prop_assert_eq!(xy, yx);
+        prop_assert_eq!(xy.checked_sub(y), Some(x));
+    }
+
+    /// Scaling by r then by 1/r is the identity on exact values.
+    #[test]
+    fn scale_inverse_roundtrip(v in 1i64..1_000_000, k in 1u32..4) {
+        let den = 10i128.pow(k);
+        let down = Rational::new(1, den).unwrap();
+        let up = Rational::new(den, 1).unwrap();
+        let x = Decimal::from_int(v as i128);
+        let scaled = down.mul_decimal(x).expect("power of ten terminates");
+        let back = up.mul_decimal(scaled).expect("exact");
+        prop_assert_eq!(back, x);
+    }
+
+    /// Rational::from_decimals produces the exact ratio: y·b = a.
+    #[test]
+    fn rational_ratio_exact(a in 1i64..100_000, b in 1i64..100_000) {
+        let da = Decimal::from_int(a as i128);
+        let db = Decimal::from_int(b as i128);
+        let r = Rational::from_decimals(da, db).expect("b non-zero");
+        if let Some(product) = r.mul_decimal(db) {
+            prop_assert_eq!(product, da);
+        }
+    }
+}
