@@ -32,7 +32,10 @@ pub fn solve_exact(
     limit: usize,
 ) -> ExactSolution {
     assert_eq!(candidates.len(), instance.arity());
-    assert!(candidates.iter().all(|c| !c.is_empty()), "empty candidate set");
+    assert!(
+        candidates.iter().all(|c| !c.is_empty()),
+        "empty candidate set"
+    );
     let combos: usize = candidates
         .iter()
         .map(|c| c.len())
@@ -104,11 +107,7 @@ mod tests {
         let t = Table::from_rows(
             Schema::new(["Val", "Org"]),
             &mut pool,
-            vec![
-                vec!["1", "IBM"],
-                vec!["2", "SAP"],
-                vec!["3", "IBM"],
-            ],
+            vec![vec!["1", "IBM"], vec!["2", "SAP"], vec!["3", "IBM"]],
         );
         ProblemInstance::new(s, t, pool).unwrap()
     }

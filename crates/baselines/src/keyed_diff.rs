@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys_multiset_matched() {
-        let inst = instance(
-            vec![vec!["1", "a"], vec!["1", "b"]],
-            vec![vec!["1", "x"]],
-        );
+        let inst = instance(vec![vec!["1", "a"], vec!["1", "b"]], vec![vec!["1", "x"]]);
         let d = keyed_diff(&inst, &[AttrId(0)]);
         assert_eq!(d.matched.len(), 1);
         assert_eq!(d.deletes.len(), 1);

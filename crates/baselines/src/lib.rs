@@ -22,4 +22,4 @@ pub mod sat;
 pub use exact::{solve_exact, ExactSolution};
 pub use keyed_diff::{keyed_diff, KeyedDiff};
 pub use linker::{similarity_link, LinkerResult};
-pub use sat::{Cnf, Clause, Lit, SatReduction};
+pub use sat::{Clause, Cnf, Lit, SatReduction};

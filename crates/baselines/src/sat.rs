@@ -59,10 +59,9 @@ pub struct Cnf {
 impl Cnf {
     /// Evaluate under an assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var] == l.positive))
     }
 }
 

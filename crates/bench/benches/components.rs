@@ -22,7 +22,7 @@ use affidavit_core::{Affidavit, AffidavitConfig};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datasets::specs::by_name;
 use affidavit_datasets::synth::generate_rows;
-use affidavit_functions::{AppliedFunction, AttrFunction, Registry};
+use affidavit_functions::{ApplyScratch, AttrFunction, Registry};
 use affidavit_table::{csv, AttrId, ValuePool};
 
 fn setup_instance(rows: usize) -> affidavit_datagen::blueprint::GeneratedInstance {
@@ -37,25 +37,52 @@ fn bench_blocking(c: &mut Criterion) {
     let mut pool = inst.pool.clone();
     let root = Blocking::root(&inst.source, &inst.target);
     // Refine on the first attribute once so refinement has real splits.
-    let mut id = AppliedFunction::new(AttrFunction::Identity);
-    let level1 = root.refine(AttrId(0), &mut id, &inst.source, &inst.target, &mut pool);
+    let mut scratch = ApplyScratch::new();
+    let level1 = root.refine(
+        AttrId(0),
+        &AttrFunction::Identity,
+        &mut scratch,
+        &inst.source,
+        &inst.target,
+        &mut pool,
+    );
 
     let mut group = c.benchmark_group("blocking");
     group.bench_function("refine_incremental", |b| {
         b.iter(|| {
-            let mut id = AppliedFunction::new(AttrFunction::Identity);
+            let mut scratch = ApplyScratch::new();
             let mut p = pool.clone();
-            std::hint::black_box(level1.refine(AttrId(1), &mut id, &inst.source, &inst.target, &mut p))
+            std::hint::black_box(level1.refine(
+                AttrId(1),
+                &AttrFunction::Identity,
+                &mut scratch,
+                &inst.source,
+                &inst.target,
+                &mut p,
+            ))
         });
     });
     group.bench_function("reblock_from_root", |b| {
         b.iter(|| {
             let mut p = pool.clone();
-            let mut id0 = AppliedFunction::new(AttrFunction::Identity);
-            let mut id1 = AppliedFunction::new(AttrFunction::Identity);
+            let mut scratch = ApplyScratch::new();
             let r = Blocking::root(&inst.source, &inst.target)
-                .refine(AttrId(0), &mut id0, &inst.source, &inst.target, &mut p)
-                .refine(AttrId(1), &mut id1, &inst.source, &inst.target, &mut p);
+                .refine(
+                    AttrId(0),
+                    &AttrFunction::Identity,
+                    &mut scratch,
+                    &inst.source,
+                    &inst.target,
+                    &mut p,
+                )
+                .refine(
+                    AttrId(1),
+                    &AttrFunction::Identity,
+                    &mut scratch,
+                    &inst.source,
+                    &inst.target,
+                    &mut p,
+                );
             std::hint::black_box(r)
         });
     });
@@ -66,10 +93,10 @@ fn bench_induction_and_ranking(c: &mut Criterion) {
     let generated = setup_instance(5_000);
     let inst = &generated.instance;
     let mut pool = inst.pool.clone();
-    let mut id = AppliedFunction::new(AttrFunction::Identity);
     let blocking = Blocking::root(&inst.source, &inst.target).refine(
         AttrId(0),
-        &mut id,
+        &AttrFunction::Identity,
+        &mut ApplyScratch::new(),
         &inst.source,
         &inst.target,
         &mut pool,
@@ -182,8 +209,12 @@ fn bench_restructure(c: &mut Criterion) {
 
     // 5 000-row merge instance: (first, last, org, key) vs (name, org, key).
     let mut pool = ValuePool::new();
-    let firsts = ["John", "Jane", "Max", "Ada", "Alan", "Grace", "Kurt", "Emmy"];
-    let lasts = ["Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether", "Gauss", "Euler"];
+    let firsts = [
+        "John", "Jane", "Max", "Ada", "Alan", "Grace", "Kurt", "Emmy",
+    ];
+    let lasts = [
+        "Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether", "Gauss", "Euler",
+    ];
     let rows_s: Vec<Vec<String>> = (0..5_000usize)
         .map(|i| {
             vec![
@@ -203,7 +234,11 @@ fn bench_restructure(c: &mut Criterion) {
             ]
         })
         .collect();
-    let s = Table::from_rows(Schema::new(["first", "last", "org", "key"]), &mut pool, rows_s);
+    let s = Table::from_rows(
+        Schema::new(["first", "last", "org", "key"]),
+        &mut pool,
+        rows_s,
+    );
     let t = Table::from_rows(Schema::new(["name", "org", "key"]), &mut pool, rows_t);
 
     c.bench_function("restructure/detect_merge_5k", |b| {

@@ -23,7 +23,13 @@ use affidavit_datasets::specs::by_name;
 use affidavit_datasets::synth::generate_rows;
 use std::time::Instant;
 
-fn run(cfg: AffidavitConfig, spec_name: &str, rows: usize, runs: usize, seed: u64) -> (f64, f64, f64) {
+fn run(
+    cfg: AffidavitConfig,
+    spec_name: &str,
+    rows: usize,
+    runs: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
     run_with(cfg, spec_name, rows, runs, seed, false)
 }
 

@@ -72,6 +72,9 @@ fn main() {
     if args.has("sql") {
         let mut inst = figure1_instance();
         let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst);
-        println!("\n=== SQL export ===\n{}", to_sql(&out.explanation, &inst, "erp_table"));
+        println!(
+            "\n=== SQL export ===\n{}",
+            to_sql(&out.explanation, &inst, "erp_table")
+        );
     }
 }

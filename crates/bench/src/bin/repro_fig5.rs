@@ -10,8 +10,8 @@
 use std::time::Instant;
 
 use affidavit_bench::args::Args;
-use affidavit_core::Affidavit;
 use affidavit_bench::harness::ConfigKind;
+use affidavit_core::Affidavit;
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datagen::metrics::evaluate;
 use affidavit_datasets::specs::by_name;
@@ -22,6 +22,7 @@ fn main() {
     let full = args.has("full");
     let base_rows = args.get_or("rows", if full { 500_000 } else { 50_000 });
     let seed: u64 = args.get_or("seed", 500);
+    let threads: usize = args.get_or("threads", 1usize);
     let spec = by_name("flight-500k").expect("spec exists");
 
     println!("=== Figure 5: row scalability (flight-500k @ {base_rows} rows, η=τ=0.3, H^id) ===");
@@ -36,7 +37,7 @@ fn main() {
     for pct in (10..=100).step_by(10) {
         let mut generated = blueprint.materialize(pct as f64 / 100.0);
         let records = generated.instance.source.len();
-        let solver = Affidavit::new(ConfigKind::Hid.to_config(seed));
+        let solver = Affidavit::new(ConfigKind::Hid.to_config(seed).with_threads(threads));
         let started = Instant::now();
         let out = solver.explain(&mut generated.instance);
         let runtime = started.elapsed();

@@ -18,13 +18,12 @@ fn main() {
     let rows_cap = args.get_or("rows", 1000usize);
     let runs = args.get_or("runs", 3usize);
     let seed: u64 = args.get_or("seed", 6);
+    let threads: usize = args.get_or("threads", 1usize);
 
     // The figure's x axis: 30, 63(~43+..), 109, 182 attributes — we use the
     // wide datasets of Table 2 directly.
     let names = ["horse", "fd-red-30", "plista", "flight-1k", "uniprot"];
-    println!(
-        "=== Figure 6: runtime per record vs attributes (η=τ=0.3, H^id, rows≤{rows_cap}) ==="
-    );
+    println!("=== Figure 6: runtime per record vs attributes (η=τ=0.3, H^id, rows≤{rows_cap}) ===");
     println!(
         "{:<12} {:>6} {:>9} {:>10} {:>14}",
         "dataset", "attrs", "records", "t", "t per record"
@@ -33,7 +32,7 @@ fn main() {
     for name in names {
         let spec = by_name(name).expect("dataset exists");
         let rows = spec.rows.min(rows_cap);
-        let cell = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hid, runs, seed);
+        let cell = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hid, runs, seed, threads);
         let per_record = cell.t_secs / rows as f64;
         println!(
             "{:<12} {:>6} {:>9} {:>9.2}s {:>12.2}µs",
@@ -50,6 +49,9 @@ fn main() {
     // attribute count → per-record-per-attribute stays within a small band.
     println!("\nnormalized s/record/attr (flat ⇒ linear attribute scaling):");
     for (attrs, per_record) in &series {
-        println!("  |A|={attrs:>4}: {:.3}µs", per_record * 1e6 / *attrs as f64);
+        println!(
+            "  |A|={attrs:>4}: {:.3}µs",
+            per_record * 1e6 / *attrs as f64
+        );
     }
 }

@@ -43,8 +43,7 @@ fn main() {
         let s = seed + i as u64;
         let rows = spec.rows.min(rows_cap);
         let (base, pool) = generate_rows(spec, rows, s);
-        let generated =
-            Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, s)).materialize_full();
+        let generated = Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, s)).materialize_full();
         total_records += generated.instance.source.len() + generated.instance.target.len();
         let name = format!("{}_{i:03}", spec.name);
         for (dir, table) in [
@@ -95,4 +94,111 @@ fn main() {
     assert_eq!(failed, 0, "no table pair may fail to profile");
 
     std::fs::remove_dir_all(&root).ok();
+
+    // Extension-phase scaling benchmark: one §5.1 synthetic instance,
+    // solved at 1 worker vs `--bench-threads` workers. Because the
+    // parallel engine is deterministic, both runs return byte-identical
+    // explanations; only the extension phase's wall time may differ.
+    let bench_threads = args.get_or("bench-threads", 8usize);
+    let bench_rows = args.get_or("bench-rows", 2_000usize);
+    let bench_runs = args.get_or("bench-runs", 3usize);
+    let bench = bench_extension_phase(bench_rows, seed, bench_runs, bench_threads);
+    println!(
+        "\nextension phase ({} rows, {} runs): 1 thread {:.3}s | {} threads {:.3}s | speedup {:.2}x (of {:.3}s / {:.3}s total)",
+        bench.rows,
+        bench.runs,
+        bench.extension_secs_serial,
+        bench.threads,
+        bench.extension_secs_parallel,
+        bench.extension_speedup,
+        bench.total_secs_serial,
+        bench.total_secs_parallel,
+    );
+    if let Some(path) = args.get_str("bench-json") {
+        let json = serde_json::to_string_pretty(&bench).expect("serializable");
+        std::fs::write(path, json).expect("write bench json");
+        println!("wrote {path}");
+    }
+}
+
+/// One extension-phase scaling measurement, serialized into
+/// `BENCH_search.json` at the repo root.
+#[derive(serde::Serialize)]
+struct ExtensionBench {
+    /// Base-table rows of the synthetic instance.
+    rows: usize,
+    /// Attribute count of the instance.
+    attrs: usize,
+    /// Solver runs averaged per configuration.
+    runs: usize,
+    /// Worker count of the parallel configuration.
+    threads: usize,
+    /// Hardware threads available on the measuring machine.
+    hardware_threads: usize,
+    /// Mean wall-clock seconds in the extension phase, `threads = 1`.
+    extension_secs_serial: f64,
+    /// Mean wall-clock seconds in the extension phase, `threads = N`.
+    extension_secs_parallel: f64,
+    /// `extension_secs_serial / extension_secs_parallel`. Only
+    /// meaningful when `speedup_valid`; on a 1-hardware-thread machine
+    /// any deviation from 1.0 is measurement noise.
+    extension_speedup: f64,
+    /// False when the machine cannot physically exhibit parallel speedup
+    /// (`hardware_threads == 1`) — treat `extension_speedup` as noise.
+    speedup_valid: bool,
+    /// Mean total solve seconds, `threads = 1`.
+    total_secs_serial: f64,
+    /// Mean total solve seconds, `threads = N`.
+    total_secs_parallel: f64,
+    /// Both configurations returned identical explanations and costs.
+    deterministic: bool,
+}
+
+fn bench_extension_phase(rows: usize, seed: u64, runs: usize, threads: usize) -> ExtensionBench {
+    use affidavit_core::Affidavit;
+
+    let spec = affidavit_datasets::specs::by_name("adult").expect("dataset exists");
+    let solve = |threads: usize| {
+        let mut ext = 0.0f64;
+        let mut total = 0.0f64;
+        let mut fingerprint = String::new();
+        for run in 0..runs {
+            let (base, pool) = generate_rows(&spec, rows.min(spec.rows), seed + run as u64);
+            let mut generated =
+                Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, seed + run as u64))
+                    .materialize_full();
+            let cfg = affidavit_core::AffidavitConfig::paper_id()
+                .with_seed(seed + run as u64)
+                .with_threads(threads);
+            let out = Affidavit::new(cfg).explain(&mut generated.instance);
+            ext += out.stats.extension_time.as_secs_f64();
+            total += out.stats.duration.as_secs_f64();
+            // Fingerprint the *full rendered explanation* (functions,
+            // record partition) plus the exact cost — equal-cost function
+            // ties must not be able to mask a thread-count divergence.
+            fingerprint.push_str(&affidavit_core::report::render_report(
+                &out.explanation,
+                &generated.instance,
+            ));
+            fingerprint.push_str(&format!("|{};", out.stats.end_state_cost.to_bits()));
+        }
+        (ext / runs as f64, total / runs as f64, fingerprint)
+    };
+
+    let (ext_serial, total_serial, fp_serial) = solve(1);
+    let (ext_parallel, total_parallel, fp_parallel) = solve(threads);
+    ExtensionBench {
+        rows: rows.min(spec.rows),
+        attrs: spec.attrs,
+        runs,
+        threads,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        extension_secs_serial: ext_serial,
+        extension_secs_parallel: ext_parallel,
+        extension_speedup: ext_serial / ext_parallel.max(1e-12),
+        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        total_secs_serial: total_serial,
+        total_secs_parallel: total_parallel,
+        deterministic: fp_serial == fp_parallel,
+    }
 }

@@ -18,6 +18,7 @@ fn main() {
     let runs = args.get_or("runs", if full { 10 } else { 3 });
     let row_cap = args.get_or("rows", if full { usize::MAX } else { 2000 });
     let seed: u64 = args.get_or("seed", 0xEDB7);
+    let threads: usize = args.get_or("threads", 1usize);
     let filter: Option<Vec<String>> = args
         .get_str("datasets")
         .map(|s| s.split(',').map(|x| x.trim().to_owned()).collect());
@@ -52,7 +53,7 @@ fn main() {
         let rows = spec.rows.min(row_cap);
         for &(eta, tau) in &SETTINGS {
             for kind in [ConfigKind::Hs, ConfigKind::Hid] {
-                let cell = run_cell(spec, rows, eta, tau, kind, runs, seed);
+                let cell = run_cell(spec, rows, eta, tau, kind, runs, seed, threads);
                 println!("{}", cell.row());
                 all.push(cell);
             }

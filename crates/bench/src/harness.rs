@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use affidavit_core::{AffidavitConfig, Affidavit};
+use affidavit_core::{Affidavit, AffidavitConfig};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datagen::metrics::{evaluate, InstanceMetrics};
 use affidavit_datasets::specs::DatasetSpec;
@@ -89,6 +89,7 @@ impl CellResult {
 /// pair budget is scaled down quadratically (`pairs ∝ rows²`) so the
 /// matcher's collapse on low-distinctness tables — the Table 2 effect on
 /// chess/nursery/letter — is preserved at laptop scale.
+#[allow(clippy::too_many_arguments)]
 pub fn run_one(
     spec: &DatasetSpec,
     rows: usize,
@@ -96,14 +97,17 @@ pub fn run_one(
     tau: f64,
     kind: ConfigKind,
     seed: u64,
+    threads: usize,
 ) -> InstanceMetrics {
     let (base, pool) = generate_rows(spec, rows, seed);
     let blueprint = Blueprint::new(base, pool, GenConfig::new(eta, tau, seed));
     let mut generated = blueprint.materialize_full();
-    let mut cfg = kind.to_config(seed);
+    let mut cfg = kind.to_config(seed).with_threads(threads);
     if rows < spec.rows {
         let ratio = rows as f64 / spec.rows as f64;
-        cfg.max_block_size = ((cfg.max_block_size as f64) * ratio * ratio).ceil().max(4.0) as usize;
+        cfg.max_block_size = ((cfg.max_block_size as f64) * ratio * ratio)
+            .ceil()
+            .max(4.0) as usize;
     }
     let solver = Affidavit::new(cfg);
     let started = Instant::now();
@@ -113,6 +117,7 @@ pub fn run_one(
 }
 
 /// Run a full Table 2 cell: `runs` instances in parallel, averaged.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cell(
     spec: &DatasetSpec,
     rows: usize,
@@ -121,10 +126,11 @@ pub fn run_cell(
     kind: ConfigKind,
     runs: usize,
     base_seed: u64,
+    threads: usize,
 ) -> CellResult {
     let metrics: Vec<InstanceMetrics> = (0..runs)
         .into_par_iter()
-        .map(|i| run_one(spec, rows, eta, tau, kind, base_seed + i as u64))
+        .map(|i| run_one(spec, rows, eta, tau, kind, base_seed + i as u64, threads))
         .collect();
     let n = metrics.len() as f64;
     CellResult {
@@ -153,10 +159,14 @@ mod tests {
     #[test]
     fn easy_cell_reaches_high_accuracy() {
         let spec = by_name("iris").unwrap();
-        let cell = run_cell(&spec, 150, 0.3, 0.3, ConfigKind::Hid, 3, 77);
+        let cell = run_cell(&spec, 150, 0.3, 0.3, ConfigKind::Hid, 3, 77, 1);
         assert!(cell.acc > 0.9, "acc {}", cell.acc);
         assert!(cell.delta_core > 0.9, "Δcore {}", cell.delta_core);
-        assert!((cell.delta_costs - 1.0).abs() < 0.3, "Δcosts {}", cell.delta_costs);
+        assert!(
+            (cell.delta_costs - 1.0).abs() < 0.3,
+            "Δcosts {}",
+            cell.delta_costs
+        );
     }
 
     #[test]

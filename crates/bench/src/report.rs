@@ -13,7 +13,15 @@ pub fn markdown_table(cells: &[CellResult]) -> String {
     for c in cells {
         out.push_str(&format!(
             "| {} | {} | {} | {} | {:.1} | {:.2}s | {:.2} | {:.2} | {:.2} |\n",
-            c.dataset, c.attrs, c.records, c.config, c.eta, c.t_secs, c.delta_core, c.delta_costs, c.acc
+            c.dataset,
+            c.attrs,
+            c.records,
+            c.config,
+            c.eta,
+            c.t_secs,
+            c.delta_core,
+            c.delta_costs,
+            c.acc
         ));
     }
     out
@@ -55,7 +63,10 @@ mod tests {
     fn renders_series() {
         let md = markdown_series(
             ("scale", "t"),
-            &[("10%".into(), "1.2s".into()), ("100%".into(), "11.9s".into())],
+            &[
+                ("10%".into(), "1.2s".into()),
+                ("100%".into(), "11.9s".into()),
+            ],
         );
         assert!(md.contains("| 10% | 1.2s |"));
     }

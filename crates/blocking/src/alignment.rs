@@ -17,10 +17,7 @@ use crate::blocking::Blocking;
 /// Sample a random alignment of source and target records that respects the
 /// blocking result: only records in the same block are paired, and each
 /// record is used at most once (`min(|φ_S|, |φ_T|)` pairs per block).
-pub fn sample_random_alignment(
-    blocking: &Blocking,
-    rng: &mut StdRng,
-) -> Vec<(RecordId, RecordId)> {
+pub fn sample_random_alignment(blocking: &Blocking, rng: &mut StdRng) -> Vec<(RecordId, RecordId)> {
     let mut pairs = Vec::new();
     let mut src_buf: Vec<RecordId> = Vec::new();
     let mut tgt_buf: Vec<RecordId> = Vec::new();
@@ -32,7 +29,12 @@ pub fn sample_random_alignment(
         src_buf.shuffle(rng);
         tgt_buf.shuffle(rng);
         let n = src_buf.len().min(tgt_buf.len());
-        pairs.extend(src_buf[..n].iter().copied().zip(tgt_buf[..n].iter().copied()));
+        pairs.extend(
+            src_buf[..n]
+                .iter()
+                .copied()
+                .zip(tgt_buf[..n].iter().copied()),
+        );
     }
     pairs
 }
@@ -98,9 +100,16 @@ mod tests {
     }
 
     fn blocked_on_k(s: &Table, t: &Table, pool: &mut ValuePool) -> Blocking {
-        use affidavit_functions::{AppliedFunction, AttrFunction};
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        Blocking::root(s, t).refine(affidavit_table::AttrId(0), &mut id, s, t, pool)
+        use affidavit_functions::{ApplyScratch, AttrFunction};
+        let mut scratch = ApplyScratch::new();
+        Blocking::root(s, t).refine(
+            affidavit_table::AttrId(0),
+            &AttrFunction::Identity,
+            &mut scratch,
+            s,
+            t,
+            pool,
+        )
     }
 
     #[test]

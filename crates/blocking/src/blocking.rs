@@ -1,8 +1,8 @@
 //! Blocking results Φ^H (Definitions 4.3 and 4.4) with incremental
 //! refinement.
 
-use affidavit_functions::AppliedFunction;
-use affidavit_table::{AttrId, FxHashMap, FxHashSet, RecordId, Sym, Table, ValuePool};
+use affidavit_functions::{ApplyScratch, AttrFunction};
+use affidavit_table::{AttrId, FxHashMap, FxHashSet, Interner, RecordId, Sym, Table};
 
 /// One block φ(κ): the source and target records sharing a blocking index.
 #[derive(Debug, Clone, Default)]
@@ -59,14 +59,21 @@ impl Blocking {
 
     /// Refine on a newly assigned attribute: every block splits by the
     /// *transformed* source value vs. the raw target value of `attr`.
-    pub fn refine(
+    ///
+    /// Function application is memoized in the caller's [`ApplyScratch`]
+    /// (reset on entry) and interns transformed values into `pool` — a
+    /// worker passes its `ScratchPool` overlay here, so refinement never
+    /// touches shared mutable state.
+    pub fn refine<I: Interner>(
         &self,
         attr: AttrId,
-        func: &mut AppliedFunction,
+        func: &AttrFunction,
+        scratch: &mut ApplyScratch,
         source: &Table,
         target: &Table,
-        pool: &mut ValuePool,
+        pool: &mut I,
     ) -> Blocking {
+        scratch.begin();
         let mut out = Blocking {
             blocks: Vec::with_capacity(self.blocks.len()),
             dead_src: self.dead_src.clone(),
@@ -77,7 +84,7 @@ impl Blocking {
         for block in &self.blocks {
             for &sid in &block.src {
                 let raw = source.value(sid, attr);
-                match func.apply(raw, pool) {
+                match scratch.apply(func, raw, pool) {
                     Some(key) => {
                         let entry = groups.entry(key).or_insert_with(|| {
                             order.push(key);
@@ -163,8 +170,7 @@ impl Blocking {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use affidavit_functions::AttrFunction;
-    use affidavit_table::Schema;
+    use affidavit_table::{Schema, ValuePool};
 
     fn tables() -> (Table, Table, ValuePool) {
         let mut pool = ValuePool::new();
@@ -207,15 +213,34 @@ mod tests {
         // Refine on Type (id), Unit (const 'k $'), Org (id) — the block of
         // index ('C', 'k $', 'SAP') must hold 3 sources and 2 targets.
         let (s, t, mut pool) = tables();
-        let mut id1 = AppliedFunction::new(AttrFunction::Identity);
         let ksym = pool.intern("k $");
-        let mut cst = AppliedFunction::new(AttrFunction::Constant(ksym));
-        let mut id2 = AppliedFunction::new(AttrFunction::Identity);
+        let mut scratch = ApplyScratch::new();
 
         let b = Blocking::root(&s, &t)
-            .refine(AttrId(0), &mut id1, &s, &t, &mut pool)
-            .refine(AttrId(2), &mut cst, &s, &t, &mut pool)
-            .refine(AttrId(3), &mut id2, &s, &t, &mut pool);
+            .refine(
+                AttrId(0),
+                &AttrFunction::Identity,
+                &mut scratch,
+                &s,
+                &t,
+                &mut pool,
+            )
+            .refine(
+                AttrId(2),
+                &AttrFunction::Constant(ksym),
+                &mut scratch,
+                &s,
+                &t,
+                &mut pool,
+            )
+            .refine(
+                AttrId(3),
+                &AttrFunction::Identity,
+                &mut scratch,
+                &s,
+                &t,
+                &mut pool,
+            );
 
         let mixed: Vec<&Block> = b.mixed_blocks().collect();
         assert_eq!(mixed.len(), 2);
@@ -230,10 +255,15 @@ mod tests {
         let (s, t, mut pool) = tables();
         // Scaling applies to Val but not to Type — refine on Type with a
         // numeric function: every source dies.
-        let mut f = AppliedFunction::new(AttrFunction::Scale(
-            affidavit_table::Rational::new(1, 1000).unwrap(),
-        ));
-        let b = Blocking::root(&s, &t).refine(AttrId(0), &mut f, &s, &t, &mut pool);
+        let f = AttrFunction::Scale(affidavit_table::Rational::new(1, 1000).unwrap());
+        let b = Blocking::root(&s, &t).refine(
+            AttrId(0),
+            &f,
+            &mut ApplyScratch::new(),
+            &s,
+            &t,
+            &mut pool,
+        );
         assert_eq!(b.dead_src.len(), 4);
         assert_eq!(b.cs(), 4);
         assert_eq!(b.ct(), 3); // all targets now unmatched
@@ -245,8 +275,14 @@ mod tests {
         let root = Blocking::root(&s, &t);
         let before = root.indeterminacy(AttrId(1), &s); // all 4 Val values
         assert_eq!(before, 4);
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        let refined = root.refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let refined = root.refine(
+            AttrId(0),
+            &AttrFunction::Identity,
+            &mut ApplyScratch::new(),
+            &s,
+            &t,
+            &mut pool,
+        );
         let after = refined.indeterminacy(AttrId(1), &s);
         assert_eq!(after, 3); // the C-block has 3 distinct Val values
     }
@@ -254,14 +290,33 @@ mod tests {
     #[test]
     fn refinement_order_is_deterministic() {
         let (s, t, mut pool) = tables();
-        let mut id_a = AppliedFunction::new(AttrFunction::Identity);
-        let mut id_b = AppliedFunction::new(AttrFunction::Identity);
-        let b1 = Blocking::root(&s, &t).refine(AttrId(3), &mut id_a, &s, &t, &mut pool);
-        let b2 = Blocking::root(&s, &t).refine(AttrId(3), &mut id_b, &s, &t, &mut pool);
-        let shape1: Vec<(usize, usize)> =
-            b1.blocks.iter().map(|b| (b.src.len(), b.tgt.len())).collect();
-        let shape2: Vec<(usize, usize)> =
-            b2.blocks.iter().map(|b| (b.src.len(), b.tgt.len())).collect();
+        let mut scratch = ApplyScratch::new();
+        let b1 = Blocking::root(&s, &t).refine(
+            AttrId(3),
+            &AttrFunction::Identity,
+            &mut scratch,
+            &s,
+            &t,
+            &mut pool,
+        );
+        let b2 = Blocking::root(&s, &t).refine(
+            AttrId(3),
+            &AttrFunction::Identity,
+            &mut scratch,
+            &s,
+            &t,
+            &mut pool,
+        );
+        let shape1: Vec<(usize, usize)> = b1
+            .blocks
+            .iter()
+            .map(|b| (b.src.len(), b.tgt.len()))
+            .collect();
+        let shape2: Vec<(usize, usize)> = b2
+            .blocks
+            .iter()
+            .map(|b| (b.src.len(), b.tgt.len()))
+            .collect();
         assert_eq!(shape1, shape2);
     }
 }

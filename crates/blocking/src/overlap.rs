@@ -54,7 +54,10 @@ pub fn overlap_start_attrs(source: &Table, target: &Table, cfg: OverlapConfig) -
         tgt_index.clear();
         src_count.clear();
         for (tid, rec) in target.iter() {
-            tgt_index.entry(rec.get(attr.index())).or_default().push(tid);
+            tgt_index
+                .entry(rec.get(attr.index()))
+                .or_default()
+                .push(tid);
         }
         for (_, rec) in source.iter() {
             *src_count.entry(rec.get(attr.index())).or_default() += 1;

@@ -15,14 +15,14 @@ affidavit — explain differences between unaligned table snapshots (EDBT 2020)
 
 USAGE:
   affidavit explain <source.csv> <target.csv> [--config id|overlap] [--seed N]
-                    [--sql TABLE] [--trace] [--align] [--corpus] [--extended]
-                    [--save F.json]
+                    [--threads N] [--sql TABLE] [--trace] [--align] [--corpus]
+                    [--extended] [--save F.json]
   affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
   affidavit apply   <source.csv> <target.csv> <unseen.csv> [--out FILE]
   affidavit apply   --explanation F.json <unseen.csv> [--out FILE]
   affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
   affidavit profile <source_dir> <target_dir> [--align] [--extended]
-                    [--config id|overlap] [--seed N] [--json FILE]
+                    [--config id|overlap] [--seed N] [--threads N] [--json FILE]
   affidavit help";
 
 /// Simple positional + flag splitter.
@@ -75,8 +75,7 @@ fn load_instance(src: &str, tgt: &str) -> Result<ProblemInstance, String> {
 }
 
 fn read_csv(path: &str, pool: &mut ValuePool) -> Result<Table, String> {
-    csv::read_path(path, pool, csv::CsvOptions::default())
-        .map_err(|e| format!("{path}: {e}"))
+    csv::read_path(path, pool, csv::CsvOptions::default()).map_err(|e| format!("{path}: {e}"))
 }
 
 fn build_config(p: &Parsed<'_>) -> Result<AffidavitConfig, String> {
@@ -87,6 +86,11 @@ fn build_config(p: &Parsed<'_>) -> Result<AffidavitConfig, String> {
     };
     if let Some(seed) = p.flag_value("seed") {
         cfg.seed = seed.parse().map_err(|_| format!("bad --seed {seed:?}"))?;
+    }
+    if let Some(threads) = p.flag_value("threads") {
+        cfg.threads = threads
+            .parse()
+            .map_err(|_| format!("bad --threads {threads:?} (use a count, or 0 for auto)"))?;
     }
     if p.has("trace") {
         cfg.trace = true;
@@ -148,13 +152,7 @@ pub fn explain(args: &[String]) -> Result<(), String> {
         let alignment = affidavit_core::schema_align::align_schemas(&source, &target, &pool);
         let pairs: Vec<String> = alignment
             .pairs()
-            .map(|(i, j)| {
-                format!(
-                    "{} ← {}",
-                    source.schema().name(i),
-                    target.schema().name(j)
-                )
-            })
+            .map(|(i, j)| format!("{} ← {}", source.schema().name(i), target.schema().name(j)))
             .collect();
         eprintln!(
             "schema alignment (min confidence {:.2}): {}",
@@ -198,11 +196,8 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         config: build_config(&p)?,
         align: p.has("align"),
     };
-    let profile = affidavit_core::profiling::profile_dirs(
-        Path::new(src_dir),
-        Path::new(tgt_dir),
-        &opts,
-    )?;
+    let profile =
+        affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?;
     println!("{}", profile.render());
     if let Some(path) = p.flag_value("json") {
         std::fs::write(path, profile.to_json()).map_err(|e| e.to_string())?;
@@ -287,7 +282,13 @@ pub fn apply(args: &[String]) -> Result<(), String> {
         let mut pool = ValuePool::new();
         let unseen = read_csv(unseen_path, &mut pool)?;
         let names: Vec<&str> = unseen.schema().names().collect();
-        if names != portable.schema.iter().map(String::as_str).collect::<Vec<_>>() {
+        if names
+            != portable
+                .schema
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        {
             return Err(format!(
                 "schema mismatch: explanation was learned over {:?}, input has {:?}",
                 portable.schema, names
@@ -340,14 +341,24 @@ pub fn apply(args: &[String]) -> Result<(), String> {
     );
     match p.flag_value("out") {
         Some(path) => {
-            csv::write_path(path, &transformed, &instance.pool, csv::CsvOptions::default())
-                .map_err(|e| e.to_string())?;
+            csv::write_path(
+                path,
+                &transformed,
+                &instance.pool,
+                csv::CsvOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
             eprintln!("wrote {path}");
         }
         None => {
             let mut stdout = std::io::stdout();
-            csv::write(&mut stdout, &transformed, &instance.pool, csv::CsvOptions::default())
-                .map_err(|e| e.to_string())?;
+            csv::write(
+                &mut stdout,
+                &transformed,
+                &instance.pool,
+                csv::CsvOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
         }
     }
     Ok(())
@@ -361,9 +372,21 @@ pub fn gen(args: &[String]) -> Result<(), String> {
     };
     let spec = affidavit_datasets::by_name(dataset)
         .ok_or_else(|| format!("unknown dataset {dataset:?}"))?;
-    let eta: f64 = p.flag_value("eta").unwrap_or("0.3").parse().map_err(|_| "bad --eta")?;
-    let tau: f64 = p.flag_value("tau").unwrap_or("0.3").parse().map_err(|_| "bad --tau")?;
-    let seed: u64 = p.flag_value("seed").unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let eta: f64 = p
+        .flag_value("eta")
+        .unwrap_or("0.3")
+        .parse()
+        .map_err(|_| "bad --eta")?;
+    let tau: f64 = p
+        .flag_value("tau")
+        .unwrap_or("0.3")
+        .parse()
+        .map_err(|_| "bad --tau")?;
+    let seed: u64 = p
+        .flag_value("seed")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --seed")?;
     let rows: usize = match p.flag_value("rows") {
         Some(r) => r.parse().map_err(|_| "bad --rows")?,
         None => spec.rows,
@@ -378,10 +401,20 @@ pub fn gen(args: &[String]) -> Result<(), String> {
     let dir = Path::new(out_dir);
     let src_path = dir.join(format!("{dataset}_source.csv"));
     let tgt_path = dir.join(format!("{dataset}_target.csv"));
-    csv::write_path(&src_path, &generated.instance.source, &generated.instance.pool, csv::CsvOptions::default())
-        .map_err(|e| e.to_string())?;
-    csv::write_path(&tgt_path, &generated.instance.target, &generated.instance.pool, csv::CsvOptions::default())
-        .map_err(|e| e.to_string())?;
+    csv::write_path(
+        &src_path,
+        &generated.instance.source,
+        &generated.instance.pool,
+        csv::CsvOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    csv::write_path(
+        &tgt_path,
+        &generated.instance.target,
+        &generated.instance.pool,
+        csv::CsvOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "wrote {} and {} (η={eta}, τ={tau}, {} records each, reference cost {})",
         src_path.display(),
@@ -402,7 +435,9 @@ mod tests {
 
     #[test]
     fn parse_positional_and_flags() {
-        let args = argv(&["a.csv", "b.csv", "--config", "overlap", "--trace", "--seed", "9"]);
+        let args = argv(&[
+            "a.csv", "b.csv", "--config", "overlap", "--trace", "--seed", "9",
+        ]);
         let p = parse(&args);
         assert_eq!(p.positional, vec!["a.csv", "b.csv"]);
         assert_eq!(p.flag_value("config"), Some("overlap"));
@@ -435,7 +470,13 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let dir_s = dir.to_string_lossy().to_string();
         gen(&argv(&[
-            "iris", "--rows", "100", "--seed", "3", "--out-dir", &dir_s,
+            "iris",
+            "--rows",
+            "100",
+            "--seed",
+            "3",
+            "--out-dir",
+            &dir_s,
         ]))
         .unwrap();
         let src = dir.join("iris_source.csv");
@@ -478,7 +519,10 @@ mod tests {
         ]))
         .unwrap();
         let written = std::fs::read_to_string(&out).unwrap();
-        assert!(written.contains("z,9"), "learned x/1000 must apply: {written}");
+        assert!(
+            written.contains("z,9"),
+            "learned x/1000 must apply: {written}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -83,12 +83,20 @@ mod tests {
             AttrFunction::Scale(Rational::new(1, 1000).unwrap()),
             AttrFunction::Constant(k),
         ];
-        let rec = transform_record(&functions, unseen.record(affidavit_table::RecordId(0)), &mut pool)
-            .unwrap();
+        let rec = transform_record(
+            &functions,
+            unseen.record(affidavit_table::RecordId(0)),
+            &mut pool,
+        )
+        .unwrap();
         assert_eq!(pool.get(rec.get(0)), "123");
         assert_eq!(pool.get(rec.get(1)), "k $");
-        let rec2 = transform_record(&functions, unseen.record(affidavit_table::RecordId(1)), &mut pool)
-            .unwrap();
+        let rec2 = transform_record(
+            &functions,
+            unseen.record(affidavit_table::RecordId(1)),
+            &mut pool,
+        )
+        .unwrap();
         assert_eq!(pool.get(rec2.get(0)), "0.007");
     }
 

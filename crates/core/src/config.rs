@@ -66,6 +66,19 @@ pub struct AffidavitConfig {
     pub max_expansions: usize,
     /// Record a search trace (Figure 4) — costs a little memory.
     pub trace: bool,
+    /// Minimum number of records (live sources + targets) in a state's
+    /// blocking before an extension batch is fanned out across the worker
+    /// pool; below it the batch runs on the calling thread, since spawn
+    /// overhead would exceed the work. Purely a scheduling knob — results
+    /// are identical either way.
+    pub parallel_min_records: usize,
+    /// Worker threads for candidate generation during state extension.
+    /// `1` (the default) runs fully sequentially on the calling thread;
+    /// `0` means "one per hardware thread". Results are identical at
+    /// every thread count: each attribute's induction/ranking runs on a
+    /// per-attribute seeded RNG and the extensions are merged in a stable
+    /// order.
+    pub threads: usize,
 }
 
 impl Default for AffidavitConfig {
@@ -89,9 +102,11 @@ impl AffidavitConfig {
             max_examples_per_target: 1_000,
             registry: Registry::default(),
             use_corpus: false,
-            seed: 0xAFF1_DAF1,
+            seed: 0xEDB7_2020,
             max_expansions: 10_000,
             trace: false,
+            parallel_min_records: 4096,
+            threads: 1,
         }
     }
 
@@ -122,6 +137,13 @@ impl AffidavitConfig {
     /// Enable search tracing (builder style).
     pub fn with_trace(mut self) -> AffidavitConfig {
         self.trace = true;
+        self
+    }
+
+    /// Set the extension worker-thread count (builder style); `0` means
+    /// one worker per hardware thread.
+    pub fn with_threads(mut self, threads: usize) -> AffidavitConfig {
+        self.threads = threads;
         self
     }
 }

@@ -46,8 +46,33 @@ pub fn record_bound(blocking: &Blocking, delta: i64) -> u64 {
     ct.max(cs - delta).max(0) as u64
 }
 
+/// Cost of the child that extends `parent` by assigning a function with
+/// description length `func_psi` to a previously *open* attribute, over
+/// the child's `blocking`. Computed incrementally from the parent's
+/// assignments (`cf(child) = cf(parent) + ψ(f)` since an open attribute
+/// contributes no ψ) — avoids cloning the assignment vector on the
+/// extension hot path.
+pub fn child_state_cost(
+    parent: &[Assignment],
+    func_psi: u64,
+    blocking: &Blocking,
+    delta: i64,
+    alpha: f64,
+    arity: usize,
+) -> f64 {
+    let records = record_bound(blocking, delta) as f64;
+    let funcs = (cf(parent) + func_psi) as f64;
+    2.0 * alpha * (arity as f64) * records + 2.0 * (1.0 - alpha) * funcs
+}
+
 /// Full state cost `c(H)`.
-pub fn state_cost(assignments: &[Assignment], blocking: &Blocking, delta: i64, alpha: f64, arity: usize) -> f64 {
+pub fn state_cost(
+    assignments: &[Assignment],
+    blocking: &Blocking,
+    delta: i64,
+    alpha: f64,
+    arity: usize,
+) -> f64 {
     let records = record_bound(blocking, delta) as f64;
     let funcs = cf(assignments) as f64;
     2.0 * alpha * (arity as f64) * records + 2.0 * (1.0 - alpha) * funcs

@@ -45,7 +45,10 @@ impl Explanation {
     /// core images equal a target tuple occurring `m` times in `T`,
     /// `min(j, m)` sources join the core (the proof's "remove all but one"
     /// step, generalized to duplicate rows).
-    pub fn from_functions(functions: Vec<AttrFunction>, instance: &mut ProblemInstance) -> Explanation {
+    pub fn from_functions(
+        functions: Vec<AttrFunction>,
+        instance: &mut ProblemInstance,
+    ) -> Explanation {
         assert_eq!(
             functions.len(),
             instance.arity(),
@@ -79,7 +82,9 @@ impl Explanation {
             let mut ok = true;
             #[allow(clippy::needless_range_loop)] // indexes two parallel arrays
             for a in 0..arity {
-                let v = instance.source.value(sid, affidavit_table::AttrId(a as u32));
+                let v = instance
+                    .source
+                    .value(sid, affidavit_table::AttrId(a as u32));
                 match applied[a].apply(v, &mut instance.pool) {
                     Some(out) => image.push(out),
                     None => {
@@ -149,7 +154,8 @@ impl Explanation {
 
     /// `c(E) = 2α·L(T^E+) + 2(1−α)·L(F^E)` (Def. 3.10).
     pub fn cost(&self, alpha: f64, arity: usize) -> f64 {
-        2.0 * alpha * self.l_inserted(arity) as f64 + 2.0 * (1.0 - alpha) * self.l_functions() as f64
+        2.0 * alpha * self.l_inserted(arity) as f64
+            + 2.0 * (1.0 - alpha) * self.l_functions() as f64
     }
 
     /// Integer cost at the default α = 0.5: `L(T^E+) + L(F^E)`.
@@ -203,7 +209,9 @@ impl Explanation {
                 return Err(format!("source record {sid:?} referenced twice"));
             }
             if std::mem::replace(&mut seen_t[tid.index()], true) {
-                return Err(format!("target record {tid:?} matched twice (not a bijection)"));
+                return Err(format!(
+                    "target record {tid:?} matched twice (not a bijection)"
+                ));
             }
             #[allow(clippy::needless_range_loop)] // indexes two parallel arrays
             for a in 0..instance.arity() {
@@ -245,11 +253,7 @@ mod tests {
         let t = Table::from_rows(
             Schema::new(["Val", "Org"]),
             &mut pool,
-            vec![
-                vec!["80", "IBM"],
-                vec!["0.065", "SAP"],
-                vec!["1", "INS"],
-            ],
+            vec![vec!["80", "IBM"], vec!["0.065", "SAP"], vec!["1", "INS"]],
         );
         ProblemInstance::new(s, t, pool).unwrap()
     }

@@ -1,4 +1,5 @@
-//! State extension — the `Extensions(H)` procedure of Algorithm 1.
+//! State extension — the `Extensions(H)` procedure of Algorithm 1, as a
+//! parallel two-phase engine.
 //!
 //! For a polled state, the β most determined undecided attributes are
 //! tried: candidate functions are induced from block-sampled examples,
@@ -8,44 +9,118 @@
 //! attribute. Attributes where the greedy map wins are ⊞-marked; if every
 //! remaining attribute is map-suited the state is finalized into an end
 //! state by resolving the ⊞s one after another (§4.3).
+//!
+//! # Two-phase structure
+//!
+//! **Phase 1 (parallel, read-only):** every attribute of the β-batch is
+//! expanded by an independent worker against the *frozen* shared state
+//! (`SearchCtx`): greedy benchmark, candidate induction, ranking and
+//! child blocking/cost all run on a per-worker `WorkerScratch` — an
+//! interning overlay over the frozen pool plus a per-attribute seeded
+//! RNG. Workers share nothing mutable.
+//!
+//! **Phase 2 (sequential merge):** the driver walks the results in batch
+//! order, absorbs each worker's newly interned strings into the shared
+//! pool, rewrites escaping symbols through the returned remap, assigns
+//! state ids and records trace nodes. Because both the per-worker RNG
+//! streams and the merge order are independent of scheduling, the search
+//! is byte-identical at every thread count.
 
-use affidavit_blocking::{greedy_map_from_alignment, sample_random_alignment};
-use affidavit_functions::{AppliedFunction, AttrFunction};
-use affidavit_table::AttrId;
+use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 
-use crate::cost::state_cost;
+use affidavit_blocking::{greedy_map_from_alignment, sample_random_alignment, Blocking};
+use affidavit_functions::AttrFunction;
+use affidavit_table::{AttrId, RecordId};
+
+use crate::cost::child_state_cost;
 use crate::induction::{induce_candidates, InductionParams};
 use crate::ranking::rank_candidates;
-use crate::search::Ctx;
+use crate::search::{Ctx, SearchCtx};
 use crate::state::{Assignment, SearchState};
 use crate::trace::TraceNode;
 
 /// Create the child of `state` that assigns `func` to `attr`, refining the
-/// blocking and computing the child's cost.
+/// blocking and computing the child's cost. Driver-side (sequential) path:
+/// interns directly into the shared pool.
 pub(crate) fn make_child(
     ctx: &mut Ctx<'_>,
     state: &SearchState,
     attr: usize,
     func: AttrFunction,
 ) -> SearchState {
-    let mut assignments = state.assignments.clone();
-    assignments[attr] = Assignment::Assigned(func.clone());
-    let mut applied = AppliedFunction::new(func.clone());
     let blocking = state.blocking.refine(
         AttrId(attr as u32),
-        &mut applied,
+        &func,
+        &mut ctx.scratch,
         &ctx.instance.source,
         &ctx.instance.target,
         &mut ctx.instance.pool,
     );
-    let cost = state_cost(
-        &assignments,
-        &blocking,
-        ctx.delta,
-        ctx.cfg.alpha,
-        ctx.arity,
+    let cost = child_cost(ctx.search_ctx().cost_params(), state, &func, &blocking);
+    register_child(ctx, state, attr, func, blocking, cost)
+}
+
+/// The `(delta, alpha, arity)` triple `child_cost` needs, extracted so
+/// both the driver and the workers can call it.
+#[derive(Clone, Copy)]
+pub(crate) struct CostParams {
+    pub delta: i64,
+    pub alpha: f64,
+    pub arity: usize,
+}
+
+impl SearchCtx<'_> {
+    pub(crate) fn cost_params(&self) -> CostParams {
+        CostParams {
+            delta: self.delta,
+            alpha: self.cfg.alpha,
+            arity: self.arity,
+        }
+    }
+}
+
+/// Cost of the child of `state` assigning `func` to a previously open
+/// attribute, over `blocking`. ψ of a function does not read the pool, so
+/// this is valid for functions still carrying scratch symbols, and it is
+/// computed incrementally — no assignment-vector clone.
+fn child_cost(
+    params: CostParams,
+    state: &SearchState,
+    func: &AttrFunction,
+    blocking: &Blocking,
+) -> f64 {
+    child_state_cost(
+        &state.assignments,
+        func.psi(),
+        blocking,
+        params.delta,
+        params.alpha,
+        params.arity,
+    )
+}
+
+/// Driver-side: materialize a child state from already-computed parts,
+/// assigning its id and recording trace/stat bookkeeping. This is the
+/// single point where extension results enter shared search state, and it
+/// runs in deterministic merge order.
+fn register_child(
+    ctx: &mut Ctx<'_>,
+    state: &SearchState,
+    attr: usize,
+    func: AttrFunction,
+    blocking: Blocking,
+    cost: f64,
+) -> SearchState {
+    // `cost` was computed incrementally as cf(parent) + ψ(func), which is
+    // only valid when the attribute was previously open (contributing 0).
+    debug_assert!(
+        state.assignments[attr].is_open(),
+        "extensions must target open attributes"
     );
+    let mut assignments = state.assignments.clone();
+    assignments[attr] = Assignment::Assigned(func.clone());
     let id = ctx.next_id();
     ctx.stats.states_generated += 1;
     if let Some(trace) = ctx.trace.as_mut() {
@@ -63,7 +138,9 @@ pub(crate) fn make_child(
             label,
             polled_order: None,
             kept: false,
-            end: assignments.iter().all(|a| matches!(a, Assignment::Assigned(_))),
+            end: assignments
+                .iter()
+                .all(|a| matches!(a, Assignment::Assigned(_))),
         });
     }
     SearchState {
@@ -82,12 +159,133 @@ pub(crate) fn order_by_indeterminacy(ctx: &Ctx<'_>, state: &SearchState) -> Vec<
     let mut attrs = state.undecided_attrs();
     let keys: Vec<usize> = attrs
         .iter()
-        .map(|&a| state.blocking.indeterminacy(AttrId(a as u32), &ctx.instance.source))
+        .map(|&a| {
+            state
+                .blocking
+                .indeterminacy(AttrId(a as u32), &ctx.instance.source)
+        })
         .collect();
     let mut order: Vec<usize> = (0..attrs.len()).collect();
     order.sort_by_key(|&i| (keys[i], attrs[i]));
     attrs = order.into_iter().map(|i| attrs[i]).collect();
     attrs
+}
+
+/// One candidate child computed by a worker: function (possibly carrying
+/// scratch symbols), refined blocking and cost. Blockings store only
+/// record ids, so they are valid globally as-is.
+struct CandChild {
+    func: AttrFunction,
+    blocking: Blocking,
+    cost: f64,
+    /// Beat the greedy benchmark (only such children enter the frontier;
+    /// the rest still get trace nodes, as in the sequential engine).
+    kept: bool,
+}
+
+/// Everything one worker produced for one attribute.
+struct AttrExpansion {
+    attr: usize,
+    /// Pool length the worker's scratch was frozen at.
+    base_len: usize,
+    /// Strings the worker interned, in interning order.
+    new_strings: Vec<Arc<str>>,
+    /// The greedy-map benchmark child `Hд`.
+    greedy: CandChild,
+    /// All ranked candidates, in rank order (kept and rejected).
+    ranked: Vec<CandChild>,
+}
+
+/// Phase 1 worker: expand one attribute against the frozen context.
+/// Shares nothing mutable; deterministic given `(cfg.seed, state.id, attr)`.
+fn expand_attr(
+    sctx: &SearchCtx<'_>,
+    state: &SearchState,
+    attr: usize,
+    alignment: &[(RecordId, RecordId)],
+) -> AttrExpansion {
+    let mut ws = sctx.scratch_for(state.id, attr);
+    let params = sctx.cost_params();
+
+    // The greedy-map benchmark Hд. An empty map (every aligned value
+    // already agrees) is the identity — normalize so explanations never
+    // show `map{}`.
+    let gmap = greedy_map_from_alignment(alignment, AttrId(attr as u32), sctx.source, sctx.target);
+    let g_func = if gmap.is_empty() {
+        AttrFunction::Identity
+    } else {
+        AttrFunction::Map(gmap)
+    };
+    let g_blocking = state.blocking.refine(
+        AttrId(attr as u32),
+        &g_func,
+        &mut ws.apply,
+        sctx.source,
+        sctx.target,
+        &mut ws.pool,
+    );
+    let g_cost = child_cost(params, state, &g_func, &g_blocking);
+
+    // Induce and rank candidates for this attribute.
+    let induction = InductionParams {
+        k: sctx.k_induce,
+        min_support: sctx.cfg.min_support,
+        max_examples_per_target: sctx.cfg.max_examples_per_target,
+        use_corpus: sctx.cfg.use_corpus,
+    };
+    let cands = induce_candidates(
+        &state.blocking,
+        AttrId(attr as u32),
+        sctx.source,
+        sctx.target,
+        &mut ws.pool,
+        &sctx.cfg.registry,
+        induction,
+        &mut ws.rng,
+    );
+    let ranked = rank_candidates(
+        &state.blocking,
+        AttrId(attr as u32),
+        cands.into_iter().map(|c| c.func).collect(),
+        sctx.source,
+        sctx.target,
+        &mut ws.pool,
+        sctx.k_rank,
+        sctx.cfg.beta.max(1),
+        &mut ws.rng,
+    );
+
+    let mut children = Vec::new();
+    for rc in ranked {
+        let blocking = state.blocking.refine(
+            AttrId(attr as u32),
+            &rc.func,
+            &mut ws.apply,
+            sctx.source,
+            sctx.target,
+            &mut ws.pool,
+        );
+        let cost = child_cost(params, state, &rc.func, &blocking);
+        children.push(CandChild {
+            func: rc.func,
+            blocking,
+            cost,
+            kept: cost < g_cost,
+        });
+    }
+
+    AttrExpansion {
+        attr,
+        base_len: ws.pool.base_len(),
+        new_strings: ws.pool.take_new_strings(),
+        greedy: CandChild {
+            func: g_func,
+            blocking: g_blocking,
+            cost: g_cost,
+            kept: false,
+        },
+        ranked: children,
+    }
 }
 
 /// The `Extensions(H)` procedure. Returns the kept extensions, or — when
@@ -104,61 +302,53 @@ pub(crate) fn extensions(ctx: &mut Ctx<'_>, state: &SearchState) -> Vec<SearchSt
     let mut batch: Vec<usize> = cursor.by_ref().take(ctx.cfg.beta.max(1)).collect();
 
     while ext.is_empty() && !batch.is_empty() {
-        for &attr in &batch {
-            // The greedy-map benchmark Hд. An empty map (every aligned
-            // value already agrees) is the identity — normalize so
-            // explanations never show `map{}`.
-            let gmap = greedy_map_from_alignment(
-                &alignment,
-                AttrId(attr as u32),
-                &ctx.instance.source,
-                &ctx.instance.target,
-            );
-            let g_func = if gmap.is_empty() {
-                AttrFunction::Identity
+        let started = Instant::now();
+        // Phase 1: fan the batch out across the pool, read-only.
+        let worth_spawning = state.blocking.live_sources() + state.blocking.total_targets()
+            >= ctx.cfg.parallel_min_records;
+        let expansions: Vec<AttrExpansion> = {
+            let sctx = ctx.search_ctx();
+            if ctx.cfg.threads != 1 && batch.len() > 1 && worth_spawning {
+                batch
+                    .par_iter()
+                    .map(|&attr| expand_attr(&sctx, state, attr, &alignment))
+                    .collect()
             } else {
-                AttrFunction::Map(gmap)
-            };
-            let hg = make_child(ctx, state, attr, g_func);
+                batch
+                    .iter()
+                    .map(|&attr| expand_attr(&sctx, state, attr, &alignment))
+                    .collect()
+            }
+        };
+        ctx.stats.extension_time += started.elapsed();
 
-            // Induce and rank candidates for this attribute.
-            let params = InductionParams {
-                k: ctx.k_induce,
-                min_support: ctx.cfg.min_support,
-                max_examples_per_target: ctx.cfg.max_examples_per_target,
-                use_corpus: ctx.cfg.use_corpus,
-            };
-            let cands = induce_candidates(
-                &state.blocking,
-                AttrId(attr as u32),
-                &ctx.instance.source,
-                &ctx.instance.target,
-                &mut ctx.instance.pool,
-                &ctx.cfg.registry,
-                params,
-                &mut ctx.rng,
+        // Phase 2: deterministic merge in batch order.
+        for exp in expansions {
+            let remap = ctx.instance.pool.absorb(exp.base_len, &exp.new_strings);
+            // Register the greedy benchmark child (id + trace parity with
+            // the historical sequential engine; never kept).
+            let _hg = register_child(
+                ctx,
+                state,
+                exp.attr,
+                exp.greedy.func.remap(&remap),
+                exp.greedy.blocking,
+                exp.greedy.cost,
             );
-            let ranked = rank_candidates(
-                &state.blocking,
-                AttrId(attr as u32),
-                cands.into_iter().map(|c| c.func).collect(),
-                &ctx.instance.source,
-                &ctx.instance.target,
-                &mut ctx.instance.pool,
-                ctx.k_rank,
-                ctx.cfg.beta.max(1),
-                &mut ctx.rng,
-            );
-
-            let mut kept_any = false;
-            for rc in ranked {
-                let hf = make_child(ctx, state, attr, rc.func);
-                if hf.cost < hg.cost {
-                    kept_any = true;
-                    ext.push(hf);
+            for cand in exp.ranked {
+                let child = register_child(
+                    ctx,
+                    state,
+                    exp.attr,
+                    cand.func.remap(&remap),
+                    cand.blocking,
+                    cand.cost,
+                );
+                if cand.kept {
+                    ext.push(child);
                 }
             }
-            let _ = kept_any; // map-marking is implicit: unkept attrs stay ∗
+            // Map-marking is implicit: attrs with no kept candidate stay ∗.
         }
         batch = cursor.by_ref().take(1).collect();
     }
@@ -224,6 +414,27 @@ mod tests {
     }
 
     #[test]
+    fn parallel_extensions_match_sequential() {
+        // The two-phase engine must produce identical children (functions,
+        // costs, ids) at any thread count.
+        let describe = |threads: usize| {
+            let mut inst = instance();
+            let mut cfg = AffidavitConfig::paper_id().with_threads(threads);
+            cfg.parallel_min_records = 0; // force the fan-out path even on this tiny instance
+            let mut ctx = Ctx::new(&mut inst, &cfg);
+            let root = ctx.root_state();
+            let start = make_child(&mut ctx, &root, 0, AttrFunction::Identity);
+            extensions(&mut ctx, &start)
+                .iter()
+                .map(|e| (e.id, e.cost, format!("{:?}", e.assignments)))
+                .collect::<Vec<_>>()
+        };
+        let seq = describe(1);
+        let par = describe(4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
     fn indeterminacy_ordering_prefers_determined() {
         let mut inst = instance();
         let cfg = AffidavitConfig::paper_id();
@@ -243,8 +454,6 @@ mod tests {
         let mut ctx = Ctx::new(&mut inst, &cfg);
         let root = ctx.root_state();
         assert_eq!(root.blocking.len(), 1);
-        assert!(Blocking::root(&ctx.instance.source, &ctx.instance.target)
-            .blocks[0]
-            .is_mixed());
+        assert!(Blocking::root(&ctx.instance.source, &ctx.instance.target).blocks[0].is_mixed());
     }
 }

@@ -10,7 +10,7 @@
 
 use affidavit_blocking::Blocking;
 use affidavit_functions::{induce_from_example, AttrFunction, Registry};
-use affidavit_table::{AttrId, FxHashMap, FxHashSet, Sym, Table, ValuePool};
+use affidavit_table::{AttrId, FxHashMap, FxHashSet, Interner, Sym, Table};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 
@@ -40,12 +40,12 @@ pub struct InductionParams {
 /// Induce and filter candidate functions for `attr` under a blocking
 /// result. Deterministic given the RNG state.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-pub fn induce_candidates(
+pub fn induce_candidates<I: Interner>(
     blocking: &Blocking,
     attr: AttrId,
     source: &Table,
     target: &Table,
-    pool: &mut ValuePool,
+    pool: &mut I,
     registry: &Registry,
     params: InductionParams,
     rng: &mut StdRng,
@@ -122,8 +122,8 @@ pub fn induce_candidates(
 mod tests {
     use super::*;
     use affidavit_blocking::Blocking;
-    use affidavit_functions::{AppliedFunction, AttrFunction};
-    use affidavit_table::{Schema, Table};
+    use affidavit_functions::{ApplyScratch, AttrFunction};
+    use affidavit_table::{Schema, Table, ValuePool};
     use rand::SeedableRng;
 
     /// 40 records, Val divided by 1000, blocked perfectly by the key.
@@ -137,8 +137,14 @@ mod tests {
             .collect();
         let s = Table::from_rows(Schema::new(["k", "Val"]), &mut pool, rows_s);
         let t = Table::from_rows(Schema::new(["k", "Val"]), &mut pool, rows_t);
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        let blocking = Blocking::root(&s, &t).refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let blocking = Blocking::root(&s, &t).refine(
+            AttrId(0),
+            &AttrFunction::Identity,
+            &mut ApplyScratch::new(),
+            &s,
+            &t,
+            &mut pool,
+        );
         (s, t, pool, blocking)
     }
 
@@ -191,7 +197,9 @@ mod tests {
             &mut rng,
         );
         assert!(
-            !cands.iter().any(|c| matches!(c.func, AttrFunction::Constant(_))),
+            !cands
+                .iter()
+                .any(|c| matches!(c.func, AttrFunction::Constant(_))),
             "constants should be filtered: {cands:?}"
         );
     }
@@ -202,8 +210,14 @@ mod tests {
         let s = Table::from_rows(Schema::new(["a"]), &mut pool, vec![vec!["x"]]);
         let t = Table::from_rows(Schema::new(["a"]), &mut pool, vec![vec!["y"]]);
         // Block on a: "x" and "y" land in different blocks → no mixed.
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        let blocking = Blocking::root(&s, &t).refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let blocking = Blocking::root(&s, &t).refine(
+            AttrId(0),
+            &AttrFunction::Identity,
+            &mut ApplyScratch::new(),
+            &s,
+            &t,
+            &mut pool,
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let cands = induce_candidates(
             &blocking,
@@ -250,23 +264,21 @@ mod tests {
         let s = Table::from_rows(
             Schema::new(["k", "v"]),
             &mut pool,
-            vec![
-                vec!["a", "100"],
-                vec!["b", "200"],
-                vec!["c", "300"],
-            ],
+            vec![vec!["a", "100"], vec!["b", "200"], vec!["c", "300"]],
         );
         let t = Table::from_rows(
             Schema::new(["k", "v"]),
             &mut pool,
-            vec![
-                vec!["a", "0.1"],
-                vec!["b", "0.2"],
-                vec!["c", "0.3"],
-            ],
+            vec![vec!["a", "0.1"], vec!["b", "0.2"], vec!["c", "0.3"]],
         );
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        let blocking = Blocking::root(&s, &t).refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let blocking = Blocking::root(&s, &t).refine(
+            AttrId(0),
+            &AttrFunction::Identity,
+            &mut ApplyScratch::new(),
+            &s,
+            &t,
+            &mut pool,
+        );
         let mut rng = StdRng::seed_from_u64(5);
         let cands = induce_candidates(
             &blocking,

@@ -21,7 +21,11 @@ pub struct ProblemInstance {
 
 impl ProblemInstance {
     /// Build an instance, verifying the snapshots share a schema.
-    pub fn new(source: Table, target: Table, pool: ValuePool) -> Result<ProblemInstance, TableError> {
+    pub fn new(
+        source: Table,
+        target: Table,
+        pool: ValuePool,
+    ) -> Result<ProblemInstance, TableError> {
         if source.schema() != target.schema() {
             return Err(TableError::SchemaMismatch {
                 detail: format!(

@@ -189,12 +189,14 @@ impl PortableFunction {
                     .iter()
                     .map(|seg| match *seg {
                         Segment::Literal(l) => PortableSegment::Literal(pool.get(l).to_owned()),
-                        Segment::Token { idx, from_end: false } => {
-                            PortableSegment::Token(idx as i32)
-                        }
-                        Segment::Token { idx, from_end: true } => {
-                            PortableSegment::Token(-(idx as i32) - 1)
-                        }
+                        Segment::Token {
+                            idx,
+                            from_end: false,
+                        } => PortableSegment::Token(idx as i32),
+                        Segment::Token {
+                            idx,
+                            from_end: true,
+                        } => PortableSegment::Token(-(idx as i32) - 1),
                     })
                     .collect(),
             },
@@ -216,12 +218,14 @@ impl PortableFunction {
             PortableFunction::Uppercase => AttrFunction::Uppercase,
             PortableFunction::Lowercase => AttrFunction::Lowercase,
             PortableFunction::Constant { value } => AttrFunction::Constant(pool.intern(value)),
-            PortableFunction::Add { y } => AttrFunction::Add(
-                Decimal::parse(y).ok_or_else(|| format!("bad addend {y:?}"))?,
-            ),
+            PortableFunction::Add { y } => {
+                AttrFunction::Add(Decimal::parse(y).ok_or_else(|| format!("bad addend {y:?}"))?)
+            }
             PortableFunction::Scale { num, den } => {
                 let num: i128 = num.parse().map_err(|_| format!("bad numerator {num:?}"))?;
-                let den: i128 = den.parse().map_err(|_| format!("bad denominator {den:?}"))?;
+                let den: i128 = den
+                    .parse()
+                    .map_err(|_| format!("bad denominator {den:?}"))?;
                 AttrFunction::Scale(
                     Rational::new(num, den).ok_or_else(|| "zero denominator".to_owned())?,
                 )
@@ -264,8 +268,7 @@ impl PortableFunction {
                     })
                     .collect::<Result<Vec<_>, String>>()?;
                 AttrFunction::TokenProgram(
-                    TokenProgram::new(segs)
-                        .ok_or_else(|| "degenerate token program".to_owned())?,
+                    TokenProgram::new(segs).ok_or_else(|| "degenerate token program".to_owned())?,
                 )
             }
             PortableFunction::Map { entries } => AttrFunction::Map(ValueMap::from_pairs(

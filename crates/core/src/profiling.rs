@@ -330,11 +330,19 @@ mod tests {
             .collect();
         assert!(matches!(
             by_name["accounts"],
-            TableOutcome::Explained { core: 25, changed_attributes: 1, .. }
+            TableOutcome::Explained {
+                core: 25,
+                changed_attributes: 1,
+                ..
+            }
         ));
         assert!(matches!(
             by_name["static"],
-            TableOutcome::Explained { cost: 0, changed_attributes: 0, .. }
+            TableOutcome::Explained {
+                cost: 0,
+                changed_attributes: 0,
+                ..
+            }
         ));
         assert!(matches!(by_name["dropped"], TableOutcome::MissingInTarget));
         assert!(matches!(by_name["created"], TableOutcome::MissingInSource));
@@ -377,7 +385,10 @@ mod tests {
 
         // Without align: failure. With align: explained.
         let plain = profile_dirs(&src, &tgt, &ProfileOptions::default()).unwrap();
-        assert!(matches!(plain.tables[0].outcome, TableOutcome::Failed { .. }));
+        assert!(matches!(
+            plain.tables[0].outcome,
+            TableOutcome::Failed { .. }
+        ));
 
         let opts = ProfileOptions {
             align: true,
@@ -385,7 +396,10 @@ mod tests {
         };
         let aligned = profile_dirs(&src, &tgt, &opts).unwrap();
         assert!(
-            matches!(aligned.tables[0].outcome, TableOutcome::Explained { core: 20, .. }),
+            matches!(
+                aligned.tables[0].outcome,
+                TableOutcome::Explained { core: 20, .. }
+            ),
             "{:?}",
             aligned.tables[0].outcome
         );

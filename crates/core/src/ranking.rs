@@ -11,7 +11,7 @@
 
 use affidavit_blocking::Blocking;
 use affidavit_functions::{AppliedFunction, AttrFunction};
-use affidavit_table::{AttrId, FxHashMap, FxHashSet, Sym, Table, ValuePool};
+use affidavit_table::{AttrId, FxHashMap, FxHashSet, Interner, Sym, Table};
 use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 
@@ -29,13 +29,13 @@ pub struct RankedCandidate {
 /// Rank `candidates` for `attr`, returning the best `beta` in descending
 /// score order.
 #[allow(clippy::too_many_arguments)]
-pub fn rank_candidates(
+pub fn rank_candidates<I: Interner>(
     blocking: &Blocking,
     attr: AttrId,
     candidates: Vec<AttrFunction>,
     source: &Table,
     target: &Table,
-    pool: &mut ValuePool,
+    pool: &mut I,
     k_prime: usize,
     beta: usize,
     rng: &mut StdRng,
@@ -122,14 +122,18 @@ pub fn rank_candidates(
 /// structural equality already dedupes them, this guards the Vec path.
 pub fn dedupe_functions(funcs: Vec<AttrFunction>) -> Vec<AttrFunction> {
     let mut seen: FxHashSet<AttrFunction> = FxHashSet::default();
-    funcs.into_iter().filter(|f| seen.insert(f.clone())).collect()
+    funcs
+        .into_iter()
+        .filter(|f| seen.insert(f.clone()))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use affidavit_blocking::Blocking;
-    use affidavit_table::{Rational, Schema};
+    use affidavit_functions::ApplyScratch;
+    use affidavit_table::{Rational, Schema, ValuePool};
     use rand::SeedableRng;
 
     /// Blocks keyed by `k`; Val divided by 1000 in the target. A constant
@@ -145,8 +149,14 @@ mod tests {
             .collect();
         let s = Table::from_rows(Schema::new(["k", "Val"]), &mut pool, rows_s);
         let t = Table::from_rows(Schema::new(["k", "Val"]), &mut pool, rows_t);
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        let blocking = Blocking::root(&s, &t).refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let blocking = Blocking::root(&s, &t).refine(
+            AttrId(0),
+            &AttrFunction::Identity,
+            &mut ApplyScratch::new(),
+            &s,
+            &t,
+            &mut pool,
+        );
         (s, t, pool, blocking)
     }
 
@@ -208,23 +218,29 @@ mod tests {
     fn psi_breaks_overlap_ties() {
         // Two functions with identical overlap: the cheaper one ranks first.
         let mut pool = ValuePool::new();
-        let s = Table::from_rows(
-            Schema::new(["k", "v"]),
+        let s = Table::from_rows(Schema::new(["k", "v"]), &mut pool, vec![vec!["a", "x"]; 10]);
+        let t = Table::from_rows(Schema::new(["k", "v"]), &mut pool, vec![vec!["a", "x"]; 10]);
+        let blocking = Blocking::root(&s, &t).refine(
+            AttrId(0),
+            &AttrFunction::Identity,
+            &mut ApplyScratch::new(),
+            &s,
+            &t,
             &mut pool,
-            vec![vec!["a", "x"]; 10],
         );
-        let t = Table::from_rows(
-            Schema::new(["k", "v"]),
-            &mut pool,
-            vec![vec!["a", "x"]; 10],
-        );
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        let blocking = Blocking::root(&s, &t).refine(AttrId(0), &mut id, &s, &t, &mut pool);
         let x = pool.lookup("x").unwrap();
         let candidates = vec![AttrFunction::Constant(x), AttrFunction::Identity];
         let mut rng = StdRng::seed_from_u64(0);
         let ranked = rank_candidates(
-            &blocking, AttrId(1), candidates, &s, &t, &mut pool, 139, 2, &mut rng,
+            &blocking,
+            AttrId(1),
+            candidates,
+            &s,
+            &t,
+            &mut pool,
+            139,
+            2,
+            &mut rng,
         );
         assert!(ranked[0].func.is_identity()); // ψ 0 beats ψ 1
         assert_eq!(ranked[0].overlap, ranked[1].overlap);

@@ -200,11 +200,7 @@ pub fn to_sql(explanation: &Explanation, instance: &ProblemInstance, table_name:
     }
     for &tid in &explanation.inserted {
         let rec = instance.target.record(tid);
-        let cols: Vec<String> = instance
-            .schema()
-            .names()
-            .map(sql_ident)
-            .collect();
+        let cols: Vec<String> = instance.schema().names().map(sql_ident).collect();
         let vals: Vec<String> = rec
             .values()
             .iter()
@@ -297,9 +293,15 @@ mod tests {
         use affidavit_functions::substring::{Segment, TokenProgram};
         let mut inst = instance();
         let prog = TokenProgram::new(vec![
-            Segment::Token { idx: 1, from_end: false },
+            Segment::Token {
+                idx: 1,
+                from_end: false,
+            },
             Segment::Literal(inst.pool.intern(" ")),
-            Segment::Token { idx: 0, from_end: false },
+            Segment::Token {
+                idx: 0,
+                from_end: false,
+            },
         ])
         .unwrap();
         let e = Explanation::from_functions(

@@ -170,9 +170,7 @@ fn detect_merges(source: &Table, target: &Table, pool: &ValuePool) -> Vec<Restru
                 }
                 for sep in SEPARATORS {
                     let score = concat_score(&whole, sep, &src_sets[a], &src_sets[b], pool);
-                    if score >= MIN_SCORE
-                        && best.as_ref().is_none_or(|r| score > r.score())
-                    {
+                    if score >= MIN_SCORE && best.as_ref().is_none_or(|r| score > r.score()) {
                         best = Some(Restructure::Merge {
                             target: AttrId(j as u32),
                             left: AttrId(a as u32),
@@ -208,9 +206,7 @@ fn detect_splits(source: &Table, target: &Table, pool: &ValuePool) -> Vec<Restru
                 }
                 for sep in SEPARATORS {
                     let score = concat_score(&whole, sep, &tgt_sets[j], &tgt_sets[k], pool);
-                    if score >= MIN_SCORE
-                        && best.as_ref().is_none_or(|r| score > r.score())
-                    {
+                    if score >= MIN_SCORE && best.as_ref().is_none_or(|r| score > r.score()) {
                         best = Some(Restructure::Split {
                             source: AttrId(a as u32),
                             left: AttrId(j as u32),
@@ -308,10 +304,14 @@ pub fn normalize_arity(
         let found = detect_restructures(&src, &tgt, pool);
         let best = found.into_iter().next()?;
         match &best {
-            Restructure::Merge { left, right, sep, .. } => {
+            Restructure::Merge {
+                left, right, sep, ..
+            } => {
                 src = concat_columns(&src, left.0 as usize, right.0 as usize, sep, pool);
             }
-            Restructure::Split { left, right, sep, .. } => {
+            Restructure::Split {
+                left, right, sep, ..
+            } => {
                 tgt = concat_columns(&tgt, left.0 as usize, right.0 as usize, sep, pool);
             }
         }
@@ -330,10 +330,12 @@ mod tests {
 
     fn names() -> (Vec<&'static str>, Vec<&'static str>) {
         (
-            vec!["John", "Jane", "Max", "Ada", "Alan", "Grace", "Kurt", "Emmy", "Carl", "Sofia"],
             vec![
-                "Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether", "Gauss", "Euler",
-                "Curie", "Mayer",
+                "John", "Jane", "Max", "Ada", "Alan", "Grace", "Kurt", "Emmy", "Carl", "Sofia",
+            ],
+            vec![
+                "Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether", "Gauss", "Euler", "Curie",
+                "Mayer",
             ],
         )
     }
@@ -362,7 +364,14 @@ mod tests {
         let (s, t) = merge_tables(&mut pool);
         let found = detect_restructures(&s, &t, &pool);
         assert!(!found.is_empty());
-        let Restructure::Merge { target, left, right, sep, score } = &found[0] else {
+        let Restructure::Merge {
+            target,
+            left,
+            right,
+            sep,
+            score,
+        } = &found[0]
+        else {
             panic!("expected merge, got {:?}", found[0]);
         };
         assert_eq!((*target, *left, *right), (AttrId(0), AttrId(0), AttrId(1)));
@@ -385,7 +394,14 @@ mod tests {
         let s = Table::from_rows(Schema::new(["period", "val"]), &mut pool, rows_s);
         let t = Table::from_rows(Schema::new(["year", "month", "val"]), &mut pool, rows_t);
         let found = detect_restructures(&s, &t, &pool);
-        let Restructure::Split { source, left, right, sep, .. } = &found[0] else {
+        let Restructure::Split {
+            source,
+            left,
+            right,
+            sep,
+            ..
+        } = &found[0]
+        else {
             panic!("expected split, got {:?}", found[0]);
         };
         assert_eq!((*source, *left, *right), (AttrId(0), AttrId(0), AttrId(1)));
@@ -408,7 +424,10 @@ mod tests {
         let s = Table::from_rows(Schema::new(["cls", "num", "k"]), &mut pool, rows_s);
         let t = Table::from_rows(Schema::new(["code", "k"]), &mut pool, rows_t);
         let found = detect_restructures(&s, &t, &pool);
-        let Restructure::Merge { sep, left, right, .. } = &found[0] else {
+        let Restructure::Merge {
+            sep, left, right, ..
+        } = &found[0]
+        else {
             panic!("expected merge");
         };
         assert_eq!(sep, "");
@@ -471,11 +490,7 @@ mod tests {
         // Whatever separator wins, the normalization must reproduce the
         // target column exactly.
         let (s2, _, _) = normalize_arity(&s, &t, &mut pool).expect("normalizable");
-        let merged: Vec<&str> = s2
-            .records()
-            .iter()
-            .map(|r| pool.get(r.get(0)))
-            .collect();
+        let merged: Vec<&str> = s2.records().iter().map(|r| pool.get(r.get(0))).collect();
         assert!(merged.iter().all(|v| v.contains(' ')));
     }
 

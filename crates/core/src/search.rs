@@ -4,8 +4,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use affidavit_blocking::{overlap_start_attrs, Blocking, OverlapConfig};
-use affidavit_functions::AttrFunction;
-use affidavit_table::{AttrId, FxHashSet};
+use affidavit_functions::{ApplyScratch, AttrFunction};
+use affidavit_table::{AttrId, FxHashSet, ScratchPool, Table, ValuePool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,6 +35,9 @@ pub struct SearchStats {
     pub end_state_cost: f64,
     /// Whether the safety valve (`max_expansions`) fired.
     pub hit_expansion_limit: bool,
+    /// Wall-clock time spent in the `Extensions(H)` candidate-generation
+    /// phase (the part that fans out across worker threads).
+    pub extension_time: Duration,
 }
 
 /// The result of a search: explanation, counters, optional trace.
@@ -48,11 +51,68 @@ pub struct SearchOutcome {
     pub trace: Option<SearchTrace>,
 }
 
-/// Mutable search context shared by the driver, extender and finalizer.
+/// The read-only half of the search context.
+///
+/// Everything candidate generation needs to read — snapshots, the frozen
+/// value pool, configuration and derived sample sizes — without any
+/// mutable state. `SearchCtx` is `Sync`; every extension worker shares one
+/// instance by reference while the driver's mutable state ([`Ctx`]) stays
+/// on the coordinating thread.
+pub(crate) struct SearchCtx<'a> {
+    pub source: &'a Table,
+    pub target: &'a Table,
+    pub pool: &'a ValuePool,
+    pub cfg: &'a AffidavitConfig,
+    pub k_induce: usize,
+    pub k_rank: usize,
+    pub delta: i64,
+    pub arity: usize,
+}
+
+/// Per-worker mutable scratch for one attribute expansion: an interning
+/// overlay over the frozen pool, a reusable function-application memo and
+/// a per-attribute deterministic RNG. Nothing in here is shared — workers
+/// never contend, and results are independent of scheduling.
+pub(crate) struct WorkerScratch<'a> {
+    pub pool: ScratchPool<'a>,
+    pub apply: ApplyScratch,
+    pub rng: StdRng,
+}
+
+impl<'a> SearchCtx<'a> {
+    /// Scratch for expanding `attr` out of the state with id `state_id`.
+    ///
+    /// The RNG seed mixes `(cfg.seed, state_id, attr)` — state ids are
+    /// assigned in deterministic merge order, so every worker draws an
+    /// identical stream at any thread count.
+    pub(crate) fn scratch_for(&self, state_id: usize, attr: usize) -> WorkerScratch<'a> {
+        WorkerScratch {
+            pool: ScratchPool::new(self.pool.reader()),
+            apply: ApplyScratch::new(),
+            rng: StdRng::seed_from_u64(mix3(self.cfg.seed, state_id as u64, attr as u64)),
+        }
+    }
+}
+
+/// SplitMix64-style mixing of three words into one seed.
+fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_add(b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(c.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The mutable half of the search context, owned by the driver thread:
+/// the problem instance (whose pool only grows when worker results are
+/// absorbed between parallel phases), run counters, the trace, the
+/// alignment-sampling RNG and the id counter.
 pub(crate) struct Ctx<'a> {
     pub instance: &'a mut ProblemInstance,
     pub cfg: &'a AffidavitConfig,
     pub rng: StdRng,
+    pub scratch: ApplyScratch,
     pub k_induce: usize,
     pub k_rank: usize,
     pub delta: i64,
@@ -70,6 +130,7 @@ impl<'a> Ctx<'a> {
             instance,
             cfg,
             rng: StdRng::seed_from_u64(cfg.seed),
+            scratch: ApplyScratch::new(),
             k_induce: induction_sample_size(cfg.theta, cfg.confidence),
             k_rank: cochran_sample_size(cfg.theta),
             delta,
@@ -84,6 +145,21 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Freeze the read-only view for a parallel phase. The borrow ends
+    /// before the driver absorbs worker results back into the pool.
+    pub(crate) fn search_ctx(&self) -> SearchCtx<'_> {
+        SearchCtx {
+            source: &self.instance.source,
+            target: &self.instance.target,
+            pool: &self.instance.pool,
+            cfg: self.cfg,
+            k_induce: self.k_induce,
+            k_rank: self.k_rank,
+            delta: self.delta,
+            arity: self.arity,
+        }
+    }
+
     pub(crate) fn next_id(&mut self) -> usize {
         let id = self.next_id;
         self.next_id += 1;
@@ -94,7 +170,13 @@ impl<'a> Ctx<'a> {
     pub(crate) fn root_state(&mut self) -> SearchState {
         let blocking = Blocking::root(&self.instance.source, &self.instance.target);
         let assignments = vec![Assignment::Undecided; self.arity];
-        let cost = state_cost(&assignments, &blocking, self.delta, self.cfg.alpha, self.arity);
+        let cost = state_cost(
+            &assignments,
+            &blocking,
+            self.delta,
+            self.cfg.alpha,
+            self.arity,
+        );
         let id = self.next_id();
         if let Some(trace) = self.trace.as_mut() {
             trace.add(TraceNode {
@@ -174,7 +256,23 @@ impl Affidavit {
     /// Always returns a valid explanation: if the queue drains or the
     /// expansion limit fires, the best partial state is finalized with
     /// greedy maps.
+    ///
+    /// With `cfg.threads != 1` the candidate-generation phase of every
+    /// expansion fans out across a rayon pool; the result is identical to
+    /// the sequential run at any thread count (see
+    /// [`AffidavitConfig::paper_id`]'s `threads` docs).
     pub fn explain(&self, instance: &mut ProblemInstance) -> SearchOutcome {
+        if self.cfg.threads == 1 {
+            return self.explain_inner(instance);
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.cfg.threads)
+            .build()
+            .expect("thread pool");
+        pool.install(|| self.explain_inner(instance))
+    }
+
+    fn explain_inner(&self, instance: &mut ProblemInstance) -> SearchOutcome {
         let started = Instant::now();
         let mut ctx = Ctx::new(instance, &self.cfg);
         let mut queue = BoundedLevelQueue::new(self.cfg.queue_width);
@@ -356,7 +454,10 @@ mod tests {
             let mut inst = noisy_instance();
             let cfg = AffidavitConfig::paper_id().with_seed(seed);
             let out = Affidavit::new(cfg).explain(&mut inst);
-            (out.explanation.functions.clone(), out.explanation.core_size())
+            (
+                out.explanation.functions.clone(),
+                out.explanation.core_size(),
+            )
         };
         assert_eq!(run(42), run(42));
     }

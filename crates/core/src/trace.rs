@@ -151,12 +151,10 @@ impl SearchTrace {
     /// Render the search tree as Graphviz DOT (Figure 4 as a diagram):
     /// polled states carry their extraction order, pruned states are grey.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph search {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+        let mut out =
+            String::from("digraph search {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
         for n in &self.nodes {
-            let label = n
-                .label
-                .replace('\\', "\\\\")
-                .replace('"', "\\\"");
+            let label = n.label.replace('\\', "\\\\").replace('"', "\\\"");
             let order = n
                 .polled_order
                 .map(|k| format!("[{k}] "))

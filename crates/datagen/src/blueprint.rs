@@ -209,18 +209,19 @@ impl Blueprint {
             .cloned()
             .map(AppliedFunction::new)
             .collect();
-        let transform = |row: usize, applied: &mut [AppliedFunction], pool: &mut ValuePool| -> Vec<Sym> {
-            let rec = self.base.record(RecordId(row as u32));
-            rec.values()
-                .iter()
-                .enumerate()
-                .map(|(a, &v)| {
-                    applied[a]
-                        .apply(v, pool)
-                        .expect("sampled functions are total on the base domain")
-                })
-                .collect()
-        };
+        let transform =
+            |row: usize, applied: &mut [AppliedFunction], pool: &mut ValuePool| -> Vec<Sym> {
+                let rec = self.base.record(RecordId(row as u32));
+                rec.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(a, &v)| {
+                        applied[a]
+                            .apply(v, pool)
+                            .expect("sampled functions are total on the base domain")
+                    })
+                    .collect()
+            };
 
         // Snapshot composition; both sides then get shuffled row orders.
         #[derive(Clone, Copy)]
@@ -297,12 +298,7 @@ impl Blueprint {
             .collect();
         let pk_map: Vec<(Sym, Sym)> = core_pairs
             .iter()
-            .map(|&(s, t)| {
-                (
-                    source.value(s, pk_attr),
-                    target.value(t, pk_attr),
-                )
-            })
+            .map(|&(s, t)| (source.value(s, pk_attr), target.value(t, pk_attr)))
             .collect();
         functions.push(AttrFunction::Map(ValueMap::from_pairs(pk_map)));
 
@@ -400,7 +396,11 @@ mod tests {
         // Force at least one map by using high τ and a seed scan.
         let bp = (0..50)
             .map(|seed| Blueprint::new(base.clone(), pool.clone(), GenConfig::new(0.3, 0.7, seed)))
-            .find(|bp| bp.functions.iter().any(|f| matches!(f, AttrFunction::Map(_))))
+            .find(|bp| {
+                bp.functions
+                    .iter()
+                    .any(|f| matches!(f, AttrFunction::Map(_)))
+            })
             .expect("some seed samples a value map");
         let full = bp.materialize_full();
         let mut half = bp.materialize(0.5);
@@ -423,10 +423,7 @@ mod tests {
     fn deterministic() {
         let a = blueprint(0.3, 0.3, 5).materialize_full();
         let b = blueprint(0.3, 0.3, 5).materialize_full();
-        assert_eq!(
-            a.instance.source.len(),
-            b.instance.source.len()
-        );
+        assert_eq!(a.instance.source.len(), b.instance.source.len());
         assert_eq!(a.reference.core_pairs(), b.reference.core_pairs());
         assert_eq!(a.reference.functions, b.reference.functions);
     }

@@ -146,14 +146,9 @@ mod tests {
     #[test]
     fn all_identity_accuracy_reflects_unchanged_attrs() {
         // Functions all-id: exactly the unchanged attributes' cells match.
-        let mut gen = generated(5);
+        let mut gen = generated(1);
         let arity = gen.instance.arity();
-        let id = Explanation::new(
-            vec![AttrFunction::Identity; arity],
-            vec![],
-            vec![],
-            vec![],
-        );
+        let id = Explanation::new(vec![AttrFunction::Identity; arity], vec![], vec![], vec![]);
         let acc = cell_accuracy(&id, &mut gen);
         let unchanged = gen
             .reference

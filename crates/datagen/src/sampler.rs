@@ -69,11 +69,7 @@ fn propose_extension(
             0 => AttrFunction::ThousandsSep(*[',', ' '].choose(rng).expect("non-empty")),
             1 => {
                 // Pad past the longest value so the function is not a no-op.
-                let max_len = values
-                    .iter()
-                    .map(|&v| pool.get(v).len())
-                    .max()
-                    .unwrap_or(1);
+                let max_len = values.iter().map(|&v| pool.get(v).len()).max().unwrap_or(1);
                 AttrFunction::ZeroPad((max_len + rng.gen_range(1..3usize)) as u32)
             }
             _ => AttrFunction::Round(rng.gen_range(0..2u32)),
@@ -224,9 +220,7 @@ pub fn random_permutation_map(values: &[Sym], rng: &mut StdRng) -> AttrFunction 
     if shuffled.iter().zip(values).all(|(a, b)| a == b) && values.len() > 1 {
         shuffled.rotate_left(1);
     }
-    AttrFunction::Map(ValueMap::from_pairs(
-        values.iter().copied().zip(shuffled),
-    ))
+    AttrFunction::Map(ValueMap::from_pairs(values.iter().copied().zip(shuffled)))
 }
 
 fn applies_to_all(f: &AttrFunction, values: &[Sym], pool: &mut ValuePool) -> bool {

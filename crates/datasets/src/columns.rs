@@ -37,7 +37,10 @@ pub fn named_layout(spec: &DatasetSpec, rows: usize) -> Option<Vec<(String, Colu
             ("sepal_width", dec(rows, 0.2, 1)),
             ("petal_length", dec(rows, 0.3, 1)),
             ("petal_width", dec(rows, 0.15, 1)),
-            ("class", cat(&["Iris-setosa", "Iris-versicolor", "Iris-virginica"])),
+            (
+                "class",
+                cat(&["Iris-setosa", "Iris-versicolor", "Iris-virginica"]),
+            ),
         ],
         "balance" => vec![
             ("class", cat(&["L", "B", "R"])),
@@ -59,7 +62,13 @@ pub fn named_layout(spec: &DatasetSpec, rows: usize) -> Option<Vec<(String, Colu
         "bridges" => vec![
             ("river", cat(&["A", "M", "O", "Y"])),
             ("location", int(rows, 0.45)),
-            ("erected", ColumnKind::Date { start_year: 1880, domain: 60 }),
+            (
+                "erected",
+                ColumnKind::Date {
+                    start_year: 1880,
+                    domain: 60,
+                },
+            ),
             ("purpose", cat(&["HIGHWAY", "RR", "AQUEDUCT", "WALK"])),
             ("lanes", cat(&["1", "2", "4", "6"])),
             ("clear_g", cat(&["N", "G"])),
@@ -69,33 +78,132 @@ pub fn named_layout(spec: &DatasetSpec, rows: usize) -> Option<Vec<(String, Colu
         ],
         "adult" => vec![
             ("age", int(rows, 0.0015)),
-            ("workclass", cat(&["Private", "Self-emp", "Federal-gov", "Local-gov", "State-gov", "Without-pay"])),
+            (
+                "workclass",
+                cat(&[
+                    "Private",
+                    "Self-emp",
+                    "Federal-gov",
+                    "Local-gov",
+                    "State-gov",
+                    "Without-pay",
+                ]),
+            ),
             ("fnlwgt", int(rows, 0.4)),
-            ("education", cat(&["Bachelors", "HS-grad", "11th", "Masters", "Some-college", "Assoc-acdm", "Doctorate"])),
+            (
+                "education",
+                cat(&[
+                    "Bachelors",
+                    "HS-grad",
+                    "11th",
+                    "Masters",
+                    "Some-college",
+                    "Assoc-acdm",
+                    "Doctorate",
+                ]),
+            ),
             ("education_num", int(rows, 0.0004)),
-            ("marital_status", cat(&["Married-civ-spouse", "Divorced", "Never-married", "Separated", "Widowed"])),
-            ("occupation", cat(&["Tech-support", "Craft-repair", "Sales", "Exec-managerial", "Prof-specialty", "Handlers-cleaners"])),
-            ("relationship", cat(&["Wife", "Own-child", "Husband", "Not-in-family", "Unmarried"])),
-            ("race", cat(&["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"])),
+            (
+                "marital_status",
+                cat(&[
+                    "Married-civ-spouse",
+                    "Divorced",
+                    "Never-married",
+                    "Separated",
+                    "Widowed",
+                ]),
+            ),
+            (
+                "occupation",
+                cat(&[
+                    "Tech-support",
+                    "Craft-repair",
+                    "Sales",
+                    "Exec-managerial",
+                    "Prof-specialty",
+                    "Handlers-cleaners",
+                ]),
+            ),
+            (
+                "relationship",
+                cat(&["Wife", "Own-child", "Husband", "Not-in-family", "Unmarried"]),
+            ),
+            (
+                "race",
+                cat(&[
+                    "White",
+                    "Black",
+                    "Asian-Pac-Islander",
+                    "Amer-Indian-Eskimo",
+                    "Other",
+                ]),
+            ),
             ("sex", cat(&["Male", "Female"])),
             ("capital_gain", int(rows, 0.01)),
             ("capital_loss", int(rows, 0.005)),
             ("hours_per_week", int(rows, 0.002)),
-            ("native_country", cat(&["United-States", "Mexico", "Philippines", "Germany", "Canada", "India", "England"])),
+            (
+                "native_country",
+                cat(&[
+                    "United-States",
+                    "Mexico",
+                    "Philippines",
+                    "Germany",
+                    "Canada",
+                    "India",
+                    "England",
+                ]),
+            ),
         ],
         "ncvoter-1k" => vec![
             ("county_id", int(rows, 0.1)),
-            ("voter_reg_num", ColumnKind::Code { prefix: "VR", width: 6, domain: ((rows as f64) * 0.6) as u64 }),
-            ("last_name", cat(&["SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "DAVIS", "MILLER", "WILSON"])),
-            ("first_name", cat(&["JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL"])),
+            (
+                "voter_reg_num",
+                ColumnKind::Code {
+                    prefix: "VR",
+                    width: 6,
+                    domain: ((rows as f64) * 0.6) as u64,
+                },
+            ),
+            (
+                "last_name",
+                cat(&[
+                    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "DAVIS", "MILLER", "WILSON",
+                ]),
+            ),
+            (
+                "first_name",
+                cat(&[
+                    "JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL",
+                ]),
+            ),
             ("midl_name", cat(&["A", "B", "C", "D", "E", "L", "M"])),
             ("status_cd", cat(&["A", "I", "D", "R"])),
-            ("voter_status_desc", cat(&["ACTIVE", "INACTIVE", "DENIED", "REMOVED"])),
+            (
+                "voter_status_desc",
+                cat(&["ACTIVE", "INACTIVE", "DENIED", "REMOVED"]),
+            ),
             ("reason_cd", cat(&["AV", "IN", "DN", "RL"])),
-            ("city", cat(&["RALEIGH", "CHARLOTTE", "DURHAM", "GREENSBORO", "WILMINGTON", "ASHEVILLE"])),
+            (
+                "city",
+                cat(&[
+                    "RALEIGH",
+                    "CHARLOTTE",
+                    "DURHAM",
+                    "GREENSBORO",
+                    "WILMINGTON",
+                    "ASHEVILLE",
+                ]),
+            ),
             ("state_cd", cat(&["NC"])),
             ("zip_code", int(rows, 0.2)),
-            ("registr_dt", ColumnKind::Date { start_year: 1990, domain: ((rows as f64) * 0.3).max(2.0) as u64 }),
+            (
+                "registr_dt",
+                ColumnKind::Date {
+                    start_year: 1990,
+                    domain: ((rows as f64) * 0.3).max(2.0) as u64,
+                },
+            ),
             ("race_code", cat(&["W", "B", "A", "I", "O", "U"])),
             ("ethnic_code", cat(&["HL", "NL", "UN"])),
             ("party_cd", cat(&["DEM", "REP", "UNA", "LIB"])),
@@ -103,33 +211,67 @@ pub fn named_layout(spec: &DatasetSpec, rows: usize) -> Option<Vec<(String, Colu
         "chess" => vec![
             ("white_king_file", cat(&["a", "b", "c", "d"])),
             ("white_king_rank", cat(&["1", "2", "3", "4"])),
-            ("white_rook_file", cat(&["a", "b", "c", "d", "e", "f", "g", "h"])),
-            ("white_rook_rank", cat(&["1", "2", "3", "4", "5", "6", "7", "8"])),
-            ("black_king_file", cat(&["a", "b", "c", "d", "e", "f", "g", "h"])),
-            ("black_king_rank", cat(&["1", "2", "3", "4", "5", "6", "7", "8"])),
-            ("outcome", cat(&["draw", "zero", "one", "two", "three", "four", "five", "six", "seven", "eight"])),
+            (
+                "white_rook_file",
+                cat(&["a", "b", "c", "d", "e", "f", "g", "h"]),
+            ),
+            (
+                "white_rook_rank",
+                cat(&["1", "2", "3", "4", "5", "6", "7", "8"]),
+            ),
+            (
+                "black_king_file",
+                cat(&["a", "b", "c", "d", "e", "f", "g", "h"]),
+            ),
+            (
+                "black_king_rank",
+                cat(&["1", "2", "3", "4", "5", "6", "7", "8"]),
+            ),
+            (
+                "outcome",
+                cat(&[
+                    "draw", "zero", "one", "two", "three", "four", "five", "six", "seven", "eight",
+                ]),
+            ),
         ],
         "nursery" => vec![
             ("parents", cat(&["usual", "pretentious", "great_pret"])),
-            ("has_nurs", cat(&["proper", "less_proper", "improper", "critical", "very_crit"])),
-            ("form", cat(&["complete", "completed", "incomplete", "foster"])),
+            (
+                "has_nurs",
+                cat(&["proper", "less_proper", "improper", "critical", "very_crit"]),
+            ),
+            (
+                "form",
+                cat(&["complete", "completed", "incomplete", "foster"]),
+            ),
             ("children", cat(&["1", "2", "3", "more"])),
             ("housing", cat(&["convenient", "less_conv", "critical"])),
             ("finance", cat(&["convenient", "inconv"])),
             ("social", cat(&["nonprob", "slightly_prob", "problematic"])),
             ("health", cat(&["recommended", "priority", "not_recom"])),
-            ("class", cat(&["not_recom", "recommend", "very_recom", "priority", "spec_prior"])),
+            (
+                "class",
+                cat(&[
+                    "not_recom",
+                    "recommend",
+                    "very_recom",
+                    "priority",
+                    "spec_prior",
+                ]),
+            ),
         ],
         "letter" => {
             // 16 integer features in 0..16 plus the class letter.
             let mut cols: Vec<(&str, ColumnKind)> = vec![(
                 "lettr",
-                cat(&["A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M",
-                      "N", "O", "P", "Q", "R", "S", "T", "U", "V", "W", "X", "Y", "Z"]),
+                cat(&[
+                    "A", "B", "C", "D", "E", "F", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P",
+                    "Q", "R", "S", "T", "U", "V", "W", "X", "Y", "Z",
+                ]),
             )];
             for name in [
-                "x-box", "y-box", "width", "high", "onpix", "x-bar", "y-bar", "x2bar",
-                "y2bar", "xybar", "x2ybr", "xy2br", "x-ege", "xegvy", "y-ege", "yegvx",
+                "x-box", "y-box", "width", "high", "onpix", "x-bar", "y-bar", "x2bar", "y2bar",
+                "xybar", "x2ybr", "xy2br", "x-ege", "xegvy", "y-ege", "yegvx",
             ] {
                 cols.push((name, ColumnKind::Int { domain: 16 }));
             }
@@ -151,7 +293,10 @@ pub fn named_layout(spec: &DatasetSpec, rows: usize) -> Option<Vec<(String, Colu
             ("uniformity_cell_size", ColumnKind::Int { domain: 10 }),
             ("uniformity_cell_shape", ColumnKind::Int { domain: 10 }),
             ("marginal_adhesion", ColumnKind::Int { domain: 10 }),
-            ("single_epithelial_cell_size", ColumnKind::Int { domain: 10 }),
+            (
+                "single_epithelial_cell_size",
+                ColumnKind::Int { domain: 10 },
+            ),
             ("bare_nuclei", ColumnKind::Int { domain: 10 }),
             ("bland_chromatin", ColumnKind::Int { domain: 10 }),
             ("normal_nucleoli", ColumnKind::Int { domain: 10 }),
@@ -160,12 +305,7 @@ pub fn named_layout(spec: &DatasetSpec, rows: usize) -> Option<Vec<(String, Colu
         ],
         _ => return None,
     };
-    Some(
-        layout
-            .into_iter()
-            .map(|(n, k)| (n.to_owned(), k))
-            .collect(),
-    )
+    Some(layout.into_iter().map(|(n, k)| (n.to_owned(), k)).collect())
 }
 
 /// Build the full column list for a spec: the hand layout when available
@@ -198,7 +338,19 @@ mod tests {
 
     #[test]
     fn layouts_match_spec_arity() {
-        for name in ["iris", "balance", "abalone", "bridges", "adult", "ncvoter-1k", "chess", "nursery", "letter", "echo", "breast"] {
+        for name in [
+            "iris",
+            "balance",
+            "abalone",
+            "bridges",
+            "adult",
+            "ncvoter-1k",
+            "chess",
+            "nursery",
+            "letter",
+            "echo",
+            "breast",
+        ] {
             let spec = by_name(name).unwrap();
             let mut rng = StdRng::seed_from_u64(1);
             let layout = layout_for(&spec, spec.rows.min(2000), &mut rng).unwrap();

@@ -9,7 +9,7 @@
 use affidavit_core::explanation::Explanation;
 use affidavit_core::instance::ProblemInstance;
 use affidavit_functions::{AttrFunction, ValueMap};
-use affidavit_table::{RecordId, Rational, Schema, Table, ValuePool};
+use affidavit_table::{Rational, RecordId, Schema, Table, ValuePool};
 
 /// Schema of the running example.
 pub const ATTRS: [&str; 7] = ["ID1", "ID2", "Date", "Type", "Val", "Unit", "Org"];

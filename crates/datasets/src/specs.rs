@@ -48,24 +48,114 @@ impl DatasetSpec {
 /// All datasets of Table 2 in paper order, plus `flight-500k` (§5.4.1).
 pub fn all_specs() -> &'static [DatasetSpec] {
     const SPECS: &[DatasetSpec] = &[
-        DatasetSpec { name: "iris", rows: 150, attrs: 6, profile: Profile::NumericHeavy },
-        DatasetSpec { name: "balance", rows: 625, attrs: 6, profile: Profile::LowDistinct },
-        DatasetSpec { name: "chess", rows: 28056, attrs: 8, profile: Profile::LowDistinct },
-        DatasetSpec { name: "abalone", rows: 4177, attrs: 9, profile: Profile::NumericHeavy },
-        DatasetSpec { name: "nursery", rows: 12960, attrs: 10, profile: Profile::LowDistinct },
-        DatasetSpec { name: "bridges", rows: 108, attrs: 10, profile: Profile::Mixed },
-        DatasetSpec { name: "echo", rows: 132, attrs: 10, profile: Profile::NumericHeavy },
-        DatasetSpec { name: "breast", rows: 699, attrs: 11, profile: Profile::NumericHeavy },
-        DatasetSpec { name: "adult", rows: 48842, attrs: 15, profile: Profile::Mixed },
-        DatasetSpec { name: "ncvoter-1k", rows: 1000, attrs: 16, profile: Profile::Mixed },
-        DatasetSpec { name: "letter", rows: 20000, attrs: 18, profile: Profile::LowDistinct },
-        DatasetSpec { name: "hepatitis", rows: 155, attrs: 19, profile: Profile::Mixed },
-        DatasetSpec { name: "horse", rows: 368, attrs: 28, profile: Profile::Mixed },
-        DatasetSpec { name: "fd-red-30", rows: 250000, attrs: 31, profile: Profile::Mixed },
-        DatasetSpec { name: "plista", rows: 1000, attrs: 43, profile: Profile::WideSparse },
-        DatasetSpec { name: "flight-1k", rows: 1000, attrs: 75, profile: Profile::WideSparse },
-        DatasetSpec { name: "uniprot", rows: 1000, attrs: 182, profile: Profile::WideSparse },
-        DatasetSpec { name: "flight-500k", rows: 500_000, attrs: 20, profile: Profile::WideSparse },
+        DatasetSpec {
+            name: "iris",
+            rows: 150,
+            attrs: 6,
+            profile: Profile::NumericHeavy,
+        },
+        DatasetSpec {
+            name: "balance",
+            rows: 625,
+            attrs: 6,
+            profile: Profile::LowDistinct,
+        },
+        DatasetSpec {
+            name: "chess",
+            rows: 28056,
+            attrs: 8,
+            profile: Profile::LowDistinct,
+        },
+        DatasetSpec {
+            name: "abalone",
+            rows: 4177,
+            attrs: 9,
+            profile: Profile::NumericHeavy,
+        },
+        DatasetSpec {
+            name: "nursery",
+            rows: 12960,
+            attrs: 10,
+            profile: Profile::LowDistinct,
+        },
+        DatasetSpec {
+            name: "bridges",
+            rows: 108,
+            attrs: 10,
+            profile: Profile::Mixed,
+        },
+        DatasetSpec {
+            name: "echo",
+            rows: 132,
+            attrs: 10,
+            profile: Profile::NumericHeavy,
+        },
+        DatasetSpec {
+            name: "breast",
+            rows: 699,
+            attrs: 11,
+            profile: Profile::NumericHeavy,
+        },
+        DatasetSpec {
+            name: "adult",
+            rows: 48842,
+            attrs: 15,
+            profile: Profile::Mixed,
+        },
+        DatasetSpec {
+            name: "ncvoter-1k",
+            rows: 1000,
+            attrs: 16,
+            profile: Profile::Mixed,
+        },
+        DatasetSpec {
+            name: "letter",
+            rows: 20000,
+            attrs: 18,
+            profile: Profile::LowDistinct,
+        },
+        DatasetSpec {
+            name: "hepatitis",
+            rows: 155,
+            attrs: 19,
+            profile: Profile::Mixed,
+        },
+        DatasetSpec {
+            name: "horse",
+            rows: 368,
+            attrs: 28,
+            profile: Profile::Mixed,
+        },
+        DatasetSpec {
+            name: "fd-red-30",
+            rows: 250000,
+            attrs: 31,
+            profile: Profile::Mixed,
+        },
+        DatasetSpec {
+            name: "plista",
+            rows: 1000,
+            attrs: 43,
+            profile: Profile::WideSparse,
+        },
+        DatasetSpec {
+            name: "flight-1k",
+            rows: 1000,
+            attrs: 75,
+            profile: Profile::WideSparse,
+        },
+        DatasetSpec {
+            name: "uniprot",
+            rows: 1000,
+            attrs: 182,
+            profile: Profile::WideSparse,
+        },
+        DatasetSpec {
+            name: "flight-500k",
+            rows: 500_000,
+            attrs: 20,
+            profile: Profile::WideSparse,
+        },
     ];
     SPECS
 }

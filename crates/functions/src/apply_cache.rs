@@ -5,7 +5,7 @@
 //! cost evaluation). [`AppliedFunction`] caches `Sym → Option<Sym>` so each
 //! distinct value is transformed exactly once per function.
 
-use affidavit_table::{FxHashMap, Sym, ValuePool};
+use affidavit_table::{FxHashMap, Interner, Sym};
 
 use crate::function::AttrFunction;
 
@@ -32,7 +32,7 @@ impl AppliedFunction {
 
     /// Apply with memoization.
     #[inline]
-    pub fn apply(&mut self, x: Sym, pool: &mut ValuePool) -> Option<Sym> {
+    pub fn apply<I: Interner>(&mut self, x: Sym, pool: &mut I) -> Option<Sym> {
         if let Some(&cached) = self.memo.get(&x) {
             return cached;
         }
@@ -53,10 +53,54 @@ impl From<AttrFunction> for AppliedFunction {
     }
 }
 
+/// A reusable, per-worker application memo.
+///
+/// Where [`AppliedFunction`] owns one memo per wrapped function,
+/// `ApplyScratch` is owned by a search worker and reused across all the
+/// blocking refinements that worker performs: `begin` resets it for the
+/// next function without dropping the allocation. Keys are input `Sym`s —
+/// every distinct value is transformed at most once per function, which is
+/// what keeps Algorithm 1's refine-and-cost loop linear in distinct
+/// values rather than records.
+#[derive(Debug, Default)]
+pub struct ApplyScratch {
+    memo: FxHashMap<Sym, Option<Sym>>,
+}
+
+impl ApplyScratch {
+    /// A fresh scratch (typically one per worker).
+    pub fn new() -> ApplyScratch {
+        ApplyScratch::default()
+    }
+
+    /// Reset for a new function, keeping the allocation.
+    pub fn begin(&mut self) {
+        self.memo.clear();
+    }
+
+    /// Apply `func` with memoization against this scratch. The caller is
+    /// responsible for calling [`ApplyScratch::begin`] when switching
+    /// functions.
+    #[inline]
+    pub fn apply<I: Interner>(&mut self, func: &AttrFunction, x: Sym, pool: &mut I) -> Option<Sym> {
+        if let Some(&cached) = self.memo.get(&x) {
+            return cached;
+        }
+        let result = func.apply(x, pool);
+        self.memo.insert(x, result);
+        result
+    }
+
+    /// Number of memoized inputs.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use affidavit_table::Rational;
+    use affidavit_table::{Rational, ValuePool};
 
     #[test]
     fn memoizes() {

@@ -11,7 +11,7 @@
 //! example, exactly like induction — so retrieved functions flow through
 //! the ordinary ranking machinery.
 
-use affidavit_table::{Rational, Sym, ValuePool};
+use affidavit_table::{Interner, Rational, Sym};
 
 use crate::datetime::DateFormat;
 use crate::function::AttrFunction;
@@ -46,7 +46,9 @@ fn fixed_entries() -> Vec<AttrFunction> {
     }
     // Common non-decimal unit ratios.
     for (num, den) in [(1i128, 60i128), (60, 1), (1, 1024), (1024, 1)] {
-        out.push(AttrFunction::Scale(Rational::new(num, den).expect("non-zero")));
+        out.push(AttrFunction::Scale(
+            Rational::new(num, den).expect("non-zero"),
+        ));
     }
     // Date format conversions between all catalogued formats.
     for from in DateFormat::ALL {
@@ -60,7 +62,7 @@ fn fixed_entries() -> Vec<AttrFunction> {
 }
 
 /// Entries with string parameters (interned on construction).
-fn interned_entries(pool: &mut ValuePool) -> Vec<AttrFunction> {
+fn interned_entries<I: Interner>(pool: &mut I) -> Vec<AttrFunction> {
     let mut out = Vec::new();
     // Common boolean / flag rewrites as prefix replacements of the whole
     // value (conditional, identity on everything else).
@@ -101,7 +103,7 @@ fn interned_entries(pool: &mut ValuePool) -> Vec<AttrFunction> {
 
 /// The whole corpus (built fresh; callers usually go through
 /// [`corpus_candidates`], which filters by example).
-pub fn full_corpus(pool: &mut ValuePool) -> Vec<AttrFunction> {
+pub fn full_corpus<I: Interner>(pool: &mut I) -> Vec<AttrFunction> {
     let mut out = fixed_entries();
     out.extend(interned_entries(pool));
     out
@@ -110,7 +112,7 @@ pub fn full_corpus(pool: &mut ValuePool) -> Vec<AttrFunction> {
 /// Retrieve the corpus functions consistent with one example `(s, t)`:
 /// every returned `f` satisfies `f(s) = t`. The complement of induction —
 /// no parameters are learned, fitting entries are simply looked up.
-pub fn corpus_candidates(s: Sym, t: Sym, pool: &mut ValuePool) -> Vec<AttrFunction> {
+pub fn corpus_candidates<I: Interner>(s: Sym, t: Sym, pool: &mut I) -> Vec<AttrFunction> {
     if s == t {
         return Vec::new(); // identity is not a corpus matter
     }
@@ -123,6 +125,7 @@ pub fn corpus_candidates(s: Sym, t: Sym, pool: &mut ValuePool) -> Vec<AttrFuncti
 #[cfg(test)]
 mod tests {
     use super::*;
+    use affidavit_table::ValuePool;
 
     fn retrieve(s: &str, t: &str) -> (Vec<AttrFunction>, ValuePool) {
         let mut pool = ValuePool::new();
@@ -157,7 +160,9 @@ mod tests {
     #[test]
     fn retrieves_flag_rewrites() {
         let (c, pool) = retrieve("yes", "true");
-        assert!(c.iter().any(|f| matches!(f, AttrFunction::PrefixReplace(y, _)
+        assert!(c
+            .iter()
+            .any(|f| matches!(f, AttrFunction::PrefixReplace(y, _)
             if pool.get(*y) == "yes")));
     }
 

@@ -130,10 +130,20 @@ impl DateFormat {
             DateFormat::SlashMdy => format!("{:02}/{:02}/{:04}", d.month, d.day, d.year),
             DateFormat::SlashDmy => format!("{:02}/{:02}/{:04}", d.day, d.month, d.year),
             DateFormat::MonthNameDy => {
-                format!("{} {:02} {:04}", MONTHS[(d.month - 1) as usize], d.day, d.year)
+                format!(
+                    "{} {:02} {:04}",
+                    MONTHS[(d.month - 1) as usize],
+                    d.day,
+                    d.year
+                )
             }
             DateFormat::DMonthNameY => {
-                format!("{:02} {} {:04}", d.day, MONTHS[(d.month - 1) as usize], d.year)
+                format!(
+                    "{:02} {} {:04}",
+                    d.day,
+                    MONTHS[(d.month - 1) as usize],
+                    d.year
+                )
             }
         }
     }

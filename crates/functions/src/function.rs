@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use affidavit_table::{Decimal, Rational, Sym, ValuePool};
+use affidavit_table::{Decimal, Interner, Rational, Sym, SymRemap, ValuePool};
 
 use crate::datetime::DateFormat;
 use crate::kind::MetaKind;
@@ -128,7 +128,7 @@ impl AttrFunction {
 
     /// Apply to an interned value. `None` = this value cannot be
     /// transformed by this function.
-    pub fn apply(&self, x: Sym, pool: &mut ValuePool) -> Option<Sym> {
+    pub fn apply<I: Interner>(&self, x: Sym, pool: &mut I) -> Option<Sym> {
         match self {
             AttrFunction::Identity => Some(x),
             AttrFunction::Constant(c) => Some(*c),
@@ -290,6 +290,40 @@ impl AttrFunction {
     pub fn display<'a>(&'a self, pool: &'a ValuePool) -> DisplayFn<'a> {
         DisplayFn { f: self, pool }
     }
+
+    /// Rewrite every `Sym` parameter through `remap`.
+    ///
+    /// Parallel workers induce functions against a `ScratchPool`
+    /// overlay (`affidavit_table::ScratchPool`); before such a function
+    /// escapes into shared search state, its scratch symbols must be
+    /// rewritten to the shared pool's symbols with the
+    /// [`SymRemap`] produced by `ValuePool::absorb`.
+    pub fn remap(&self, remap: &SymRemap) -> AttrFunction {
+        let m = |s: &Sym| remap.remap(*s);
+        match self {
+            AttrFunction::Identity
+            | AttrFunction::Uppercase
+            | AttrFunction::Lowercase
+            | AttrFunction::Add(_)
+            | AttrFunction::Scale(_)
+            | AttrFunction::FrontCharTrim(_)
+            | AttrFunction::BackCharTrim(_)
+            | AttrFunction::DateConvert(..)
+            | AttrFunction::ZeroPad(_)
+            | AttrFunction::ThousandsSep(_)
+            | AttrFunction::SepStrip(_)
+            | AttrFunction::Round(_) => self.clone(),
+            AttrFunction::Constant(c) => AttrFunction::Constant(m(c)),
+            AttrFunction::FrontMask(s) => AttrFunction::FrontMask(m(s)),
+            AttrFunction::BackMask(s) => AttrFunction::BackMask(m(s)),
+            AttrFunction::Prefix(s) => AttrFunction::Prefix(m(s)),
+            AttrFunction::Suffix(s) => AttrFunction::Suffix(m(s)),
+            AttrFunction::PrefixReplace(y, z) => AttrFunction::PrefixReplace(m(y), m(z)),
+            AttrFunction::SuffixReplace(y, z) => AttrFunction::SuffixReplace(m(y), m(z)),
+            AttrFunction::TokenProgram(p) => AttrFunction::TokenProgram(p.remap(remap)),
+            AttrFunction::Map(vm) => AttrFunction::Map(vm.remap(remap)),
+        }
+    }
 }
 
 /// Display adapter for [`AttrFunction`].
@@ -326,9 +360,9 @@ impl fmt::Display for DisplayFn<'_> {
             AttrFunction::BackCharTrim(c) => write!(out, "x ↦ trim_back({c:?})"),
             AttrFunction::Prefix(y) => write!(out, "x ↦ {:?} ◦ x", p.get(*y)),
             AttrFunction::Suffix(y) => write!(out, "x ↦ x ◦ {:?}", p.get(*y)),
-            AttrFunction::PrefixReplace(y, z) =>
-
-                write!(out, "{:?}x ↦ {:?}x, otherwise x ↦ x", p.get(*y), p.get(*z)),
+            AttrFunction::PrefixReplace(y, z) => {
+                write!(out, "{:?}x ↦ {:?}x, otherwise x ↦ x", p.get(*y), p.get(*z))
+            }
             AttrFunction::SuffixReplace(y, z) => {
                 write!(out, "x{:?} ↦ x{:?}, otherwise x ↦ x", p.get(*y), p.get(*z))
             }
@@ -377,8 +411,14 @@ mod tests {
     #[test]
     fn identity_and_cases() {
         assert_eq!(apply_str(&AttrFunction::Identity, "AbC").unwrap(), "AbC");
-        assert_eq!(apply_str(&AttrFunction::Uppercase, "ab c1").unwrap(), "AB C1");
-        assert_eq!(apply_str(&AttrFunction::Lowercase, "AB c1").unwrap(), "ab c1");
+        assert_eq!(
+            apply_str(&AttrFunction::Uppercase, "ab c1").unwrap(),
+            "AB C1"
+        );
+        assert_eq!(
+            apply_str(&AttrFunction::Lowercase, "AB c1").unwrap(),
+            "ab c1"
+        );
     }
 
     #[test]
@@ -434,10 +474,22 @@ mod tests {
 
     #[test]
     fn char_trims() {
-        assert_eq!(apply_str(&AttrFunction::FrontCharTrim('0'), "000123").unwrap(), "123");
-        assert_eq!(apply_str(&AttrFunction::FrontCharTrim('0'), "12300").unwrap(), "12300");
-        assert_eq!(apply_str(&AttrFunction::FrontCharTrim('0'), "0000").unwrap(), "");
-        assert_eq!(apply_str(&AttrFunction::BackCharTrim('0'), "12300").unwrap(), "123");
+        assert_eq!(
+            apply_str(&AttrFunction::FrontCharTrim('0'), "000123").unwrap(),
+            "123"
+        );
+        assert_eq!(
+            apply_str(&AttrFunction::FrontCharTrim('0'), "12300").unwrap(),
+            "12300"
+        );
+        assert_eq!(
+            apply_str(&AttrFunction::FrontCharTrim('0'), "0000").unwrap(),
+            ""
+        );
+        assert_eq!(
+            apply_str(&AttrFunction::BackCharTrim('0'), "12300").unwrap(),
+            "123"
+        );
     }
 
     #[test]

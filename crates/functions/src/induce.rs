@@ -8,7 +8,7 @@
 //! are generated, exactly as the paper suggests ("one could simply generate
 //! both candidate functions").
 
-use affidavit_table::{Rational, Sym, ValuePool};
+use affidavit_table::{Interner, Rational, Sym};
 
 use crate::datetime::induce_conversions;
 use crate::function::AttrFunction;
@@ -45,10 +45,10 @@ fn common_suffix_bytes(a: &str, b: &str) -> usize {
 
 /// Induce all candidate functions mapping `s` to `t` under the enabled meta
 /// functions. Every returned `f` satisfies `f(s) = t`.
-pub fn induce_from_example(
+pub fn induce_from_example<I: Interner>(
     s: Sym,
     t: Sym,
-    pool: &mut ValuePool,
+    pool: &mut I,
     reg: &Registry,
 ) -> Vec<AttrFunction> {
     let mut out = Vec::new();
@@ -82,7 +82,10 @@ pub fn induce_from_example(
     // output — found by the `induction_is_sound` property test).
     let numeric_target_canonical =
         matches!(pool.decimal(t), Some(tv) if tv.to_string() == pool.get(t));
-    if let (Some(sv), Some(tv)) = (pool.decimal(s), pool.decimal(t).filter(|_| numeric_target_canonical)) {
+    if let (Some(sv), Some(tv)) = (
+        pool.decimal(s),
+        pool.decimal(t).filter(|_| numeric_target_canonical),
+    ) {
         if reg.contains(MetaKind::Addition) {
             if let Some(y) = tv.checked_sub(sv) {
                 if !y.is_zero() {
@@ -128,7 +131,9 @@ pub fn induce_from_example(
             out.push(AttrFunction::FrontCharTrim(c));
         }
     }
-    if reg.contains(MetaKind::BackCharTrim) && s_str.len() > t_str.len() && s_str.starts_with(&t_str)
+    if reg.contains(MetaKind::BackCharTrim)
+        && s_str.len() > t_str.len()
+        && s_str.starts_with(&t_str)
     {
         let tail = &s_str[t_str.len()..];
         let mut chars = tail.chars();
@@ -183,7 +188,9 @@ pub fn induce_from_example(
         && t_str.ends_with(&s_str)
         && !s_str.is_empty()
         && t_str.bytes().all(|b| b.is_ascii_digit())
-        && t_str[..t_str.len() - s_str.len()].bytes().all(|b| b == b'0')
+        && t_str[..t_str.len() - s_str.len()]
+            .bytes()
+            .all(|b| b == b'0')
     {
         out.push(AttrFunction::ZeroPad(t_str.len() as u32));
     }
@@ -208,8 +215,7 @@ pub fn induce_from_example(
     // Add/Scale above.
     if reg.contains(MetaKind::Round) && numeric_target_canonical {
         if let (Some(sv), Some(tv)) = (pool.decimal(s), pool.decimal(t)) {
-            if sv.scale() > tv.scale()
-                && numeric_format::round_decimal(sv, tv.scale()) == Some(tv)
+            if sv.scale() > tv.scale() && numeric_format::round_decimal(sv, tv.scale()) == Some(tv)
             {
                 out.push(AttrFunction::Round(tv.scale()));
             }
@@ -229,6 +235,7 @@ pub fn induce_from_example(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use affidavit_table::ValuePool;
 
     fn induce(s: &str, t: &str) -> (Vec<AttrFunction>, ValuePool) {
         let mut pool = ValuePool::new();
@@ -390,7 +397,9 @@ mod tests {
         let (fs, _) = induce("65", "00065");
         assert!(!fs.iter().any(|f| matches!(f, AttrFunction::ZeroPad(_))));
         let (fs, _) = induce("3780000", "3,780,000");
-        assert!(!fs.iter().any(|f| matches!(f, AttrFunction::ThousandsSep(_))));
+        assert!(!fs
+            .iter()
+            .any(|f| matches!(f, AttrFunction::ThousandsSep(_))));
     }
 
     #[test]

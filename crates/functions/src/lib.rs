@@ -54,7 +54,7 @@ pub mod substring;
 pub mod tokens;
 pub mod value_map;
 
-pub use apply_cache::AppliedFunction;
+pub use apply_cache::{AppliedFunction, ApplyScratch};
 pub use corpus::corpus_candidates;
 pub use function::AttrFunction;
 pub use induce::induce_from_example;

@@ -53,7 +53,8 @@ fn split_number(s: &str) -> Option<(&str, &str, &str)> {
     let frac_digits = frac.strip_prefix('.').unwrap_or("");
     if int.is_empty()
         || !int.bytes().all(|b| b.is_ascii_digit())
-        || (!frac.is_empty() && (frac_digits.is_empty() || !frac_digits.bytes().all(|b| b.is_ascii_digit())))
+        || (!frac.is_empty()
+            && (frac_digits.is_empty() || !frac_digits.bytes().all(|b| b.is_ascii_digit())))
     {
         return None;
     }
@@ -172,7 +173,10 @@ mod tests {
     fn thousands_grouping() {
         assert_eq!(add_thousands_sep("3780000", ',').unwrap(), "3,780,000");
         assert_eq!(add_thousands_sep("425000", ' ').unwrap(), "425 000");
-        assert_eq!(add_thousands_sep("-1234567.89", ',').unwrap(), "-1,234,567.89");
+        assert_eq!(
+            add_thousands_sep("-1234567.89", ',').unwrap(),
+            "-1,234,567.89"
+        );
         assert_eq!(add_thousands_sep("999", ',').unwrap(), "999"); // unchanged
         assert_eq!(add_thousands_sep("1000", ',').unwrap(), "1,000");
         assert!(add_thousands_sep("USD", ',').is_none());
@@ -182,7 +186,10 @@ mod tests {
     #[test]
     fn strip_grouping() {
         assert_eq!(strip_thousands_sep("3,780,000", ',').unwrap(), "3780000");
-        assert_eq!(strip_thousands_sep("-1,234,567.89", ',').unwrap(), "-1234567.89");
+        assert_eq!(
+            strip_thousands_sep("-1,234,567.89", ',').unwrap(),
+            "-1234567.89"
+        );
         assert_eq!(strip_thousands_sep("999", ',').unwrap(), "999"); // fallback
         assert!(strip_thousands_sep("1,00", ',').is_none());
         assert!(strip_thousands_sep("1,0000", ',').is_none());

@@ -31,7 +31,7 @@
 
 use std::fmt;
 
-use affidavit_table::{Sym, ValuePool};
+use affidavit_table::{Interner, Sym, ValuePool};
 
 use crate::tokens::tokenize;
 
@@ -80,6 +80,20 @@ impl TokenProgram {
         &self.segments
     }
 
+    /// Rewrite literal symbols through `remap` (scratch → shared pool).
+    pub fn remap(&self, remap: &affidavit_table::SymRemap) -> TokenProgram {
+        TokenProgram {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| match s {
+                    Segment::Literal(l) => Segment::Literal(remap.remap(*l)),
+                    tok => *tok,
+                })
+                .collect(),
+        }
+    }
+
     /// Description length: one parameter per segment (Def. 3.9).
     pub fn psi(&self) -> u64 {
         self.segments.len() as u64
@@ -87,7 +101,7 @@ impl TokenProgram {
 
     /// Apply to a plain string. `None` when a referenced token does not
     /// exist in the input's tokenization.
-    pub fn apply_str(&self, input: &str, pool: &ValuePool) -> Option<String> {
+    pub fn apply_str<I: Interner + ?Sized>(&self, input: &str, pool: &I) -> Option<String> {
         let toks = tokenize(input);
         let mut out = String::with_capacity(input.len());
         for seg in &self.segments {
@@ -127,10 +141,14 @@ impl fmt::Display for DisplayProgram<'_> {
             }
             match seg {
                 Segment::Literal(l) => write!(out, "{:?}", self.pool.get(*l))?,
-                Segment::Token { idx, from_end: false } => write!(out, "tok[{idx}]")?,
-                Segment::Token { idx, from_end: true } => {
-                    write!(out, "tok[-{}]", *idx as usize + 1)?
-                }
+                Segment::Token {
+                    idx,
+                    from_end: false,
+                } => write!(out, "tok[{idx}]")?,
+                Segment::Token {
+                    idx,
+                    from_end: true,
+                } => write!(out, "tok[-{}]", *idx as usize + 1)?,
             }
         }
         write!(out, "⟩")
@@ -151,7 +169,7 @@ impl fmt::Display for DisplayProgram<'_> {
 /// Programs where literal glue outweighs token material are suppressed:
 /// such candidates explain the example mostly by *storing* it, which the
 /// constant/value-map functions already cover at equal or lower cost.
-pub fn induce_token_programs(s: &str, t: &str, pool: &mut ValuePool) -> Vec<TokenProgram> {
+pub fn induce_token_programs<I: Interner>(s: &str, t: &str, pool: &mut I) -> Vec<TokenProgram> {
     if s == t || t.is_empty() {
         return Vec::new();
     }
@@ -215,7 +233,10 @@ pub fn induce_token_programs(s: &str, t: &str, pool: &mut ValuePool) -> Vec<Toke
     let back: Vec<Segment> = segments
         .iter()
         .map(|seg| match *seg {
-            Segment::Token { idx, from_end: false } if (idx as usize) < n => Segment::Token {
+            Segment::Token {
+                idx,
+                from_end: false,
+            } if (idx as usize) < n => Segment::Token {
                 idx: (n - 1 - idx as usize) as u8,
                 from_end: true,
             },
@@ -263,7 +284,10 @@ mod tests {
         assert_eq!(front.psi(), 3);
         assert_eq!(front.apply_str("Doe, John", &pool).unwrap(), "John Doe");
         // It generalizes to unseen names.
-        assert_eq!(front.apply_str("Fink, Manuel", &pool).unwrap(), "Manuel Fink");
+        assert_eq!(
+            front.apply_str("Fink, Manuel", &pool).unwrap(),
+            "Manuel Fink"
+        );
         assert_consistent("Doe, John", "John Doe");
     }
 
@@ -295,8 +319,10 @@ mod tests {
             assert_eq!(p.apply_str("a b c", &pool).as_deref(), Some("c"));
         }
         // ... but disagree on a 4-token input.
-        let outs: Vec<Option<String>> =
-            progs.iter().map(|p| p.apply_str("w x y z", &pool)).collect();
+        let outs: Vec<Option<String>> = progs
+            .iter()
+            .map(|p| p.apply_str("w x y z", &pool))
+            .collect();
         assert_eq!(outs[0].as_deref(), Some("y"));
         assert_eq!(outs[1].as_deref(), Some("z"));
     }

@@ -75,6 +75,18 @@ impl ValueMap {
     pub fn entries(&self) -> &[(Sym, Sym)] {
         &self.entries
     }
+
+    /// Rewrite every symbol through `remap` (scratch → shared pool). The
+    /// entries are re-sorted, since remapping may reorder keys, and
+    /// identity pairs are kept — a map built over scratch symbols never
+    /// contains accidental identities in the first place.
+    pub fn remap(&self, remap: &affidavit_table::SymRemap) -> ValueMap {
+        ValueMap::from_pairs_keep_identity(
+            self.entries
+                .iter()
+                .map(|&(k, v)| (remap.remap(k), remap.remap(v))),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -143,7 +143,11 @@ pub fn read_str(input: &str, pool: &mut ValuePool, opts: CsvOptions) -> Result<T
 }
 
 /// Read a table from any reader.
-pub fn read<R: Read>(reader: R, pool: &mut ValuePool, opts: CsvOptions) -> Result<Table, TableError> {
+pub fn read<R: Read>(
+    reader: R,
+    pool: &mut ValuePool,
+    opts: CsvOptions,
+) -> Result<Table, TableError> {
     let mut buf = String::new();
     BufReader::new(reader).read_to_string(&mut buf)?;
     read_str(&buf, pool, opts)

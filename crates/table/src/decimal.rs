@@ -105,9 +105,7 @@ impl Decimal {
             match b {
                 b'0'..=b'9' => {
                     seen_digit = true;
-                    mantissa = mantissa
-                        .checked_mul(10)?
-                        .checked_add((b - b'0') as i128)?;
+                    mantissa = mantissa.checked_mul(10)?.checked_add((b - b'0') as i128)?;
                     if seen_dot {
                         scale += 1;
                         if scale > MAX_SCALE {
@@ -183,7 +181,6 @@ impl Decimal {
             .to_decimal()
     }
 
-
     /// Compare two decimals numerically.
     pub fn cmp_value(&self, other: &Decimal) -> Ordering {
         match Decimal::align(*self, *other) {
@@ -251,7 +248,9 @@ mod tests {
 
     #[test]
     fn parse_and_format_roundtrip() {
-        for s in ["0", "1", "-1", "80000", "0.065", "-0.5", "9.8", "6.54", "425"] {
+        for s in [
+            "0", "1", "-1", "80000", "0.065", "-0.5", "9.8", "6.54", "425",
+        ] {
             assert_eq!(d(s).to_string(), s, "roundtrip {s}");
         }
     }
@@ -268,7 +267,9 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "-", "+", ".", "1e5", "1,000", "abc", "1.2.3", "--1", " 1"] {
+        for s in [
+            "", "-", "+", ".", "1e5", "1,000", "abc", "1.2.3", "--1", " 1",
+        ] {
             assert!(Decimal::parse(s).is_none(), "should reject {s:?}");
         }
     }
@@ -300,7 +301,10 @@ mod tests {
         assert_eq!(d("9800").checked_div_exact(k).unwrap().to_string(), "9.8");
         assert_eq!(d("6540").checked_div_exact(k).unwrap().to_string(), "6.54");
         assert_eq!(d("0").checked_div_exact(k).unwrap().to_string(), "0");
-        assert_eq!(d("422400").checked_div_exact(k).unwrap().to_string(), "422.4");
+        assert_eq!(
+            d("422400").checked_div_exact(k).unwrap().to_string(),
+            "422.4"
+        );
     }
 
     #[test]
@@ -313,9 +317,15 @@ mod tests {
     #[test]
     fn terminating_division_by_composite() {
         // 1 / 8 = 0.125 (denominator 2^3 terminates).
-        assert_eq!(d("1").checked_div_exact(d("8")).unwrap().to_string(), "0.125");
+        assert_eq!(
+            d("1").checked_div_exact(d("8")).unwrap().to_string(),
+            "0.125"
+        );
         // 3 / 2.5 = 1.2
-        assert_eq!(d("3").checked_div_exact(d("2.5")).unwrap().to_string(), "1.2");
+        assert_eq!(
+            d("3").checked_div_exact(d("2.5")).unwrap().to_string(),
+            "1.2"
+        );
     }
 
     #[test]

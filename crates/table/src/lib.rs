@@ -36,4 +36,4 @@ pub use rational::Rational;
 pub use record::{Record, RecordId};
 pub use schema::{AttrId, Attribute, Schema};
 pub use table::Table;
-pub use value::{Sym, ValuePool};
+pub use value::{Interner, PoolReader, ScratchPool, Sym, SymRemap, ValuePool};

@@ -126,7 +126,10 @@ impl Table {
     pub fn select(&self, ids: &[RecordId]) -> Table {
         Table {
             schema: self.schema.clone(),
-            records: ids.iter().map(|id| self.records[id.index()].clone()).collect(),
+            records: ids
+                .iter()
+                .map(|id| self.records[id.index()].clone())
+                .collect(),
         }
     }
 }

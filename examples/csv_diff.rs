@@ -25,10 +25,20 @@ fn main() {
     let generated = Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, 7)).materialize_full();
     let src_path = dir.join("source.csv");
     let tgt_path = dir.join("target.csv");
-    csv::write_path(&src_path, &generated.instance.source, &generated.instance.pool, csv::CsvOptions::default())
-        .expect("write source");
-    csv::write_path(&tgt_path, &generated.instance.target, &generated.instance.pool, csv::CsvOptions::default())
-        .expect("write target");
+    csv::write_path(
+        &src_path,
+        &generated.instance.source,
+        &generated.instance.pool,
+        csv::CsvOptions::default(),
+    )
+    .expect("write source");
+    csv::write_path(
+        &tgt_path,
+        &generated.instance.target,
+        &generated.instance.pool,
+        csv::CsvOptions::default(),
+    )
+    .expect("write target");
     println!("wrote {} and {}", src_path.display(), tgt_path.display());
 
     // 2. Load them back — the normal entry point for file-based use.

@@ -22,8 +22,12 @@ use affidavit::functions::Registry;
 use affidavit::table::{Schema, Table, ValuePool};
 
 fn main() {
-    let firsts = ["John", "Jane", "Max", "Ada", "Alan", "Grace", "Kurt", "Emmy"];
-    let lasts = ["Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether", "Gauss", "Euler"];
+    let firsts = [
+        "John", "Jane", "Max", "Ada", "Alan", "Grace", "Kurt", "Emmy",
+    ];
+    let lasts = [
+        "Doe", "Weber", "Turing", "Hopper", "Liskov", "Noether", "Gauss", "Euler",
+    ];
     let regions = ["EMEA", "APAC", "AMER"];
 
     // Source snapshot: raw export with reassigned row ids.
@@ -52,8 +56,20 @@ fn main() {
         ]);
     }
     // Concurrent activity: two deletions, one insertion.
-    rows_s.push(vec!["90".into(), "Gone, Long".into(), "1".into(), "10".into(), "EMEA".into()]);
-    rows_s.push(vec!["91".into(), "Left, Who".into(), "2".into(), "20".into(), "APAC".into()]);
+    rows_s.push(vec![
+        "90".into(),
+        "Gone, Long".into(),
+        "1".into(),
+        "10".into(),
+        "EMEA".into(),
+    ]);
+    rows_s.push(vec![
+        "91".into(),
+        "Left, Who".into(),
+        "2".into(),
+        "20".into(),
+        "APAC".into(),
+    ]);
     rows_t.push(vec![
         "500".into(),
         "New Customer".into(),

@@ -48,9 +48,16 @@ fn main() {
 
     // 3. Schema alignment by content.
     let alignment = align_schemas(&source, &target, &pool);
-    println!("schema alignment (min confidence {:.2}):", alignment.min_confidence());
+    println!(
+        "schema alignment (min confidence {:.2}):",
+        alignment.min_confidence()
+    );
     for (i, j) in alignment.pairs() {
-        println!("  {} ← {}", source.schema().name(i), target.schema().name(j));
+        println!(
+            "  {} ← {}",
+            source.schema().name(i),
+            target.schema().name(j)
+        );
     }
     let target = alignment.reorder_target(&target, source.schema());
 
@@ -79,7 +86,11 @@ fn main() {
     let rows_t: Vec<Vec<String>> = (0..30)
         .map(|i| {
             vec![
-                format!("{} {}", firsts[i % firsts.len()], lasts[(i * 5) % lasts.len()]),
+                format!(
+                    "{} {}",
+                    firsts[i % firsts.len()],
+                    lasts[(i * 5) % lasts.len()]
+                ),
                 format!("acct{i}"),
             ]
         })
@@ -106,5 +117,9 @@ fn main() {
     let mut instance = ProblemInstance::new(source, target, pool).expect("normalized arity");
     let outcome = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut instance);
     println!("\n{}", render_report(&outcome.explanation, &instance));
-    assert_eq!(outcome.explanation.core_size(), 30, "merge must be explained");
+    assert_eq!(
+        outcome.explanation.core_size(),
+        30,
+        "merge must be explained"
+    );
 }

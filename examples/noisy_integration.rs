@@ -19,8 +19,14 @@ use affidavit::datasets::{by_name, synth};
 
 fn main() {
     let spec = by_name("abalone").expect("dataset exists");
-    println!("noise sweep on {} ({} records, τ=0.3, H^id config)\n", spec.name, spec.rows);
-    println!("{:>5} {:>9} {:>7} {:>8} {:>6}", "η", "t", "Δcore", "Δcosts", "acc");
+    println!(
+        "noise sweep on {} ({} records, τ=0.3, H^id config)\n",
+        spec.name, spec.rows
+    );
+    println!(
+        "{:>5} {:>9} {:>7} {:>8} {:>6}",
+        "η", "t", "Δcore", "Δcosts", "acc"
+    );
     for eta10 in [1u32, 3, 5, 7] {
         let eta = eta10 as f64 / 10.0;
         let (base, pool) = synth::generate(&spec, 21);

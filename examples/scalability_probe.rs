@@ -36,7 +36,10 @@ fn main() {
     }
 
     println!("\nattribute scaling (400 rows each, η=τ=0.3):");
-    println!("{:>10} {:>6} {:>9} {:>14}", "dataset", "|A|", "t", "t/rec/attr");
+    println!(
+        "{:>10} {:>6} {:>9} {:>14}",
+        "dataset", "|A|", "t", "t/rec/attr"
+    );
     for name in ["horse", "plista", "flight-1k", "uniprot"] {
         let spec = by_name(name).expect("dataset exists");
         let (base, pool) = synth::generate_rows(&spec, 400, 5);

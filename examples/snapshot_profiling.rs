@@ -51,7 +51,13 @@ fn main() {
         .iter()
         .find(|t| t.name == "orders")
         .expect("orders profiled");
-    let TableOutcome::Explained { core, cost, trivial_cost, .. } = &orders.outcome else {
+    let TableOutcome::Explained {
+        core,
+        cost,
+        trivial_cost,
+        ..
+    } = &orders.outcome
+    else {
         panic!("orders must be explained: {:?}", orders.outcome);
     };
     assert_eq!(*core, 40, "every order must be aligned");

@@ -36,7 +36,9 @@ fn identical_snapshots_cost_zero() {
 
 #[test]
 fn completely_disjoint_snapshots_fall_back_to_trivial() {
-    let src = (0..12).map(|i| vec![format!("s{i}"), format!("{}", i * 3)]).collect::<Vec<_>>();
+    let src = (0..12)
+        .map(|i| vec![format!("s{i}"), format!("{}", i * 3)])
+        .collect::<Vec<_>>();
     let tgt = (0..12)
         .map(|i| vec![format!("other{i}"), format!("x{}", 1000 + i)])
         .collect::<Vec<_>>();
@@ -94,7 +96,12 @@ fn single_record_pair_aligns() {
 fn duplicate_rows_use_multiset_semantics() {
     // Three identical source rows, two identical target rows: exactly two
     // can be explained as core, one must be deleted.
-    let src = vec![vec!["dup", "1"], vec!["dup", "1"], vec!["dup", "1"], vec!["other", "2"]];
+    let src = vec![
+        vec!["dup", "1"],
+        vec!["dup", "1"],
+        vec!["dup", "1"],
+        vec!["other", "2"],
+    ];
     let tgt = vec![vec!["dup", "1"], vec!["dup", "1"], vec!["other", "2"]];
     let mut inst = instance(src, tgt, &["k", "v"]);
     let e = explain(&mut inst);
@@ -159,8 +166,12 @@ fn wide_table_smoke() {
 #[test]
 fn asymmetric_sizes_are_handled() {
     // |S| >> |T| and |T| >> |S| both produce valid explanations.
-    let big: Vec<Vec<String>> = (0..40).map(|i| vec![format!("k{i}"), format!("{i}")]).collect();
-    let small: Vec<Vec<String>> = (0..5).map(|i| vec![format!("k{i}"), format!("{i}")]).collect();
+    let big: Vec<Vec<String>> = (0..40)
+        .map(|i| vec![format!("k{i}"), format!("{i}")])
+        .collect();
+    let small: Vec<Vec<String>> = (0..5)
+        .map(|i| vec![format!("k{i}"), format!("{i}")])
+        .collect();
     for (a, b) in [(big.clone(), small.clone()), (small, big)] {
         let mut pool = ValuePool::new();
         let schema = Schema::new(["k", "v"]);
@@ -193,7 +204,8 @@ fn all_init_strategies_survive_degenerate_inputs() {
 fn pathological_identical_values_everywhere() {
     // Every cell identical: blocking gives one giant block; multiset core
     // must still come out right.
-    let rows = |n: usize| -> Vec<Vec<&'static str>> { (0..n).map(|_| vec!["same", "same"]).collect() };
+    let rows =
+        |n: usize| -> Vec<Vec<&'static str>> { (0..n).map(|_| vec!["same", "same"]).collect() };
     let mut inst = instance(rows(10), rows(7), &["a", "b"]);
     let e = explain(&mut inst);
     assert_eq!(e.core_size(), 7);

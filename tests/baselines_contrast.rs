@@ -180,7 +180,10 @@ fn random_cnfs_roundtrip_through_the_reduction() {
         let mut red = reduce(cnf);
         match red.solve() {
             Some(model) => {
-                assert!(brute, "formula {i}: reduction found a model but formula is unsat");
+                assert!(
+                    brute,
+                    "formula {i}: reduction found a model but formula is unsat"
+                );
                 assert!(cnf.eval(&model), "formula {i}: extracted model is wrong");
             }
             None => assert!(!brute, "formula {i}: reduction missed a model"),

@@ -58,7 +58,8 @@ fn result_never_costs_more_than_trivial() {
 fn fully_deterministic_given_seed() {
     let run = || {
         let mut gen = generated("hepatitis", 0.5, 0.5, 31);
-        let out = Affidavit::new(AffidavitConfig::paper_id().with_seed(7)).explain(&mut gen.instance);
+        let out =
+            Affidavit::new(AffidavitConfig::paper_id().with_seed(7)).explain(&mut gen.instance);
         (
             out.explanation.functions.clone(),
             out.explanation.core_pairs().to_vec(),
@@ -105,13 +106,13 @@ fn alpha_extremes_change_the_preferred_explanation() {
     // may align aggressively. α→0: only function complexity counts — the
     // all-identity end state is optimal. Both must stay valid.
     let mut gen = generated("iris", 0.5, 0.5, 5);
-    let out_records = Affidavit::new(AffidavitConfig::paper_id().with_alpha(0.95))
-        .explain(&mut gen.instance);
+    let out_records =
+        Affidavit::new(AffidavitConfig::paper_id().with_alpha(0.95)).explain(&mut gen.instance);
     out_records.explanation.validate(&mut gen.instance).unwrap();
 
     let mut gen2 = generated("iris", 0.5, 0.5, 5);
-    let out_funcs = Affidavit::new(AffidavitConfig::paper_id().with_alpha(0.05))
-        .explain(&mut gen2.instance);
+    let out_funcs =
+        Affidavit::new(AffidavitConfig::paper_id().with_alpha(0.05)).explain(&mut gen2.instance);
     out_funcs.explanation.validate(&mut gen2.instance).unwrap();
     assert!(
         out_funcs.explanation.l_functions() <= out_records.explanation.l_functions(),
@@ -140,12 +141,7 @@ fn date_conversion_extension_is_learned_end_to_end() {
         .map(|i| {
             vec![
                 format!("k{i}"),
-                format!(
-                    "{:02}.{:02}.20{:02}",
-                    1 + i % 28,
-                    1 + i % 12,
-                    10 + i % 10
-                ),
+                format!("{:02}.{:02}.20{:02}", 1 + i % 28, 1 + i % 12, 10 + i % 10),
             ]
         })
         .collect();
@@ -217,9 +213,13 @@ fn schema_alignment_plus_search_handles_reordered_columns() {
     let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst);
     out.explanation.validate(&mut inst).unwrap();
     assert_eq!(out.explanation.core_size(), 30);
-    assert!(matches!(&out.explanation.functions[1],
-        affidavit::functions::AttrFunction::Scale(_)));
-    assert!(matches!(&out.explanation.functions[2],
+    assert!(matches!(
+        &out.explanation.functions[1],
+        affidavit::functions::AttrFunction::Scale(_)
+    ));
+    assert!(matches!(
+        &out.explanation.functions[2],
         affidavit::functions::AttrFunction::Constant(_)
-            | affidavit::functions::AttrFunction::FrontMask(_)));
+            | affidavit::functions::AttrFunction::FrontMask(_)
+    ));
 }

@@ -23,13 +23,30 @@ use affidavit::table::{Schema, Table, ValuePool};
 /// | Org       | unchanged                           | —              |
 fn formatting_instance() -> ProblemInstance {
     let firsts = [
-        "John", "Jane", "Max", "Ada", "Alan", "Grace", "Edsger", "Barbara", "Kurt", "Emmy",
-        "Carl", "Sofia", "Leon", "Ida", "Noam", "Mary", "Paul", "Rosa", "Hans", "Vera",
+        "John", "Jane", "Max", "Ada", "Alan", "Grace", "Edsger", "Barbara", "Kurt", "Emmy", "Carl",
+        "Sofia", "Leon", "Ida", "Noam", "Mary", "Paul", "Rosa", "Hans", "Vera",
     ];
     let lasts = [
-        "Doe", "Fink", "Weber", "Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Goedel",
-        "Noether", "Gauss", "Kovalev", "Euler", "Rhodes", "Chomsky", "Shelley", "Erdos",
-        "Luxemburg", "Bethe", "Rubin",
+        "Doe",
+        "Fink",
+        "Weber",
+        "Lovelace",
+        "Turing",
+        "Hopper",
+        "Dijkstra",
+        "Liskov",
+        "Goedel",
+        "Noether",
+        "Gauss",
+        "Kovalev",
+        "Euler",
+        "Rhodes",
+        "Chomsky",
+        "Shelley",
+        "Erdos",
+        "Luxemburg",
+        "Bethe",
+        "Rubin",
     ];
     let orgs = ["IBM", "SAP", "BASF", "DAB"];
 
@@ -58,9 +75,24 @@ fn formatting_instance() -> ProblemInstance {
         ]);
     }
     // Source-only noise (deleted) and target-only noise (inserted).
-    src_rows.push(vec!["Deleted, Rec".into(), "9".into(), "77".into(), "IBM".into()]);
-    src_rows.push(vec!["Gone, Also".into(), "8".into(), "66".into(), "SAP".into()]);
-    tgt_rows.push(vec!["New Person".into(), "000042".into(), "1,234,567".into(), "DAB".into()]);
+    src_rows.push(vec![
+        "Deleted, Rec".into(),
+        "9".into(),
+        "77".into(),
+        "IBM".into(),
+    ]);
+    src_rows.push(vec![
+        "Gone, Also".into(),
+        "8".into(),
+        "66".into(),
+        "SAP".into(),
+    ]);
+    tgt_rows.push(vec![
+        "New Person".into(),
+        "000042".into(),
+        "1,234,567".into(),
+        "DAB".into(),
+    ]);
 
     let schema = Schema::new(["Name", "Code", "Amount", "Org"]);
     let mut pool = ValuePool::new();
@@ -85,7 +117,12 @@ fn search_learns_all_three_extension_kinds() {
     let out = Affidavit::new(extended_config()).explain(&mut inst);
     out.explanation.validate(&mut inst).unwrap();
 
-    let kinds: Vec<MetaKind> = out.explanation.functions.iter().map(AttrFunction::kind).collect();
+    let kinds: Vec<MetaKind> = out
+        .explanation
+        .functions
+        .iter()
+        .map(AttrFunction::kind)
+        .collect();
     assert_eq!(kinds[0], MetaKind::TokenProgram, "Name: {:?}", kinds);
     assert_eq!(kinds[1], MetaKind::ZeroPad, "Code: {:?}", kinds);
     assert_eq!(kinds[2], MetaKind::ThousandsSep, "Amount: {:?}", kinds);
@@ -123,8 +160,7 @@ fn classic_registry_pays_for_missing_extension_kinds() {
     let mut inst_ext = formatting_instance();
     let ext = Affidavit::new(extended_config()).explain(&mut inst_ext);
     let mut inst_classic = formatting_instance();
-    let classic =
-        Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst_classic);
+    let classic = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst_classic);
     classic.explanation.validate(&mut inst_classic).unwrap();
 
     let arity = inst_ext.arity();

@@ -7,10 +7,14 @@ use affidavit::table::{csv, Schema, Table, TableError, ValuePool};
 #[test]
 fn csv_arity_mismatch_reports_line() {
     let mut pool = ValuePool::new();
-    let err = csv::read_str("a,b\n1,2\n3\n4,5\n", &mut pool, csv::CsvOptions::default())
-        .unwrap_err();
+    let err =
+        csv::read_str("a,b\n1,2\n3\n4,5\n", &mut pool, csv::CsvOptions::default()).unwrap_err();
     match err {
-        TableError::ArityMismatch { line, expected, found } => {
+        TableError::ArityMismatch {
+            line,
+            expected,
+            found,
+        } => {
             assert_eq!((line, expected, found), (3, 2, 1));
         }
         other => panic!("wrong error: {other}"),
@@ -20,8 +24,8 @@ fn csv_arity_mismatch_reports_line() {
 #[test]
 fn csv_unterminated_quote_reports_start_line() {
     let mut pool = ValuePool::new();
-    let err = csv::read_str("a\nok\n\"broken\n", &mut pool, csv::CsvOptions::default())
-        .unwrap_err();
+    let err =
+        csv::read_str("a\nok\n\"broken\n", &mut pool, csv::CsvOptions::default()).unwrap_err();
     assert!(matches!(err, TableError::UnterminatedQuote { line: 3 }));
 }
 
@@ -37,8 +41,12 @@ fn csv_empty_input_is_an_error() {
 #[test]
 fn csv_missing_file_is_io_error() {
     let mut pool = ValuePool::new();
-    let err = csv::read_path("/definitely/not/here.csv", &mut pool, csv::CsvOptions::default())
-        .unwrap_err();
+    let err = csv::read_path(
+        "/definitely/not/here.csv",
+        &mut pool,
+        csv::CsvOptions::default(),
+    )
+    .unwrap_err();
     assert!(matches!(err, TableError::Io(_)));
     assert!(err.to_string().contains("I/O error"));
 }

@@ -89,11 +89,7 @@ fn heuristic_never_loses_to_exact_across_seeds() {
             AttrFunction::Uppercase,
             AttrFunction::Prefix(inst.pool.intern("X-")),
         ];
-        let candidates = vec![
-            vec![AttrFunction::Identity],
-            val_candidates(),
-            tag_cands,
-        ];
+        let candidates = vec![vec![AttrFunction::Identity], val_candidates(), tag_cands];
         let exact = solve_exact(&mut inst, &candidates, 0.5, 100_000);
         let out = Affidavit::new(AffidavitConfig::paper_id().with_seed(seed)).explain(&mut inst);
         out.explanation.validate(&mut inst).unwrap();

@@ -2,7 +2,7 @@
 //! independence, lower-bound correctness, and alignment discipline.
 
 use affidavit::blocking::{sample_random_alignment, Blocking};
-use affidavit::functions::{AppliedFunction, AttrFunction};
+use affidavit::functions::{ApplyScratch, AttrFunction};
 use affidavit::table::{AttrId, Record, Schema, Table, ValuePool};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -49,8 +49,8 @@ proptest! {
         let refine_all = |order: [u32; 3], pool: &mut ValuePool| {
             let mut b = Blocking::root(&s, &t);
             for a in order {
-                let mut id = AppliedFunction::new(AttrFunction::Identity);
-                b = b.refine(AttrId(a), &mut id, &s, &t, pool);
+                let mut scratch = ApplyScratch::new();
+                b = b.refine(AttrId(a), &AttrFunction::Identity, &mut scratch, &s, &t, pool);
             }
             b
         };
@@ -71,8 +71,8 @@ proptest! {
         let mut prev_ct = b.ct();
         let mut prev_cs = b.cs();
         for a in 0..3u32 {
-            let mut id = AppliedFunction::new(AttrFunction::Identity);
-            b = b.refine(AttrId(a), &mut id, &s, &t, &mut pool);
+            let mut scratch = ApplyScratch::new();
+            b = b.refine(AttrId(a), &AttrFunction::Identity, &mut scratch, &s, &t, &mut pool);
             // Splitting blocks can only expose more surplus, never less.
             prop_assert!(b.ct() >= prev_ct, "ct shrank under refinement");
             prop_assert!(b.cs() >= prev_cs, "cs shrank under refinement");
@@ -110,8 +110,9 @@ proptest! {
         let mut pool = ValuePool::new();
         let s = build(&src, &mut pool);
         let t = build(&tgt, &mut pool);
-        let mut id = AppliedFunction::new(AttrFunction::Identity);
-        let b = Blocking::root(&s, &t).refine(AttrId(0), &mut id, &s, &t, &mut pool);
+        let mut scratch = ApplyScratch::new();
+        let b = Blocking::root(&s, &t)
+            .refine(AttrId(0), &AttrFunction::Identity, &mut scratch, &s, &t, &mut pool);
         let mut rng = StdRng::seed_from_u64(seed);
         let pairs = sample_random_alignment(&b, &mut rng);
         let expected: usize = b.mixed_blocks().map(|blk| blk.src.len().min(blk.tgt.len())).sum();

@@ -18,7 +18,10 @@ fn build(rows: &[[u8; 2]], pool: &mut ValuePool) -> Table {
     let mut t = Table::new(Schema::new(["a", "b"]));
     for r in rows {
         // Numeric-friendly values so Add/Scale functions apply.
-        let syms: Vec<_> = r.iter().map(|v| pool.intern(&format!("{}", *v as u32 * 10))).collect();
+        let syms: Vec<_> = r
+            .iter()
+            .map(|v| pool.intern(&format!("{}", *v as u32 * 10)))
+            .collect();
         t.push(Record::new(syms));
     }
     t

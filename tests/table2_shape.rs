@@ -1,8 +1,8 @@
 //! Headline-reproduction shape tests: the Table 2 effects the paper's
 //! conclusions rest on, asserted at laptop scale.
 
-use affidavit_bench::harness::{run_cell, ConfigKind};
 use affidavit::datasets::by_name;
+use affidavit_bench::harness::{run_cell, ConfigKind};
 
 /// H^id is accurate out of the box at the paper's "practical" setting.
 #[test]
@@ -10,7 +10,7 @@ fn hid_is_reliable_at_low_noise() {
     for name in ["iris", "abalone", "ncvoter-1k"] {
         let spec = by_name(name).unwrap();
         let rows = spec.rows.min(1000);
-        let cell = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hid, 2, 0xEDB7);
+        let cell = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hid, 2, 0xEDB7, 1);
         assert!(cell.acc > 0.95, "{name}: acc {}", cell.acc);
         assert!(cell.delta_core > 0.9, "{name}: Δcore {}", cell.delta_core);
     }
@@ -23,15 +23,19 @@ fn hid_is_reliable_at_low_noise() {
 fn hs_collapses_on_low_distinctness_tables_hid_does_not() {
     let spec = by_name("chess").unwrap();
     let rows = 1500;
-    let hs = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hs, 2, 0xEDB7);
+    let hs = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hs, 2, 0xEDB7, 1);
     assert!(
         hs.delta_core < 0.2,
         "Hs should collapse on chess: Δcore {}",
         hs.delta_core
     );
     assert!(hs.delta_costs > 1.2, "collapse shows as cost blow-up");
-    let hid = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hid, 2, 0xEDB7);
-    assert!(hid.delta_core > 0.95, "H^id must survive: {}", hid.delta_core);
+    let hid = run_cell(&spec, rows, 0.3, 0.3, ConfigKind::Hid, 2, 0xEDB7, 1);
+    assert!(
+        hid.delta_core > 0.95,
+        "H^id must survive: {}",
+        hid.delta_core
+    );
     assert!(hid.acc > 0.95);
 }
 
@@ -39,8 +43,8 @@ fn hs_collapses_on_low_distinctness_tables_hid_does_not() {
 #[test]
 fn hs_is_faster_than_hid() {
     let spec = by_name("adult").unwrap();
-    let hs = run_cell(&spec, 1500, 0.3, 0.3, ConfigKind::Hs, 2, 3);
-    let hid = run_cell(&spec, 1500, 0.3, 0.3, ConfigKind::Hid, 2, 3);
+    let hs = run_cell(&spec, 1500, 0.3, 0.3, ConfigKind::Hs, 2, 3, 1);
+    let hid = run_cell(&spec, 1500, 0.3, 0.3, ConfigKind::Hid, 2, 3, 1);
     assert!(
         hs.t_secs < hid.t_secs,
         "Hs {}s should undercut H^id {}s",

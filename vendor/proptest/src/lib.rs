@@ -1,0 +1,174 @@
+//! Offline shim of `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`](strategy::Strategy) trait, regex-string strategies, numeric
+//! range strategies, [`Just`](strategy::Just), `prop_oneof!`, tuple/array/vec composition,
+//! and the `proptest!` test macro. No shrinking — a failing case panics
+//! with the generated inputs left in the assertion message.
+//!
+//! Case count defaults to 32 per property and can be raised with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+/// Number of cases each property runs.
+pub fn num_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// The RNG driving generation.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Build the deterministic RNG for one property function, salted with
+/// the property's full name so distinct properties draw distinct case
+/// streams.
+pub fn new_rng(name: &str) -> TestRng {
+    use rand::SeedableRng;
+    // FNV-1a over the name; good enough to decorrelate test streams.
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use rand::Rng;
+
+    /// Anything that can act as a size specification for [`vec()`].
+    pub trait SizeRange: Clone {
+        /// Draw a concrete size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `vec(element, size)` — a vector whose length is drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Strategy for `[S::Value; N]`.
+    #[derive(Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// A 2-element array of independently generated values.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArray<S, 2> {
+        UniformArray { element }
+    }
+
+    /// A 3-element array of independently generated values.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+        UniformArray { element }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*` surface.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Module-style access (`prop::collection::vec`, …).
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+/// Run each property in the block `num_cases()` times with fresh inputs.
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let mut rng = $crate::new_rng(stringify!($name));
+            for _case in 0..$crate::num_cases() {
+                $(let $pat = ($strat).generate(&mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("property {} failed: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+/// Assert within a property (no shrinking in the shim: plain `assert!`).
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+/// Assert equality within a property.
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+/// Choose uniformly among the listed strategies (all of one value type).
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::dynamic($strat)),+])
+    };
+}

@@ -1,0 +1,286 @@
+//! A tiny regex-driven string *generator* (not a matcher).
+//!
+//! Supports the subset of regex syntax the workspace's property tests use
+//! as string strategies: literals, escapes, `.`, character classes with
+//! ranges (`[a-zäöü0-9,"\n]`), groups with alternation (`(\+|-)`), and the
+//! quantifiers `?`, `*`, `+`, `{n}`, `{m,n}`. Unbounded quantifiers are
+//! capped at 8 repetitions.
+
+use rand::Rng;
+
+use crate::TestRng;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+/// Characters `.` draws from — printable ASCII plus a little unicode.
+const ANY: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '_', '-', '.', ',', ';', '!', '#',
+    'ä', 'ß', '東',
+];
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Any,
+    Class(Vec<(char, char)>),
+    Group(Vec<Vec<Node>>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn fail(&self, why: &str) -> ! {
+        panic!("proptest shim: unsupported regex {:?}: {why}", self.pattern)
+    }
+
+    /// Parse a `|`-separated list of sequences, up to `end` (or EOF).
+    fn parse_alternatives(&mut self, in_group: bool) -> Vec<Vec<Node>> {
+        let mut alts = vec![Vec::new()];
+        loop {
+            match self.chars.peek().copied() {
+                None => {
+                    if in_group {
+                        self.fail("unterminated group");
+                    }
+                    return alts;
+                }
+                Some(')') if in_group => {
+                    self.chars.next();
+                    return alts;
+                }
+                Some(')') => self.fail("unbalanced ')'"),
+                Some('|') => {
+                    self.chars.next();
+                    alts.push(Vec::new());
+                }
+                Some(_) => {
+                    let atom = self.parse_atom();
+                    let node = self.parse_quantifier(atom);
+                    alts.last_mut().expect("non-empty").push(node);
+                }
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        let c = self.chars.next().expect("peeked");
+        match c {
+            '.' => Node::Any,
+            '(' => Node::Group(self.parse_alternatives(true)),
+            '[' => self.parse_class(),
+            '\\' => {
+                let e = self
+                    .chars
+                    .next()
+                    .unwrap_or_else(|| self.fail("dangling escape"));
+                Node::Literal(unescape(e))
+            }
+            '*' | '+' | '?' | '{' => self.fail("quantifier without atom"),
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut members: Vec<(char, char)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = self
+                .chars
+                .next()
+                .unwrap_or_else(|| self.fail("unterminated class"));
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        members.push((p, p));
+                    }
+                    if members.is_empty() {
+                        self.fail("empty character class");
+                    }
+                    return Node::Class(members);
+                }
+                '\\' => {
+                    let e = self
+                        .chars
+                        .next()
+                        .unwrap_or_else(|| self.fail("dangling escape"));
+                    if let Some(p) = pending.replace(unescape(e)) {
+                        members.push((p, p));
+                    }
+                }
+                '-' if pending.is_some() && self.chars.peek() != Some(&']') => {
+                    let lo = pending.take().expect("checked");
+                    let hi = self.chars.next().expect("peeked");
+                    if (hi as u32) < lo as u32 {
+                        self.fail("inverted class range");
+                    }
+                    members.push((lo, hi));
+                }
+                c => {
+                    if let Some(p) = pending.replace(c) {
+                        members.push((p, p));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.chars.peek().copied() {
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => self.fail("unterminated quantifier"),
+                    }
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    None => {
+                        let n: u32 = spec.parse().unwrap_or_else(|_| self.fail("bad quantifier"));
+                        (n, n)
+                    }
+                    Some((lo, hi)) => {
+                        let lo: u32 = lo.parse().unwrap_or_else(|_| self.fail("bad quantifier"));
+                        let hi: u32 = if hi.is_empty() {
+                            lo.max(UNBOUNDED_CAP)
+                        } else {
+                            hi.parse().unwrap_or_else(|_| self.fail("bad quantifier"))
+                        };
+                        (lo, hi)
+                    }
+                };
+                if hi < lo {
+                    self.fail("inverted quantifier");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Any => out.push(ANY[rng.gen_range(0..ANY.len())]),
+        Node::Class(members) => {
+            let (lo, hi) = members[rng.gen_range(0..members.len())];
+            let c = char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                .expect("class ranges stay inside valid scalar values");
+            out.push(c);
+        }
+        Node::Group(alts) => {
+            let alt = &alts[rng.gen_range(0..alts.len())];
+            for n in alt {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let alts = parser.parse_alternatives(false);
+    let mut out = String::new();
+    let alt = &alts[rng.gen_range(0..alts.len())];
+    for node in alt {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::new_rng;
+
+    fn check(pattern: &str, verify: impl Fn(&str) -> bool) {
+        let mut rng = new_rng("regex-tests");
+        for _ in 0..200 {
+            let s = generate(pattern, &mut rng);
+            assert!(verify(&s), "pattern {pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_patterns() {
+        check("(\\+|-)?[0-9]{1,10}", |s| {
+            let body = s.strip_prefix(['+', '-']).unwrap_or(s);
+            (1..=10).contains(&body.chars().count()) && body.chars().all(|c| c.is_ascii_digit())
+        });
+        check("[0-9]{1,6}\\.[0-9]{1,4}", |s| {
+            let (a, b) = s.split_once('.').expect("dot");
+            !a.is_empty() && !b.is_empty()
+        });
+    }
+
+    #[test]
+    fn grouped_repeats() {
+        check("[0-9]{1,3}(,[0-9]{3}){1,3}", |s| {
+            s.split(',').count() >= 2 && s.split(',').skip(1).all(|g| g.len() == 3)
+        });
+    }
+
+    #[test]
+    fn classes_and_unicode() {
+        check("[a-zäöüß]{1,6}", |s| {
+            (1..=6).contains(&s.chars().count())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || "äöüß".contains(c))
+        });
+        check("[äöü東京a-z]{0,5}", |s| s.chars().count() <= 5);
+    }
+
+    #[test]
+    fn optional_and_star() {
+        check("[A-Z]{1,3}-?[0-9]{1,5}", |s| {
+            s.chars().any(|c| c.is_ascii_digit())
+        });
+        check("\".*\"", |s| {
+            s.starts_with('"') && s.ends_with('"') && s.len() >= 2
+        });
+        check("x", |s| s == "x");
+    }
+
+    #[test]
+    fn alternation_top_level() {
+        check("abc|def", |s| s == "abc" || s == "def");
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal test-runner types (the shim has no shrinking machinery).
+
+/// A failed test case, produced by `TestCaseError::fail` or an early
+/// `return Err(...)` inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the current case with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,532 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! tree data model of the sibling `serde` shim. Parses the item's token
+//! stream directly (no `syn`/`quote` available offline) and supports the
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields, newtype/tuple structs, unit structs
+//! * enums with unit / newtype / tuple / struct variants
+//! * container attributes `#[serde(tag = "...")]`, `#[serde(untagged)]`
+//!   and `#[serde(rename_all = "snake_case")]`
+//!
+//! Generics are not supported (the workspace derives only on plain types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    untagged: bool,
+    snake_case: bool,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Unnamed(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Extract `tag = "..."` / `untagged` / `rename_all = "snake_case"` from the
+/// tokens inside a `#[serde(...)]` group.
+fn parse_serde_attr(tokens: Vec<TokenTree>, attrs: &mut ContainerAttrs) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                let value = match (tokens.get(i + 1), tokens.get(i + 2)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit)))
+                        if p.as_char() == '=' =>
+                    {
+                        i += 2;
+                        Some(lit.to_string().trim_matches('"').to_owned())
+                    }
+                    _ => None,
+                };
+                match (key.as_str(), value) {
+                    ("tag", Some(v)) => attrs.tag = Some(v),
+                    ("untagged", None) => attrs.untagged = true,
+                    ("rename_all", Some(v)) => {
+                        assert_eq!(v, "snake_case", "serde shim: only snake_case is supported");
+                        attrs.snake_case = true;
+                    }
+                    (other, _) => panic!("serde shim: unsupported serde attribute {other:?}"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde shim: unexpected token in serde attribute: {other}"),
+        }
+        i += 1;
+    }
+}
+
+/// Split a token slice on top-level commas, treating `<`/`>` as nesting.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<&TokenTree>> {
+    let mut out: Vec<Vec<&TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().expect("non-empty").push(t);
+    }
+    if out.last().is_some_and(|v| v.is_empty()) {
+        out.pop();
+    }
+    out
+}
+
+/// Strip leading attributes (`# [ ... ]`) and visibility (`pub`, `pub(...)`)
+/// from a field/variant chunk.
+fn strip_prefix<'a>(mut chunk: &'a [&'a TokenTree]) -> &'a [&'a TokenTree] {
+    loop {
+        match chunk {
+            [TokenTree::Punct(p), TokenTree::Group(_), rest @ ..] if p.as_char() == '#' => {
+                chunk = rest;
+            }
+            [TokenTree::Ident(id), TokenTree::Group(g), rest @ ..]
+                if id.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                chunk = rest;
+            }
+            [TokenTree::Ident(id), rest @ ..] if id.to_string() == "pub" => {
+                chunk = rest;
+            }
+            _ => return chunk,
+        }
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&tokens)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_prefix(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_commas(&tokens)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_prefix(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim: expected variant name, found {other:?}"),
+            };
+            let fields = match chunk.get(1) {
+                None => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Unnamed(split_commas(&inner).len())
+                }
+                other => panic!("serde shim: unexpected token after variant {name}: {other:?}"),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+
+    // Attributes and visibility.
+    loop {
+        match (&tokens.get(i), &tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) if p.as_char() == '#' => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde" {
+                        parse_serde_attr(args.stream().into_iter().collect(), &mut attrs);
+                    }
+                }
+                i += 2;
+            }
+            (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+                if id.to_string() == "pub" && g.delimiter() == Delimiter::Parenthesis =>
+            {
+                i += 2;
+            }
+            (Some(TokenTree::Ident(id)), _) if id.to_string() == "pub" => {
+                i += 1;
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected struct/enum, found {other}"),
+    };
+    let name = match &tokens[i + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected type name, found {other}"),
+    };
+    if matches!(&tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic types are not supported (deriving on {name})");
+    }
+
+    let shape = match kind.as_str() {
+        "enum" => match &tokens[i + 2] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde shim: expected enum body, found {other}"),
+        },
+        "struct" => match &tokens.get(i + 2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::Struct(Fields::Unnamed(split_commas(&inner).len()))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        },
+        other => panic!("serde shim: cannot derive for {other}"),
+    };
+
+    Input { name, attrs, shape }
+}
+
+fn variant_label(attrs: &ContainerAttrs, name: &str) -> String {
+    if attrs.snake_case {
+        snake_case(name)
+    } else {
+        name.to_owned()
+    }
+}
+
+// ---- Serialize -----------------------------------------------------------
+
+fn named_fields_object(fields: &[String], prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => named_fields_object(fields, "self."),
+        Shape::Struct(Fields::Unnamed(1)) => "serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Struct(Fields::Unnamed(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(input, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_variant(input: &Input, v: &Variant) -> String {
+    let ty = &input.name;
+    let vname = &v.name;
+    let label = variant_label(&input.attrs, vname);
+    match (&v.fields, &input.attrs.tag, input.attrs.untagged) {
+        (Fields::Unit, Some(tag), _) => format!(
+            "{ty}::{vname} => serde::Value::Object(vec![(\"{tag}\".to_string(), serde::Value::Str(\"{label}\".to_string()))]),"
+        ),
+        (Fields::Unit, None, true) => format!("{ty}::{vname} => serde::Value::Null,"),
+        (Fields::Unit, None, false) => {
+            format!("{ty}::{vname} => serde::Value::Str(\"{label}\".to_string()),")
+        }
+        (Fields::Named(fields), tag, untagged) => {
+            let binds = fields.join(", ");
+            let obj = named_fields_object(fields, "");
+            let value = match (tag, untagged) {
+                (Some(tag), _) => format!(
+                    "{{ let mut o = vec![(\"{tag}\".to_string(), serde::Value::Str(\"{label}\".to_string()))]; \
+                     if let serde::Value::Object(fields) = {obj} {{ o.extend(fields); }} serde::Value::Object(o) }}"
+                ),
+                (None, true) => obj,
+                (None, false) => format!(
+                    "serde::Value::Object(vec![(\"{label}\".to_string(), {obj})])"
+                ),
+            };
+            format!("{ty}::{vname} {{ {binds} }} => {value},")
+        }
+        (Fields::Unnamed(n), None, untagged) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let inner = if *n == 1 {
+                "serde::Serialize::to_value(f0)".to_owned()
+            } else {
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("serde::Value::Array(vec![{}])", elems.join(", "))
+            };
+            let value = if untagged {
+                inner
+            } else {
+                format!("serde::Value::Object(vec![(\"{label}\".to_string(), {inner})])")
+            };
+            format!("{ty}::{vname}({}) => {value},", binds.join(", "))
+        }
+        (Fields::Unnamed(_), Some(_), _) => {
+            panic!("serde shim: tuple variants cannot be internally tagged ({ty}::{vname})")
+        }
+    }
+}
+
+// ---- Deserialize ---------------------------------------------------------
+
+fn named_fields_build(ty_variant: &str, fields: &[String]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: serde::Deserialize::from_value(serde::field(obj, \"{f}\"))?"))
+        .collect();
+    format!("{ty_variant} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let build = named_fields_build(name, fields);
+            format!(
+                "let obj = v.as_object().ok_or_else(|| serde::Error::custom(\
+                 format!(\"{name}: expected object, found {{}}\", v.kind())))?;\n\
+                 Ok({build})"
+            )
+        }
+        Shape::Struct(Fields::Unnamed(1)) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Struct(Fields::Unnamed(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 if arr.len() != {n} {{ return Err(serde::Error::custom(\"{name}: wrong tuple arity\")); }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => gen_deserialize_enum(input, variants),
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::Value) -> Result<{name}, serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    if input.attrs.untagged {
+        // Try each variant in declaration order.
+        let attempts: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => format!(
+                        "if matches!(v, serde::Value::Null) {{ return Ok({name}::{vname}); }}"
+                    ),
+                    Fields::Unnamed(1) => format!(
+                        "if let Ok(inner) = serde::Deserialize::from_value(v) {{ return Ok({name}::{vname}(inner)); }}"
+                    ),
+                    Fields::Unnamed(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])"))
+                            .collect();
+                        format!(
+                            "if let Some(arr) = v.as_array() {{ if arr.len() == {n} {{ \
+                             if let ({},) = ({},) {{ return Ok({name}::{vname}({})); }} }} }}",
+                            (0..*n).map(|i| format!("Ok(f{i})")).collect::<Vec<_>>().join(", "),
+                            elems.join(", "),
+                            (0..*n).map(|i| format!("f{i}")).collect::<Vec<_>>().join(", "),
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let build = named_fields_build(&format!("{name}::{vname}"), fields);
+                        format!(
+                            "if let Some(obj) = v.as_object() {{ \
+                             let attempt = (|| -> Result<{name}, serde::Error> {{ Ok({build}) }})(); \
+                             if let Ok(got) = attempt {{ return Ok(got); }} }}"
+                        )
+                    }
+                }
+            })
+            .collect();
+        return format!(
+            "{}\nErr(serde::Error::custom(\"{name}: no untagged variant matched\"))",
+            attempts.join("\n")
+        );
+    }
+    if let Some(tag) = &input.attrs.tag {
+        let arms: Vec<String> = variants
+            .iter()
+            .map(|v| {
+                let vname = &v.name;
+                let label = variant_label(&input.attrs, vname);
+                match &v.fields {
+                    Fields::Unit => format!("\"{label}\" => Ok({name}::{vname}),"),
+                    Fields::Named(fields) => {
+                        let build = named_fields_build(&format!("{name}::{vname}"), fields);
+                        format!("\"{label}\" => Ok({build}),")
+                    }
+                    Fields::Unnamed(_) => panic!(
+                        "serde shim: tuple variants cannot be internally tagged ({name}::{vname})"
+                    ),
+                }
+            })
+            .collect();
+        return format!(
+            "let obj = v.as_object().ok_or_else(|| serde::Error::custom(\
+             format!(\"{name}: expected object, found {{}}\", v.kind())))?;\n\
+             let tag = serde::field(obj, \"{tag}\").as_str().ok_or_else(|| \
+             serde::Error::custom(\"{name}: missing tag {tag}\"))?;\n\
+             match tag {{ {} other => Err(serde::Error::custom(format!(\"{name}: unknown variant {{other:?}}\"))) }}",
+            arms.join(" ")
+        );
+    }
+    // Externally tagged (serde default): unit variants as plain strings,
+    // data variants as single-key objects.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let label = variant_label(&input.attrs, &v.name);
+            format!("\"{label}\" => return Ok({name}::{}),", v.name)
+        })
+        .collect();
+    let keyed_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vname = &v.name;
+            let label = variant_label(&input.attrs, vname);
+            match &v.fields {
+                Fields::Unnamed(1) => format!(
+                    "\"{label}\" => return Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),"
+                ),
+                Fields::Unnamed(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{label}\" => {{ let arr = inner.as_array().ok_or_else(|| \
+                         serde::Error::custom(\"{name}::{vname}: expected array\"))?; \
+                         if arr.len() != {n} {{ return Err(serde::Error::custom(\"{name}::{vname}: wrong arity\")); }} \
+                         return Ok({name}::{vname}({})); }}",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let build = named_fields_build(&format!("{name}::{vname}"), fields);
+                    format!(
+                        "\"{label}\" => {{ let obj = inner.as_object().ok_or_else(|| \
+                         serde::Error::custom(\"{name}::{vname}: expected object\"))?; \
+                         return Ok({build}); }}"
+                    )
+                }
+                Fields::Unit => unreachable!(),
+            }
+        })
+        .collect();
+    format!(
+        "if let Some(s) = v.as_str() {{ match s {{ {} other => return Err(serde::Error::custom(\
+         format!(\"{name}: unknown variant {{other:?}}\"))) }} }}\n\
+         if let Some(obj) = v.as_object() {{ if let [(key, inner)] = obj {{ match key.as_str() {{ {} \
+         other => return Err(serde::Error::custom(format!(\"{name}: unknown variant {{other:?}}\"))) }} }} }}\n\
+         Err(serde::Error::custom(format!(\"{name}: expected variant, found {{}}\", v.kind())))",
+        unit_arms.join(" "),
+        keyed_arms.join(" ")
+    )
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
