@@ -119,6 +119,172 @@ fn main() {
         std::fs::write(path, json).expect("write bench json");
         println!("wrote {path}");
     }
+
+    // Frontier-scaling benchmark: the same instance solved at increasing
+    // speculative widths. Reconciliation keeps the search byte-identical,
+    // so only wall time and speculation counters may differ.
+    let widths = [1usize, 2, 4, 8];
+    let frontier = bench_frontier(bench_rows, seed, bench_runs, bench_threads, &widths);
+    println!(
+        "\nspeculative frontier ({} rows, {} runs, {} threads):",
+        frontier.rows, frontier.runs, frontier.threads
+    );
+    for (i, &w) in frontier.widths.iter().enumerate() {
+        println!(
+            "  width {w}: {:.3}s total | {:.2}x vs width 1 | {} speculative expansions, {} discarded",
+            frontier.total_secs[i],
+            frontier.speedup_vs_width1[i],
+            frontier.speculative_expansions[i],
+            frontier.speculation_discarded[i],
+        );
+    }
+    println!(
+        "  polled {} / expansions {} at every width | deterministic = {}",
+        frontier.polled, frontier.expansions, frontier.deterministic
+    );
+    if args.get_str("bench-json").is_some() || args.get_str("frontier-json").is_some() {
+        let path = args
+            .get_str("frontier-json")
+            .unwrap_or("BENCH_frontier.json");
+        let json = serde_json::to_string_pretty(&frontier).expect("serializable");
+        std::fs::write(path, json).expect("write frontier bench json");
+        println!("wrote {path}");
+    }
+}
+
+/// Frontier-scaling measurement: one §5.1 synthetic instance solved at
+/// several `speculative_width`s, serialized into `BENCH_frontier.json` at
+/// the repo root. The indexed vectors (`total_secs`, …) line up with
+/// `widths`.
+#[derive(serde::Serialize)]
+struct FrontierBench {
+    /// Base-table rows of the synthetic instance.
+    rows: usize,
+    /// Attribute count of the instance.
+    attrs: usize,
+    /// Solver runs averaged per width.
+    runs: usize,
+    /// Worker threads used at every width.
+    threads: usize,
+    /// Hardware threads available on the measuring machine.
+    hardware_threads: usize,
+    /// The speculative widths measured.
+    widths: Vec<usize>,
+    /// Mean wall-clock seconds per solve at each width.
+    total_secs: Vec<f64>,
+    /// `total_secs[0] / total_secs[i]` — only meaningful when
+    /// `speedup_valid`.
+    speedup_vs_width1: Vec<f64>,
+    /// Expansions computed speculatively at each width (work performed).
+    speculative_expansions: Vec<usize>,
+    /// Speculative expansions invalidated by reconciliation at each width.
+    speculation_discarded: Vec<usize>,
+    /// States polled per solve — identical at every width by the
+    /// reconciliation invariant (asserted).
+    polled: usize,
+    /// State expansions per solve — identical at every width (asserted).
+    expansions: usize,
+    /// False when the machine cannot physically exhibit parallel speedup
+    /// (one hardware thread) — treat `speedup_vs_width1` as noise.
+    speedup_valid: bool,
+    /// Every width returned a byte-identical rendered explanation, cost,
+    /// and poll/expansion counters.
+    deterministic: bool,
+}
+
+fn bench_frontier(
+    rows: usize,
+    seed: u64,
+    runs: usize,
+    threads: usize,
+    widths: &[usize],
+) -> FrontierBench {
+    use affidavit_core::Affidavit;
+
+    let spec = affidavit_datasets::specs::by_name("adult").expect("dataset exists");
+    let solve = |width: usize| {
+        let mut total = 0.0f64;
+        let mut speculative = 0usize;
+        let mut discarded = 0usize;
+        let mut polled = 0usize;
+        let mut expansions = 0usize;
+        let mut fingerprint = String::new();
+        for run in 0..runs {
+            let (base, pool) = generate_rows(&spec, rows.min(spec.rows), seed + run as u64);
+            let mut generated =
+                Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, seed + run as u64))
+                    .materialize_full();
+            let cfg = affidavit_core::AffidavitConfig::paper_id()
+                .with_seed(seed + run as u64)
+                .with_threads(threads)
+                .with_speculative_width(width);
+            let out = Affidavit::new(cfg).explain(&mut generated.instance);
+            total += out.stats.duration.as_secs_f64();
+            speculative += out.stats.speculative_expansions;
+            discarded += out.stats.speculation_discarded;
+            polled += out.stats.polled;
+            expansions += out.stats.expansions;
+            fingerprint.push_str(&affidavit_core::report::render_report(
+                &out.explanation,
+                &generated.instance,
+            ));
+            fingerprint.push_str(&format!(
+                "|{};{};{};",
+                out.stats.end_state_cost.to_bits(),
+                out.stats.polled,
+                out.stats.expansions
+            ));
+        }
+        (
+            total / runs as f64,
+            speculative,
+            discarded,
+            polled,
+            expansions,
+            fingerprint,
+        )
+    };
+
+    let mut total_secs = Vec::new();
+    let mut speculative_expansions = Vec::new();
+    let mut speculation_discarded = Vec::new();
+    let mut fingerprints: Vec<String> = Vec::new();
+    let mut polled = 0usize;
+    let mut expansions = 0usize;
+    for &w in widths {
+        let (secs, spec_exp, disc, p, e, fp) = solve(w);
+        total_secs.push(secs);
+        speculative_expansions.push(spec_exp);
+        speculation_discarded.push(disc);
+        polled = p;
+        expansions = e;
+        fingerprints.push(fp);
+    }
+    let deterministic = fingerprints.windows(2).all(|w| w[0] == w[1]);
+    assert!(
+        deterministic,
+        "speculative widths must render byte-identical explanations"
+    );
+    let speedup_vs_width1 = total_secs
+        .iter()
+        .map(|&s| total_secs[0] / s.max(1e-12))
+        .collect();
+    FrontierBench {
+        rows: rows.min(spec.rows),
+        attrs: spec.attrs,
+        runs,
+        threads,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        widths: widths.to_vec(),
+        total_secs,
+        speedup_vs_width1,
+        speculative_expansions,
+        speculation_discarded,
+        polled: polled / runs.max(1),
+        expansions: expansions / runs.max(1),
+        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        deterministic,
+    }
 }
 
 /// One extension-phase scaling measurement, serialized into

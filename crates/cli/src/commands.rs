@@ -15,14 +15,15 @@ affidavit — explain differences between unaligned table snapshots (EDBT 2020)
 
 USAGE:
   affidavit explain <source.csv> <target.csv> [--config id|overlap] [--seed N]
-                    [--threads N] [--sql TABLE] [--trace] [--align] [--corpus]
-                    [--extended] [--save F.json]
+                    [--threads N] [--speculative-width K] [--sql TABLE] [--trace]
+                    [--align] [--corpus] [--extended] [--save F.json]
   affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
   affidavit apply   <source.csv> <target.csv> <unseen.csv> [--out FILE]
   affidavit apply   --explanation F.json <unseen.csv> [--out FILE]
   affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
   affidavit profile <source_dir> <target_dir> [--align] [--extended]
-                    [--config id|overlap] [--seed N] [--threads N] [--json FILE]
+                    [--config id|overlap] [--seed N] [--threads N]
+                    [--speculative-width K] [--json FILE]
   affidavit help";
 
 /// Simple positional + flag splitter.
@@ -91,6 +92,11 @@ fn build_config(p: &Parsed<'_>) -> Result<AffidavitConfig, String> {
         cfg.threads = threads
             .parse()
             .map_err(|_| format!("bad --threads {threads:?} (use a count, or 0 for auto)"))?;
+    }
+    if let Some(width) = p.flag_value("speculative-width") {
+        cfg.speculative_width = width.parse().map_err(|_| {
+            format!("bad --speculative-width {width:?} (frontier states expanded per iteration)")
+        })?;
     }
     if p.has("trace") {
         cfg.trace = true;
@@ -453,6 +459,16 @@ mod tests {
         assert_eq!(cfg.seed, 123);
         assert_eq!(cfg.queue_width, 1);
         let bad = argv(&["--config", "nope"]);
+        assert!(build_config(&parse(&bad)).is_err());
+    }
+
+    #[test]
+    fn build_config_speculative_width() {
+        let good = argv(&["--threads", "4", "--speculative-width", "8"]);
+        let cfg = build_config(&parse(&good)).unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.speculative_width, 8);
+        let bad = argv(&["--speculative-width", "wide"]);
         assert!(build_config(&parse(&bad)).is_err());
     }
 

@@ -79,6 +79,15 @@ pub struct AffidavitConfig {
     /// per-attribute seeded RNG and the extensions are merged in a stable
     /// order.
     pub threads: usize,
+    /// Speculative frontier width K: up to K frontier states are drained
+    /// per driver iteration (in exact poll order) and expanded
+    /// concurrently, then reconciled back in that order. A speculated
+    /// sibling whose turn never comes — an earlier sibling polled an end
+    /// state, evicted it, or produced a cheaper child that overtakes it —
+    /// is discarded unconsumed, so the polled/expanded sequence, trace and
+    /// explanation are byte-identical to `speculative_width = 1`.
+    /// `1` (the default) disables speculation; `0` is treated as `1`.
+    pub speculative_width: usize,
 }
 
 impl Default for AffidavitConfig {
@@ -107,6 +116,7 @@ impl AffidavitConfig {
             trace: false,
             parallel_min_records: 4096,
             threads: 1,
+            speculative_width: 1,
         }
     }
 
@@ -144,6 +154,13 @@ impl AffidavitConfig {
     /// one worker per hardware thread.
     pub fn with_threads(mut self, threads: usize) -> AffidavitConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Set the speculative frontier width (builder style); results are
+    /// byte-identical at every width.
+    pub fn with_speculative_width(mut self, width: usize) -> AffidavitConfig {
+        self.speculative_width = width;
         self
     }
 }

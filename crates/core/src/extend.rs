@@ -50,14 +50,29 @@ pub(crate) fn make_child(
     attr: usize,
     func: AttrFunction,
 ) -> SearchState {
-    let blocking = state.blocking.refine(
-        AttrId(attr as u32),
-        &func,
-        &mut ctx.scratch,
-        &ctx.instance.source,
-        &ctx.instance.target,
-        &mut ctx.instance.pool,
-    );
+    // Driver-side refinements (start states, ⊞ finalization) touch every
+    // live record; above the fan-out threshold, split the work over the
+    // worker pool — `refine_parallel` is byte-identical to the serial
+    // path, including the shared pool's contents.
+    let records = state.blocking.live_sources() + state.blocking.total_targets();
+    let blocking = if ctx.cfg.threads != 1 && records >= ctx.cfg.parallel_min_records {
+        state.blocking.refine_parallel(
+            AttrId(attr as u32),
+            &func,
+            &ctx.instance.source,
+            &ctx.instance.target,
+            &mut ctx.instance.pool,
+        )
+    } else {
+        state.blocking.refine(
+            AttrId(attr as u32),
+            &func,
+            &mut ctx.scratch,
+            &ctx.instance.source,
+            &ctx.instance.target,
+            &mut ctx.instance.pool,
+        )
+    };
     let cost = child_cost(ctx.search_ctx().cost_params(), state, &func, &blocking);
     register_child(ctx, state, attr, func, blocking, cost)
 }
@@ -154,16 +169,16 @@ fn register_child(
 
 /// Undecided attributes ordered by indeterminacy (most determined first,
 /// ties towards the lower attribute index) — the `Order-By-Indeterminacy`
-/// step.
-pub(crate) fn order_by_indeterminacy(ctx: &Ctx<'_>, state: &SearchState) -> Vec<usize> {
+/// step. Takes the source table directly so speculative workers can order
+/// a frozen state without the driver context.
+pub(crate) fn order_by_indeterminacy(
+    source: &affidavit_table::Table,
+    state: &SearchState,
+) -> Vec<usize> {
     let mut attrs = state.undecided_attrs();
     let keys: Vec<usize> = attrs
         .iter()
-        .map(|&a| {
-            state
-                .blocking
-                .indeterminacy(AttrId(a as u32), &ctx.instance.source)
-        })
+        .map(|&a| state.blocking.indeterminacy(AttrId(a as u32), source))
         .collect();
     let mut order: Vec<usize> = (0..attrs.len()).collect();
     order.sort_by_key(|&i| (keys[i], attrs[i]));
@@ -288,71 +303,120 @@ fn expand_attr(
     }
 }
 
-/// The `Extensions(H)` procedure. Returns the kept extensions, or — when
-/// every undecided attribute turns out to be map-suited — a single
-/// finalized end state.
-pub(crate) fn extensions(ctx: &mut Ctx<'_>, state: &SearchState) -> Vec<SearchState> {
-    let astar = order_by_indeterminacy(ctx, state);
-    debug_assert!(!astar.is_empty(), "extensions called on an end state");
+/// Everything phase 1 produced for one polled state: per-attribute
+/// expansions in processed order, plus whether any candidate beat its
+/// greedy benchmark. Pure worker output — nothing here has touched shared
+/// search state, so an expansion computed speculatively for a state whose
+/// poll turn never comes can be dropped without a trace.
+pub(crate) struct StateExpansion {
+    parts: Vec<AttrExpansion>,
+    any_kept: bool,
+}
 
-    let alignment = sample_random_alignment(&state.blocking, &mut ctx.rng);
-    let mut ext: Vec<SearchState> = Vec::new();
+/// Phase 1 for a whole state: order the undecided attributes, expand the
+/// β-batch (and, while nothing beats its greedy benchmark, one further
+/// attribute at a time) against the frozen context. Runs on the driver for
+/// the serial path and on pool workers for speculative frontier
+/// expansion; results are identical either way.
+pub(crate) fn expand_state(
+    sctx: &SearchCtx<'_>,
+    state: &SearchState,
+    alignment: &[(RecordId, RecordId)],
+) -> StateExpansion {
+    let astar = order_by_indeterminacy(sctx.source, state);
+    debug_assert!(!astar.is_empty(), "expand_state called on an end state");
     let mut cursor = astar.iter().copied();
     // Poll β attributes first, then one at a time.
-    let mut batch: Vec<usize> = cursor.by_ref().take(ctx.cfg.beta.max(1)).collect();
+    let mut batch: Vec<usize> = cursor.by_ref().take(sctx.cfg.beta.max(1)).collect();
+    let worth_spawning = state.blocking.live_sources() + state.blocking.total_targets()
+        >= sctx.cfg.parallel_min_records;
+    let mut parts: Vec<AttrExpansion> = Vec::new();
+    let mut any_kept = false;
 
-    while ext.is_empty() && !batch.is_empty() {
-        let started = Instant::now();
-        // Phase 1: fan the batch out across the pool, read-only.
-        let worth_spawning = state.blocking.live_sources() + state.blocking.total_targets()
-            >= ctx.cfg.parallel_min_records;
-        let expansions: Vec<AttrExpansion> = {
-            let sctx = ctx.search_ctx();
-            if ctx.cfg.threads != 1 && batch.len() > 1 && worth_spawning {
+    while !any_kept && !batch.is_empty() {
+        // Attribute-level fan-out. Inside a speculative state worker this
+        // runs inline (pool workers pin their thread count to 1), so the
+        // two parallelism levels never oversubscribe.
+        let expanded: Vec<AttrExpansion> =
+            if sctx.cfg.threads != 1 && batch.len() > 1 && worth_spawning {
                 batch
                     .par_iter()
-                    .map(|&attr| expand_attr(&sctx, state, attr, &alignment))
+                    .map(|&attr| expand_attr(sctx, state, attr, alignment))
                     .collect()
             } else {
                 batch
                     .iter()
-                    .map(|&attr| expand_attr(&sctx, state, attr, &alignment))
+                    .map(|&attr| expand_attr(sctx, state, attr, alignment))
                     .collect()
-            }
-        };
-        ctx.stats.extension_time += started.elapsed();
-
-        // Phase 2: deterministic merge in batch order.
-        for exp in expansions {
-            let remap = ctx.instance.pool.absorb(exp.base_len, &exp.new_strings);
-            // Register the greedy benchmark child (id + trace parity with
-            // the historical sequential engine; never kept).
-            let _hg = register_child(
-                ctx,
-                state,
-                exp.attr,
-                exp.greedy.func.remap(&remap),
-                exp.greedy.blocking,
-                exp.greedy.cost,
-            );
-            for cand in exp.ranked {
-                let child = register_child(
-                    ctx,
-                    state,
-                    exp.attr,
-                    cand.func.remap(&remap),
-                    cand.blocking,
-                    cand.cost,
-                );
-                if cand.kept {
-                    ext.push(child);
-                }
-            }
-            // Map-marking is implicit: attrs with no kept candidate stay ∗.
+            };
+        for exp in expanded {
+            any_kept |= exp.ranked.iter().any(|c| c.kept);
+            parts.push(exp);
         }
         batch = cursor.by_ref().take(1).collect();
     }
 
+    StateExpansion { parts, any_kept }
+}
+
+/// Phase 2: absorb a state expansion into the shared pool and register
+/// every child (greedy benchmark + ranked candidates, in processed order),
+/// returning the kept extensions. Runs strictly in poll order — this is
+/// where ids, trace nodes and pool contents are assigned, so consuming
+/// expansions in serial order makes speculation invisible.
+///
+/// An empty result means every expanded attribute is map-suited; the
+/// caller finalizes (that fallback draws from the driver RNG, which is the
+/// caller's to manage during speculative replay).
+pub(crate) fn consume_state_expansion(
+    ctx: &mut Ctx<'_>,
+    state: &SearchState,
+    exp: StateExpansion,
+) -> Vec<SearchState> {
+    let mut ext: Vec<SearchState> = Vec::new();
+    for part in exp.parts {
+        let remap = ctx.instance.pool.absorb(part.base_len, &part.new_strings);
+        // Register the greedy benchmark child (id + trace parity with
+        // the historical sequential engine; never kept).
+        let _hg = register_child(
+            ctx,
+            state,
+            part.attr,
+            part.greedy.func.remap(&remap),
+            part.greedy.blocking,
+            part.greedy.cost,
+        );
+        for cand in part.ranked {
+            let child = register_child(
+                ctx,
+                state,
+                part.attr,
+                cand.func.remap(&remap),
+                cand.blocking,
+                cand.cost,
+            );
+            if cand.kept {
+                ext.push(child);
+            }
+        }
+        // Map-marking is implicit: attrs with no kept candidate stay ∗.
+    }
+    debug_assert_eq!(exp.any_kept, !ext.is_empty());
+    ext
+}
+
+/// The `Extensions(H)` procedure. Returns the kept extensions, or — when
+/// every undecided attribute turns out to be map-suited — a single
+/// finalized end state.
+pub(crate) fn extensions(ctx: &mut Ctx<'_>, state: &SearchState) -> Vec<SearchState> {
+    let alignment = sample_random_alignment(&state.blocking, &mut ctx.rng);
+    let started = Instant::now();
+    let exp = {
+        let sctx = ctx.search_ctx();
+        expand_state(&sctx, state, &alignment)
+    };
+    ctx.stats.extension_time += started.elapsed();
+    let ext = consume_state_expansion(ctx, state, exp);
     if ext.is_empty() {
         // Every undecided attribute is best served by a value mapping:
         // mark all ⊞ and finalize (Algorithm 1's fallback branch).
@@ -441,7 +505,7 @@ mod tests {
         let mut ctx = Ctx::new(&mut inst, &cfg);
         let root = ctx.root_state();
         let start = make_child(&mut ctx, &root, 0, AttrFunction::Identity);
-        let order = order_by_indeterminacy(&ctx, &start);
+        let order = order_by_indeterminacy(&ctx.instance.source, &start);
         // Unit has 1 distinct source value per block; Val has 1 as well
         // (singleton blocks) — ties break towards the lower index (1).
         assert_eq!(order, vec![1, 2]);

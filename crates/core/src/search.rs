@@ -3,16 +3,19 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use affidavit_blocking::{overlap_start_attrs, Blocking, OverlapConfig};
+use affidavit_blocking::{overlap_start_attrs, sample_random_alignment, Blocking, OverlapConfig};
 use affidavit_functions::{ApplyScratch, AttrFunction};
 use affidavit_table::{AttrId, FxHashSet, ScratchPool, Table, ValuePool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 use crate::config::{AffidavitConfig, InitStrategy};
 use crate::cost::state_cost;
 use crate::explanation::Explanation;
-use crate::extend::{extensions, make_child};
+use crate::extend::{
+    consume_state_expansion, expand_state, extensions, make_child, StateExpansion,
+};
 use crate::finalize::finalize;
 use crate::instance::ProblemInstance;
 use crate::queue::BoundedLevelQueue;
@@ -38,6 +41,15 @@ pub struct SearchStats {
     /// Wall-clock time spent in the `Extensions(H)` candidate-generation
     /// phase (the part that fans out across worker threads).
     pub extension_time: Duration,
+    /// Expansions computed speculatively, ahead of their poll turn
+    /// (`speculative_width > 1` only). Unlike `polled`/`expansions`, this
+    /// may vary with the width — it counts work performed, not the
+    /// (invariant) reconciled search sequence.
+    pub speculative_expansions: usize,
+    /// Speculative expansions discarded because reconciliation invalidated
+    /// them (an earlier sibling ended the search, evicted them, overtook
+    /// them with a cheaper child, or fell back to ⊞ finalization).
+    pub speculation_discarded: usize,
 }
 
 /// The result of a search: explanation, counters, optional trace.
@@ -233,6 +245,27 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// Push freshly generated children into the frontier, de-duplicating on
+/// the assignment vector (end states bypass duplicate detection: their
+/// value maps make signatures heavy and they terminate the search quickly
+/// anyway). One serial body shared by the plain loop and the speculative
+/// reconciliation replay, so both push in the identical order.
+fn push_children(
+    ctx: &mut Ctx<'_>,
+    queue: &mut BoundedLevelQueue,
+    visited: &mut FxHashSet<Vec<Assignment>>,
+    children: Vec<SearchState>,
+) {
+    for child in children {
+        if child.is_end_state() || visited.insert(child.assignments.clone()) {
+            let kept = queue.push(child.clone());
+            if let Some(trace) = ctx.trace.as_mut() {
+                trace.mark_kept(child.id, kept);
+            }
+        }
+    }
+}
+
 /// The Affidavit search algorithm.
 #[derive(Debug, Clone, Default)]
 pub struct Affidavit {
@@ -258,9 +291,13 @@ impl Affidavit {
     /// greedy maps.
     ///
     /// With `cfg.threads != 1` the candidate-generation phase of every
-    /// expansion fans out across a rayon pool; the result is identical to
-    /// the sequential run at any thread count (see
-    /// [`AffidavitConfig::paper_id`]'s `threads` docs).
+    /// expansion fans out across a persistent rayon pool; with
+    /// `cfg.speculative_width > 1` the best-first loop itself goes wide,
+    /// expanding up to K frontier states per iteration and reconciling
+    /// them in deterministic poll order. The result is byte-identical to
+    /// the sequential run at any thread count and any width (see
+    /// [`AffidavitConfig::paper_id`]'s `threads` / `speculative_width`
+    /// docs).
     pub fn explain(&self, instance: &mut ProblemInstance) -> SearchOutcome {
         if self.cfg.threads == 1 {
             return self.explain_inner(instance);
@@ -286,8 +323,151 @@ impl Affidavit {
             queue.push(st);
         }
 
+        let width = self.cfg.speculative_width.max(1);
         let mut last_polled: Option<SearchState> = None;
-        let end_state = loop {
+        let end_state = 'search: loop {
+            // ---- Speculation phase (K-way frontier expansion). ----
+            //
+            // Drain the next up-to-K poll results, put them straight back
+            // (the queue must hold them during reconciliation so push
+            // evictions behave exactly as in the serial run), expand the
+            // batch concurrently against the frozen context, then replay
+            // serial polls, consuming each cached expansion only when its
+            // state really is the next poll.
+            if width > 1 && queue.len() > 1 {
+                let (batch, receipt) = queue.poll_batch(width);
+                // Never expand past an end state: polling it ends the
+                // search, so later siblings' turns cannot come.
+                let cut = batch
+                    .iter()
+                    .position(|s| s.is_end_state())
+                    .unwrap_or(batch.len());
+                /// Pure phase-1 output for one speculated batch, indexed
+                /// in poll order; nothing in here has touched shared
+                /// search state yet.
+                struct SpeculationCache {
+                    spec_ids: Vec<usize>,
+                    expansions: Vec<StateExpansion>,
+                    rng_before: Vec<StdRng>,
+                    rng_after: Vec<StdRng>,
+                }
+                let mut speculated: Option<SpeculationCache> = None;
+                if cut > 1 {
+                    let spec = &batch[..cut];
+                    // Pre-draw each state's alignment in poll order, with
+                    // RNG snapshots bracketing every draw so reconciliation
+                    // can rewind to the exact serial RNG state on any
+                    // divergence.
+                    let mut rng_before: Vec<StdRng> = Vec::with_capacity(spec.len());
+                    let mut rng_after: Vec<StdRng> = Vec::with_capacity(spec.len());
+                    let mut alignments = Vec::with_capacity(spec.len());
+                    for st in spec {
+                        rng_before.push(ctx.rng.clone());
+                        alignments.push(sample_random_alignment(&st.blocking, &mut ctx.rng));
+                        rng_after.push(ctx.rng.clone());
+                    }
+
+                    // Phase 1: expand all speculated states concurrently,
+                    // borrowing them straight out of the drained batch —
+                    // only their ids are needed for reconciliation, so the
+                    // (potentially record-sized) states are never cloned.
+                    let started_ext = Instant::now();
+                    let expansions: Vec<StateExpansion> = {
+                        let sctx = ctx.search_ctx();
+                        let expand = |i: usize| expand_state(&sctx, &spec[i], &alignments[i]);
+                        if self.cfg.threads != 1 {
+                            (0..spec.len()).into_par_iter().map(expand).collect()
+                        } else {
+                            (0..spec.len()).map(expand).collect()
+                        }
+                    };
+                    ctx.stats.extension_time += started_ext.elapsed();
+                    ctx.stats.speculative_expansions += expansions.len();
+                    let spec_ids: Vec<usize> = spec.iter().map(|s| s.id).collect();
+                    speculated = Some(SpeculationCache {
+                        spec_ids,
+                        expansions,
+                        rng_before,
+                        rng_after,
+                    });
+                }
+                // The queue must hold the speculated states during
+                // reconciliation so push evictions behave exactly as in
+                // the serial run.
+                queue.restore(batch, receipt);
+                if let Some(SpeculationCache {
+                    spec_ids,
+                    expansions,
+                    rng_before,
+                    rng_after,
+                }) = speculated
+                {
+                    // Phase 2: reconciliation replay, in exact serial order.
+                    let mut expansions = expansions.into_iter();
+                    for i in 0..spec_ids.len() {
+                        let state = queue
+                            .poll()
+                            .expect("speculated states stay queued until their turn");
+                        ctx.stats.polled += 1;
+                        if let Some(trace) = ctx.trace.as_mut() {
+                            trace.mark_polled(state.id);
+                        }
+                        let expansion = expansions.next().expect("one expansion per state");
+                        if state.id != spec_ids[i] {
+                            // Miss: a child pushed during reconciliation
+                            // overtook (or evicted) the speculated sibling.
+                            // Rewind the RNG to the serial position and
+                            // process this poll cold; the rest of the cache
+                            // is void.
+                            ctx.rng = rng_before[i].clone();
+                            ctx.stats.speculation_discarded += spec_ids.len() - i;
+                            if state.is_end_state() {
+                                break 'search state;
+                            }
+                            ctx.stats.expansions += 1;
+                            if ctx.stats.expansions > self.cfg.max_expansions {
+                                ctx.stats.hit_expansion_limit = true;
+                                break 'search finalize(&mut ctx, &state);
+                            }
+                            let children = extensions(&mut ctx, &state);
+                            last_polled = Some(state);
+                            push_children(&mut ctx, &mut queue, &mut visited, children);
+                            continue 'search;
+                        }
+                        // Hit: this state's serial turn arrived — consume
+                        // the cached expansion. (Speculated states are
+                        // never end states; the batch was cut before one.)
+                        ctx.stats.expansions += 1;
+                        if ctx.stats.expansions > self.cfg.max_expansions {
+                            ctx.stats.hit_expansion_limit = true;
+                            // The serial run finalizes before drawing this
+                            // state's alignment.
+                            ctx.rng = rng_before[i].clone();
+                            ctx.stats.speculation_discarded += spec_ids.len() - i;
+                            break 'search finalize(&mut ctx, &state);
+                        }
+                        let mut children = consume_state_expansion(&mut ctx, &state, expansion);
+                        let map_suited = children.is_empty();
+                        if map_suited {
+                            // ⊞ fallback: finalize draws further from the
+                            // driver RNG, so the pre-drawn alignments of
+                            // the later siblings no longer match the
+                            // serial stream — discard them.
+                            ctx.rng = rng_after[i].clone();
+                            children = vec![finalize(&mut ctx, &state)];
+                        }
+                        last_polled = Some(state);
+                        push_children(&mut ctx, &mut queue, &mut visited, children);
+                        if map_suited {
+                            ctx.stats.speculation_discarded += spec_ids.len() - i - 1;
+                            continue 'search;
+                        }
+                    }
+                    continue 'search;
+                }
+            }
+
+            // ---- Serial iteration (speculation off or frontier ≤ 1). ----
             let Some(state) = queue.poll() else {
                 // Queue drained without reaching an end state (all children
                 // were duplicates or evicted): finalize the last polled
@@ -312,17 +492,7 @@ impl Affidavit {
             }
             let children = extensions(&mut ctx, &state);
             last_polled = Some(state);
-            for child in children {
-                // End states bypass duplicate detection (their value maps
-                // make signatures heavy and they terminate the search
-                // quickly anyway).
-                if child.is_end_state() || visited.insert(child.assignments.clone()) {
-                    let kept = queue.push(child.clone());
-                    if let Some(trace) = ctx.trace.as_mut() {
-                        trace.mark_kept(child.id, kept);
-                    }
-                }
-            }
+            push_children(&mut ctx, &mut queue, &mut visited, children);
         };
 
         ctx.stats.end_state_cost = end_state.cost;
@@ -484,6 +654,51 @@ mod tests {
         let out = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut inst);
         out.explanation.validate(&mut inst).unwrap();
         assert_eq!(out.explanation.inserted.len(), 1);
+    }
+
+    #[test]
+    fn speculative_widths_are_byte_identical() {
+        // The reconciliation invariant at driver level: polled/expansion
+        // counters, the full trace and the explanation match the serial
+        // engine at every (width, threads) combination.
+        let fingerprint = |width: usize, threads: usize| {
+            let mut inst = noisy_instance();
+            let mut cfg = AffidavitConfig::paper_id()
+                .with_trace()
+                .with_threads(threads)
+                .with_speculative_width(width);
+            cfg.parallel_min_records = 0; // force the fan-out paths
+            let out = Affidavit::new(cfg).explain(&mut inst);
+            (
+                format!("{:?}", out.explanation.functions),
+                out.explanation.core_size(),
+                out.stats.polled,
+                out.stats.expansions,
+                out.stats.states_generated,
+                out.stats.end_state_cost.to_bits(),
+                out.trace.expect("trace enabled").render(),
+            )
+        };
+        let base = fingerprint(1, 1);
+        for (width, threads) in [(2, 1), (4, 1), (8, 1), (0, 1), (4, 2), (8, 4)] {
+            assert_eq!(
+                base,
+                fingerprint(width, threads),
+                "width {width} threads {threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn speculation_reports_its_extra_work() {
+        let mut inst = noisy_instance();
+        let out = Affidavit::new(AffidavitConfig::paper_id().with_speculative_width(4))
+            .explain(&mut inst);
+        assert!(
+            out.stats.speculative_expansions > 0,
+            "a width-4 run on a multi-state frontier must speculate"
+        );
+        assert!(out.stats.speculation_discarded <= out.stats.speculative_expansions);
     }
 
     #[test]

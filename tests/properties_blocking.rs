@@ -103,6 +103,43 @@ proptest! {
         prop_assert_eq!(b.cs(), expect_cs);
     }
 
+    /// Parallel refinement over blocks is byte-identical to the serial
+    /// path — block order, record order, dead sources and pool contents —
+    /// at every thread count, over random table pairs.
+    #[test]
+    fn parallel_refine_equals_serial((src, tgt) in table_pair()) {
+        let mut pool = ValuePool::new();
+        let s = build(&src, &mut pool);
+        let t = build(&tgt, &mut pool);
+        // Partition on attr 0 first so several blocks exist to fan out.
+        let base = Blocking::root(&s, &t).refine(
+            AttrId(0), &AttrFunction::Identity, &mut ApplyScratch::new(), &s, &t, &mut pool,
+        );
+        let mut serial_pool = pool.clone();
+        let serial = base.refine(
+            AttrId(1), &AttrFunction::Identity, &mut ApplyScratch::new(), &s, &t, &mut serial_pool,
+        );
+        let exact = |b: &Blocking| {
+            (
+                b.blocks.iter().map(|blk| (blk.src.clone(), blk.tgt.clone())).collect::<Vec<_>>(),
+                b.dead_src.clone(),
+            )
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let mut par_pool = pool.clone();
+            let handle = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let parallel = handle.install(|| {
+                base.refine_parallel(AttrId(1), &AttrFunction::Identity, &s, &t, &mut par_pool)
+            });
+            prop_assert_eq!(exact(&serial), exact(&parallel), "threads {}", threads);
+            let serial_strings: Vec<String> =
+                serial_pool.iter().map(|(_, v)| v.to_owned()).collect();
+            let par_strings: Vec<String> =
+                par_pool.iter().map(|(_, v)| v.to_owned()).collect();
+            prop_assert_eq!(serial_strings, par_strings, "pool diverged at {} threads", threads);
+        }
+    }
+
     /// Random alignments pair each record at most once and only within a
     /// block, with exactly min(|src|, |tgt|) pairs per block.
     #[test]

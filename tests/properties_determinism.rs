@@ -67,10 +67,25 @@ fn fingerprint(cfg: AffidavitConfig, seed: u64) -> (String, u64, f64, usize) {
     )
 }
 
+/// The parallel configuration under test: `(threads, speculative_width)`.
+/// Defaults to `(8, 1)`; the CI determinism matrix leg overrides it via
+/// `AFFIDAVIT_TEST_THREADS` / `AFFIDAVIT_TEST_SPECULATIVE_WIDTH` so this
+/// suite also re-runs pinned to a speculating multi-thread engine.
+fn parallel_config() -> (usize, usize) {
+    let env_usize =
+        |name: &str| -> Option<usize> { std::env::var(name).ok().and_then(|v| v.parse().ok()) };
+    (
+        env_usize("AFFIDAVIT_TEST_THREADS").unwrap_or(8),
+        env_usize("AFFIDAVIT_TEST_SPECULATIVE_WIDTH").unwrap_or(1),
+    )
+}
+
 proptest! {
-    /// threads = 1 and threads = 8 agree byte-for-byte, both paper configs.
+    /// threads = 1 and the parallel configuration agree byte-for-byte,
+    /// both paper configs.
     #[test]
     fn explain_is_thread_count_invariant(seed in 0u64..10_000) {
+        let (threads, width) = parallel_config();
         for init in [InitStrategy::Id, InitStrategy::Overlap] {
             let mut base = AffidavitConfig::paper_id();
             base.init = init;
@@ -82,7 +97,10 @@ proptest! {
                 base.queue_width = 1;
             }
             let sequential = fingerprint(base.clone().with_threads(1), seed);
-            let parallel = fingerprint(base.clone().with_threads(8), seed);
+            let parallel = fingerprint(
+                base.clone().with_threads(threads).with_speculative_width(width),
+                seed,
+            );
             prop_assert_eq!(&sequential, &parallel, "divergence at seed {} ({:?})", seed, init);
         }
     }

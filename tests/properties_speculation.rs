@@ -1,0 +1,185 @@
+//! Determinism battery for speculative K-way frontier expansion: for
+//! random instances across seeds, both paper configurations, and the full
+//! `threads × speculative_width` matrix, the rendered report, the trace
+//! shape and the `SearchStats.polled`/`expansions` counters must be
+//! byte-identical to the serial baseline (`threads = 1, width = 1`).
+//!
+//! The CI matrix leg pins one combination via the
+//! `AFFIDAVIT_TEST_THREADS` / `AFFIDAVIT_TEST_SPECULATIVE_WIDTH`
+//! environment variables; without them the whole matrix runs.
+
+use affidavit::core::config::{AffidavitConfig, InitStrategy};
+use affidavit::core::instance::ProblemInstance;
+use affidavit::core::report::render_report;
+use affidavit::core::search::Affidavit;
+use affidavit::table::{Schema, Table, ValuePool};
+use proptest::prelude::*;
+
+/// The `(threads, speculative_width)` combinations under test: the env
+/// override (CI matrix leg) wins, otherwise the full grid.
+fn matrix() -> Vec<(usize, usize)> {
+    let env_usize =
+        |name: &str| -> Option<usize> { std::env::var(name).ok().and_then(|v| v.parse().ok()) };
+    if let (Some(threads), Some(width)) = (
+        env_usize("AFFIDAVIT_TEST_THREADS"),
+        env_usize("AFFIDAVIT_TEST_SPECULATIVE_WIDTH"),
+    ) {
+        return vec![(threads, width)];
+    }
+    let mut combos = Vec::new();
+    for threads in [1usize, 2, 4] {
+        for width in [1usize, 2, 4, 8] {
+            combos.push((threads, width));
+        }
+    }
+    combos
+}
+
+/// A randomized instance family: scaling, constant replacement, an
+/// identity key, a low-cardinality org column, plus seed-dependent
+/// asymmetric noise — adversarial enough that different seeds exercise
+/// eviction, speculation misses and the ⊞ fallback.
+fn instance(seed: u64) -> ProblemInstance {
+    let orgs = ["IBM", "SAP", "BASF", "KUKA", "DFKI"];
+    let mut rows_s: Vec<Vec<String>> = Vec::new();
+    let mut rows_t: Vec<Vec<String>> = Vec::new();
+    let n = 24 + (seed % 17) as usize;
+    for i in 0..n as u64 {
+        let j = i.wrapping_mul(seed | 1) % 89;
+        rows_s.push(vec![
+            format!("k{i}"),
+            format!("{}", (j + 1) * 200),
+            "EUR".to_owned(),
+            orgs[((i + seed) % 5) as usize].to_owned(),
+        ]);
+        rows_t.push(vec![
+            format!("k{i}"),
+            format!("{}", (j + 1) * 2),
+            "h€".to_owned(),
+            orgs[((i + seed) % 5) as usize].to_owned(),
+        ]);
+    }
+    for i in 0..(seed % 5) {
+        rows_s.push(vec![
+            format!("del{i}"),
+            format!("{}", i * 991),
+            "EUR".to_owned(),
+            "NOISE".to_owned(),
+        ]);
+        rows_t.push(vec![
+            format!("ins{i}"),
+            format!("{}", i * 17),
+            "h€".to_owned(),
+            "NOISE".to_owned(),
+        ]);
+    }
+    let mut pool = ValuePool::new();
+    let schema = Schema::new(["key", "Val", "Unit", "Org"]);
+    let s = Table::from_rows(schema.clone(), &mut pool, rows_s);
+    let t = Table::from_rows(schema, &mut pool, rows_t);
+    ProblemInstance::new(s, t, pool).unwrap()
+}
+
+/// Everything that must be invariant: the rendered report (functions and
+/// record partition), the full rendered trace (ids, poll order, kept
+/// flags), the poll/expansion counters and the exact end-state cost.
+fn fingerprint(cfg: AffidavitConfig, seed: u64) -> (String, String, usize, usize, usize, u64) {
+    let mut inst = instance(seed);
+    let out = Affidavit::new(cfg.with_seed(seed).with_trace()).explain(&mut inst);
+    out.explanation.validate(&mut inst).unwrap();
+    (
+        render_report(&out.explanation, &inst),
+        out.trace.expect("trace enabled").render(),
+        out.stats.polled,
+        out.stats.expansions,
+        out.stats.states_generated,
+        out.stats.end_state_cost.to_bits(),
+    )
+}
+
+fn config(init: InitStrategy, threads: usize, width: usize) -> AffidavitConfig {
+    let mut cfg = match init {
+        InitStrategy::Overlap => AffidavitConfig::paper_overlap(),
+        _ => AffidavitConfig::paper_id(),
+    };
+    // Force the fan-out paths even on these small instances so the
+    // parallel engine itself is what the assertions cover.
+    cfg.parallel_min_records = 0;
+    cfg.threads = threads;
+    cfg.speculative_width = width;
+    cfg
+}
+
+proptest! {
+    /// Both paper configurations are byte-identical to their serial
+    /// baseline over the whole `threads × speculative_width` matrix.
+    #[test]
+    fn speculation_is_byte_identical_to_serial(seed in 0u64..10_000) {
+        for init in [InitStrategy::Id, InitStrategy::Overlap] {
+            let baseline = fingerprint(config(init, 1, 1), seed);
+            for (threads, width) in matrix() {
+                let got = fingerprint(config(init, threads, width), seed);
+                prop_assert_eq!(
+                    &baseline,
+                    &got,
+                    "divergence at seed {} ({:?}, threads {}, width {})",
+                    seed,
+                    init,
+                    threads,
+                    width
+                );
+            }
+        }
+    }
+}
+
+/// Degenerate widths: 0 (treated as 1), width beyond the frontier and the
+/// queue bound, and width far past the attribute count all reconcile to
+/// the same outcome.
+#[test]
+fn extreme_widths_match_serial() {
+    let seed = 11;
+    let baseline = fingerprint(config(InitStrategy::Id, 1, 1), seed);
+    for width in [0usize, 3, 7, 64, 1024] {
+        let got = fingerprint(config(InitStrategy::Id, 1, width), seed);
+        assert_eq!(baseline, got, "width {width} diverged");
+    }
+}
+
+/// The greedy paper_overlap configuration (ϱ = 1: single-state frontier
+/// most of the time) still benefits nothing from speculation but must not
+/// diverge either — including at high thread counts and auto threads.
+#[test]
+fn overlap_config_with_speculation_matches() {
+    let seed = 4242;
+    let baseline = fingerprint(config(InitStrategy::Overlap, 1, 1), seed);
+    for (threads, width) in [(8usize, 8usize), (0, 4), (3, 2)] {
+        let got = fingerprint(config(InitStrategy::Overlap, threads, width), seed);
+        assert_eq!(baseline, got, "threads {threads} width {width} diverged");
+    }
+}
+
+/// Speculation must also be invisible when the expansion safety valve
+/// fires: the finalized partial explanation matches the serial engine.
+#[test]
+fn expansion_limit_matches_under_speculation() {
+    let run = |width: usize| {
+        let mut inst = instance(77);
+        let mut cfg = config(InitStrategy::Id, 1, width)
+            .with_seed(77)
+            .with_trace();
+        cfg.max_expansions = 3;
+        let out = Affidavit::new(cfg).explain(&mut inst);
+        assert!(out.stats.hit_expansion_limit);
+        (
+            render_report(&out.explanation, &inst),
+            out.trace.expect("trace enabled").render(),
+            out.stats.polled,
+            out.stats.expansions,
+        )
+    };
+    let baseline = run(1);
+    for width in [2usize, 4, 8] {
+        assert_eq!(baseline, run(width), "width {width} diverged at the limit");
+    }
+}

@@ -2,16 +2,37 @@
 //!
 //! Implements the subset of the rayon API this workspace uses — parallel
 //! iterators over slices, vectors and ranges with `map`/`collect`, plus
-//! [`ThreadPoolBuilder`]/[`ThreadPool::install`] — on top of
-//! `std::thread::scope`. Work is split into one contiguous chunk per
-//! thread; ordering of results is always preserved, so any pipeline that
-//! merges results in input order behaves identically at every thread
-//! count.
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`]. Work is split into one
+//! contiguous chunk per thread; ordering of results is always preserved,
+//! so any pipeline that merges results in input order behaves identically
+//! at every thread count.
+//!
+//! # Persistent, channel-fed pools
+//!
+//! [`ThreadPoolBuilder::build`] spawns its workers **once**; every parallel
+//! collect executed under [`ThreadPool::install`] hands chunk jobs to
+//! those resident workers over an mpsc channel and waits on a latch.
+//! Per-iteration fan-outs (the search driver expands frontier states many
+//! thousands of times per solve) therefore stop paying thread spawn/join
+//! costs. Outside an `install` scope, parallel iterators fall back to
+//! scoped one-shot threads — adequate for coarse fan-outs like
+//! whole-snapshot profiling that parallelize once per run.
+//!
+//! Worker threads run *nested* parallel iterators inline (their
+//! [`current_num_threads`] is pinned to 1): the work inside a chunk job is
+//! already one slice of a fan-out, so splitting it again would only
+//! oversubscribe — and routing nested jobs into the same queue the workers
+//! are draining could deadlock. Results are unaffected either way.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 
 thread_local! {
     static CURRENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    static CURRENT_POOL: RefCell<Option<Arc<PoolInner>>> = const { RefCell::new(None) };
 }
 
 /// The number of threads parallel iterators on this thread will use.
@@ -52,23 +73,77 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool.
+    /// Build the pool, spawning its resident worker threads.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..n)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Ok(ThreadPool {
+            num_threads: n,
+            inner: Arc::new(PoolInner {
+                sender: Mutex::new(Some(sender)),
+            }),
+            workers,
+        })
     }
 }
 
-/// A logical thread pool: in this shim, a thread-count scope. Threads are
-/// spawned per parallel call (scoped), not kept alive — adequate for the
-/// workspace's coarse-grained fan-outs.
+/// A boxed chunk job handed to a resident worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The channel half of a pool, shared with `install` scopes.
+#[derive(Debug)]
+struct PoolInner {
+    /// `None` once the owning [`ThreadPool`] began shutdown.
+    sender: Mutex<Option<Sender<Job>>>,
+}
+
+impl PoolInner {
+    /// Queue a job; returns it back if the pool is already shut down.
+    fn submit(&self, job: Job) -> Result<(), Job> {
+        let guard = self.sender.lock().expect("pool sender lock");
+        match guard.as_ref() {
+            Some(sender) => sender.send(job).map_err(|e| e.0),
+            None => Err(job),
+        }
+    }
+}
+
+/// Resident worker body: drain jobs until the channel closes. Nested
+/// parallel iterators inside a job run inline (thread count pinned to 1).
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    CURRENT_THREADS.with(|c| c.set(Some(1)));
+    loop {
+        // Take the next job while holding the lock, then release it before
+        // running so siblings can pick up the remaining jobs.
+        let job = match receiver.lock().expect("pool receiver lock").recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        job();
+    }
+}
+
+/// A persistent thread pool: `num_threads` resident workers fed over a
+/// channel. Dropping the pool closes the channel and joins the workers.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
+    inner: Arc<PoolInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
@@ -77,24 +152,76 @@ impl ThreadPool {
         self.num_threads
     }
 
-    /// Run `op` with this pool's thread count governing all parallel
-    /// iterators invoked inside it. The previous count is restored even
-    /// if `op` unwinds.
+    /// Run `op` with this pool's workers executing all parallel iterators
+    /// invoked inside it. The previous configuration is restored even if
+    /// `op` unwinds.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        struct Restore(Option<usize>);
+        struct Restore(Option<usize>, Option<Arc<PoolInner>>);
         impl Drop for Restore {
             fn drop(&mut self) {
                 CURRENT_THREADS.with(|c| c.set(self.0));
+                CURRENT_POOL.with(|p| *p.borrow_mut() = self.1.take());
             }
         }
-        let _restore = CURRENT_THREADS.with(|c| {
+        let prev_threads = CURRENT_THREADS.with(|c| {
             let prev = c.get();
             c.set(Some(self.num_threads));
-            Restore(prev)
+            prev
         });
+        let prev_pool = CURRENT_POOL.with(|p| p.borrow_mut().replace(Arc::clone(&self.inner)));
+        let _restore = Restore(prev_threads, prev_pool);
         op()
     }
 }
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop.
+        *self.inner.sender.lock().expect("pool sender lock") = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Completion latch for one fan-out: the submitting thread waits until
+/// every chunk job has run; a job that panicked poisons the latch.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(jobs),
+            all_done: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    fn done(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock");
+        while *remaining > 0 {
+            remaining = self.all_done.wait(remaining).expect("latch wait");
+        }
+    }
+}
+
+/// Raw pointer wrapper so a job can write its result slot from a worker.
+/// Safe because slots are disjoint per job and the submitter does not read
+/// them until the latch confirms every job finished.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
 
 /// Split `items` into one chunk per thread and map them concurrently,
 /// preserving input order in the result.
@@ -103,6 +230,16 @@ fn execute<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R
     if threads == 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
+    let chunks = chunked(items, threads);
+    let pool = CURRENT_POOL.with(|p| p.borrow().clone());
+    match pool {
+        Some(pool) => execute_pooled(&pool, chunks, &f),
+        None => execute_scoped(chunks, &f),
+    }
+}
+
+/// Partition `items` into at most `threads` contiguous chunks.
+fn chunked<T>(items: Vec<T>, threads: usize) -> Vec<Vec<T>> {
     let chunk_size = items.len().div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
     let mut it = items.into_iter();
@@ -113,11 +250,72 @@ fn execute<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R
         }
         chunks.push(chunk);
     }
-    let f = &f;
+    chunks
+}
+
+/// Fan chunks out to the resident workers of `pool` and wait on a latch.
+fn execute_pooled<T: Send, R: Send, F: Fn(T) -> R + Sync>(
+    pool: &PoolInner,
+    chunks: Vec<Vec<T>>,
+    f: &F,
+) -> Vec<R> {
+    let jobs = chunks.len();
+    let latch = Arc::new(Latch::new(jobs));
+    let mut slots: Vec<Option<Vec<R>>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    for (slot, chunk) in slots.iter_mut().zip(chunks) {
+        let slot = SendPtr(slot as *mut Option<Vec<R>>);
+        let latch = Arc::clone(&latch);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // Bind the wrapper itself, not its pointer field: 2021-edition
+            // disjoint capture would otherwise move the raw (non-Send)
+            // pointer into the closure.
+            let slot = slot;
+            // catch_unwind guarantees the latch fires even when the mapped
+            // function panics, so the submitter can never deadlock.
+            match catch_unwind(AssertUnwindSafe(|| {
+                chunk.into_iter().map(f).collect::<Vec<R>>()
+            })) {
+                Ok(results) => unsafe { *slot.0 = Some(results) },
+                Err(_) => latch.poisoned.store(true, Ordering::SeqCst),
+            }
+            latch.done();
+        });
+        // SAFETY: the job borrows `f` and the result slots from this stack
+        // frame; `latch.wait()` below blocks until every job has completed,
+        // so those borrows are live for as long as any worker can use them.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                job,
+            )
+        };
+        // A closed pool (owner mid-drop) degrades to inline execution.
+        if let Err(job) = pool.submit(job) {
+            job();
+        }
+    }
+    latch.wait();
+    if latch.poisoned.load(Ordering::SeqCst) {
+        panic!("parallel worker panicked");
+    }
+    slots
+        .into_iter()
+        .flat_map(|s| s.expect("every finished job filled its slot"))
+        .collect()
+}
+
+/// One-shot scoped-thread fallback for fan-outs outside any `install`.
+fn execute_scoped<T: Send, R: Send, F: Fn(T) -> R + Sync>(chunks: Vec<Vec<T>>, f: &F) -> Vec<R> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    // One-shot workers also run nested fan-outs inline.
+                    CURRENT_THREADS.with(|c| c.set(Some(1)));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -250,5 +448,73 @@ mod tests {
     fn zero_means_default() {
         let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_workers_are_reused_across_fanouts() {
+        // A persistent pool serves many successive collects without
+        // respawning; worker thread ids repeat across iterations.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let mut all_ids = std::collections::HashSet::new();
+        pool.install(|| {
+            for round in 0..50 {
+                let ids: Vec<std::thread::ThreadId> = (0..4)
+                    .into_par_iter()
+                    .map(|_| std::thread::current().id())
+                    .collect();
+                for id in ids {
+                    all_ids.insert(id);
+                }
+                let got: Vec<usize> = (0..10).into_par_iter().map(|i| i + round).collect();
+                assert_eq!(got, (0..10).map(|i| i + round).collect::<Vec<_>>());
+            }
+        });
+        // 100 fan-outs over exactly 2 resident workers (the submitting
+        // thread never executes pooled jobs).
+        assert!(all_ids.len() <= 2, "workers respawned: {}", all_ids.len());
+    }
+
+    #[test]
+    fn nested_fanouts_run_inline_in_workers() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let nested_counts: Vec<usize> = pool.install(|| {
+            (0..8)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            nested_counts.iter().all(|&n| n == 1),
+            "nested fan-outs must be inline: {nested_counts:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn pooled_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            let _: Vec<usize> = (0..8)
+                .into_par_iter()
+                .map(|i| if i == 5 { panic!("boom") } else { i })
+                .collect();
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_fanout() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                let _: Vec<usize> = (0..8)
+                    .into_par_iter()
+                    .map(|i| if i == 3 { panic!("boom") } else { i })
+                    .collect();
+            });
+        }));
+        assert!(result.is_err());
+        // The workers caught the unwind; the pool still serves jobs.
+        let got: Vec<usize> = pool.install(|| (0..6).into_par_iter().map(|i| i * 3).collect());
+        assert_eq!(got, vec![0, 3, 6, 9, 12, 15]);
     }
 }
