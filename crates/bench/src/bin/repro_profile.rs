@@ -120,6 +120,43 @@ fn main() {
         println!("wrote {path}");
     }
 
+    // Ingestion-throughput benchmark: one large synthetic table written as
+    // CSV, read back through (a) the serial in-memory parser, (b) the
+    // streaming chunked reader at 1 and N threads, and (c) the streaming
+    // reader into a disk-spilled SegmentPool. All four produce
+    // byte-identical `(Table, ValuePool)` pairs (asserted).
+    let ingest_rows = args.get_or("ingest-rows", 20_000usize);
+    let ingest_runs = args.get_or("ingest-runs", 3usize);
+    let ingest_chunk_rows = args.get_or("ingest-chunk-rows", 4096usize);
+    let ingest = bench_ingest(
+        ingest_rows,
+        seed,
+        ingest_runs,
+        bench_threads,
+        ingest_chunk_rows,
+    );
+    println!(
+        "\ningestion ({} rows, {:.1} MiB, {} runs): read_str {:.3}s | stream@1 {:.3}s | stream@{} {:.3}s ({:.2}x, {:.0} MB/s) | disk backend {:.3}s ({} B spilled) | deterministic = {}",
+        ingest.rows,
+        ingest.bytes as f64 / (1024.0 * 1024.0),
+        ingest.runs,
+        ingest.serial_read_str_secs,
+        ingest.stream_secs_serial,
+        ingest.threads,
+        ingest.stream_secs_parallel,
+        ingest.stream_speedup,
+        ingest.mb_per_s_stream_parallel,
+        ingest.disk_backend_secs,
+        ingest.disk_spilled_bytes,
+        ingest.deterministic,
+    );
+    if args.get_str("bench-json").is_some() || args.get_str("ingest-json").is_some() {
+        let path = args.get_str("ingest-json").unwrap_or("BENCH_ingest.json");
+        let json = serde_json::to_string_pretty(&ingest).expect("serializable");
+        std::fs::write(path, json).expect("write ingest bench json");
+        println!("wrote {path}");
+    }
+
     // Frontier-scaling benchmark: the same instance solved at increasing
     // speculative widths. Reconciliation keeps the search byte-identical,
     // so only wall time and speculation counters may differ.
@@ -149,6 +186,165 @@ fn main() {
         let json = serde_json::to_string_pretty(&frontier).expect("serializable");
         std::fs::write(path, json).expect("write frontier bench json");
         println!("wrote {path}");
+    }
+}
+
+/// Ingestion-throughput measurement, serialized into `BENCH_ingest.json`
+/// at the repo root. Four readers over the same CSV bytes — serial
+/// in-memory, streaming at 1 and N threads, streaming into a disk-spilled
+/// `SegmentPool` — must produce byte-identical `(Table, ValuePool)` pairs.
+#[derive(serde::Serialize)]
+struct IngestBench {
+    /// Records in the benchmark table.
+    rows: usize,
+    /// Attribute count of the table.
+    attrs: usize,
+    /// CSV size in bytes.
+    bytes: usize,
+    /// Runs averaged per configuration.
+    runs: usize,
+    /// Worker count of the parallel configuration.
+    threads: usize,
+    /// Records per chunk for the streaming readers.
+    chunk_rows: usize,
+    /// Hardware threads available on the measuring machine.
+    hardware_threads: usize,
+    /// Mean seconds for `csv::read_str` on the pre-loaded string.
+    serial_read_str_secs: f64,
+    /// Mean seconds for streaming ingestion at 1 thread.
+    stream_secs_serial: f64,
+    /// Mean seconds for streaming ingestion at `threads` threads.
+    stream_secs_parallel: f64,
+    /// `stream_secs_serial / stream_secs_parallel`; only meaningful when
+    /// `speedup_valid`.
+    stream_speedup: f64,
+    /// Throughput of the parallel streaming configuration.
+    mb_per_s_stream_parallel: f64,
+    /// Mean seconds for streaming ingestion into the disk backend.
+    disk_backend_secs: f64,
+    /// RAM budget of the disk-backend run.
+    disk_budget_bytes: usize,
+    /// Bytes spilled by the disk-backend run (must be > 0).
+    disk_spilled_bytes: u64,
+    /// False when the machine cannot physically exhibit parallel speedup
+    /// (one hardware thread) — treat `stream_speedup` as noise.
+    speedup_valid: bool,
+    /// Every reader produced a byte-identical `(Table, ValuePool)`.
+    deterministic: bool,
+}
+
+fn bench_ingest(
+    rows: usize,
+    seed: u64,
+    runs: usize,
+    threads: usize,
+    chunk_rows: usize,
+) -> IngestBench {
+    use affidavit_store::{ingest, IngestOptions, PoolBackend, PoolConfig};
+    use affidavit_table::{Table, ValuePool};
+
+    let spec = affidavit_datasets::specs::by_name("adult").expect("dataset exists");
+    let (table, pool) = generate_rows(&spec, rows, seed);
+    let path = std::env::temp_dir().join(format!("affidavit-bench-ingest-{seed}.csv"));
+    csv::write_path(&path, &table, &pool, csv::CsvOptions::default()).expect("write bench CSV");
+    let bytes = std::fs::metadata(&path).expect("bench CSV exists").len() as usize;
+
+    let fingerprint = |table: &Table, pool: &ValuePool| {
+        let mut out = String::new();
+        for (_, s) in pool.iter() {
+            out.push_str(s);
+            out.push('\u{1}');
+        }
+        for record in table.records() {
+            for &sym in record.values() {
+                out.push_str(&sym.0.to_string());
+                out.push(',');
+            }
+            out.push('\u{2}');
+        }
+        out
+    };
+
+    let mut timings = [0.0f64; 4];
+    let mut fingerprints: Vec<String> = Vec::new();
+    let mut spilled = 0u64;
+    // Small enough that the distinct-value corpus of the benchmark table
+    // cannot fit: the disk run must exercise spill + fault-back paths.
+    let disk_budget_bytes = 64 * 1024;
+    for _ in 0..runs {
+        let mut prints = Vec::new();
+        // (a) serial in-memory parse (I/O excluded: the historical path
+        // slurped first, so this isolates parse+intern cost).
+        let text = std::fs::read_to_string(&path).expect("read bench CSV");
+        let started = Instant::now();
+        let mut p = ValuePool::new();
+        let t = csv::read_str(&text, &mut p, csv::CsvOptions::default()).expect("parse");
+        timings[0] += started.elapsed().as_secs_f64();
+        prints.push(fingerprint(&t, &p));
+        drop(text);
+        // (b, c) streaming at 1 and N threads.
+        for (slot, n) in [(1usize, 1usize), (2, threads)] {
+            let opts = IngestOptions {
+                chunk_rows,
+                threads: n,
+                ..IngestOptions::default()
+            };
+            let started = Instant::now();
+            let mut p = ValuePool::new();
+            let t = ingest::read_path(&path, &mut p, &opts).expect("stream");
+            timings[slot] += started.elapsed().as_secs_f64();
+            prints.push(fingerprint(&t, &p));
+        }
+        // (d) streaming into a disk-spilled SegmentPool.
+        let opts = IngestOptions {
+            chunk_rows,
+            threads,
+            ..IngestOptions::default()
+        };
+        let started = Instant::now();
+        let mut p = PoolConfig {
+            backend: PoolBackend::Disk,
+            budget_bytes: disk_budget_bytes,
+        }
+        .build()
+        .expect("disk pool");
+        let t = ingest::read_path(&path, &mut p, &opts).expect("disk stream");
+        timings[3] += started.elapsed().as_secs_f64();
+        spilled = p.store_stats().expect("disk backend").spilled_bytes;
+        prints.push(fingerprint(&t, &p));
+        fingerprints.push(prints.join("\u{3}"));
+    }
+    std::fs::remove_file(&path).ok();
+    let deterministic = fingerprints.iter().all(|f| f == &fingerprints[0])
+        && fingerprints[0]
+            .split('\u{3}')
+            .collect::<Vec<_>>()
+            .windows(2)
+            .all(|w| w[0] == w[1]);
+    assert!(
+        deterministic,
+        "all ingestion paths must produce byte-identical pools and tables"
+    );
+    assert!(spilled > 0, "the disk-backend run must spill");
+    let [serial, stream1, stream_n, disk] = timings.map(|t| t / runs as f64);
+    IngestBench {
+        rows,
+        attrs: spec.attrs,
+        bytes,
+        runs,
+        threads,
+        chunk_rows,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial_read_str_secs: serial,
+        stream_secs_serial: stream1,
+        stream_secs_parallel: stream_n,
+        stream_speedup: stream1 / stream_n.max(1e-12),
+        mb_per_s_stream_parallel: bytes as f64 / (1024.0 * 1024.0) / stream_n.max(1e-12),
+        disk_backend_secs: disk,
+        disk_budget_bytes,
+        disk_spilled_bytes: spilled,
+        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        deterministic,
     }
 }
 

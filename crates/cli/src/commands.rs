@@ -7,6 +7,7 @@ use affidavit_core::portable::PortableExplanation;
 use affidavit_core::report::{render_report, to_sql};
 use affidavit_core::{Affidavit, AffidavitConfig, ProblemInstance};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
+use affidavit_store::{ingest, IngestOptions, PoolConfig};
 use affidavit_table::{csv, AttrId, Table, ValuePool};
 
 /// Top-level usage text.
@@ -17,6 +18,8 @@ USAGE:
   affidavit explain <source.csv> <target.csv> [--config id|overlap] [--seed N]
                     [--threads N] [--speculative-width K] [--sql TABLE] [--trace]
                     [--align] [--corpus] [--extended] [--save F.json]
+                    [--ingest-chunk-rows N] [--pool-backend ram|disk]
+                    [--pool-budget-bytes N]
   affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
   affidavit apply   <source.csv> <target.csv> <unseen.csv> [--out FILE]
   affidavit apply   --explanation F.json <unseen.csv> [--out FILE]
@@ -24,6 +27,8 @@ USAGE:
   affidavit profile <source_dir> <target_dir> [--align] [--extended]
                     [--config id|overlap] [--seed N] [--threads N]
                     [--speculative-width K] [--json FILE]
+                    [--ingest-chunk-rows N] [--pool-backend ram|disk]
+                    [--pool-budget-bytes N]
   affidavit help";
 
 /// Simple positional + flag splitter.
@@ -79,6 +84,38 @@ fn read_csv(path: &str, pool: &mut ValuePool) -> Result<Table, String> {
     csv::read_path(path, pool, csv::CsvOptions::default()).map_err(|e| format!("{path}: {e}"))
 }
 
+fn read_csv_streaming(
+    path: &str,
+    pool: &mut ValuePool,
+    opts: &IngestOptions,
+) -> Result<Table, String> {
+    ingest::read_path(path, pool, opts).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Ingestion and pool-backend flags shared by `explain` and `profile`.
+/// Ingestion workers follow `--threads` (the search's worker count).
+fn build_ingest(p: &Parsed<'_>, threads: usize) -> Result<(IngestOptions, PoolConfig), String> {
+    let mut ingest_opts = IngestOptions {
+        threads,
+        ..IngestOptions::default()
+    };
+    if let Some(v) = p.flag_value("ingest-chunk-rows") {
+        ingest_opts.chunk_rows = v
+            .parse()
+            .map_err(|_| format!("bad --ingest-chunk-rows {v:?} (records per chunk)"))?;
+    }
+    let mut pool_cfg = PoolConfig::default();
+    if let Some(v) = p.flag_value("pool-backend") {
+        pool_cfg.backend = v.parse()?;
+    }
+    if let Some(v) = p.flag_value("pool-budget-bytes") {
+        pool_cfg.budget_bytes = v
+            .parse()
+            .map_err(|_| format!("bad --pool-budget-bytes {v:?} (RAM budget for string bytes)"))?;
+    }
+    Ok((ingest_opts, pool_cfg))
+}
+
 fn build_config(p: &Parsed<'_>) -> Result<AffidavitConfig, String> {
     let mut cfg = match p.flag_value("config").unwrap_or("id") {
         "id" => AffidavitConfig::paper_id(),
@@ -116,13 +153,15 @@ pub fn explain(args: &[String]) -> Result<(), String> {
     let [src, tgt] = p.positional[..] else {
         return Err(format!("explain needs two CSV paths\n{USAGE}"));
     };
+    let cfg = build_config(&p)?;
+    let (ingest_opts, pool_cfg) = build_ingest(&p, cfg.threads)?;
+    let mut pool = pool_cfg.build().map_err(|e| e.to_string())?;
     let mut instance = if p.has("align") {
         // §6 future work: align renamed/reordered target columns by
         // content before explaining; with unequal arity, first look for
         // merged/split columns and normalize.
-        let mut pool = ValuePool::new();
-        let mut source = read_csv(src, &mut pool)?;
-        let mut target = read_csv(tgt, &mut pool)?;
+        let mut source = read_csv_streaming(src, &mut pool, &ingest_opts)?;
+        let mut target = read_csv_streaming(tgt, &mut pool, &ingest_opts)?;
         if source.schema().arity() != target.schema().arity() {
             let Some((s2, t2, applied)) =
                 affidavit_core::restructure::normalize_arity(&source, &target, &mut pool)
@@ -168,10 +207,17 @@ pub fn explain(args: &[String]) -> Result<(), String> {
         let target = alignment.reorder_target(&target, source.schema());
         ProblemInstance::new(source, target, pool).map_err(|e| e.to_string())?
     } else {
-        load_instance(src, tgt)?
+        let source = read_csv_streaming(src, &mut pool, &ingest_opts)?;
+        let target = read_csv_streaming(tgt, &mut pool, &ingest_opts)?;
+        ProblemInstance::new(source, target, pool).map_err(|e| e.to_string())?
     };
-    let cfg = build_config(&p)?;
     let outcome = Affidavit::new(cfg).explain(&mut instance);
+    if let Some(stats) = instance.pool.store_stats() {
+        eprintln!(
+            "pool backend: disk — {} bytes spilled, {} bytes resident",
+            stats.spilled_bytes, stats.resident_bytes
+        );
+    }
     println!("{}", render_report(&outcome.explanation, &instance));
     println!(
         "search: {} states polled, {} generated, {:?}",
@@ -198,9 +244,13 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     let [src_dir, tgt_dir] = p.positional[..] else {
         return Err(format!("profile needs two directories\n{USAGE}"));
     };
+    let config = build_config(&p)?;
+    let (ingest_opts, pool_cfg) = build_ingest(&p, config.threads)?;
     let opts = affidavit_core::profiling::ProfileOptions {
-        config: build_config(&p)?,
+        config,
         align: p.has("align"),
+        ingest: ingest_opts,
+        pool: pool_cfg,
     };
     let profile =
         affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?;
@@ -434,6 +484,7 @@ pub fn gen(args: &[String]) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use affidavit_store::PoolBackend;
 
     fn argv(items: &[&str]) -> Vec<String> {
         items.iter().map(|s| s.to_string()).collect()
@@ -470,6 +521,54 @@ mod tests {
         assert_eq!(cfg.speculative_width, 8);
         let bad = argv(&["--speculative-width", "wide"]);
         assert!(build_config(&parse(&bad)).is_err());
+    }
+
+    #[test]
+    fn build_ingest_flags() {
+        let args = argv(&[
+            "--ingest-chunk-rows",
+            "128",
+            "--pool-backend",
+            "disk",
+            "--pool-budget-bytes",
+            "4096",
+        ]);
+        let p = parse(&args);
+        let (ingest_opts, pool_cfg) = build_ingest(&p, 3).unwrap();
+        assert_eq!(ingest_opts.chunk_rows, 128);
+        assert_eq!(ingest_opts.threads, 3);
+        assert_eq!(pool_cfg.backend, PoolBackend::Disk);
+        assert_eq!(pool_cfg.budget_bytes, 4096);
+        assert!(build_ingest(&parse(&argv(&["--pool-backend", "mmap"])), 1).is_err());
+        assert!(build_ingest(&parse(&argv(&["--ingest-chunk-rows", "many"])), 1).is_err());
+    }
+
+    #[test]
+    fn explain_runs_with_disk_pool_backend() {
+        let dir = std::env::temp_dir().join("affidavit-cli-diskpool-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("s.csv");
+        let tgt = dir.join("t.csv");
+        let mut s = String::from("k,v\n");
+        let mut t = String::from("k,v\n");
+        for i in 0..40 {
+            s.push_str(&format!("key{i},{}\n", (i + 1) * 1000));
+            t.push_str(&format!("key{i},{}\n", i + 1));
+        }
+        std::fs::write(&src, s).unwrap();
+        std::fs::write(&tgt, t).unwrap();
+        explain(&argv(&[
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+            "--pool-backend",
+            "disk",
+            "--pool-budget-bytes",
+            "256",
+            "--ingest-chunk-rows",
+            "8",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -16,7 +16,8 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use affidavit_table::{csv, Table, ValuePool};
+use affidavit_store::{ingest, IngestOptions, PoolConfig};
+use affidavit_table::{Table, ValuePool};
 use serde::{Deserialize, Serialize};
 
 use crate::config::AffidavitConfig;
@@ -35,6 +36,11 @@ pub struct ProfileOptions {
     /// Repair schema drift (renamed/reordered/merged/split columns) before
     /// the search instead of failing the table.
     pub align: bool,
+    /// Streaming-ingestion options for reading each table pair's CSVs
+    /// (chunk size, worker threads).
+    pub ingest: IngestOptions,
+    /// Pool backend for each table pair (RAM or disk-spilled segments).
+    pub pool: PoolConfig,
 }
 
 /// The per-table result of a profiling run.
@@ -247,10 +253,16 @@ pub fn profile_dirs(
 }
 
 fn profile_file_pair(src_path: &Path, tgt_path: &Path, opts: &ProfileOptions) -> TableOutcome {
-    let mut pool = ValuePool::new();
+    let mut pool = match opts.pool.build() {
+        Ok(pool) => pool,
+        Err(e) => {
+            return TableOutcome::Failed {
+                reason: format!("cannot create {:?} pool backend: {e}", opts.pool.backend),
+            }
+        }
+    };
     let read = |path: &Path, pool: &mut ValuePool| {
-        csv::read_path(path, pool, csv::CsvOptions::default())
-            .map_err(|e| format!("{}: {e}", path.display()))
+        ingest::read_path(path, pool, &opts.ingest).map_err(|e| format!("{}: {e}", path.display()))
     };
     let source = match read(src_path, &mut pool) {
         Ok(t) => t,

@@ -1,0 +1,118 @@
+//! Snapshot storage and ingestion subsystem.
+//!
+//! The search engine (`affidavit-core`) operates on `(Table, ValuePool)`
+//! pairs; this crate is how those pairs come to exist at scale:
+//!
+//! * [`ingest`] — chunked streaming CSV ingestion. A
+//!   [`RowChunker`](affidavit_table::csv::RowChunker) splits the byte
+//!   stream into chunks of complete records in bounded memory; chunks fan
+//!   out over worker threads, each interning into a private
+//!   [`ScratchPool`](affidavit_table::ScratchPool) overlay; the driver
+//!   merges worker results in chunk order via
+//!   [`ValuePool::absorb`](affidavit_table::ValuePool::absorb). Because
+//!   the merge order is fixed, the resulting `(Table, ValuePool)` is
+//!   **byte-identical** to a serial
+//!   [`csv::read_str`](affidavit_table::csv::read_str) at every thread
+//!   count and chunk size.
+//! * [`segment`] — the [`SegmentPool`] disk-backed
+//!   interner: string bytes live in append-only segments spilled to files
+//!   under a RAM budget, behind the same
+//!   [`Interner`](affidavit_table::Interner) trait and [`ValuePool`] API
+//!   the search already uses. Snapshots larger than RAM flow through the
+//!   unchanged generic search.
+//!
+//! [`PoolConfig`] selects the backend at the edges (CLI, dataset loader,
+//! profiling) without the inner layers knowing.
+
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod segment;
+
+use std::io;
+
+use affidavit_table::ValuePool;
+
+pub use ingest::IngestOptions;
+pub use segment::{SegmentPool, SegmentPoolConfig};
+
+/// Which storage backend a value pool uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolBackend {
+    /// Every interned string stays in RAM (the default).
+    #[default]
+    Ram,
+    /// String bytes live in disk-spilled segments under a RAM budget
+    /// ([`SegmentPool`]).
+    Disk,
+}
+
+impl std::str::FromStr for PoolBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<PoolBackend, String> {
+        match s {
+            "ram" => Ok(PoolBackend::Ram),
+            "disk" => Ok(PoolBackend::Disk),
+            other => Err(format!("unknown pool backend {other:?} (use ram|disk)")),
+        }
+    }
+}
+
+/// Backend selection plus its budget, as plumbed through the CLI
+/// (`--pool-backend`, `--pool-budget-bytes`), the dataset loader and
+/// profiling.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// The backend to build.
+    pub backend: PoolBackend,
+    /// RAM budget for string bytes (disk backend only).
+    pub budget_bytes: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            backend: PoolBackend::Ram,
+            budget_bytes: SegmentPoolConfig::default().budget_bytes,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Build an empty pool with the configured backend.
+    pub fn build(&self) -> io::Result<ValuePool> {
+        match self.backend {
+            PoolBackend::Ram => Ok(ValuePool::new()),
+            PoolBackend::Disk => Ok(SegmentPool::create(SegmentPoolConfig::with_budget(
+                self.budget_bytes,
+            ))?
+            .into_pool()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses() {
+        assert_eq!("ram".parse::<PoolBackend>().unwrap(), PoolBackend::Ram);
+        assert_eq!("disk".parse::<PoolBackend>().unwrap(), PoolBackend::Disk);
+        assert!("mmap".parse::<PoolBackend>().is_err());
+    }
+
+    #[test]
+    fn config_builds_both_backends() {
+        let ram = PoolConfig::default().build().unwrap();
+        assert!(ram.store_stats().is_none());
+        let disk = PoolConfig {
+            backend: PoolBackend::Disk,
+            budget_bytes: 4096,
+        }
+        .build()
+        .unwrap();
+        assert!(disk.store_stats().is_some());
+    }
+}

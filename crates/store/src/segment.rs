@@ -1,0 +1,462 @@
+//! Disk-backed value pools: append-only string segments under a RAM budget.
+//!
+//! A [`SegmentStore`] appends interned string bytes to an *active* in-RAM
+//! segment; when the active segment reaches `segment_bytes` it is
+//! **sealed** — written to a file in a per-store spill directory — and a
+//! fresh active segment starts. Sealed segments are immutable, so reads
+//! can fault them back in on demand (lazily, behind a `OnceLock`); a
+//! least-recently-touched cache keeps resident string bytes under
+//! `budget_bytes`, with evictions happening only at mutation points
+//! (appends), where no `&str` borrows into the cache can be live.
+//!
+//! The whole machinery hides behind the
+//! [`StringStore`] seam of
+//! [`ValuePool`]: symbol numbering, interning
+//! order and lookups are unchanged, so a search over a [`SegmentPool`] is
+//! byte-identical to one over a RAM pool — only the residency of the
+//! string bytes differs.
+//!
+//! # Spill format
+//!
+//! Each sealed segment is one file `seg-<n>.bin` holding the raw UTF-8
+//! concatenation of its strings; the in-RAM location table (12 bytes per
+//! string: segment id, byte offset, byte length) addresses into it. Files
+//! are written once and never modified; the spill directory is removed
+//! when the last clone of the store is dropped.
+//!
+//! # Failure model
+//!
+//! Spill-file I/O happens inside `intern`/`get`, which return plain
+//! symbols and strings; an I/O failure there (disk full, spill directory
+//! deleted mid-run) panics with the offending path rather than silently
+//! corrupting the pool.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use affidavit_table::{Decimal, Interner, StringStore, Sym, ValuePool};
+
+/// Configuration for a [`SegmentPool`] / [`SegmentStore`].
+#[derive(Debug, Clone)]
+pub struct SegmentPoolConfig {
+    /// Target ceiling for string bytes resident in RAM (active segment
+    /// plus loaded segment cache). Best-effort: the active segment and any
+    /// segment faulted in during the current shared borrow stay resident.
+    pub budget_bytes: usize,
+    /// Bytes per sealed segment (the spill granularity).
+    pub segment_bytes: usize,
+    /// Parent directory for the spill directory (default: the OS temp
+    /// dir). A unique subdirectory is created per store and removed when
+    /// the last clone of the store is dropped.
+    pub spill_parent: Option<PathBuf>,
+}
+
+impl Default for SegmentPoolConfig {
+    fn default() -> Self {
+        SegmentPoolConfig {
+            budget_bytes: 64 * 1024 * 1024,
+            segment_bytes: 1024 * 1024,
+            spill_parent: None,
+        }
+    }
+}
+
+impl SegmentPoolConfig {
+    /// A configuration for the given budget, with the segment size scaled
+    /// so the cache can hold several segments (useful down to the tiny
+    /// budgets the spill tests force).
+    pub fn with_budget(budget_bytes: usize) -> SegmentPoolConfig {
+        SegmentPoolConfig {
+            budget_bytes,
+            segment_bytes: (budget_bytes / 8).clamp(64, 1024 * 1024),
+            spill_parent: None,
+        }
+    }
+}
+
+/// Uniquifier for spill directories within one process.
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The spill directory, shared by all clones of a store; removed when the
+/// last clone drops.
+#[derive(Debug)]
+struct SpillDir {
+    path: PathBuf,
+    /// Segment-file uniquifier shared by clones (clones keep appending to
+    /// the same directory, so file names must never collide).
+    counter: AtomicU64,
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Location of one string: segment id (or [`ACTIVE`]), byte offset, byte
+/// length.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    seg: u32,
+    off: u32,
+    len: u32,
+}
+
+/// Sentinel segment id for strings still in the active segment.
+const ACTIVE: u32 = u32::MAX;
+
+/// Hard ceiling on the segment size: [`Loc`] offsets are `u32`, so
+/// segments must stay far below 4 GiB for offsets to be representable.
+const MAX_SEGMENT_BYTES: usize = 256 * 1024 * 1024;
+
+/// One sealed, immutable segment.
+#[derive(Debug)]
+struct Segment {
+    file: PathBuf,
+    len: usize,
+    /// Lazily faulted-in contents; replaced wholesale on eviction.
+    bytes: OnceLock<Box<str>>,
+    /// Logical clock stamp of the most recent read (LRU eviction order).
+    last_touch: AtomicU64,
+}
+
+impl Segment {
+    fn load(&self, loaded_bytes: &AtomicUsize) -> &str {
+        self.bytes.get_or_init(|| {
+            let raw = std::fs::read(&self.file).unwrap_or_else(|e| {
+                panic!(
+                    "failed to page segment {} back in: {e}",
+                    self.file.display()
+                )
+            });
+            loaded_bytes.fetch_add(raw.len(), Ordering::Relaxed);
+            String::from_utf8(raw)
+                .expect("sealed segments contain the UTF-8 bytes that were written")
+                .into_boxed_str()
+        })
+    }
+}
+
+/// The [`StringStore`] implementation behind [`SegmentPool`].
+#[derive(Debug)]
+pub struct SegmentStore {
+    dir: Arc<SpillDir>,
+    budget_bytes: usize,
+    segment_bytes: usize,
+    active: String,
+    /// Index of the first string in the active segment (the active
+    /// segment's strings are always the tail of `locs`).
+    active_start: usize,
+    locs: Vec<Loc>,
+    sealed: Vec<Segment>,
+    clock: AtomicU64,
+    loaded_bytes: AtomicUsize,
+    spilled: u64,
+}
+
+impl SegmentStore {
+    /// Create an empty store with its own spill directory.
+    pub fn create(cfg: SegmentPoolConfig) -> io::Result<SegmentStore> {
+        let parent = cfg.spill_parent.unwrap_or_else(std::env::temp_dir);
+        let path = parent.join(format!(
+            "affidavit-pool-{}-{}",
+            std::process::id(),
+            DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(SegmentStore {
+            dir: Arc::new(SpillDir {
+                path,
+                counter: AtomicU64::new(0),
+            }),
+            budget_bytes: cfg.budget_bytes,
+            segment_bytes: cfg.segment_bytes.clamp(1, MAX_SEGMENT_BYTES),
+            active: String::new(),
+            active_start: 0,
+            locs: Vec::new(),
+            sealed: Vec::new(),
+            clock: AtomicU64::new(0),
+            loaded_bytes: AtomicUsize::new(0),
+            spilled: 0,
+        })
+    }
+
+    /// Number of sealed (spilled) segments.
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Write the active segment out and start a fresh one. The just-sealed
+    /// bytes stay cached (the cheapest possible load); budget enforcement
+    /// evicts them later if needed.
+    fn seal(&mut self) {
+        let id = self.sealed.len() as u32;
+        let file = self.dir.path.join(format!(
+            "seg-{:08}.bin",
+            self.dir.counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&file, self.active.as_bytes())
+            .unwrap_or_else(|e| panic!("failed to spill segment {}: {e}", file.display()));
+        self.spilled += self.active.len() as u64;
+        for loc in &mut self.locs[self.active_start..] {
+            loc.seg = id;
+        }
+        let seg = Segment {
+            file,
+            len: self.active.len(),
+            bytes: OnceLock::new(),
+            last_touch: AtomicU64::new(self.tick()),
+        };
+        let text = std::mem::take(&mut self.active);
+        self.loaded_bytes.fetch_add(seg.len, Ordering::Relaxed);
+        let _ = seg.bytes.set(text.into_boxed_str());
+        self.sealed.push(seg);
+        self.active_start = self.locs.len();
+    }
+
+    /// Evict least-recently-touched loaded segments until the resident
+    /// bytes fit the budget (or nothing evictable remains).
+    fn enforce_budget(&mut self) {
+        while self.resident_bytes() > self.budget_bytes {
+            let mut victim = None;
+            let mut oldest = u64::MAX;
+            for (i, seg) in self.sealed.iter().enumerate() {
+                if seg.bytes.get().is_some() {
+                    let t = seg.last_touch.load(Ordering::Relaxed);
+                    if t < oldest {
+                        oldest = t;
+                        victim = Some(i);
+                    }
+                }
+            }
+            let Some(i) = victim else {
+                break; // only the active segment is resident
+            };
+            let seg = &mut self.sealed[i];
+            self.loaded_bytes.fetch_sub(seg.len, Ordering::Relaxed);
+            seg.bytes = OnceLock::new();
+        }
+    }
+}
+
+impl StringStore for SegmentStore {
+    fn append(&mut self, s: &str) -> usize {
+        if !self.active.is_empty() && self.active.len() + s.len() > self.segment_bytes {
+            self.seal();
+        }
+        let index = self.locs.len();
+        // The seal above caps the offset at `segment_bytes` (≤ 256 MiB);
+        // a single string must also fit the u32 location encoding.
+        let off = u32::try_from(self.active.len()).expect("segment offset fits u32");
+        let len = u32::try_from(s.len()).expect("a single interned string must be < 4 GiB");
+        self.active.push_str(s);
+        self.locs.push(Loc {
+            seg: ACTIVE,
+            off,
+            len,
+        });
+        self.enforce_budget();
+        index
+    }
+
+    fn get(&self, index: usize) -> &str {
+        let loc = self.locs[index];
+        let (start, end) = (loc.off as usize, (loc.off + loc.len) as usize);
+        if loc.seg == ACTIVE {
+            return &self.active[start..end];
+        }
+        let seg = &self.sealed[loc.seg as usize];
+        seg.last_touch.store(self.tick(), Ordering::Relaxed);
+        &seg.load(&self.loaded_bytes)[start..end]
+    }
+
+    fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    fn clone_store(&self) -> Box<dyn StringStore> {
+        // Sealed files are immutable and shared through the spill-dir Arc;
+        // the clone starts with a cold cache and seals future segments
+        // under fresh (counter-unique) file names.
+        Box::new(SegmentStore {
+            dir: Arc::clone(&self.dir),
+            budget_bytes: self.budget_bytes,
+            segment_bytes: self.segment_bytes,
+            active: self.active.clone(),
+            active_start: self.active_start,
+            locs: self.locs.clone(),
+            sealed: self
+                .sealed
+                .iter()
+                .map(|s| Segment {
+                    file: s.file.clone(),
+                    len: s.len,
+                    bytes: OnceLock::new(),
+                    last_touch: AtomicU64::new(0),
+                })
+                .collect(),
+            clock: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            loaded_bytes: AtomicUsize::new(0),
+            spilled: self.spilled,
+        })
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.active.len() + self.loaded_bytes.load(Ordering::Relaxed)
+    }
+
+    fn spilled_bytes(&self) -> u64 {
+        self.spilled
+    }
+}
+
+/// A disk-backed interner: a [`ValuePool`] whose string bytes live in
+/// append-only segments spilled to files under a RAM budget.
+///
+/// `SegmentPool` implements [`Interner`], so any generic code
+/// (`induce_candidates`, `rank_candidates`, `Blocking::refine`, …) runs
+/// over it unchanged; [`SegmentPool::into_pool`] yields the underlying
+/// [`ValuePool`] for APIs that take the pool by value (the search's
+/// `ProblemInstance`), preserving the disk backend.
+#[derive(Debug)]
+pub struct SegmentPool {
+    pool: ValuePool,
+}
+
+impl SegmentPool {
+    /// Create an empty disk-backed pool.
+    pub fn create(cfg: SegmentPoolConfig) -> io::Result<SegmentPool> {
+        Ok(SegmentPool {
+            pool: ValuePool::with_store(Box::new(SegmentStore::create(cfg)?)),
+        })
+    }
+
+    /// The underlying pool (still disk-backed), for by-value APIs.
+    pub fn into_pool(self) -> ValuePool {
+        self.pool
+    }
+
+    /// Shared view of the underlying pool.
+    pub fn pool(&self) -> &ValuePool {
+        &self.pool
+    }
+
+    /// Mutable view of the underlying pool.
+    pub fn pool_mut(&mut self) -> &mut ValuePool {
+        &mut self.pool
+    }
+
+    /// String bytes currently resident in RAM.
+    pub fn resident_bytes(&self) -> usize {
+        self.pool.store_stats().map_or(0, |s| s.resident_bytes)
+    }
+
+    /// String bytes written to spill files so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.pool.store_stats().map_or(0, |s| s.spilled_bytes)
+    }
+}
+
+impl Interner for SegmentPool {
+    fn get(&self, sym: Sym) -> &str {
+        self.pool.get(sym)
+    }
+
+    fn decimal(&self, sym: Sym) -> Option<Decimal> {
+        self.pool.decimal(sym)
+    }
+
+    fn intern(&mut self, s: &str) -> Sym {
+        self.pool.intern(s)
+    }
+
+    fn lookup(&self, s: &str) -> Option<Sym> {
+        self.pool.lookup(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SegmentPoolConfig {
+        SegmentPoolConfig {
+            budget_bytes: 256,
+            segment_bytes: 64,
+            spill_parent: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_spills() {
+        let mut pool = SegmentPool::create(tiny()).unwrap();
+        let values: Vec<String> = (0..200).map(|i| format!("value-{i:04}")).collect();
+        let syms: Vec<Sym> = values.iter().map(|v| pool.intern(v)).collect();
+        assert!(pool.spilled_bytes() > 0, "tiny budget must force spills");
+        assert!(
+            pool.resident_bytes() <= 256 + 64,
+            "resident {} must stay near budget",
+            pool.resident_bytes()
+        );
+        for (v, &sym) in values.iter().zip(&syms) {
+            assert_eq!(pool.get(sym), v);
+            assert_eq!(pool.lookup(v), Some(sym));
+        }
+        // Idempotent re-interning across spilled segments.
+        for (v, &sym) in values.iter().zip(&syms) {
+            assert_eq!(pool.intern(v), sym);
+        }
+    }
+
+    #[test]
+    fn numeric_cache_and_interner_trait() {
+        let mut pool = SegmentPool::create(tiny()).unwrap();
+        let n = Interner::intern(&mut pool, "42.5");
+        let s = Interner::intern(&mut pool, "IBM");
+        assert_eq!(Interner::decimal(&pool, n).unwrap().to_string(), "42.5");
+        assert!(Interner::decimal(&pool, s).is_none());
+        assert_eq!(Interner::get(&pool, n), "42.5");
+    }
+
+    #[test]
+    fn clone_shares_sealed_segments() {
+        let mut pool = SegmentPool::create(tiny()).unwrap().into_pool();
+        let syms: Vec<Sym> = (0..100).map(|i| pool.intern(&format!("v{i:05}"))).collect();
+        let clone = pool.clone();
+        for (i, &sym) in syms.iter().enumerate() {
+            assert_eq!(clone.get(sym), format!("v{i:05}"));
+        }
+        // Divergent appends don't disturb the clone.
+        pool.intern("only-in-original");
+        assert!(clone.lookup("only-in-original").is_none());
+    }
+
+    #[test]
+    fn scratch_overlay_and_absorb_work_over_disk_pools() {
+        use affidavit_table::ScratchPool;
+        let mut pool = SegmentPool::create(tiny()).unwrap().into_pool();
+        for i in 0..50 {
+            pool.intern(&format!("base-{i:04}"));
+        }
+        let (base_len, news, scratch_sym, shared_sym) = {
+            let mut scratch = ScratchPool::new(pool.reader());
+            let shared = scratch.intern("base-0007");
+            let novel = scratch.intern("novel-string");
+            (
+                scratch.base_len(),
+                scratch.take_new_strings(),
+                novel,
+                shared,
+            )
+        };
+        let remap = pool.absorb(base_len, &news);
+        assert_eq!(pool.get(remap.remap(scratch_sym)), "novel-string");
+        assert_eq!(remap.remap(shared_sym), shared_sym);
+    }
+}

@@ -3,14 +3,24 @@
 use std::fmt;
 
 /// Errors produced by the table substrate (CSV parsing, schema mismatches).
+///
+/// CSV errors carry full positional context — the 1-based physical *line*
+/// (counting embedded newlines inside quoted fields), the 1-based data
+/// *record* index (header excluded) where applicable, and for quote errors
+/// the 1-based byte *column* of the offending quote — so ingestion
+/// failures on multi-gigabyte snapshots are actionable without bisecting
+/// the file.
 #[derive(Debug)]
 pub enum TableError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A CSV record had a different number of fields than the header.
     ArityMismatch {
-        /// 1-based line number of the offending record.
+        /// 1-based physical line the record starts on (quoted fields may
+        /// make this differ from `row + 1`).
         line: usize,
+        /// 1-based data record index (the header is not counted).
+        row: usize,
         /// Number of fields expected (header width).
         expected: usize,
         /// Number of fields found.
@@ -20,6 +30,8 @@ pub enum TableError {
     UnterminatedQuote {
         /// 1-based line where the quoted field started.
         line: usize,
+        /// 1-based byte column of the opening quote on that line.
+        column: usize,
     },
     /// The input contained no header row.
     EmptyInput,
@@ -36,14 +48,18 @@ impl fmt::Display for TableError {
             TableError::Io(e) => write!(f, "I/O error: {e}"),
             TableError::ArityMismatch {
                 line,
+                row,
                 expected,
                 found,
             } => write!(
                 f,
-                "CSV arity mismatch on line {line}: expected {expected} fields, found {found}"
+                "CSV arity mismatch at record {row} (line {line}): expected {expected} fields, found {found}"
             ),
-            TableError::UnterminatedQuote { line } => {
-                write!(f, "unterminated quoted CSV field starting on line {line}")
+            TableError::UnterminatedQuote { line, column } => {
+                write!(
+                    f,
+                    "unterminated quoted CSV field starting at line {line}, column {column}"
+                )
             }
             TableError::EmptyInput => write!(f, "CSV input is empty (no header row)"),
             TableError::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),

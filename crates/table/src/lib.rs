@@ -36,4 +36,6 @@ pub use rational::Rational;
 pub use record::{Record, RecordId};
 pub use schema::{AttrId, Attribute, Schema};
 pub use table::Table;
-pub use value::{Interner, PoolReader, ScratchPool, Sym, SymRemap, ValuePool};
+pub use value::{
+    Interner, PoolReader, ScratchPool, StoreStats, StringStore, Sym, SymRemap, ValuePool,
+};

@@ -4,6 +4,8 @@
 //! crates for details:
 //!
 //! * [`table`] — storage substrate (interning, exact decimals, CSV).
+//! * [`store`] — snapshot ingestion & storage backends (streaming parallel
+//!   CSV interning, disk-backed value pools).
 //! * [`functions`] — transformation meta functions and induction.
 //! * [`blocking`] — blocking indices, random alignments, overlap matching.
 //! * [`core`] — the Affidavit search algorithm (Algorithm 1).
@@ -20,6 +22,7 @@ pub use affidavit_core as core;
 pub use affidavit_datagen as datagen;
 pub use affidavit_datasets as datasets;
 pub use affidavit_functions as functions;
+pub use affidavit_store as store;
 pub use affidavit_table as table;
 
 /// Convenience prelude for examples and downstream users.
@@ -33,5 +36,6 @@ pub mod prelude {
     pub use affidavit_core::search::Affidavit;
     pub use affidavit_functions::function::AttrFunction;
     pub use affidavit_functions::kind::{MetaKind, Registry};
+    pub use affidavit_store::{IngestOptions, PoolBackend, PoolConfig, SegmentPool};
     pub use affidavit_table::{Schema, Table, ValuePool};
 }

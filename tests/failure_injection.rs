@@ -12,10 +12,11 @@ fn csv_arity_mismatch_reports_line() {
     match err {
         TableError::ArityMismatch {
             line,
+            row,
             expected,
             found,
         } => {
-            assert_eq!((line, expected, found), (3, 2, 1));
+            assert_eq!((line, row, expected, found), (3, 2, 2, 1));
         }
         other => panic!("wrong error: {other}"),
     }
@@ -26,7 +27,10 @@ fn csv_unterminated_quote_reports_start_line() {
     let mut pool = ValuePool::new();
     let err =
         csv::read_str("a\nok\n\"broken\n", &mut pool, csv::CsvOptions::default()).unwrap_err();
-    assert!(matches!(err, TableError::UnterminatedQuote { line: 3 }));
+    assert!(matches!(
+        err,
+        TableError::UnterminatedQuote { line: 3, column: 1 }
+    ));
 }
 
 #[test]
