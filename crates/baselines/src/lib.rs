@@ -11,6 +11,23 @@
 //!   decides satisfiability through optimal explanations.
 //! * [`linker`] — a similarity-only record linker (record linking without
 //!   function synthesis), the unsupervised-matching strawman of §2.
+//!
+//! ```
+//! use affidavit_baselines::keyed_diff;
+//! use affidavit_core::ProblemInstance;
+//! use affidavit_table::{AttrId, Schema, Table, ValuePool};
+//!
+//! let mut pool = ValuePool::new();
+//! let s = Table::from_rows(Schema::new(["id", "v"]), &mut pool,
+//!     vec![vec!["1", "a"], vec!["2", "b"], vec!["3", "gone"]]);
+//! let t = Table::from_rows(Schema::new(["id", "v"]), &mut pool,
+//!     vec![vec!["1", "a"], vec!["2", "CHANGED"]]);
+//! let instance = ProblemInstance::new(s, t, pool).unwrap();
+//! let diff = keyed_diff(&instance, &[AttrId(0)]);
+//! assert_eq!(diff.matched.len(), 2);
+//! assert_eq!(diff.updates.len(), 1);
+//! assert_eq!(diff.deletes.len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 

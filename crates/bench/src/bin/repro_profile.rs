@@ -93,6 +93,34 @@ fn main() {
     );
     assert_eq!(failed, 0, "no table pair may fail to profile");
 
+    // Distributed-profiling benchmark: the same snapshot directories
+    // profiled through the work-stealing job queue at increasing worker
+    // counts. Prefers real `affidavit-worker` child processes (built
+    // alongside this binary); falls back to in-process worker threads
+    // when the binary is not found. Deterministic absorb keeps the
+    // profile byte-identical to `profile_dirs` at every count (asserted).
+    let dist = bench_dist(&before, &after, &opts, &[1, 2, 4]);
+    println!(
+        "\ndistributed profiling ({} jobs, backend {}):",
+        dist.jobs, dist.backend
+    );
+    for (i, &w) in dist.worker_counts.iter().enumerate() {
+        println!(
+            "  workers {w}: {:.3}s | {:.2}x vs 1 worker | {} duplicates discarded, {} stragglers requeued",
+            dist.total_secs[i],
+            dist.speedup_vs_1[i],
+            dist.duplicates_discarded[i],
+            dist.stragglers_requeued[i],
+        );
+    }
+    println!("  deterministic = {}", dist.deterministic);
+    if args.get_str("bench-json").is_some() || args.get_str("dist-json").is_some() {
+        let path = args.get_str("dist-json").unwrap_or("BENCH_dist.json");
+        let json = serde_json::to_string_pretty(&dist).expect("serializable");
+        std::fs::write(path, json).expect("write dist bench json");
+        println!("wrote {path}");
+    }
+
     std::fs::remove_dir_all(&root).ok();
 
     // Extension-phase scaling benchmark: one §5.1 synthetic instance,
@@ -186,6 +214,112 @@ fn main() {
         let json = serde_json::to_string_pretty(&frontier).expect("serializable");
         std::fs::write(path, json).expect("write frontier bench json");
         println!("wrote {path}");
+    }
+}
+
+/// Distributed-profiling scaling measurement, serialized into
+/// `BENCH_dist.json` at the repo root. The same snapshot directories are
+/// profiled through `affidavit-dist`'s work-stealing job queue at each
+/// worker count; every run must render byte-identically (timing
+/// stripped) to the single-process `profile_dirs`.
+#[derive(serde::Serialize)]
+struct DistBench {
+    /// Table pairs in the snapshot directories.
+    tables: usize,
+    /// Jobs dispatched per run (pairs that reached the search).
+    jobs: usize,
+    /// `"child-processes"` (real `affidavit-worker` binaries over the
+    /// filesystem broker) or `"in-process"` (worker threads; fallback
+    /// when the worker binary is not found next to this one).
+    backend: String,
+    /// Worker counts measured; the indexed vectors line up with this.
+    worker_counts: Vec<usize>,
+    /// Wall-clock seconds per whole-profile run at each worker count.
+    total_secs: Vec<f64>,
+    /// `total_secs[0] / total_secs[i]` — only meaningful when
+    /// `speedup_valid`.
+    speedup_vs_1: Vec<f64>,
+    /// Duplicate results checked and discarded at each worker count.
+    duplicates_discarded: Vec<usize>,
+    /// Claims re-published after the straggler timeout at each count.
+    stragglers_requeued: Vec<usize>,
+    /// Hardware threads available on the measuring machine.
+    hardware_threads: usize,
+    /// False when the machine cannot physically exhibit parallel speedup
+    /// (one hardware thread) — treat `speedup_vs_1` as noise.
+    speedup_valid: bool,
+    /// Every worker count rendered a profile byte-identical to the
+    /// single-process run (timing stripped).
+    deterministic: bool,
+}
+
+fn bench_dist(
+    before: &std::path::Path,
+    after: &std::path::Path,
+    opts: &ProfileOptions,
+    worker_counts: &[usize],
+) -> DistBench {
+    use affidavit_dist::{worker_binary, DistBackend, DistOptions};
+
+    let canonical = |mut p: affidavit_core::profiling::SnapshotProfile| {
+        p.strip_timing();
+        format!("{}\n{}", p.render(), p.to_json())
+    };
+    let local_profile = profile_dirs(before, after, opts).expect("local profile");
+    let tables = local_profile.tables.len();
+    let local = canonical(local_profile);
+    let (backend_name, backend) = match worker_binary() {
+        Ok(bin) => (
+            "child-processes",
+            DistBackend::ChildProcesses {
+                broker_dir: None,
+                worker_bin: Some(bin),
+            },
+        ),
+        Err(_) => ("in-process", DistBackend::InProcess),
+    };
+
+    let mut total_secs = Vec::new();
+    let mut duplicates = Vec::new();
+    let mut requeued = Vec::new();
+    let mut jobs = 0;
+    let mut deterministic = true;
+    for &workers in worker_counts {
+        let dopts = DistOptions {
+            workers,
+            backend: backend.clone(),
+            ..DistOptions::default()
+        };
+        let started = Instant::now();
+        let (profile, stats) =
+            affidavit_dist::profile_dirs_distributed(before, after, opts, &dopts)
+                .expect("distributed profile");
+        total_secs.push(started.elapsed().as_secs_f64());
+        deterministic &= canonical(profile) == local;
+        duplicates.push(stats.duplicates_discarded);
+        requeued.push(stats.stragglers_requeued);
+        jobs = stats.jobs;
+    }
+    assert!(
+        deterministic,
+        "every worker count must render the single-process profile byte-identically"
+    );
+    let speedup_vs_1 = total_secs
+        .iter()
+        .map(|&s| total_secs[0] / s.max(1e-12))
+        .collect();
+    DistBench {
+        tables,
+        jobs,
+        backend: backend_name.to_owned(),
+        worker_counts: worker_counts.to_vec(),
+        total_secs,
+        speedup_vs_1,
+        duplicates_discarded: duplicates,
+        stragglers_requeued: requeued,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        deterministic,
     }
 }
 

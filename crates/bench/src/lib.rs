@@ -17,6 +17,16 @@
 //!
 //! All binaries default to laptop-scale row caps; pass `--full` for the
 //! paper's original sizes.
+//!
+//! ```
+//! // The report helpers render measurement series as markdown.
+//! let table = affidavit_bench::report::markdown_series(
+//!     ("rows", "seconds"),
+//!     &[("1000".to_owned(), "0.5".to_owned())],
+//! );
+//! assert!(table.starts_with("| rows | seconds |"));
+//! assert!(table.contains("| 1000 | 0.5 |"));
+//! ```
 
 pub mod args;
 pub mod harness;

@@ -12,6 +12,26 @@
 //! random alignments respecting a blocking result (for the greedy-map
 //! baseline `Hg` and for ⊞ finalization) and the overlap-score a-priori
 //! matcher that builds the `Hs` start state (§4.2).
+//!
+//! ```
+//! use affidavit_blocking::Blocking;
+//! use affidavit_functions::{ApplyScratch, AttrFunction};
+//! use affidavit_table::{AttrId, Schema, Table, ValuePool};
+//!
+//! let mut pool = ValuePool::new();
+//! let s = Table::from_rows(Schema::new(["Org"]), &mut pool,
+//!     vec![vec!["IBM"], vec!["SAP"], vec!["IBM"]]);
+//! let t = Table::from_rows(Schema::new(["Org"]), &mut pool,
+//!     vec![vec!["IBM"], vec!["SAP"], vec!["IBM"]]);
+//! // The root blocking is one block with every record; assigning
+//! // f_Org = id refines it into one block per Org value.
+//! let root = Blocking::root(&s, &t);
+//! assert_eq!(root.len(), 1);
+//! let refined = root.refine(
+//!     AttrId(0), &AttrFunction::Identity, &mut ApplyScratch::new(), &s, &t, &mut pool,
+//! );
+//! assert_eq!(refined.len(), 2);
+//! ```
 
 #![warn(missing_docs)]
 

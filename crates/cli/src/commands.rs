@@ -15,21 +15,63 @@ pub const USAGE: &str = "\
 affidavit — explain differences between unaligned table snapshots (EDBT 2020)
 
 USAGE:
-  affidavit explain <source.csv> <target.csv> [--config id|overlap] [--seed N]
-                    [--threads N] [--speculative-width K] [--sql TABLE] [--trace]
-                    [--align] [--corpus] [--extended] [--save F.json]
-                    [--ingest-chunk-rows N] [--pool-backend ram|disk]
-                    [--pool-budget-bytes N]
+  affidavit explain <source.csv> <target.csv> [SEARCH] [INGESTION]
+                    [--align] [--sql TABLE] [--trace] [--save F.json]
   affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
-  affidavit apply   <source.csv> <target.csv> <unseen.csv> [--out FILE]
+  affidavit apply   <source.csv> <target.csv> <unseen.csv> [SEARCH] [--out FILE]
   affidavit apply   --explanation F.json <unseen.csv> [--out FILE]
   affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
-  affidavit profile <source_dir> <target_dir> [--align] [--extended]
-                    [--config id|overlap] [--seed N] [--threads N]
-                    [--speculative-width K] [--json FILE]
-                    [--ingest-chunk-rows N] [--pool-backend ram|disk]
-                    [--pool-budget-bytes N]
-  affidavit help";
+  affidavit profile <source_dir> <target_dir> [SEARCH] [INGESTION] [DISTRIBUTED]
+                    [--align] [--json FILE] [--stable]
+  affidavit help
+
+SEARCH FLAGS (explain, apply, profile):
+  --config id|overlap      Paper configuration: H^id robust search or Hs greedy
+                           overlap search (default: id).
+  --seed N                 RNG seed; every sample the search draws is
+                           deterministic given the seed (default: 3988201504
+                           = 0xEDB72020).
+  --threads N              Worker threads for the candidate-generation phase;
+                           0 = one per hardware thread (default: 1). Results
+                           are byte-identical at every thread count.
+  --speculative-width K    Frontier states expanded speculatively per driver
+                           iteration (default: 1 = speculation off). Results
+                           are byte-identical at every width.
+  --trace                  Record and print the search tree (default: off).
+  --corpus                 Also draw candidates from the built-in function
+                           corpus (default: off; induction only).
+  --extended               Enable the extension function kinds: zero padding,
+                           thousands grouping, rounding, token programs
+                           (default: off; the paper's Table 1 catalogue).
+
+INGESTION FLAGS (explain, profile):
+  --ingest-chunk-rows N    Records per streaming-ingestion chunk (default:
+                           4096 rows). Smaller chunks bound memory tighter
+                           and parallelize finer; the parsed table is
+                           identical either way.
+  --pool-backend ram|disk  Value-pool string storage (default: ram). disk
+                           spills interned strings to segment files under the
+                           budget below.
+  --pool-budget-bytes N    RAM budget for the disk backend's resident string
+                           bytes, in bytes (default: 67108864 = 64 MiB).
+
+DISTRIBUTED FLAGS (profile):
+  --workers N              Fan table pairs out to N affidavit-worker child
+                           processes over a filesystem job broker (default:
+                           0 = profile in-process). The report is
+                           byte-identical at every worker count.
+  --broker DIR             Job-spool directory for --workers (default: a
+                           fresh temp directory). Point it at shared storage
+                           to let externally started workers steal from the
+                           same run; the directory must be empty.
+  --steal-timeout-secs N   Re-publish a worker's claimed job for others to
+                           steal if no result arrives within N seconds;
+                           the wait doubles on every retry of the same job
+                           (default: 30 seconds).
+  --deadline-secs N        Abort the distributed run after N seconds
+                           (default: 86400 = 24 h).
+  --stable                 Zero the wall-time column so two runs can be
+                           compared byte for byte (default: off).";
 
 /// Simple positional + flag splitter.
 struct Parsed<'a> {
@@ -238,7 +280,8 @@ pub fn explain(args: &[String]) -> Result<(), String> {
 }
 
 /// `affidavit profile`: explain every table pair in two snapshot
-/// directories (paired by file stem).
+/// directories (paired by file stem) — in-process by default, or fanned
+/// out to `affidavit-worker` child processes with `--workers N`.
 pub fn profile(args: &[String]) -> Result<(), String> {
     let p = parse(args);
     let [src_dir, tgt_dir] = p.positional[..] else {
@@ -252,8 +295,56 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         ingest: ingest_opts,
         pool: pool_cfg,
     };
-    let profile =
-        affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?;
+    let workers: usize = match p.flag_value("workers") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --workers {v:?} (worker child processes, 0 = in-process)"))?,
+        None => 0,
+    };
+    let secs_flag = |name: &str, default: u64| -> Result<std::time::Duration, String> {
+        match p.flag_value(name) {
+            None => Ok(std::time::Duration::from_secs(default)),
+            Some(v) => v
+                .parse()
+                .map(std::time::Duration::from_secs)
+                .map_err(|_| format!("bad --{name} {v:?} (seconds)")),
+        }
+    };
+    let mut profile = if workers == 0 {
+        for flag in ["broker", "steal-timeout-secs", "deadline-secs"] {
+            if p.has(flag) {
+                return Err(format!(
+                    "--{flag} only applies to distributed runs; add --workers N"
+                ));
+            }
+        }
+        affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?
+    } else {
+        let dopts = affidavit_dist::DistOptions {
+            workers,
+            backend: affidavit_dist::DistBackend::ChildProcesses {
+                broker_dir: p.flag_value("broker").map(std::path::PathBuf::from),
+                worker_bin: None,
+            },
+            steal_timeout: secs_flag("steal-timeout-secs", 30)?,
+            deadline: secs_flag("deadline-secs", 86_400)?,
+            ..affidavit_dist::DistOptions::default()
+        };
+        let (profile, stats) = affidavit_dist::profile_dirs_distributed(
+            Path::new(src_dir),
+            Path::new(tgt_dir),
+            &opts,
+            &dopts,
+        )?;
+        eprintln!(
+            "distributed: {} jobs over {} workers ({} duplicates discarded, {} stragglers requeued)",
+            stats.jobs, stats.workers, stats.duplicates_discarded, stats.stragglers_requeued
+        );
+        profile
+    };
+    if p.has("stable") {
+        profile.strip_timing();
+    }
     println!("{}", profile.render());
     if let Some(path) = p.flag_value("json") {
         std::fs::write(path, profile.to_json()).map_err(|e| e.to_string())?;
@@ -644,6 +735,50 @@ mod tests {
     #[test]
     fn gen_unknown_dataset_fails() {
         assert!(gen(&argv(&["not-a-dataset", "--out-dir", "/tmp"])).is_err());
+    }
+
+    #[test]
+    fn every_documented_flag_has_a_default_in_help() {
+        // The flag audit: each tunable introduced by the parallel search,
+        // streaming ingestion, pool-backend and distribution work must be
+        // described in USAGE with its default spelled out.
+        for flag in [
+            "--config",
+            "--seed",
+            "--threads",
+            "--speculative-width",
+            "--ingest-chunk-rows",
+            "--pool-backend",
+            "--pool-budget-bytes",
+            "--workers",
+            "--broker",
+            "--steal-timeout-secs",
+            "--deadline-secs",
+            "--stable",
+        ] {
+            let line_start = USAGE
+                .find(&format!("\n  {flag}"))
+                .unwrap_or_else(|| panic!("{flag} missing from the FLAGS sections of USAGE"));
+            let description = &USAGE[line_start..][..USAGE[line_start + 1..]
+                .find("\n  --")
+                .map_or(USAGE.len() - line_start, |i| i + 1)];
+            assert!(
+                description.contains("(default:"),
+                "{flag} must document its default: {description}"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_rejects_bad_distribution_flags() {
+        let dir = std::env::temp_dir().join("affidavit-cli-distflags-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = dir.to_str().unwrap();
+        let err = profile(&argv(&[d, d, "--workers", "many"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        let err = profile(&argv(&[d, d, "--broker", "/tmp/spool"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

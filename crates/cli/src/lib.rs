@@ -1,0 +1,38 @@
+//! Library half of the `affidavit` command-line tool.
+//!
+//! The binary in `main.rs` is a thin shell around [`run`], which parses
+//! the subcommand and dispatches into [`commands`]. Keeping the dispatch
+//! in a library makes every command callable (and testable) in-process.
+//!
+//! ```
+//! // `help` prints the usage text and succeeds; unknown commands fail
+//! // with a message that includes it.
+//! affidavit_cli::run(&["help".to_owned()]).unwrap();
+//! let err = affidavit_cli::run(&["frobnicate".to_owned()]).unwrap_err();
+//! assert!(err.contains("USAGE"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod commands;
+
+pub use commands::USAGE;
+
+/// Dispatch one CLI invocation (everything after the program name).
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(USAGE.to_owned());
+    };
+    match cmd.as_str() {
+        "explain" => commands::explain(rest),
+        "diff" => commands::diff(rest),
+        "apply" => commands::apply(rest),
+        "gen" => commands::gen(rest),
+        "profile" => commands::profile(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}

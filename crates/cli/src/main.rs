@@ -1,43 +1,15 @@
 //! `affidavit` — explain differences between unaligned CSV table snapshots.
 //!
-//! ```text
-//! affidavit explain <source.csv> <target.csv> [--config id|overlap] [--seed N]
-//!                   [--sql TABLE] [--trace]
-//! affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
-//! affidavit apply   <source.csv> <target.csv> <unseen.csv> [--out FILE]
-//! affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
-//! affidavit profile <source_dir> <target_dir> [--align] [--json FILE]
-//! ```
-//!
-//! `explain` learns attribute transformation functions and the record
-//! alignment without any key information; `diff` is the classic key-based
-//! comparison (for contrast); `apply` transforms unseen records with a
-//! learned explanation — the generalization benefit of §1; `gen` writes a
-//! §5.1 synthetic snapshot pair for experimentation.
-
-mod commands;
+//! All behaviour lives in the `affidavit_cli` library crate (see
+//! [`affidavit_cli::run`] and [`affidavit_cli::commands`]); this binary
+//! only maps the result onto an exit code. Run `affidavit help` for the
+//! full flag reference.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else {
-        eprintln!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
-    };
-    let result = match cmd.as_str() {
-        "explain" => commands::explain(rest),
-        "diff" => commands::diff(rest),
-        "apply" => commands::apply(rest),
-        "gen" => commands::gen(rest),
-        "profile" => commands::profile(rest),
-        "--help" | "-h" | "help" => {
-            println!("{}", commands::USAGE);
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}\n{}", commands::USAGE)),
-    };
-    match result {
+    match affidavit_cli::run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");

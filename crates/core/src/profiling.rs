@@ -115,6 +115,18 @@ impl SnapshotProfile {
             .count()
     }
 
+    /// Zero every wall-clock field (`millis`) so two profiles of the same
+    /// snapshots can be compared byte for byte. Search timings are the only
+    /// nondeterministic part of a profile; everything else is invariant
+    /// under thread count, speculative width and worker count.
+    pub fn strip_timing(&mut self) {
+        for t in &mut self.tables {
+            if let TableOutcome::Explained { millis, .. } = &mut t.outcome {
+                *millis = 0;
+            }
+        }
+    }
+
     /// Render the administrator-facing summary table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -163,13 +175,16 @@ impl SnapshotProfile {
     }
 }
 
-/// Explain one table pair already loaded into a shared pool.
-pub fn profile_tables(
+/// Stage a table pair for the search: repair schema drift (when
+/// [`ProfileOptions::align`] is set) and bundle the snapshots into a
+/// [`ProblemInstance`]. This is the last step before an instance either
+/// enters the local search or is serialized for a remote worker.
+pub fn stage_tables(
     mut source: Table,
     mut target: Table,
     mut pool: ValuePool,
     opts: &ProfileOptions,
-) -> Result<(Explanation, ProblemInstance, u64), String> {
+) -> Result<ProblemInstance, String> {
     if opts.align {
         if source.schema().arity() != target.schema().arity() {
             let (s2, t2, _) = normalize_arity(&source, &target, &mut pool).ok_or_else(|| {
@@ -181,11 +196,76 @@ pub fn profile_tables(
         let alignment = align_schemas(&source, &target, &pool);
         target = alignment.reorder_target(&target, source.schema());
     }
-    let mut instance = ProblemInstance::new(source, target, pool).map_err(|e| e.to_string())?;
+    ProblemInstance::new(source, target, pool).map_err(|e| e.to_string())
+}
+
+/// Explain one table pair already loaded into a shared pool.
+pub fn profile_tables(
+    source: Table,
+    target: Table,
+    pool: ValuePool,
+    opts: &ProfileOptions,
+) -> Result<(Explanation, ProblemInstance, u64), String> {
+    let mut instance = stage_tables(source, target, pool, opts)?;
     let started = std::time::Instant::now();
     let outcome = Affidavit::new(opts.config.clone()).explain(&mut instance);
     let millis = started.elapsed().as_millis() as u64;
     Ok((outcome.explanation, instance, millis))
+}
+
+/// Ingest and stage one table pair from its CSV files — everything the
+/// local profiler does before the search, shared with the distributed
+/// coordinator so failure messages are identical in both modes.
+pub fn stage_file_pair(
+    src_path: &Path,
+    tgt_path: &Path,
+    opts: &ProfileOptions,
+) -> Result<ProblemInstance, String> {
+    let mut pool = opts
+        .pool
+        .build()
+        .map_err(|e| format!("cannot create {:?} pool backend: {e}", opts.pool.backend))?;
+    let read = |path: &Path, pool: &mut ValuePool| {
+        ingest::read_path(path, pool, &opts.ingest).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let source = read(src_path, &mut pool)?;
+    let target = read(tgt_path, &mut pool)?;
+    stage_tables(source, target, pool, opts)
+}
+
+/// Fold a finished search into the per-table summary row. Shared by the
+/// local profiler and the distributed coordinator so both render the same
+/// bytes for the same explanation.
+pub fn outcome_for(
+    explanation: &Explanation,
+    instance: &ProblemInstance,
+    millis: u64,
+) -> TableOutcome {
+    let arity = instance.arity();
+    TableOutcome::Explained {
+        core: explanation.core_size(),
+        deleted: explanation.deleted.len(),
+        inserted: explanation.inserted.len(),
+        changed_attributes: explanation
+            .functions
+            .iter()
+            .filter(|f| !f.is_identity())
+            .count(),
+        cost: explanation.cost_units(arity),
+        trivial_cost: Explanation::trivial(instance).cost_units(arity),
+        millis,
+    }
+}
+
+/// One `<stem>.csv` pairing across two snapshot directories.
+#[derive(Debug, Clone)]
+pub struct PairedStem {
+    /// Table name (file stem).
+    pub name: String,
+    /// The file in the source snapshot, if present.
+    pub source: Option<PathBuf>,
+    /// The file in the target snapshot, if present.
+    pub target: Option<PathBuf>,
 }
 
 fn csv_stems(dir: &Path) -> Result<Vec<(String, PathBuf)>, String> {
@@ -206,6 +286,35 @@ fn csv_stems(dir: &Path) -> Result<Vec<(String, PathBuf)>, String> {
     Ok(out)
 }
 
+/// Enumerate every `<name>.csv` present in either snapshot directory,
+/// paired by file stem and sorted by name — the job list of a profiling
+/// run, shared by [`profile_dirs`] and the distributed coordinator.
+pub fn paired_csv_stems(source_dir: &Path, target_dir: &Path) -> Result<Vec<PairedStem>, String> {
+    let mut by_name: std::collections::BTreeMap<String, PairedStem> =
+        std::collections::BTreeMap::new();
+    for (stem, path) in csv_stems(source_dir)? {
+        by_name.insert(
+            stem.clone(),
+            PairedStem {
+                name: stem,
+                source: Some(path),
+                target: None,
+            },
+        );
+    }
+    for (stem, path) in csv_stems(target_dir)? {
+        by_name
+            .entry(stem.clone())
+            .or_insert_with(|| PairedStem {
+                name: stem,
+                source: None,
+                target: None,
+            })
+            .target = Some(path);
+    }
+    Ok(by_name.into_values().collect())
+}
+
 /// Profile two snapshot directories: every `<name>.csv` present in either
 /// directory becomes one [`TableProfile`], paired by file stem.
 ///
@@ -221,76 +330,34 @@ pub fn profile_dirs(
 ) -> Result<SnapshotProfile, String> {
     use rayon::prelude::*;
 
-    let src = csv_stems(source_dir)?;
-    let tgt = csv_stems(target_dir)?;
-    let tgt_by_stem: std::collections::BTreeMap<&str, &PathBuf> =
-        tgt.iter().map(|(s, p)| (s.as_str(), p)).collect();
-
-    let mut tables: Vec<TableProfile> = src
+    let pairs = paired_csv_stems(source_dir, target_dir)?;
+    let tables: Vec<TableProfile> = pairs
         .par_iter()
-        .map(|(stem, src_path)| {
-            let outcome = match tgt_by_stem.get(stem.as_str()) {
-                None => TableOutcome::MissingInTarget,
-                Some(tgt_path) => profile_file_pair(src_path, tgt_path, opts),
+        .map(|pair| {
+            let outcome = match (&pair.source, &pair.target) {
+                (Some(src_path), Some(tgt_path)) => profile_file_pair(src_path, tgt_path, opts),
+                (Some(_), None) => TableOutcome::MissingInTarget,
+                (None, Some(_)) => TableOutcome::MissingInSource,
+                (None, None) => unreachable!("a paired stem exists in at least one snapshot"),
             };
             TableProfile {
-                name: stem.clone(),
+                name: pair.name.clone(),
                 outcome,
             }
         })
         .collect();
-    let src_stems: std::collections::BTreeSet<&str> = src.iter().map(|(s, _)| s.as_str()).collect();
-    for (stem, _) in &tgt {
-        if !src_stems.contains(stem.as_str()) {
-            tables.push(TableProfile {
-                name: stem.clone(),
-                outcome: TableOutcome::MissingInSource,
-            });
-        }
-    }
-    tables.sort_by(|a, b| a.name.cmp(&b.name));
     Ok(SnapshotProfile { tables })
 }
 
 fn profile_file_pair(src_path: &Path, tgt_path: &Path, opts: &ProfileOptions) -> TableOutcome {
-    let mut pool = match opts.pool.build() {
-        Ok(pool) => pool,
-        Err(e) => {
-            return TableOutcome::Failed {
-                reason: format!("cannot create {:?} pool backend: {e}", opts.pool.backend),
-            }
-        }
-    };
-    let read = |path: &Path, pool: &mut ValuePool| {
-        ingest::read_path(path, pool, &opts.ingest).map_err(|e| format!("{}: {e}", path.display()))
-    };
-    let source = match read(src_path, &mut pool) {
-        Ok(t) => t,
+    let mut instance = match stage_file_pair(src_path, tgt_path, opts) {
+        Ok(instance) => instance,
         Err(reason) => return TableOutcome::Failed { reason },
     };
-    let target = match read(tgt_path, &mut pool) {
-        Ok(t) => t,
-        Err(reason) => return TableOutcome::Failed { reason },
-    };
-    match profile_tables(source, target, pool, opts) {
-        Err(reason) => TableOutcome::Failed { reason },
-        Ok((explanation, instance, millis)) => {
-            let arity = instance.arity();
-            TableOutcome::Explained {
-                core: explanation.core_size(),
-                deleted: explanation.deleted.len(),
-                inserted: explanation.inserted.len(),
-                changed_attributes: explanation
-                    .functions
-                    .iter()
-                    .filter(|f| !f.is_identity())
-                    .count(),
-                cost: explanation.cost_units(arity),
-                trivial_cost: Explanation::trivial(&instance).cost_units(arity),
-                millis,
-            }
-        }
-    }
+    let started = std::time::Instant::now();
+    let outcome = Affidavit::new(opts.config.clone()).explain(&mut instance);
+    let millis = started.elapsed().as_millis() as u64;
+    outcome_for(&outcome.explanation, &instance, millis)
 }
 
 #[cfg(test)]

@@ -19,6 +19,24 @@
 //! The generator returns the instance together with the *reference
 //! explanation* and implements the Δcore / Δcosts / acc metrics of §5.2 and
 //! the instance scaling of §5.4.1 (Figure 5).
+//!
+//! ```
+//! use affidavit_datagen::blueprint::{Blueprint, GenConfig};
+//! use affidavit_table::{Schema, Table, ValuePool};
+//!
+//! let mut pool = ValuePool::new();
+//! let base = Table::from_rows(
+//!     Schema::new(["v"]),
+//!     &mut pool,
+//!     (0..30).map(|i| vec![format!("{}", (i % 5) * 10)]),
+//! );
+//! let mut generated =
+//!     Blueprint::new(base, pool, GenConfig::new(0.2, 0.5, 7)).materialize_full();
+//! // Both snapshots have |S| = |T| = D/(1+η) records...
+//! assert_eq!(generated.instance.source.len(), generated.instance.target.len());
+//! // ...and the reference explanation is valid by construction.
+//! generated.reference.validate(&mut generated.instance).unwrap();
+//! ```
 
 #![warn(missing_docs)]
 

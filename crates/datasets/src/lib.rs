@@ -16,6 +16,15 @@
 //! The crate also embeds the paper's running example
 //! ([`running_example::figure1_instance`]) with its reference explanation
 //! E1 (cost 77) and the trivial explanation E∅ (cost 112).
+//!
+//! ```
+//! use affidavit_datasets::running_example::{figure1_instance, figure1_reference};
+//!
+//! let mut instance = figure1_instance();
+//! let reference = figure1_reference(&mut instance);
+//! reference.validate(&mut instance).unwrap();
+//! assert_eq!(reference.cost_units(instance.arity()), 77); // the paper's E1
+//! ```
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,62 @@
+//! `affidavit-worker` — steal and execute jobs from a filesystem broker.
+//!
+//! ```text
+//! affidavit-worker --broker DIR [--worker-id NAME] [--poll-ms N]
+//! ```
+//!
+//! The worker loops forever: claim the next pending job by atomic rename,
+//! run the search, deliver the result, repeat. It exits successfully once
+//! the broker's `stop` file exists (any still-pending jobs belong to an
+//! aborting run or are redundant duplicates, and are abandoned). Any number
+//! of workers — spawned by `affidavit profile --workers N`, or started by
+//! hand against a shared `--broker` directory — can serve one run; the
+//! coordinator's output does not depend on how many there are.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use affidavit_dist::{run_worker, FsBroker};
+
+const USAGE: &str = "usage: affidavit-worker --broker DIR [--worker-id NAME] [--poll-ms N]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("affidavit-worker: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut broker_dir: Option<String> = None;
+    let mut worker_id = format!("pid-{}", std::process::id());
+    let mut poll_ms: u64 = 10;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--broker" => broker_dir = Some(it.next().ok_or(USAGE)?),
+            "--worker-id" => worker_id = it.next().ok_or(USAGE)?,
+            "--poll-ms" => {
+                poll_ms = it
+                    .next()
+                    .ok_or(USAGE)?
+                    .parse()
+                    .map_err(|_| "--poll-ms expects milliseconds")?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let broker = FsBroker::open(broker_dir.ok_or(USAGE)?)?;
+    let stats = run_worker(&broker, &worker_id, Duration::from_millis(poll_ms.max(1)))?;
+    eprintln!(
+        "affidavit-worker {worker_id}: {} jobs processed ({} failed)",
+        stats.processed, stats.failed
+    );
+    Ok(())
+}

@@ -1,0 +1,529 @@
+//! The filesystem broker: a [`JobQueue`] shared between real processes.
+//!
+//! A broker is a spool directory with four elements:
+//!
+//! ```text
+//! <root>/jobs/      job-<id>.<sub>.json        pending, stealable
+//! <root>/claimed/   job-<id>.<sub>.<worker>.json   claimed, in flight
+//! <root>/results/   result-<id>.json           completed
+//! <root>/stop       (empty file)               shutdown request
+//! ```
+//!
+//! *Stealing* is one atomic `rename` from `jobs/` into `claimed/`: the
+//! filesystem guarantees exactly one winner per pending file, so any
+//! number of `affidavit-worker` processes — spawned by the coordinator or
+//! attached later by hand — can race for work without further locking.
+//! The coordinator re-publishes claims that outlive the straggler timeout
+//! (the claimed copy is left in place, marked `.requeued`), so a hung or
+//! killed worker delays its jobs but cannot lose them; if the original
+//! worker finishes after all, its result is a duplicate, which is
+//! compared and discarded — wasted work, never nondeterminism. Diverging
+//! duplicates (impossible unless the engine's determinism invariant is
+//! broken) are recorded as `results/conflict-*` and surface as a
+//! coordinator error through [`JobQueue::check_health`].
+//!
+//! All writes are write-to-temp-then-rename, so readers never observe a
+//! partial file. The broker assumes `root` lives on one filesystem (a
+//! local disk or a shared mount — rename must be atomic).
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+use crate::job::{decode_job, decode_result, encode_job, encode_result, Job, JobResult};
+use crate::queue::{strip_nondeterminism, JobQueue, QueueStats};
+
+/// Spool-directory [`JobQueue`] backend. Cheap to construct on both the
+/// coordinator and worker sides; all state lives in the directory.
+#[derive(Debug)]
+pub struct FsBroker {
+    root: PathBuf,
+    /// Distinguishes multiple submissions of the same job id (duplicates,
+    /// straggler retries) in pending file names.
+    submissions: AtomicU64,
+}
+
+impl FsBroker {
+    /// Open (creating if necessary) a broker rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<FsBroker, String> {
+        let root = root.into();
+        for sub in ["jobs", "claimed", "results"] {
+            std::fs::create_dir_all(root.join(sub))
+                .map_err(|e| format!("{}: {e}", root.join(sub).display()))?;
+        }
+        Ok(FsBroker {
+            root,
+            submissions: AtomicU64::new(0),
+        })
+    }
+
+    /// The spool directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn jobs(&self) -> PathBuf {
+        self.root.join("jobs")
+    }
+
+    fn claimed(&self) -> PathBuf {
+        self.root.join("claimed")
+    }
+
+    fn results(&self) -> PathBuf {
+        self.root.join("results")
+    }
+
+    fn result_path(&self, id: u64) -> PathBuf {
+        self.results().join(format!("result-{id:08}.json"))
+    }
+
+    fn write_atomic(
+        &self,
+        dir: &Path,
+        name: &str,
+        tmp_tag: &str,
+        text: &str,
+    ) -> Result<(), String> {
+        let tmp = dir.join(format!(".tmp-{tmp_tag}"));
+        std::fs::write(&tmp, text).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        let target = dir.join(name);
+        std::fs::rename(&tmp, &target).map_err(|e| format!("{}: {e}", target.display()))
+    }
+
+    fn sorted_entries(dir: &Path) -> Result<Vec<String>, String> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            if let Some(name) = entry.file_name().to_str() {
+                if !name.starts_with('.') {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// How many claims have been requeued over this broker's lifetime
+    /// (counted from the `.requeued` markers in the spool).
+    pub fn requeued_count(&self) -> usize {
+        Self::sorted_entries(&self.claimed())
+            .map(|names| names.iter().filter(|n| n.ends_with(".requeued")).count())
+            .unwrap_or(0)
+    }
+
+    /// Fail unless the spool is empty — no pending or claimed jobs, no
+    /// results, no shutdown request. A coordinator must call this before
+    /// reusing an explicit `--broker` directory: job ids restart at 0
+    /// every run, so stale results from a previous run would otherwise be
+    /// absorbed as this run's, and a leftover `stop` file would make
+    /// freshly spawned workers exit immediately.
+    pub fn ensure_fresh(&self) -> Result<(), String> {
+        if self.root.join("stop").exists() {
+            return Err(format!(
+                "stale broker spool {}: a previous run's stop file is present \
+                 (remove the spool or pass a fresh --broker directory)",
+                self.root.display()
+            ));
+        }
+        for sub in ["jobs", "claimed", "results"] {
+            let dir = self.root.join(sub);
+            if let Some(name) = Self::sorted_entries(&dir)?.first() {
+                return Err(format!(
+                    "stale broker spool {}: {sub}/{name} is left over from a previous \
+                     run (remove the spool or pass a fresh --broker directory)",
+                    self.root.display()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-publish claims whose job id still has no result — the
+    /// anti-straggler half of work-stealing. A claim must be older than
+    /// `timeout × 2^(times this id was already requeued)` (capped), so a
+    /// legitimately long-running job is retried with exponential backoff
+    /// instead of accumulating a fresh duplicate every recovery tick.
+    /// Returns how many jobs were requeued. Coordinator side.
+    pub fn recover_stragglers(&self, timeout: Duration) -> Result<usize, String> {
+        let now = SystemTime::now();
+        let names = Self::sorted_entries(&self.claimed())?;
+        let requeues_of = |id: u64| {
+            names
+                .iter()
+                .filter(|n| n.ends_with(".requeued") && parse_job_id(n) == Some(id))
+                .count() as u32
+        };
+        let mut requeued = 0;
+        for name in &names {
+            if !name.ends_with(".json") {
+                continue; // already marked .requeued
+            }
+            let Some(id) = parse_job_id(name) else {
+                continue;
+            };
+            if self.result_path(id).exists() {
+                continue;
+            }
+            let path = self.claimed().join(name);
+            let required = timeout.saturating_mul(1 << requeues_of(id).min(6));
+            let stale = std::fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| now.duration_since(t).ok())
+                .is_some_and(|age| age >= required);
+            if !stale {
+                continue;
+            }
+            // Copy the claim back into jobs/ under a fresh submission
+            // number, then mark the claim so it is not requeued again.
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue; // raced with the worker finishing; harmless
+            };
+            let job = decode_job(&text)?;
+            self.submit(&job)?;
+            let marked = self.claimed().join(format!("{name}.requeued"));
+            std::fs::rename(&path, &marked).ok();
+            requeued += 1;
+        }
+        Ok(requeued)
+    }
+}
+
+/// `job-<id>.<sub>[...]` → `<id>`.
+fn parse_job_id(name: &str) -> Option<u64> {
+    name.strip_prefix("job-")?.split('.').next()?.parse().ok()
+}
+
+impl JobQueue for FsBroker {
+    fn submit(&self, job: &Job) -> Result<(), String> {
+        let sub = self.submissions.fetch_add(1, Ordering::Relaxed);
+        let name = format!("job-{:08}.{sub:04}.json", job.id);
+        self.write_atomic(
+            &self.jobs(),
+            &name,
+            &format!("submit-{}-{sub}", job.id),
+            &encode_job(job),
+        )
+    }
+
+    fn steal(&self, worker: &str) -> Result<Option<Job>, String> {
+        // Shutdown means "stop taking new work", not "drain": pending
+        // jobs at this point are either abandoned by an aborting
+        // coordinator or redundant duplicates — executing them buys
+        // nothing.
+        if self.shutdown_requested()? {
+            return Ok(None);
+        }
+        for name in Self::sorted_entries(&self.jobs())? {
+            let pending = self.jobs().join(&name);
+            let stem = name.strip_suffix(".json").unwrap_or(&name);
+            let claim = self.claimed().join(format!("{stem}.{worker}.json"));
+            // Atomic claim: exactly one worker wins this rename.
+            if std::fs::rename(&pending, &claim).is_err() {
+                continue; // someone else won; try the next file
+            }
+            let text =
+                std::fs::read_to_string(&claim).map_err(|e| format!("{}: {e}", claim.display()))?;
+            return decode_job(&text).map(Some);
+        }
+        Ok(None)
+    }
+
+    fn complete(&self, worker: &str, result: &JobResult) -> Result<(), String> {
+        let final_path = self.result_path(result.id);
+        if final_path.exists() {
+            // Duplicate completion (the job was stolen twice or requeued):
+            // verify the determinism invariant, then discard.
+            let existing = std::fs::read_to_string(&final_path)
+                .map_err(|e| format!("{}: {e}", final_path.display()))?;
+            let existing = decode_result(&existing)?;
+            if strip_nondeterminism(&existing) == strip_nondeterminism(result) {
+                self.write_atomic(
+                    &self.results(),
+                    &format!("dup-{:08}.{worker}.marker", result.id),
+                    &format!("dup-{}-{worker}", result.id),
+                    "",
+                )?;
+            } else {
+                self.write_atomic(
+                    &self.results(),
+                    &format!("conflict-{:08}.{worker}.json", result.id),
+                    &format!("conflict-{}-{worker}", result.id),
+                    &encode_result(result),
+                )?;
+            }
+            return Ok(());
+        }
+        self.write_atomic(
+            &self.results(),
+            &format!("result-{:08}.json", result.id),
+            &format!("result-{}-{worker}", result.id),
+            &encode_result(result),
+        )
+    }
+
+    fn fetch_result(&self, id: u64) -> Result<Option<JobResult>, String> {
+        let path = self.result_path(id);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => decode_result(&text).map(Some),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    fn request_shutdown(&self) -> Result<(), String> {
+        let stop = self.root.join("stop");
+        std::fs::write(&stop, b"").map_err(|e| format!("{}: {e}", stop.display()))
+    }
+
+    fn shutdown_requested(&self) -> Result<bool, String> {
+        Ok(self.root.join("stop").exists())
+    }
+
+    fn check_health(&self) -> Result<(), String> {
+        for name in Self::sorted_entries(&self.results())? {
+            if name.starts_with("conflict-") {
+                return Err(format!(
+                    "diverging duplicate result recorded at {}",
+                    self.results().join(name).display()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> Result<QueueStats, String> {
+        let duplicates_discarded = Self::sorted_entries(&self.results())?
+            .iter()
+            .filter(|n| n.starts_with("dup-"))
+            .count();
+        Ok(QueueStats {
+            duplicates_discarded,
+        })
+    }
+}
+
+/// Locate the `affidavit-worker` executable: the `AFFIDAVIT_WORKER_BIN`
+/// environment variable if set, otherwise a sibling of the current
+/// executable (all workspace binaries land in the same target directory).
+pub fn worker_binary() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var("AFFIDAVIT_WORKER_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(format!(
+            "AFFIDAVIT_WORKER_BIN={} does not exist",
+            path.display()
+        ));
+    }
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let sibling = exe
+        .parent()
+        .ok_or("current executable has no parent directory")?
+        .join(format!("affidavit-worker{}", std::env::consts::EXE_SUFFIX));
+    if sibling.is_file() {
+        Ok(sibling)
+    } else {
+        Err(format!(
+            "affidavit-worker not found next to {} (build it with \
+             `cargo build -p affidavit-dist` or set AFFIDAVIT_WORKER_BIN)",
+            exe.display()
+        ))
+    }
+}
+
+/// A spawned worker child process, killed on drop if still running.
+#[derive(Debug)]
+pub struct WorkerHandle {
+    child: Child,
+    /// The worker's id (`proc-<n>`), as it will appear in results.
+    pub worker_id: String,
+}
+
+impl WorkerHandle {
+    /// Whether the process has exited, without blocking.
+    pub fn try_finished(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(Some(_)))
+    }
+
+    /// Wait for the process to exit and report success.
+    pub fn wait(&mut self) -> Result<bool, String> {
+        self.child
+            .wait()
+            .map(|status| status.success())
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        if self.child.try_wait().map(|s| s.is_none()).unwrap_or(false) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// Spawn `n` real `affidavit-worker` child processes against a broker.
+/// Their stderr is inherited (worker diagnostics stay visible); stdout is
+/// discarded.
+pub fn spawn_workers(
+    worker_bin: &Path,
+    broker_root: &Path,
+    n: usize,
+    poll: Duration,
+) -> Result<Vec<WorkerHandle>, String> {
+    (0..n)
+        .map(|i| {
+            let worker_id = format!("proc-{i}");
+            Command::new(worker_bin)
+                .arg("--broker")
+                .arg(broker_root)
+                .arg("--worker-id")
+                .arg(&worker_id)
+                .arg("--poll-ms")
+                .arg(poll.as_millis().max(1).to_string())
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .spawn()
+                .map(|child| WorkerHandle { child, worker_id })
+                .map_err(|e| format!("spawning {}: {e}", worker_bin.display()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobOutcome, JobPayload};
+    use crate::wire::WireInstance;
+
+    fn dummy_job(id: u64) -> Job {
+        Job {
+            id,
+            name: format!("job-{id}"),
+            payload: JobPayload::Explain {
+                instance: WireInstance {
+                    schema: vec!["a".into()],
+                    pool: vec!["x".into()],
+                    source: vec![vec![0]],
+                    target: vec![vec![0]],
+                },
+                config: affidavit_core::AffidavitConfig::paper_id(),
+            },
+        }
+    }
+
+    fn dummy_result(id: u64, worker: &str, reason: &str) -> JobResult {
+        JobResult {
+            id,
+            name: format!("job-{id}"),
+            worker: worker.to_owned(),
+            outcome: JobOutcome::Failed {
+                reason: reason.to_owned(),
+            },
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("affidavit-broker-test-{tag}"));
+        std::fs::remove_dir_all(&root).ok();
+        root
+    }
+
+    #[test]
+    fn steal_is_exclusive_and_fifo_by_id() {
+        let root = temp_root("steal");
+        let broker = FsBroker::open(&root).unwrap();
+        broker.submit(&dummy_job(1)).unwrap();
+        broker.submit(&dummy_job(0)).unwrap();
+        // Sorted file names put job 0 first even though it was submitted
+        // second.
+        assert_eq!(broker.steal("a").unwrap().unwrap().id, 0);
+        assert_eq!(broker.steal("b").unwrap().unwrap().id, 1);
+        assert!(broker.steal("a").unwrap().is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn results_roundtrip_and_duplicates_are_checked() {
+        let root = temp_root("results");
+        let broker = FsBroker::open(&root).unwrap();
+        broker.complete("a", &dummy_result(4, "a", "same")).unwrap();
+        broker.complete("b", &dummy_result(4, "b", "same")).unwrap();
+        assert_eq!(broker.fetch_result(4).unwrap().unwrap().worker, "a");
+        assert_eq!(broker.stats().unwrap().duplicates_discarded, 1);
+        assert!(broker.check_health().is_ok());
+        broker
+            .complete("c", &dummy_result(4, "c", "DIFFERENT"))
+            .unwrap();
+        assert!(broker.check_health().unwrap_err().contains("diverging"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stragglers_are_requeued_once() {
+        let root = temp_root("stragglers");
+        let broker = FsBroker::open(&root).unwrap();
+        broker.submit(&dummy_job(9)).unwrap();
+        // A worker claims the job and then hangs (we simply never
+        // complete it).
+        let job = broker.steal("slow").unwrap().unwrap();
+        assert_eq!(job.id, 9);
+        assert!(broker.steal("fast").unwrap().is_none());
+        // With a zero timeout the claim is immediately stale.
+        assert_eq!(broker.recover_stragglers(Duration::ZERO).unwrap(), 1);
+        // The re-published copy is stealable by another worker; the old
+        // claim is marked and not requeued again.
+        assert_eq!(broker.recover_stragglers(Duration::ZERO).unwrap(), 0);
+        let again = broker.steal("fast").unwrap().unwrap();
+        assert_eq!(again.id, 9);
+        // Once a result lands, recovery leaves everything alone.
+        broker
+            .complete("fast", &dummy_result(9, "fast", "done"))
+            .unwrap();
+        assert_eq!(broker.recover_stragglers(Duration::ZERO).unwrap(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn ensure_fresh_rejects_stale_spools() {
+        let root = temp_root("fresh");
+        let broker = FsBroker::open(&root).unwrap();
+        assert!(broker.ensure_fresh().is_ok());
+        broker.submit(&dummy_job(0)).unwrap();
+        assert!(broker.ensure_fresh().unwrap_err().contains("stale"));
+        // A completed previous run (results + stop) is just as stale.
+        let _ = broker.steal("w").unwrap().unwrap();
+        broker.complete("w", &dummy_result(0, "w", "done")).unwrap();
+        broker.request_shutdown().unwrap();
+        assert!(broker.ensure_fresh().unwrap_err().contains("stop"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn shutdown_stops_handing_out_pending_jobs() {
+        let root = temp_root("abandon");
+        let broker = FsBroker::open(&root).unwrap();
+        broker.submit(&dummy_job(0)).unwrap();
+        broker.request_shutdown().unwrap();
+        assert!(broker.steal("w").unwrap().is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn shutdown_crosses_broker_instances() {
+        let root = temp_root("shutdown");
+        let coordinator = FsBroker::open(&root).unwrap();
+        let worker_side = FsBroker::open(&root).unwrap();
+        assert!(!worker_side.shutdown_requested().unwrap());
+        coordinator.request_shutdown().unwrap();
+        assert!(worker_side.shutdown_requested().unwrap());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

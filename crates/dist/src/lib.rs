@@ -1,0 +1,87 @@
+//! Distributed work-stealing for whole-snapshot profiling.
+//!
+//! The paper's operating point — "database snapshots with **hundreds of
+//! tables**" — outgrows one machine before it outgrows the algorithm.
+//! This crate fans the profiling workload out over a job queue with
+//! work-stealing:
+//!
+//! * [`wire`] — a versioned, self-describing serialization of
+//!   [`ProblemInstance`](affidavit_core::ProblemInstance) +
+//!   [`AffidavitConfig`](affidavit_core::AffidavitConfig) (and of
+//!   results), covered by round-trip and golden-bytes tests.
+//! * [`queue`] — the [`JobQueue`] abstraction and the in-process backend.
+//! * [`broker`] — the filesystem broker: real `affidavit-worker` child
+//!   processes claim pending job files by atomic rename (exactly one
+//!   winner — that *is* the work-stealing), stragglers are re-published
+//!   after a timeout, and duplicated completions are checked against each
+//!   other and discarded.
+//! * [`coordinate`] — the coordinator: results are absorbed **in job-id
+//!   order** with [`SymRemap`](affidavit_table::SymRemap) pool merging,
+//!   so the rendered profile is byte-identical to the single-process run
+//!   at every worker count (`tests/properties_dist.rs`).
+//!
+//! Determinism does not depend on the queue: every job result is a pure
+//! function of the job bytes (the engine underneath is byte-identical at
+//! any thread count and speculative width), so stolen-then-duplicated
+//! jobs and straggler retries degrade to *wasted work*, never to
+//! nondeterminism — the same argument, one level up, as the speculative
+//! frontier's reconciliation protocol.
+//!
+//! ```
+//! use std::time::Duration;
+//! use affidavit_core::{AffidavitConfig, Affidavit, ProblemInstance};
+//! use affidavit_core::report::render_report;
+//! use affidavit_dist::queue::{InProcessQueue, JobQueue};
+//! use affidavit_dist::coordinate::explain_via;
+//! use affidavit_dist::worker::run_worker;
+//! use affidavit_table::{Schema, Table, ValuePool};
+//!
+//! let build = || {
+//!     let mut pool = ValuePool::new();
+//!     let s = Table::from_rows(Schema::new(["Val"]), &mut pool,
+//!         vec![vec!["80000"], vec!["21000"], vec!["65000"]]);
+//!     let t = Table::from_rows(Schema::new(["Val"]), &mut pool,
+//!         vec![vec!["80"], vec!["21"], vec!["65"]]);
+//!     ProblemInstance::new(s, t, pool).unwrap()
+//! };
+//! let cfg = AffidavitConfig::paper_id();
+//!
+//! // Distribute the search over one worker thread...
+//! let queue = InProcessQueue::new();
+//! let mut instance = build();
+//! let remote = std::thread::scope(|scope| {
+//!     scope.spawn(|| run_worker(&queue, "w0", Duration::from_millis(1)));
+//!     let remote = explain_via(&queue, &mut instance, &cfg, Duration::from_secs(60));
+//!     queue.request_shutdown().unwrap();
+//!     remote
+//! }).unwrap();
+//!
+//! // ...and the absorbed result renders byte-identically to a local run.
+//! let mut local = build();
+//! let outcome = Affidavit::new(cfg).explain(&mut local);
+//! assert_eq!(
+//!     render_report(&remote.explanation, &instance),
+//!     render_report(&outcome.explanation, &local),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod coordinate;
+pub mod job;
+pub mod queue;
+pub mod wire;
+pub mod worker;
+
+pub use broker::{spawn_workers, worker_binary, FsBroker, WorkerHandle};
+pub use coordinate::{
+    absorb_result, execute_jobs, explain_via, profile_dirs_distributed, DistBackend, DistOptions,
+    DistStats, RemoteExplanation,
+};
+pub use job::{
+    decode_job, decode_result, encode_job, encode_result, Job, JobOutcome, JobPayload, JobResult,
+};
+pub use queue::{InProcessQueue, JobQueue, QueueStats};
+pub use wire::{WireFunction, WireInstance, WIRE_FORMAT, WIRE_VERSION};
+pub use worker::{run_worker, WorkerStats};

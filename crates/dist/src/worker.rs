@@ -1,0 +1,107 @@
+//! The worker loop: steal, execute, deliver, repeat.
+//!
+//! The same loop serves both deployment shapes — in-process threads over
+//! an [`InProcessQueue`](crate::queue::InProcessQueue) and the
+//! `affidavit-worker` binary over an [`FsBroker`](crate::broker::FsBroker)
+//! — because [`JobQueue`] hides the transport.
+
+use std::time::Duration;
+
+use crate::job::{process_job, JobOutcome};
+use crate::queue::JobQueue;
+
+/// What a worker did over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs executed (including failed ones).
+    pub processed: usize,
+    /// Jobs whose outcome was [`JobOutcome::Failed`].
+    pub failed: usize,
+}
+
+/// Steal and execute jobs until shutdown is requested. An empty queue
+/// without a shutdown request means the coordinator may still be
+/// submitting — the worker naps for `poll` and tries again. Once
+/// shutdown is requested the queue stops handing out work (pending jobs
+/// at that point belong to an aborting run or are redundant duplicates),
+/// so the worker finishes its current job at most and exits.
+pub fn run_worker(
+    queue: &dyn JobQueue,
+    worker_id: &str,
+    poll: Duration,
+) -> Result<WorkerStats, String> {
+    let mut stats = WorkerStats::default();
+    loop {
+        match queue.steal(worker_id)? {
+            Some(job) => {
+                let result = process_job(&job, worker_id);
+                if matches!(result.outcome, JobOutcome::Failed { .. }) {
+                    stats.failed += 1;
+                }
+                stats.processed += 1;
+                queue.complete(worker_id, &result)?;
+            }
+            None if queue.shutdown_requested()? => return Ok(stats),
+            None => std::thread::sleep(poll),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobPayload};
+    use crate::queue::InProcessQueue;
+    use crate::wire::WireInstance;
+    use affidavit_core::AffidavitConfig;
+
+    fn tiny_job(id: u64) -> Job {
+        Job {
+            id,
+            name: format!("t{id}"),
+            payload: JobPayload::Explain {
+                instance: WireInstance {
+                    schema: vec!["a".into()],
+                    pool: vec!["x".into(), "y".into()],
+                    source: vec![vec![0]],
+                    target: vec![vec![1]],
+                },
+                config: AffidavitConfig::paper_id(),
+            },
+        }
+    }
+
+    #[test]
+    fn processes_jobs_then_exits_on_shutdown() {
+        let queue = InProcessQueue::new();
+        for id in 0..3 {
+            queue.submit(&tiny_job(id)).unwrap();
+        }
+        let stats = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| run_worker(&queue, "w", Duration::from_millis(1)));
+            for id in 0..3 {
+                while queue.fetch_result(id).unwrap().is_none() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            queue.request_shutdown().unwrap();
+            handle.join().expect("worker thread")
+        })
+        .unwrap();
+        assert_eq!(stats.processed, 3);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn shutdown_abandons_pending_work() {
+        // The abort path: once shutdown is requested, pending jobs are
+        // not handed out any more — a deadline abort must not degrade
+        // into "finish everything first".
+        let queue = InProcessQueue::new();
+        queue.submit(&tiny_job(0)).unwrap();
+        queue.request_shutdown().unwrap();
+        let stats = run_worker(&queue, "w", Duration::from_millis(1)).unwrap();
+        assert_eq!(stats.processed, 0);
+        assert!(queue.fetch_result(0).unwrap().is_none());
+    }
+}

@@ -41,6 +41,21 @@
 //! that `x ↦ x/1000` and `x ↦ x · 1/1000` (which are the *same* function)
 //! cannot both occupy candidate slots during the search.
 
+//! ```
+//! use affidavit_functions::AttrFunction;
+//! use affidavit_table::{Rational, ValuePool};
+//!
+//! let mut pool = ValuePool::new();
+//! let x = pool.intern("65");
+//! let f = AttrFunction::Scale(Rational::new(1, 1000).unwrap());
+//! let y = f.apply(x, &mut pool).unwrap();
+//! // Exact arithmetic: the string "0.065", never 0.06500000000000001.
+//! assert_eq!(pool.get(y), "0.065");
+//! // Application is partial — scaling a non-number explains nothing.
+//! let org = pool.intern("IBM");
+//! assert_eq!(f.apply(org, &mut pool), None);
+//! ```
+
 #![warn(missing_docs)]
 
 pub mod apply_cache;

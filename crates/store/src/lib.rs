@@ -23,6 +23,23 @@
 //!
 //! [`PoolConfig`] selects the backend at the edges (CLI, dataset loader,
 //! profiling) without the inner layers knowing.
+//!
+//! ```
+//! use affidavit_store::{ingest, IngestOptions};
+//! use affidavit_table::ValuePool;
+//!
+//! let csv = "k,v\r\n1,\"a,b\"\r\n2,plain\r\n";
+//! let opts = IngestOptions { chunk_rows: 1, threads: 2, ..IngestOptions::default() };
+//! let mut pool = ValuePool::new();
+//! let table = ingest::read_stream(csv.as_bytes(), &mut pool, &opts).unwrap();
+//! assert_eq!(table.len(), 2);
+//! // Chunked parallel ingestion is byte-identical to the serial parser.
+//! let mut serial = ValuePool::new();
+//! let reference = affidavit_table::csv::read_str(
+//!     csv, &mut serial, affidavit_table::csv::CsvOptions::default()).unwrap();
+//! assert_eq!(table.records(), reference.records());
+//! assert_eq!(pool.len(), serial.len());
+//! ```
 
 #![warn(missing_docs)]
 

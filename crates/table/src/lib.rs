@@ -15,6 +15,23 @@
 //!   can be loaded from disk.
 //! * [`stats`] — per-attribute statistics (distinct counts, emptiness,
 //!   numeric fraction) used by the evaluation protocol of §5.1.
+//!
+//! ```
+//! use affidavit_table::{AttrId, RecordId, Schema, Table, ValuePool};
+//!
+//! let mut pool = ValuePool::new();
+//! let t = Table::from_rows(
+//!     Schema::new(["Val", "Org"]),
+//!     &mut pool,
+//!     vec![vec!["80000", "IBM"], vec!["65", "SAP"], vec!["21000", "IBM"]],
+//! );
+//! // Every distinct value is interned once; cells hold compact symbols.
+//! assert_eq!(pool.get(t.value(RecordId(1), AttrId(1))), "SAP");
+//! assert_eq!(t.value(RecordId(0), AttrId(1)), t.value(RecordId(2), AttrId(1)));
+//! // Numeric interpretation is cached, exact, and never floating point.
+//! let v = t.value(RecordId(1), AttrId(0));
+//! assert_eq!(pool.decimal(v).unwrap().to_string(), "65");
+//! ```
 
 #![warn(missing_docs)]
 

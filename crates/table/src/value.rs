@@ -240,7 +240,22 @@ impl ValuePool {
     /// past it. Interning is idempotent, so strings discovered by several
     /// workers collapse onto one symbol.
     pub fn absorb(&mut self, scratch_base_len: usize, new_strings: &[Arc<str>]) -> SymRemap {
-        let mapping = new_strings.iter().map(|s| self.intern(s)).collect();
+        self.absorb_strs(scratch_base_len, new_strings.iter().map(|s| s.as_ref()))
+    }
+
+    /// [`ValuePool::absorb`] over borrowed strings. This is the merge used
+    /// across *process* boundaries: a remote worker ships back the strings
+    /// it interned past the serialized pool prefix (its pool behaves like a
+    /// [`ScratchPool`] overlay frozen at `scratch_base_len`), and the
+    /// coordinator absorbs them in the worker's interning order so symbols
+    /// in the worker's results can be rewritten through the returned
+    /// [`SymRemap`].
+    pub fn absorb_strs<'s>(
+        &mut self,
+        scratch_base_len: usize,
+        new_strings: impl IntoIterator<Item = &'s str>,
+    ) -> SymRemap {
+        let mapping = new_strings.into_iter().map(|s| self.intern(s)).collect();
         SymRemap {
             base_len: scratch_base_len,
             mapping,
@@ -539,6 +554,25 @@ mod tests {
         let rb = pool.absorb(len_b, &news_b);
         assert_eq!(ra.remap(sym_a), rb.remap(sym_b));
         assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn absorb_strs_merges_a_remote_pool_suffix() {
+        // A "remote" pool built from the same prefix diverges only past
+        // base_len; absorbing its suffix strings remaps its symbols.
+        let mut local = ValuePool::new();
+        local.intern("shared");
+        let base_len = local.len();
+        let mut remote = local.clone();
+        let novel = remote.intern("remote-only");
+        assert_eq!(novel.index(), base_len);
+        local.intern("local-only"); // local grew differently in the meantime
+        let suffix: Vec<String> = (base_len..remote.len())
+            .map(|i| remote.get(Sym(i as u32)).to_owned())
+            .collect();
+        let remap = local.absorb_strs(base_len, suffix.iter().map(String::as_str));
+        assert_eq!(local.get(remap.remap(novel)), "remote-only");
+        assert_eq!(remap.remap(Sym(0)), Sym(0));
     }
 
     #[test]

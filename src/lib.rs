@@ -9,10 +9,26 @@
 //! * [`functions`] — transformation meta functions and induction.
 //! * [`blocking`] — blocking indices, random alignments, overlap matching.
 //! * [`core`] — the Affidavit search algorithm (Algorithm 1).
+//! * [`dist`] — distributed work-stealing profiling over serialized
+//!   problem instances (job queue, filesystem broker, worker processes).
 //! * [`datagen`] — the §5.1 synthetic problem-instance protocol.
 //! * [`datasets`] — evaluation dataset generators and the Figure 1 example.
 //! * [`baselines`] — keyed diff, exact solver, similarity linker, 3-SAT
 //!   reduction.
+//!
+//! The two-minute tour — explain the paper's running example:
+//!
+//! ```
+//! use affidavit::prelude::*;
+//!
+//! let mut instance = affidavit::datasets::running_example::figure1_instance();
+//! let outcome = Affidavit::new(AffidavitConfig::paper_id()).explain(&mut instance);
+//! // Snapshots differ by a rescaled Val column (80000 ↦ 80), so the
+//! // learned function set is cheaper than deleting-and-inserting
+//! // everything.
+//! let trivial = Explanation::trivial(&instance).cost_units(instance.arity());
+//! assert!(outcome.explanation.cost_units(instance.arity()) < trivial);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -21,6 +37,7 @@ pub use affidavit_blocking as blocking;
 pub use affidavit_core as core;
 pub use affidavit_datagen as datagen;
 pub use affidavit_datasets as datasets;
+pub use affidavit_dist as dist;
 pub use affidavit_functions as functions;
 pub use affidavit_store as store;
 pub use affidavit_table as table;
