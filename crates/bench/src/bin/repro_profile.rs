@@ -100,17 +100,18 @@ fn main() {
     // when the binary is not found. Deterministic absorb keeps the
     // profile byte-identical to `profile_dirs` at every count (asserted).
     let dist = bench_dist(&before, &after, &opts, &[1, 2, 4]);
-    println!(
-        "\ndistributed profiling ({} jobs, backend {}):",
-        dist.jobs, dist.backend
-    );
-    for (i, &w) in dist.worker_counts.iter().enumerate() {
+    println!("\ndistributed profiling ({} jobs):", dist.jobs);
+    for row in &dist.rows {
         println!(
-            "  workers {w}: {:.3}s | {:.2}x vs 1 worker | {} duplicates discarded, {} stragglers requeued",
-            dist.total_secs[i],
-            dist.speedup_vs_1[i],
-            dist.duplicates_discarded[i],
-            dist.stragglers_requeued[i],
+            "  {} workers {}: {:.3}s | {:.2}x vs 1 worker | {} steals, {} stragglers requeued, {} duplicates discarded, {} conflicts",
+            row.transport,
+            row.workers,
+            row.total_secs,
+            row.speedup_vs_1,
+            row.steals,
+            row.stragglers_requeued,
+            row.duplicates_discarded,
+            row.conflicts,
         );
     }
     println!("  deterministic = {}", dist.deterministic);
@@ -217,38 +218,52 @@ fn main() {
     }
 }
 
+/// One measured (transport, worker-count) configuration of the
+/// distributed profiler.
+#[derive(serde::Serialize)]
+struct DistRow {
+    /// `"fs"` (spool-directory broker, real `affidavit-worker` children),
+    /// `"tcp"` (coordinator socket, real children dialing `--connect`) or
+    /// `"in-process"` (worker threads; fallback when the worker binary is
+    /// not found next to this one).
+    transport: String,
+    /// Worker count of this run.
+    workers: usize,
+    /// Wall-clock seconds for the whole profile.
+    total_secs: f64,
+    /// This transport's 1-worker time divided by `total_secs` — only
+    /// meaningful when `speedup_valid`.
+    speedup_vs_1: f64,
+    /// Successful exclusive claims.
+    steals: usize,
+    /// Claims re-published after the straggler timeout.
+    stragglers_requeued: usize,
+    /// Duplicate results checked and discarded.
+    duplicates_discarded: usize,
+    /// Diverging duplicates (must be 0; nonzero fails the run).
+    conflicts: usize,
+}
+
 /// Distributed-profiling scaling measurement, serialized into
 /// `BENCH_dist.json` at the repo root. The same snapshot directories are
-/// profiled through `affidavit-dist`'s work-stealing job queue at each
-/// worker count; every run must render byte-identically (timing
-/// stripped) to the single-process `profile_dirs`.
+/// profiled through `affidavit-dist`'s work-stealing job queue on every
+/// available transport at each worker count; every run must render
+/// byte-identically (timing stripped) to the single-process
+/// `profile_dirs`.
 #[derive(serde::Serialize)]
 struct DistBench {
     /// Table pairs in the snapshot directories.
     tables: usize,
     /// Jobs dispatched per run (pairs that reached the search).
     jobs: usize,
-    /// `"child-processes"` (real `affidavit-worker` binaries over the
-    /// filesystem broker) or `"in-process"` (worker threads; fallback
-    /// when the worker binary is not found next to this one).
-    backend: String,
-    /// Worker counts measured; the indexed vectors line up with this.
-    worker_counts: Vec<usize>,
-    /// Wall-clock seconds per whole-profile run at each worker count.
-    total_secs: Vec<f64>,
-    /// `total_secs[0] / total_secs[i]` — only meaningful when
-    /// `speedup_valid`.
-    speedup_vs_1: Vec<f64>,
-    /// Duplicate results checked and discarded at each worker count.
-    duplicates_discarded: Vec<usize>,
-    /// Claims re-published after the straggler timeout at each count.
-    stragglers_requeued: Vec<usize>,
+    /// One row per measured (transport, worker-count) configuration.
+    rows: Vec<DistRow>,
     /// Hardware threads available on the measuring machine.
     hardware_threads: usize,
     /// False when the machine cannot physically exhibit parallel speedup
     /// (one hardware thread) — treat `speedup_vs_1` as noise.
     speedup_valid: bool,
-    /// Every worker count rendered a profile byte-identical to the
+    /// Every configuration rendered a profile byte-identical to the
     /// single-process run (timing stripped).
     deterministic: bool,
 }
@@ -268,55 +283,67 @@ fn bench_dist(
     let local_profile = profile_dirs(before, after, opts).expect("local profile");
     let tables = local_profile.tables.len();
     let local = canonical(local_profile);
-    let (backend_name, backend) = match worker_binary() {
-        Ok(bin) => (
-            "child-processes",
-            DistBackend::ChildProcesses {
-                broker_dir: None,
-                worker_bin: Some(bin),
-            },
-        ),
-        Err(_) => ("in-process", DistBackend::InProcess),
+    // Both real transports when the worker binary is present, the
+    // in-process thread backend otherwise.
+    let backends: Vec<(&str, DistBackend)> = match worker_binary() {
+        Ok(bin) => vec![
+            (
+                "fs",
+                DistBackend::ChildProcesses {
+                    broker_dir: None,
+                    worker_bin: Some(bin.clone()),
+                },
+            ),
+            (
+                "tcp",
+                DistBackend::Tcp {
+                    listen: None,
+                    worker_bin: Some(bin),
+                },
+            ),
+        ],
+        Err(_) => vec![("in-process", DistBackend::InProcess)],
     };
 
-    let mut total_secs = Vec::new();
-    let mut duplicates = Vec::new();
-    let mut requeued = Vec::new();
+    let mut rows: Vec<DistRow> = Vec::new();
     let mut jobs = 0;
     let mut deterministic = true;
-    for &workers in worker_counts {
-        let dopts = DistOptions {
-            workers,
-            backend: backend.clone(),
-            ..DistOptions::default()
-        };
-        let started = Instant::now();
-        let (profile, stats) =
-            affidavit_dist::profile_dirs_distributed(before, after, opts, &dopts)
-                .expect("distributed profile");
-        total_secs.push(started.elapsed().as_secs_f64());
-        deterministic &= canonical(profile) == local;
-        duplicates.push(stats.duplicates_discarded);
-        requeued.push(stats.stragglers_requeued);
-        jobs = stats.jobs;
+    for (transport, backend) in &backends {
+        let mut secs_at_1 = None;
+        for &workers in worker_counts {
+            let dopts = DistOptions {
+                workers,
+                backend: backend.clone(),
+                ..DistOptions::default()
+            };
+            let started = Instant::now();
+            let (profile, stats) =
+                affidavit_dist::profile_dirs_distributed(before, after, opts, &dopts)
+                    .expect("distributed profile");
+            let total_secs = started.elapsed().as_secs_f64();
+            let base = *secs_at_1.get_or_insert(total_secs);
+            deterministic &= canonical(profile) == local;
+            jobs = stats.jobs;
+            rows.push(DistRow {
+                transport: (*transport).to_owned(),
+                workers,
+                total_secs,
+                speedup_vs_1: base / total_secs.max(1e-12),
+                steals: stats.steals,
+                stragglers_requeued: stats.stragglers_requeued,
+                duplicates_discarded: stats.duplicates_discarded,
+                conflicts: stats.conflicts,
+            });
+        }
     }
     assert!(
         deterministic,
-        "every worker count must render the single-process profile byte-identically"
+        "every transport and worker count must render the single-process profile byte-identically"
     );
-    let speedup_vs_1 = total_secs
-        .iter()
-        .map(|&s| total_secs[0] / s.max(1e-12))
-        .collect();
     DistBench {
         tables,
         jobs,
-        backend: backend_name.to_owned(),
-        worker_counts: worker_counts.to_vec(),
-        total_secs,
-        speedup_vs_1,
-        duplicates_discarded: duplicates,
-        stragglers_requeued: requeued,
+        rows,
         hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
         deterministic,

@@ -57,13 +57,26 @@ INGESTION FLAGS (explain, profile):
 
 DISTRIBUTED FLAGS (profile):
   --workers N              Fan table pairs out to N affidavit-worker child
-                           processes over a filesystem job broker (default:
-                           0 = profile in-process). The report is
+                           processes over a work-stealing job broker
+                           (default: 0 = profile in-process). The report is
                            byte-identical at every worker count.
-  --broker DIR             Job-spool directory for --workers (default: a
-                           fresh temp directory). Point it at shared storage
-                           to let externally started workers steal from the
-                           same run; the directory must be empty.
+  --transport fs|tcp       Broker transport for --workers (default: fs).
+                           fs claims jobs by atomic rename in a spool
+                           directory; tcp serves framed steals from a
+                           coordinator socket — no shared filesystem, and
+                           extra workers on any machine can dial in with
+                           `affidavit-worker --connect HOST:PORT`.
+  --listen ADDR            Bind address of the tcp transport's coordinator
+                           listener (default: 127.0.0.1:0 = loopback with
+                           an OS-chosen port). Bind a routable address to
+                           accept workers from other machines — trusted
+                           networks only: the protocol carries no
+                           authentication yet.
+  --broker DIR             Job-spool directory for the fs transport
+                           (default: a fresh temp directory). Point it at
+                           shared storage to let externally started workers
+                           steal from the same run; the directory must be
+                           empty.
   --steal-timeout-secs N   Re-publish a worker's claimed job for others to
                            steal if no result arrives within N seconds;
                            the wait doubles on every retry of the same job
@@ -311,7 +324,13 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         }
     };
     let mut profile = if workers == 0 {
-        for flag in ["broker", "steal-timeout-secs", "deadline-secs"] {
+        for flag in [
+            "transport",
+            "listen",
+            "broker",
+            "steal-timeout-secs",
+            "deadline-secs",
+        ] {
             if p.has(flag) {
                 return Err(format!(
                     "--{flag} only applies to distributed runs; add --workers N"
@@ -320,12 +339,34 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         }
         affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?
     } else {
+        let transport = p.flag_value("transport").unwrap_or("fs");
+        let backend = match transport {
+            "fs" => {
+                if p.has("listen") {
+                    return Err("--listen only applies to --transport tcp".to_owned());
+                }
+                affidavit_dist::DistBackend::ChildProcesses {
+                    broker_dir: p.flag_value("broker").map(std::path::PathBuf::from),
+                    worker_bin: None,
+                }
+            }
+            "tcp" => {
+                if p.has("broker") {
+                    return Err(
+                        "--broker is the fs transport's spool; with --transport tcp use --listen"
+                            .to_owned(),
+                    );
+                }
+                affidavit_dist::DistBackend::Tcp {
+                    listen: p.flag_value("listen").map(str::to_owned),
+                    worker_bin: None,
+                }
+            }
+            other => return Err(format!("unknown --transport {other:?} (use fs|tcp)")),
+        };
         let dopts = affidavit_dist::DistOptions {
             workers,
-            backend: affidavit_dist::DistBackend::ChildProcesses {
-                broker_dir: p.flag_value("broker").map(std::path::PathBuf::from),
-                worker_bin: None,
-            },
+            backend,
             steal_timeout: secs_flag("steal-timeout-secs", 30)?,
             deadline: secs_flag("deadline-secs", 86_400)?,
             ..affidavit_dist::DistOptions::default()
@@ -337,8 +378,14 @@ pub fn profile(args: &[String]) -> Result<(), String> {
             &dopts,
         )?;
         eprintln!(
-            "distributed: {} jobs over {} workers ({} duplicates discarded, {} stragglers requeued)",
-            stats.jobs, stats.workers, stats.duplicates_discarded, stats.stragglers_requeued
+            "distributed ({transport}): {} jobs over {} workers — {} steals, \
+             {} stragglers requeued, {} duplicates discarded, {} conflicts",
+            stats.jobs,
+            stats.workers,
+            stats.steals,
+            stats.stragglers_requeued,
+            stats.duplicates_discarded,
+            stats.conflicts
         );
         profile
     };
@@ -751,6 +798,8 @@ mod tests {
             "--pool-backend",
             "--pool-budget-bytes",
             "--workers",
+            "--transport",
+            "--listen",
             "--broker",
             "--steal-timeout-secs",
             "--deadline-secs",
@@ -778,6 +827,26 @@ mod tests {
         assert!(err.contains("--workers"), "{err}");
         let err = profile(&argv(&[d, d, "--broker", "/tmp/spool"])).unwrap_err();
         assert!(err.contains("--workers"), "{err}");
+        // Transport flags without a distributed run, or crossed between
+        // transports, fail with pointed messages.
+        let err = profile(&argv(&[d, d, "--transport", "tcp"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        let err = profile(&argv(&[d, d, "--workers", "2", "--transport", "udp"])).unwrap_err();
+        assert!(err.contains("fs|tcp"), "{err}");
+        let err = profile(&argv(&[
+            d,
+            d,
+            "--workers",
+            "2",
+            "--transport",
+            "tcp",
+            "--broker",
+            "/tmp/spool",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        let err = profile(&argv(&[d, d, "--workers", "2", "--listen", "127.0.0.1:0"])).unwrap_err();
+        assert!(err.contains("--transport tcp"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

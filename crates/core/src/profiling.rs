@@ -118,7 +118,9 @@ impl SnapshotProfile {
     /// Zero every wall-clock field (`millis`) so two profiles of the same
     /// snapshots can be compared byte for byte. Search timings are the only
     /// nondeterministic part of a profile; everything else is invariant
-    /// under thread count, speculative width and worker count.
+    /// under thread count, speculative width, worker count and — for
+    /// distributed runs — the broker transport carrying the jobs
+    /// (spool directory or TCP).
     pub fn strip_timing(&mut self) {
         for t in &mut self.tables {
             if let TableOutcome::Explained { millis, .. } = &mut t.outcome {

@@ -1,29 +1,29 @@
-//! The filesystem broker: a [`JobQueue`] shared between real processes.
+//! The filesystem transport: a spool directory shared between processes.
 //!
-//! A broker is a spool directory with four elements:
+//! [`FsTransport`] implements [`Transport`] over a directory with four
+//! elements:
 //!
 //! ```text
-//! <root>/jobs/      job-<id>.<sub>.json        pending, stealable
-//! <root>/claimed/   job-<id>.<sub>.<worker>.json   claimed, in flight
-//! <root>/results/   result-<id>.json           completed
+//! <root>/jobs/      job-<id>.<sub>.json        published, claimable
+//! <root>/claimed/   job-<id>.<sub>.<worker>.json   leased, in flight
+//! <root>/results/   result-<id>.json           delivered
 //! <root>/stop       (empty file)               shutdown request
 //! ```
 //!
-//! *Stealing* is one atomic `rename` from `jobs/` into `claimed/`: the
-//! filesystem guarantees exactly one winner per pending file, so any
+//! *Claiming* is one atomic `rename` from `jobs/` into `claimed/`: the
+//! filesystem guarantees exactly one winner per published file, so any
 //! number of `affidavit-worker` processes — spawned by the coordinator or
 //! attached later by hand — can race for work without further locking.
-//! The coordinator re-publishes claims that outlive the straggler timeout
-//! (the claimed copy is left in place, marked `.requeued`), so a hung or
-//! killed worker delays its jobs but cannot lose them; if the original
-//! worker finishes after all, its result is a duplicate, which is
-//! compared and discarded — wasted work, never nondeterminism. Diverging
-//! duplicates (impossible unless the engine's determinism invariant is
-//! broken) are recorded as `results/conflict-*` and surface as a
-//! coordinator error through [`JobQueue::check_health`].
+//! The claim file doubles as the lease: a claim older than the backoff
+//! window whose id has no result is re-published (the claimed copy is
+//! left in place, marked `.requeued`), so a hung or killed worker delays
+//! its jobs but cannot lose them. Everything above the file operations —
+//! envelope encoding, duplicate compare-and-discard, conflict semantics —
+//! lives in the transport-agnostic [`Broker`] protocol layer; [`FsBroker`]
+//! is simply `Broker<FsTransport>`.
 //!
 //! All writes are write-to-temp-then-rename, so readers never observe a
-//! partial file. The broker assumes `root` lives on one filesystem (a
+//! partial file. The transport assumes `root` lives on one filesystem (a
 //! local disk or a shared mount — rename must be atomic).
 
 use std::path::{Path, PathBuf};
@@ -31,28 +31,62 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, SystemTime};
 
-use crate::job::{decode_job, decode_result, encode_job, encode_result, Job, JobResult};
-use crate::queue::{strip_nondeterminism, JobQueue, QueueStats};
+use crate::queue::QueueStats;
+use crate::transport::{requeue_backoff, Broker, Claimed, Delivered, Transport};
 
-/// Spool-directory [`JobQueue`] backend. Cheap to construct on both the
+/// Spool-directory [`Transport`]. Cheap to construct on both the
 /// coordinator and worker sides; all state lives in the directory.
 #[derive(Debug)]
-pub struct FsBroker {
+pub struct FsTransport {
     root: PathBuf,
-    /// Distinguishes multiple submissions of the same job id (duplicates,
-    /// straggler retries) in pending file names.
+    /// Distinguishes multiple publications of the same job id
+    /// (duplicates, straggler retries) in pending file names.
     submissions: AtomicU64,
 }
 
-impl FsBroker {
+/// The filesystem broker: the work-stealing protocol over a spool
+/// directory — a [`JobQueue`](crate::queue::JobQueue) shared between
+/// real processes.
+pub type FsBroker = Broker<FsTransport>;
+
+impl Broker<FsTransport> {
     /// Open (creating if necessary) a broker rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> Result<FsBroker, String> {
+        FsTransport::open(root).map(Broker::new)
+    }
+
+    /// The spool directory.
+    pub fn root(&self) -> &Path {
+        self.transport().root()
+    }
+
+    /// Fail unless the spool is fresh — see [`FsTransport::ensure_fresh`].
+    pub fn ensure_fresh(&self) -> Result<(), String> {
+        self.transport().ensure_fresh()
+    }
+
+    /// Re-publish straggling claims — see
+    /// [`Transport::requeue_expired`].
+    pub fn recover_stragglers(&self, timeout: Duration) -> Result<usize, String> {
+        self.transport().requeue_expired(timeout)
+    }
+
+    /// How many claims have been requeued over this broker's lifetime
+    /// (counted from the `.requeued` markers in the spool).
+    pub fn requeued_count(&self) -> usize {
+        self.transport().counters().map(|c| c.requeues).unwrap_or(0)
+    }
+}
+
+impl FsTransport {
+    /// Open (creating if necessary) a transport rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<FsTransport, String> {
         let root = root.into();
         for sub in ["jobs", "claimed", "results"] {
             std::fs::create_dir_all(root.join(sub))
                 .map_err(|e| format!("{}: {e}", root.join(sub).display()))?;
         }
-        Ok(FsBroker {
+        Ok(FsTransport {
             root,
             submissions: AtomicU64::new(0),
         })
@@ -107,21 +141,34 @@ impl FsBroker {
         Ok(names)
     }
 
-    /// How many claims have been requeued over this broker's lifetime
-    /// (counted from the `.requeued` markers in the spool).
-    pub fn requeued_count(&self) -> usize {
-        Self::sorted_entries(&self.claimed())
-            .map(|names| names.iter().filter(|n| n.ends_with(".requeued")).count())
-            .unwrap_or(0)
-    }
-
     /// Fail unless the spool is empty — no pending or claimed jobs, no
     /// results, no shutdown request. A coordinator must call this before
     /// reusing an explicit `--broker` directory: job ids restart at 0
     /// every run, so stale results from a previous run would otherwise be
     /// absorbed as this run's, and a leftover `stop` file would make
-    /// freshly spawned workers exit immediately.
+    /// freshly spawned workers exit immediately. Leftover `conflict-*`
+    /// files — a previous run's diverging duplicates — are called out
+    /// explicitly, so the operator sees the spool holds evidence of a
+    /// broken determinism invariant, not just routine leftovers.
     pub fn ensure_fresh(&self) -> Result<(), String> {
+        // Diagnose conflicts first: they are the one kind of leftover
+        // that should be inspected rather than casually deleted.
+        let conflicts: Vec<String> = Self::sorted_entries(&self.results())
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|n| n.starts_with("conflict-"))
+            .collect();
+        if !conflicts.is_empty() {
+            return Err(format!(
+                "stale broker spool {}: {} diverging-duplicate conflict file(s) from a \
+                 previous run ({}) — a run on this spool observed two workers return \
+                 different bytes for the same job, which breaks the determinism \
+                 invariant; inspect results/conflict-* before removing the spool",
+                self.root.display(),
+                conflicts.len(),
+                conflicts.join(", ")
+            ));
+        }
         if self.root.join("stop").exists() {
             return Err(format!(
                 "stale broker spool {}: a previous run's stop file is present \
@@ -141,14 +188,127 @@ impl FsBroker {
         }
         Ok(())
     }
+}
 
-    /// Re-publish claims whose job id still has no result — the
-    /// anti-straggler half of work-stealing. A claim must be older than
-    /// `timeout × 2^(times this id was already requeued)` (capped), so a
-    /// legitimately long-running job is retried with exponential backoff
-    /// instead of accumulating a fresh duplicate every recovery tick.
-    /// Returns how many jobs were requeued. Coordinator side.
-    pub fn recover_stragglers(&self, timeout: Duration) -> Result<usize, String> {
+/// `job-<id>.<sub>[...]` → `<id>`.
+fn parse_job_id(name: &str) -> Option<u64> {
+    name.strip_prefix("job-")?.split('.').next()?.parse().ok()
+}
+
+impl Transport for FsTransport {
+    fn publish(&self, id: u64, envelope: &str) -> Result<(), String> {
+        let sub = self.submissions.fetch_add(1, Ordering::Relaxed);
+        let name = format!("job-{id:08}.{sub:04}.json");
+        self.write_atomic(&self.jobs(), &name, &format!("submit-{id}-{sub}"), envelope)
+    }
+
+    fn claim(&self, worker: &str) -> Result<Option<Claimed>, String> {
+        // Shutdown means "stop taking new work", not "drain": pending
+        // jobs at this point are either abandoned by an aborting
+        // coordinator or redundant duplicates — executing them buys
+        // nothing.
+        if self.stopped()? {
+            return Ok(None);
+        }
+        for name in Self::sorted_entries(&self.jobs())? {
+            let Some(id) = parse_job_id(&name) else {
+                continue;
+            };
+            let pending = self.jobs().join(&name);
+            let stem = name.strip_suffix(".json").unwrap_or(&name);
+            let claim = self.claimed().join(format!("{stem}.{worker}.json"));
+            // Atomic claim: exactly one worker wins this rename.
+            if std::fs::rename(&pending, &claim).is_err() {
+                continue; // someone else won; try the next file
+            }
+            // The claim file's mtime is the lease clock, but rename
+            // preserves the *publish*-time mtime — touch it so the lease
+            // starts now, not when the job entered the queue (otherwise
+            // any job claimed later than the steal timeout after
+            // submission would be requeued immediately). Best-effort: a
+            // failed touch degrades to an early requeue, never a loss.
+            if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&claim) {
+                let _ = file.set_modified(SystemTime::now());
+            }
+            let envelope =
+                std::fs::read_to_string(&claim).map_err(|e| format!("{}: {e}", claim.display()))?;
+            return Ok(Some(Claimed { id, envelope }));
+        }
+        Ok(None)
+    }
+
+    fn deliver(&self, worker: &str, id: u64, envelope: &str) -> Result<Delivered, String> {
+        let final_path = self.result_path(id);
+        let read_existing = || {
+            std::fs::read_to_string(&final_path)
+                .map_err(|e| format!("{}: {e}", final_path.display()))
+        };
+        if final_path.exists() {
+            return Ok(Delivered::Duplicate {
+                existing: read_existing()?,
+            });
+        }
+        // First delivery wins *atomically*: hard_link fails with
+        // AlreadyExists if a result landed between the check above and
+        // now (two workers completing the same requeued job on a shared
+        // mount), so a racing duplicate can never silently overwrite the
+        // stored bytes and dodge the comparison. Filesystems without
+        // hard links (SMB, FAT) fall back to rename — publish-time
+        // semantics of the original broker, atomic-visibility preserved,
+        // only the vanishingly narrow first-wins race reopened.
+        let tmp = self.results().join(format!(".tmp-result-{id}-{worker}"));
+        std::fs::write(&tmp, envelope).map_err(|e| format!("{}: {e}", tmp.display()))?;
+        match std::fs::hard_link(&tmp, &final_path) {
+            Ok(()) => {
+                std::fs::remove_file(&tmp).ok();
+                Ok(Delivered::Accepted)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                std::fs::remove_file(&tmp).ok();
+                Ok(Delivered::Duplicate {
+                    existing: read_existing()?,
+                })
+            }
+            Err(_) if !final_path.exists() => std::fs::rename(&tmp, &final_path)
+                .map(|()| Delivered::Accepted)
+                .map_err(|e| format!("{}: {e}", final_path.display())),
+            Err(_) => {
+                std::fs::remove_file(&tmp).ok();
+                Ok(Delivered::Duplicate {
+                    existing: read_existing()?,
+                })
+            }
+        }
+    }
+
+    fn discard_duplicate(&self, worker: &str, id: u64) -> Result<(), String> {
+        self.write_atomic(
+            &self.results(),
+            &format!("dup-{id:08}.{worker}.marker"),
+            &format!("dup-{id}-{worker}"),
+            "",
+        )
+    }
+
+    fn record_conflict(&self, worker: &str, id: u64, envelope: &str) -> Result<(), String> {
+        self.write_atomic(
+            &self.results(),
+            &format!("conflict-{id:08}.{worker}.json"),
+            &format!("conflict-{id}-{worker}"),
+            envelope,
+        )
+    }
+
+    fn fetch(&self, id: u64) -> Result<Option<String>, String> {
+        let path = self.result_path(id);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    fn requeue_expired(&self, base_timeout: Duration) -> Result<usize, String> {
         let now = SystemTime::now();
         let names = Self::sorted_entries(&self.claimed())?;
         let requeues_of = |id: u64| {
@@ -169,7 +329,7 @@ impl FsBroker {
                 continue;
             }
             let path = self.claimed().join(name);
-            let required = timeout.saturating_mul(1 << requeues_of(id).min(6));
+            let required = requeue_backoff(base_timeout, requeues_of(id));
             let stale = std::fs::metadata(&path)
                 .and_then(|m| m.modified())
                 .ok()
@@ -180,129 +340,52 @@ impl FsBroker {
             }
             // Copy the claim back into jobs/ under a fresh submission
             // number, then mark the claim so it is not requeued again.
-            let Ok(text) = std::fs::read_to_string(&path) else {
+            let Ok(envelope) = std::fs::read_to_string(&path) else {
                 continue; // raced with the worker finishing; harmless
             };
-            let job = decode_job(&text)?;
-            self.submit(&job)?;
+            self.publish(id, &envelope)?;
             let marked = self.claimed().join(format!("{name}.requeued"));
             std::fs::rename(&path, &marked).ok();
             requeued += 1;
         }
         Ok(requeued)
     }
-}
 
-/// `job-<id>.<sub>[...]` → `<id>`.
-fn parse_job_id(name: &str) -> Option<u64> {
-    name.strip_prefix("job-")?.split('.').next()?.parse().ok()
-}
-
-impl JobQueue for FsBroker {
-    fn submit(&self, job: &Job) -> Result<(), String> {
-        let sub = self.submissions.fetch_add(1, Ordering::Relaxed);
-        let name = format!("job-{:08}.{sub:04}.json", job.id);
-        self.write_atomic(
-            &self.jobs(),
-            &name,
-            &format!("submit-{}-{sub}", job.id),
-            &encode_job(job),
-        )
-    }
-
-    fn steal(&self, worker: &str) -> Result<Option<Job>, String> {
-        // Shutdown means "stop taking new work", not "drain": pending
-        // jobs at this point are either abandoned by an aborting
-        // coordinator or redundant duplicates — executing them buys
-        // nothing.
-        if self.shutdown_requested()? {
-            return Ok(None);
-        }
-        for name in Self::sorted_entries(&self.jobs())? {
-            let pending = self.jobs().join(&name);
-            let stem = name.strip_suffix(".json").unwrap_or(&name);
-            let claim = self.claimed().join(format!("{stem}.{worker}.json"));
-            // Atomic claim: exactly one worker wins this rename.
-            if std::fs::rename(&pending, &claim).is_err() {
-                continue; // someone else won; try the next file
-            }
-            let text =
-                std::fs::read_to_string(&claim).map_err(|e| format!("{}: {e}", claim.display()))?;
-            return decode_job(&text).map(Some);
-        }
-        Ok(None)
-    }
-
-    fn complete(&self, worker: &str, result: &JobResult) -> Result<(), String> {
-        let final_path = self.result_path(result.id);
-        if final_path.exists() {
-            // Duplicate completion (the job was stolen twice or requeued):
-            // verify the determinism invariant, then discard.
-            let existing = std::fs::read_to_string(&final_path)
-                .map_err(|e| format!("{}: {e}", final_path.display()))?;
-            let existing = decode_result(&existing)?;
-            if strip_nondeterminism(&existing) == strip_nondeterminism(result) {
-                self.write_atomic(
-                    &self.results(),
-                    &format!("dup-{:08}.{worker}.marker", result.id),
-                    &format!("dup-{}-{worker}", result.id),
-                    "",
-                )?;
-            } else {
-                self.write_atomic(
-                    &self.results(),
-                    &format!("conflict-{:08}.{worker}.json", result.id),
-                    &format!("conflict-{}-{worker}", result.id),
-                    &encode_result(result),
-                )?;
-            }
-            return Ok(());
-        }
-        self.write_atomic(
-            &self.results(),
-            &format!("result-{:08}.json", result.id),
-            &format!("result-{}-{worker}", result.id),
-            &encode_result(result),
-        )
-    }
-
-    fn fetch_result(&self, id: u64) -> Result<Option<JobResult>, String> {
-        let path = self.result_path(id);
-        match std::fs::read_to_string(&path) {
-            Ok(text) => decode_result(&text).map(Some),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(format!("{}: {e}", path.display())),
-        }
-    }
-
-    fn request_shutdown(&self) -> Result<(), String> {
+    fn stop(&self) -> Result<(), String> {
         let stop = self.root.join("stop");
         std::fs::write(&stop, b"").map_err(|e| format!("{}: {e}", stop.display()))
     }
 
-    fn shutdown_requested(&self) -> Result<bool, String> {
+    fn stopped(&self) -> Result<bool, String> {
         Ok(self.root.join("stop").exists())
     }
 
-    fn check_health(&self) -> Result<(), String> {
-        for name in Self::sorted_entries(&self.results())? {
-            if name.starts_with("conflict-") {
-                return Err(format!(
+    fn conflicts(&self) -> Result<Vec<String>, String> {
+        Ok(Self::sorted_entries(&self.results())?
+            .into_iter()
+            .filter(|n| n.starts_with("conflict-"))
+            .map(|name| {
+                format!(
                     "diverging duplicate result recorded at {}",
                     self.results().join(name).display()
-                ));
-            }
-        }
-        Ok(())
+                )
+            })
+            .collect())
     }
 
-    fn stats(&self) -> Result<QueueStats, String> {
-        let duplicates_discarded = Self::sorted_entries(&self.results())?
-            .iter()
-            .filter(|n| n.starts_with("dup-"))
-            .count();
+    fn counters(&self) -> Result<QueueStats, String> {
+        let claimed = Self::sorted_entries(&self.claimed())?;
+        let results = Self::sorted_entries(&self.results())?;
         Ok(QueueStats {
-            duplicates_discarded,
+            // Every successful claim leaves exactly one file in claimed/
+            // (requeue marking renames it in place).
+            steals: claimed.len(),
+            requeues: claimed.iter().filter(|n| n.ends_with(".requeued")).count(),
+            duplicates_discarded: results.iter().filter(|n| n.starts_with("dup-")).count(),
+            conflicts: results
+                .iter()
+                .filter(|n| n.starts_with("conflict-"))
+                .count(),
         })
     }
 }
@@ -337,6 +420,17 @@ pub fn worker_binary() -> Result<PathBuf, String> {
     }
 }
 
+/// Where a spawned `affidavit-worker` should steal from: a spool
+/// directory (`--broker`) or a coordinator's TCP listener (`--connect`).
+#[derive(Debug, Clone)]
+pub enum WorkerEndpoint {
+    /// A shared spool directory ([`FsBroker`]).
+    Spool(PathBuf),
+    /// A coordinator listener address, `HOST:PORT`
+    /// ([`TcpBroker`](crate::tcp::TcpBroker)).
+    Tcp(String),
+}
+
 /// A spawned worker child process, killed on drop if still running.
 #[derive(Debug)]
 pub struct WorkerHandle {
@@ -358,6 +452,13 @@ impl WorkerHandle {
             .map(|status| status.success())
             .map_err(|e| e.to_string())
     }
+
+    /// Kill the process immediately (fault injection in tests; the
+    /// coordinator's protocol must treat this exactly like a straggler).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
 }
 
 impl Drop for WorkerHandle {
@@ -369,21 +470,24 @@ impl Drop for WorkerHandle {
     }
 }
 
-/// Spawn `n` real `affidavit-worker` child processes against a broker.
-/// Their stderr is inherited (worker diagnostics stay visible); stdout is
-/// discarded.
+/// Spawn `n` real `affidavit-worker` child processes against a broker
+/// endpoint. Their stderr is inherited (worker diagnostics stay
+/// visible); stdout is discarded.
 pub fn spawn_workers(
     worker_bin: &Path,
-    broker_root: &Path,
+    endpoint: &WorkerEndpoint,
     n: usize,
     poll: Duration,
 ) -> Result<Vec<WorkerHandle>, String> {
     (0..n)
         .map(|i| {
             let worker_id = format!("proc-{i}");
-            Command::new(worker_bin)
-                .arg("--broker")
-                .arg(broker_root)
+            let mut command = Command::new(worker_bin);
+            match endpoint {
+                WorkerEndpoint::Spool(dir) => command.arg("--broker").arg(dir),
+                WorkerEndpoint::Tcp(addr) => command.arg("--connect").arg(addr),
+            };
+            command
                 .arg("--worker-id")
                 .arg(&worker_id)
                 .arg("--poll-ms")
@@ -400,7 +504,8 @@ pub fn spawn_workers(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{JobOutcome, JobPayload};
+    use crate::job::{Job, JobOutcome, JobPayload, JobResult};
+    use crate::queue::JobQueue;
     use crate::wire::WireInstance;
 
     fn dummy_job(id: u64) -> Job {
@@ -447,6 +552,7 @@ mod tests {
         assert_eq!(broker.steal("a").unwrap().unwrap().id, 0);
         assert_eq!(broker.steal("b").unwrap().unwrap().id, 1);
         assert!(broker.steal("a").unwrap().is_none());
+        assert_eq!(broker.stats().unwrap().steals, 2);
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -463,6 +569,7 @@ mod tests {
             .complete("c", &dummy_result(4, "c", "DIFFERENT"))
             .unwrap();
         assert!(broker.check_health().unwrap_err().contains("diverging"));
+        assert_eq!(broker.stats().unwrap().conflicts, 1);
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -483,11 +590,34 @@ mod tests {
         assert_eq!(broker.recover_stragglers(Duration::ZERO).unwrap(), 0);
         let again = broker.steal("fast").unwrap().unwrap();
         assert_eq!(again.id, 9);
+        assert_eq!(broker.requeued_count(), 1);
+        assert_eq!(broker.stats().unwrap().requeues, 1);
         // Once a result lands, recovery leaves everything alone.
         broker
             .complete("fast", &dummy_result(9, "fast", "done"))
             .unwrap();
         assert_eq!(broker.recover_stragglers(Duration::ZERO).unwrap(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn lease_clock_starts_at_claim_not_publish() {
+        let root = temp_root("lease-clock");
+        let broker = FsBroker::open(&root).unwrap();
+        broker.submit(&dummy_job(5)).unwrap();
+        // The job sits in the queue longer than the steal timeout before
+        // anyone claims it...
+        std::thread::sleep(Duration::from_millis(60));
+        let _ = broker.steal("w").unwrap().unwrap();
+        // ...and must NOT be treated as a straggler the moment it is
+        // claimed: the lease began at claim, not at publish.
+        assert_eq!(
+            broker
+                .recover_stragglers(Duration::from_millis(40))
+                .unwrap(),
+            0,
+            "a freshly claimed job is not a straggler, however long it queued"
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -503,6 +633,24 @@ mod tests {
         broker.complete("w", &dummy_result(0, "w", "done")).unwrap();
         broker.request_shutdown().unwrap();
         assert!(broker.ensure_fresh().unwrap_err().contains("stop"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn ensure_fresh_diagnoses_conflict_leftovers() {
+        // A crashed run that recorded diverging duplicates must be
+        // called out by name — that spool is evidence, not clutter.
+        let root = temp_root("fresh-conflict");
+        let broker = FsBroker::open(&root).unwrap();
+        broker.complete("a", &dummy_result(3, "a", "one")).unwrap();
+        broker.complete("b", &dummy_result(3, "b", "two")).unwrap();
+        let err = broker.ensure_fresh().unwrap_err();
+        assert!(
+            err.contains("1 diverging-duplicate conflict file(s)"),
+            "{err}"
+        );
+        assert!(err.contains("conflict-00000003.b.json"), "{err}");
+        assert!(err.contains("determinism"), "{err}");
         std::fs::remove_dir_all(&root).ok();
     }
 

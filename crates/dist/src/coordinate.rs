@@ -20,25 +20,41 @@ use affidavit_core::profiling::{
 };
 use affidavit_core::{AffidavitConfig, Explanation, ProblemInstance};
 
-use crate::broker::{spawn_workers, worker_binary, FsBroker};
+use crate::broker::{spawn_workers, worker_binary, FsBroker, WorkerEndpoint, WorkerHandle};
 use crate::job::{Job, JobOutcome, JobPayload, JobResult};
-use crate::queue::{InProcessQueue, JobQueue};
+use crate::queue::{InProcessQueue, JobQueue, QueueStats};
+use crate::tcp::TcpBroker;
+use crate::transport::{Broker, Transport};
 use crate::wire::WireInstance;
 use crate::worker::run_worker;
 
-/// Where the workers live.
+/// Where the workers live, and which transport carries the protocol.
 #[derive(Debug, Clone, Default)]
 pub enum DistBackend {
     /// Worker threads inside this process over an
     /// [`InProcessQueue`] — tests, doctests, library embedding.
     #[default]
     InProcess,
-    /// Real `affidavit-worker` child processes over an [`FsBroker`].
+    /// Real `affidavit-worker` child processes over an [`FsBroker`]
+    /// spool directory (requires a filesystem the coordinator and all
+    /// workers share).
     ChildProcesses {
         /// Spool directory; `None` = a fresh temp directory, removed on
         /// completion. Point it at shared storage to let externally
         /// started workers steal from the same run.
         broker_dir: Option<PathBuf>,
+        /// Worker executable; `None` = resolve via
+        /// [`worker_binary`].
+        worker_bin: Option<PathBuf>,
+    },
+    /// Real `affidavit-worker` child processes over a
+    /// [`TcpBroker`] — no shared filesystem needed; externally started
+    /// workers dial `affidavit-worker --connect HOST:PORT`.
+    Tcp {
+        /// Coordinator bind address; `None` = `127.0.0.1:0` (loopback,
+        /// OS-chosen port). Bind a routable address to accept workers
+        /// from other machines.
+        listen: Option<String>,
         /// Worker executable; `None` = resolve via
         /// [`worker_binary`].
         worker_bin: Option<PathBuf>,
@@ -83,18 +99,36 @@ impl Default for DistOptions {
     }
 }
 
-/// Counters describing one distributed run.
+/// Counters describing one distributed run. The steal-loop counters
+/// (`steals`, `stragglers_requeued`, `duplicates_discarded`,
+/// `conflicts`) come from the queue's [`QueueStats`] and carry the same
+/// meaning on every transport.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DistStats {
     /// Jobs dispatched (distinct ids).
     pub jobs: usize,
     /// Workers that served the run.
     pub workers: usize,
+    /// Successful exclusive claims across the run (≥ `jobs`: requeues
+    /// and redundancy add claims).
+    pub steals: usize,
     /// Duplicate results checked and discarded (redundancy, straggler
     /// double-completion).
     pub duplicates_discarded: usize,
     /// Claims re-published after the straggler timeout.
     pub stragglers_requeued: usize,
+    /// Diverging duplicates — always 0 in a healthy run (a nonzero count
+    /// fails the run before results are absorbed).
+    pub conflicts: usize,
+}
+
+impl DistStats {
+    fn absorb_queue(&mut self, counters: QueueStats) {
+        self.steals = counters.steals;
+        self.duplicates_discarded = counters.duplicates_discarded;
+        self.stragglers_requeued = counters.requeues;
+        self.conflicts = counters.conflicts;
+    }
 }
 
 /// Run `jobs` to completion and return all results keyed by job id.
@@ -140,7 +174,10 @@ pub fn execute_jobs(
                 }
                 results
             })?;
-            stats.duplicates_discarded = queue.stats()?.duplicates_discarded;
+            // Late duplicates (redundancy stragglers completing during
+            // shutdown) have all been compared once the threads joined.
+            queue.check_health()?;
+            stats.absorb_queue(queue.stats()?);
             Ok((results, stats))
         }
         DistBackend::ChildProcesses {
@@ -155,58 +192,102 @@ pub fn execute_jobs(
             let (root, owned) = match broker_dir {
                 Some(dir) => (dir.clone(), false),
                 None => {
+                    // pid + counter alone can collide with a failed
+                    // run's leftover spool after PID recycling; the
+                    // nanosecond stamp makes the path unique.
+                    let nanos = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos())
+                        .unwrap_or(0);
                     let dir = std::env::temp_dir().join(format!(
-                        "affidavit-dist-{}-{}",
+                        "affidavit-dist-{}-{}-{nanos}",
                         std::process::id(),
                         RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                     ));
                     (dir, true)
                 }
             };
-            let bin = match worker_bin {
-                Some(path) => path.clone(),
-                None => worker_binary()?,
-            };
+            let bin = resolve_worker_bin(worker_bin)?;
             let broker = FsBroker::open(&root)?;
-            if !owned {
-                broker.ensure_fresh()?;
-            }
-            let mut children = spawn_workers(&bin, &root, workers, opts.poll)?;
-            let run = || -> Result<BTreeMap<u64, JobResult>, String> {
-                submit_all(&broker, jobs, opts.redundancy)?;
-                let mut last_recovery = Instant::now();
-                wait_for_results(&broker, &manifest, opts, |broker| {
-                    // Straggler recovery + child liveness, once per
-                    // timeout window.
-                    if last_recovery.elapsed() >= opts.steal_timeout {
-                        last_recovery = Instant::now();
-                        broker.recover_stragglers(opts.steal_timeout)?;
-                    }
-                    if children.iter_mut().all(|c| c.try_finished()) {
-                        return Err("all workers exited before the run completed".to_owned());
-                    }
-                    Ok(())
-                })
-            };
-            let results = run();
-            // Wind down the fleet whether the run succeeded or not; the
-            // WorkerHandle drop kills anything that ignores the request.
-            broker.request_shutdown()?;
-            let results = results?;
-            for child in &mut children {
-                if !child.wait()? {
-                    return Err(format!("worker {} exited with failure", child.worker_id));
-                }
-            }
-            stats.duplicates_discarded = broker.stats()?.duplicates_discarded;
-            stats.stragglers_requeued = broker.requeued_count();
-            drop(children);
+            // Even an owned temp spool is checked: job ids restart at 0
+            // every run, so absorbing any leftover would silently
+            // corrupt this run's profile — better to refuse loudly.
+            broker.ensure_fresh()?;
+            let endpoint = WorkerEndpoint::Spool(root.clone());
+            let results = run_fleet(&broker, &bin, &endpoint, workers, jobs, &manifest, opts)?;
+            stats.absorb_queue(broker.stats()?);
             if owned {
                 std::fs::remove_dir_all(&root).ok();
             }
             Ok((results, stats))
         }
+        DistBackend::Tcp { listen, worker_bin } => {
+            let bin = resolve_worker_bin(worker_bin)?;
+            let broker = Broker::new(TcpBroker::bind(listen.as_deref().unwrap_or("127.0.0.1:0"))?);
+            let endpoint = WorkerEndpoint::Tcp(broker.transport().local_addr().to_string());
+            let results = run_fleet(&broker, &bin, &endpoint, workers, jobs, &manifest, opts)?;
+            stats.absorb_queue(broker.stats()?);
+            Ok((results, stats))
+        }
     }
+}
+
+fn resolve_worker_bin(worker_bin: &Option<PathBuf>) -> Result<PathBuf, String> {
+    match worker_bin {
+        Some(path) => Ok(path.clone()),
+        None => worker_binary(),
+    }
+}
+
+/// Drive a fleet of real `affidavit-worker` child processes over any
+/// transport: spawn, submit, wait with straggler recovery and liveness
+/// checks, wind down. The transport seam keeps this — the whole
+/// coordinator side of the protocol — identical for the spool directory
+/// and the TCP listener.
+fn run_fleet<T: Transport>(
+    queue: &crate::transport::Broker<T>,
+    worker_bin: &Path,
+    endpoint: &WorkerEndpoint,
+    workers: usize,
+    jobs: Vec<Job>,
+    manifest: &[u64],
+    opts: &DistOptions,
+) -> Result<BTreeMap<u64, JobResult>, String> {
+    let mut children = spawn_workers(worker_bin, endpoint, workers, opts.poll)?;
+    let run = |children: &mut Vec<WorkerHandle>| -> Result<BTreeMap<u64, JobResult>, String> {
+        submit_all(queue, jobs, opts.redundancy)?;
+        let mut last_recovery = Instant::now();
+        wait_for_results(queue, manifest, opts, |queue| {
+            // Straggler recovery + child liveness, once per timeout
+            // window.
+            if last_recovery.elapsed() >= opts.steal_timeout {
+                last_recovery = Instant::now();
+                queue.transport().requeue_expired(opts.steal_timeout)?;
+            }
+            if children.iter_mut().all(|c| c.try_finished()) {
+                return Err("all workers exited before the run completed".to_owned());
+            }
+            Ok(())
+        })
+    };
+    let results = run(&mut children);
+    // Wind down the fleet whether the run succeeded or not; the
+    // WorkerHandle drop kills anything that ignores the request. The
+    // run's own error stays the headline — a shutdown that fails
+    // because the transport is already gone must not mask it.
+    let shutdown = queue.request_shutdown();
+    let results = results?;
+    shutdown?;
+    for child in &mut children {
+        if !child.wait()? {
+            return Err(format!("worker {} exited with failure", child.worker_id));
+        }
+    }
+    // The fleet has drained: any straggler duplicate that completed
+    // after the last fresh result has been compared by now — surface a
+    // late-recorded divergence instead of absorbing quietly.
+    queue.check_health()?;
+    Ok(results)
 }
 
 /// Hand every job (and its `redundancy − 1` speculative copies) to the
@@ -229,14 +310,22 @@ fn wait_for_results<Q: JobQueue>(
     let deadline = Instant::now() + opts.deadline;
     let mut results: BTreeMap<u64, JobResult> = BTreeMap::new();
     loop {
+        let mut fetched_new = false;
         for &id in manifest {
             if let std::collections::btree_map::Entry::Vacant(slot) = results.entry(id) {
                 if let Some(result) = queue.fetch_result(id)? {
                     slot.insert(result);
+                    fetched_new = true;
                 }
             }
         }
-        queue.check_health()?;
+        // Conflicts appear only around (duplicate) deliveries, so the
+        // health scan — a full results-directory listing on the fs
+        // transport — runs on result arrival, not on every poll nap;
+        // the fleet teardown does one final check for late duplicates.
+        if fetched_new {
+            queue.check_health()?;
+        }
         if manifest.iter().all(|id| results.contains_key(id)) {
             return Ok(results);
         }

@@ -10,15 +10,24 @@
 //!   [`AffidavitConfig`](affidavit_core::AffidavitConfig) (and of
 //!   results), covered by round-trip and golden-bytes tests.
 //! * [`queue`] — the [`JobQueue`] abstraction and the in-process backend.
-//! * [`broker`] — the filesystem broker: real `affidavit-worker` child
-//!   processes claim pending job files by atomic rename (exactly one
-//!   winner — that *is* the work-stealing), stragglers are re-published
-//!   after a timeout, and duplicated completions are checked against each
-//!   other and discarded.
+//! * [`transport`] — the transport seam: the work-stealing protocol
+//!   (publish → exclusive claim/lease → deliver → straggler
+//!   re-publication with backoff → duplicate compare-and-discard → stop)
+//!   expressed **once**, in [`Broker`], against the [`Transport`] trait's
+//!   operations on opaque wire envelopes.
+//! * [`broker`] — transport #1, the spool directory: real
+//!   `affidavit-worker` child processes claim pending job files by atomic
+//!   rename (exactly one winner — that *is* the work-stealing).
+//! * [`tcp`] — transport #2, sockets: the coordinator binds a listener
+//!   and tracks leases in memory; workers dial `--connect HOST:PORT` with
+//!   one framed request/response exchange per steal, so no shared
+//!   filesystem is needed and a dropped connection mid-job is just a
+//!   straggler.
 //! * [`coordinate`] — the coordinator: results are absorbed **in job-id
 //!   order** with [`SymRemap`](affidavit_table::SymRemap) pool merging,
 //!   so the rendered profile is byte-identical to the single-process run
-//!   at every worker count (`tests/properties_dist.rs`).
+//!   at every worker count and on every transport
+//!   (`tests/properties_dist.rs`, `tests/properties_transport.rs`).
 //!
 //! Determinism does not depend on the queue: every job result is a pure
 //! function of the job bytes (the engine underneath is byte-identical at
@@ -71,10 +80,14 @@ pub mod broker;
 pub mod coordinate;
 pub mod job;
 pub mod queue;
+pub mod tcp;
+pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use broker::{spawn_workers, worker_binary, FsBroker, WorkerHandle};
+pub use broker::{
+    spawn_workers, worker_binary, FsBroker, FsTransport, WorkerEndpoint, WorkerHandle,
+};
 pub use coordinate::{
     absorb_result, execute_jobs, explain_via, profile_dirs_distributed, DistBackend, DistOptions,
     DistStats, RemoteExplanation,
@@ -83,5 +96,9 @@ pub use job::{
     decode_job, decode_result, encode_job, encode_result, Job, JobOutcome, JobPayload, JobResult,
 };
 pub use queue::{InProcessQueue, JobQueue, QueueStats};
+pub use tcp::{TcpBroker, TcpClient};
+pub use transport::{requeue_backoff, Broker, Claimed, Delivered, Transport};
 pub use wire::{WireFunction, WireInstance, WIRE_FORMAT, WIRE_VERSION};
-pub use worker::{run_worker, WorkerStats};
+pub use worker::{
+    run_worker, run_worker_with_reconnect, WorkerExit, WorkerStats, BROKER_LOST_EXIT_CODE,
+};

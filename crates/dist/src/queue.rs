@@ -8,22 +8,38 @@
 //! functions of their jobs and the coordinator absorbs them in job-id
 //! order. The queue only affects *wall time*.
 //!
-//! Two backends implement it: [`InProcessQueue`] (worker threads in the
-//! same process — tests, doctests, library embedding) and
-//! [`FsBroker`](crate::broker::FsBroker) (real `affidavit-worker` child
-//! processes coordinating through a spool directory).
+//! Two kinds of backend implement it: [`InProcessQueue`] (worker threads
+//! in the same process — tests, doctests, library embedding) and
+//! [`Broker`](crate::transport::Broker), the work-stealing protocol over
+//! any [`Transport`](crate::transport::Transport) — the spool-directory
+//! [`FsBroker`](crate::broker::FsBroker) and the socket-served
+//! [`TcpBroker`](crate::tcp::TcpBroker), both driving real
+//! `affidavit-worker` processes.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 
 use crate::job::{encode_result, Job, JobResult};
 
-/// Counters a queue keeps about wasted and recovered work.
+/// Steal-loop counters a queue keeps about performed, wasted and
+/// recovered work. Both transports surface the same four, so an
+/// operator reads one vocabulary whether the run went over a spool
+/// directory or a socket.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
+    /// Successful exclusive claims (each hands one published envelope to
+    /// one worker).
+    pub steals: usize,
+    /// Straggling claims re-published for other workers after the
+    /// timeout (with exponential backoff per job id).
+    pub requeues: usize,
     /// Results for already-completed job ids (speculative duplicates or
     /// post-steal stragglers) that were checked and discarded.
     pub duplicates_discarded: usize,
+    /// Diverging duplicate results — impossible unless the engine's
+    /// determinism invariant is broken; any nonzero value fails the run
+    /// through [`JobQueue::check_health`].
+    pub conflicts: usize,
 }
 
 /// Coordination surface between a coordinator and its workers.
@@ -72,7 +88,7 @@ struct Inner {
     results: BTreeMap<u64, JobResult>,
     stats: QueueStats,
     stop: bool,
-    conflict: Option<String>,
+    conflicts: Vec<String>,
 }
 
 /// A [`JobQueue`] living entirely in this process: a mutex-guarded deque
@@ -109,7 +125,11 @@ impl JobQueue for InProcessQueue {
         if inner.stop {
             return Ok(None);
         }
-        Ok(inner.pending.pop_front())
+        let job = inner.pending.pop_front();
+        if job.is_some() {
+            inner.stats.steals += 1;
+        }
+        Ok(job)
     }
 
     fn complete(&self, _worker: &str, result: &JobResult) -> Result<(), String> {
@@ -125,10 +145,12 @@ impl JobQueue for InProcessQueue {
                 if strip_nondeterminism(existing) == strip_nondeterminism(result) {
                     inner.stats.duplicates_discarded += 1;
                 } else {
-                    inner.conflict = Some(format!(
+                    let conflict = format!(
                         "job {} produced diverging results from workers {:?} and {:?}",
                         result.id, existing.worker, result.worker
-                    ));
+                    );
+                    inner.conflicts.push(conflict);
+                    inner.stats.conflicts += 1;
                 }
             }
         }
@@ -149,7 +171,7 @@ impl JobQueue for InProcessQueue {
     }
 
     fn check_health(&self) -> Result<(), String> {
-        match &self.lock()?.conflict {
+        match self.lock()?.conflicts.first() {
             None => Ok(()),
             Some(c) => Err(c.clone()),
         }

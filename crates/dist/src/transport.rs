@@ -1,0 +1,224 @@
+//! The transport seam: the work-stealing protocol, expressed once.
+//!
+//! The protocol of a distributed run — *publish* a job for exclusive
+//! claiming, *claim* it under a lease, *deliver* the result, re-publish
+//! straggling leases with backoff, compare-and-discard duplicate
+//! completions, *stop* — is independent of the medium carrying the bytes.
+//! [`Transport`] captures exactly that seam: five operations on **opaque,
+//! length-delimited wire envelopes** (the `wire.rs` v1 messages produced
+//! by [`crate::job::encode_job`] / [`crate::job::encode_result`]), with
+//! no knowledge of
+//! jobs, results, pools or symbols. [`Broker`] layers the protocol on
+//! top of any transport: it encodes/decodes envelopes, verifies the
+//! determinism invariant on duplicate deliveries, and records diverging
+//! duplicates as conflicts — once, for every backend.
+//!
+//! Two transports implement the seam:
+//!
+//! * [`FsTransport`](crate::broker::FsTransport) — a spool directory on a
+//!   shared filesystem; claiming is one atomic rename.
+//! * [`TcpBroker`](crate::tcp::TcpBroker) /
+//!   [`TcpClient`](crate::tcp::TcpClient) — a coordinator-side socket
+//!   listener with leases tracked in coordinator memory; claiming is one
+//!   framed request/response exchange.
+//!
+//! Determinism does not depend on the transport any more than it depends
+//! on the queue: results are pure functions of job bytes, so the only
+//! transport-visible failure mode — a lost worker or connection — turns
+//! into a straggler lease, a re-publication, and at worst a discarded
+//! duplicate.
+
+use std::time::Duration;
+
+use crate::job::{decode_job, decode_result, encode_job, encode_result, Job, JobResult};
+use crate::queue::{strip_nondeterminism, JobQueue, QueueStats};
+
+/// An envelope handed out by [`Transport::claim`]: the job id the
+/// transport leased plus the opaque wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claimed {
+    /// The published job id (transports index leases and deliveries by
+    /// it; the envelope body is opaque to them).
+    pub id: u64,
+    /// The published wire envelope, byte-for-byte.
+    pub envelope: String,
+}
+
+/// What happened to a delivered envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivered {
+    /// First delivery for this job id; the envelope was stored.
+    Accepted,
+    /// A delivery for this id already exists. The existing envelope is
+    /// returned so the protocol layer can compare the two and either
+    /// discard the newcomer ([`Transport::discard_duplicate`]) or record
+    /// a divergence ([`Transport::record_conflict`]).
+    Duplicate {
+        /// The previously delivered envelope, byte-for-byte.
+        existing: String,
+    },
+}
+
+/// A medium for the work-stealing protocol. Implementations move opaque
+/// envelopes and track leases; everything protocol-shaped (encoding,
+/// duplicate comparison, conflict semantics) lives in [`Broker`].
+///
+/// All methods take `&self`: transports are internally synchronized and
+/// shared between coordinator and worker threads/processes.
+pub trait Transport: Send + Sync {
+    /// Make an envelope available for exclusive claiming under `id`
+    /// (coordinator side, and transport-internally for re-publication).
+    /// Publishing the same id again is allowed — speculative duplicates
+    /// and straggler retries enter this way — and each publication is
+    /// claimable exactly once. Claims are handed out lowest id first.
+    fn publish(&self, id: u64, envelope: &str) -> Result<(), String>;
+
+    /// Exclusively claim the next published envelope and start a lease
+    /// for `worker` (worker side). Returns `None` when nothing is
+    /// claimable — including after [`Transport::stop`], which revokes
+    /// all pending publications.
+    fn claim(&self, worker: &str) -> Result<Option<Claimed>, String>;
+
+    /// Deliver a result envelope for `id`, ending its leases (worker
+    /// side). The first delivery per id wins; later ones return
+    /// [`Delivered::Duplicate`] with the stored envelope, leaving it to
+    /// the protocol layer to compare.
+    fn deliver(&self, worker: &str, id: u64, envelope: &str) -> Result<Delivered, String>;
+
+    /// Record that a duplicate delivery for `id` matched the stored one
+    /// and was discarded (protocol layer, after comparing).
+    fn discard_duplicate(&self, worker: &str, id: u64) -> Result<(), String>;
+
+    /// Record that a duplicate delivery for `id` **diverged** from the
+    /// stored one — the determinism invariant is broken. The envelope is
+    /// kept for post-mortem and the transport reports unhealthy from now
+    /// on ([`Transport::conflicts`]).
+    fn record_conflict(&self, worker: &str, id: u64, envelope: &str) -> Result<(), String>;
+
+    /// The delivered envelope for `id`, if any (coordinator side).
+    /// Non-destructive and idempotent.
+    fn fetch(&self, id: u64) -> Result<Option<String>, String>;
+
+    /// Re-publish leases older than [`requeue_backoff`]`(base_timeout,
+    /// prior requeues of the id)` whose id has no delivery — the
+    /// anti-straggler half of work-stealing. Each lease is re-published
+    /// at most once. Returns how many envelopes were re-published
+    /// (coordinator side).
+    fn requeue_expired(&self, base_timeout: Duration) -> Result<usize, String>;
+
+    /// Stop handing out claims and tell idle workers to exit
+    /// (coordinator side).
+    fn stop(&self) -> Result<(), String>;
+
+    /// Whether [`Transport::stop`] has been requested (worker side).
+    fn stopped(&self) -> Result<bool, String>;
+
+    /// Human-readable descriptions of recorded conflicts (empty =
+    /// healthy).
+    fn conflicts(&self) -> Result<Vec<String>, String>;
+
+    /// Steal-loop counters.
+    fn counters(&self) -> Result<QueueStats, String>;
+}
+
+/// How long a lease must be idle before its `n`-th re-publication:
+/// `base × 2^min(n, 6)`. Shared by every transport so a legitimately
+/// long-running job is retried with the same exponential backoff
+/// whatever medium carries it.
+pub fn requeue_backoff(base: Duration, prior_requeues: u32) -> Duration {
+    base.saturating_mul(1 << prior_requeues.min(6))
+}
+
+/// The work-stealing protocol over any [`Transport`]: a [`JobQueue`]
+/// whose job/result encoding, duplicate compare-and-discard and conflict
+/// recording are written once, here, against opaque envelopes.
+#[derive(Debug)]
+pub struct Broker<T> {
+    transport: T,
+}
+
+impl<T: Transport> Broker<T> {
+    /// Wrap a transport in the protocol layer.
+    pub fn new(transport: T) -> Broker<T> {
+        Broker { transport }
+    }
+
+    /// The underlying transport (for medium-specific operations:
+    /// spool freshness checks, listener addresses, …).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+}
+
+impl<T: Transport> JobQueue for Broker<T> {
+    fn submit(&self, job: &Job) -> Result<(), String> {
+        self.transport.publish(job.id, &encode_job(job))
+    }
+
+    fn steal(&self, worker: &str) -> Result<Option<Job>, String> {
+        match self.transport.claim(worker)? {
+            None => Ok(None),
+            Some(claimed) => decode_job(&claimed.envelope).map(Some),
+        }
+    }
+
+    fn complete(&self, worker: &str, result: &JobResult) -> Result<(), String> {
+        let envelope = encode_result(result);
+        match self.transport.deliver(worker, result.id, &envelope)? {
+            Delivered::Accepted => Ok(()),
+            Delivered::Duplicate { existing } => {
+                // A duplicate (stolen twice, or a straggler retry): the
+                // engine is deterministic, so apart from the worker name
+                // and wall time the bytes must agree.
+                let existing = decode_result(&existing)?;
+                if strip_nondeterminism(&existing) == strip_nondeterminism(result) {
+                    self.transport.discard_duplicate(worker, result.id)
+                } else {
+                    self.transport.record_conflict(worker, result.id, &envelope)
+                }
+            }
+        }
+    }
+
+    fn fetch_result(&self, id: u64) -> Result<Option<JobResult>, String> {
+        match self.transport.fetch(id)? {
+            None => Ok(None),
+            Some(envelope) => decode_result(&envelope).map(Some),
+        }
+    }
+
+    fn request_shutdown(&self) -> Result<(), String> {
+        self.transport.stop()
+    }
+
+    fn shutdown_requested(&self) -> Result<bool, String> {
+        self.transport.stopped()
+    }
+
+    fn check_health(&self) -> Result<(), String> {
+        match self.transport.conflicts()?.first() {
+            None => Ok(()),
+            Some(conflict) => Err(conflict.clone()),
+        }
+    }
+
+    fn stats(&self) -> Result<QueueStats, String> {
+        self.transport.counters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_secs(30);
+        assert_eq!(requeue_backoff(base, 0), base);
+        assert_eq!(requeue_backoff(base, 1), base * 2);
+        assert_eq!(requeue_backoff(base, 3), base * 8);
+        assert_eq!(requeue_backoff(base, 6), base * 64);
+        // Capped: retry 100 waits no longer than retry 6.
+        assert_eq!(requeue_backoff(base, 100), base * 64);
+    }
+}

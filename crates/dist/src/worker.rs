@@ -1,14 +1,27 @@
 //! The worker loop: steal, execute, deliver, repeat.
 //!
-//! The same loop serves both deployment shapes — in-process threads over
-//! an [`InProcessQueue`](crate::queue::InProcessQueue) and the
-//! `affidavit-worker` binary over an [`FsBroker`](crate::broker::FsBroker)
-//! — because [`JobQueue`] hides the transport.
+//! The same loop serves every deployment shape — in-process threads over
+//! an [`InProcessQueue`](crate::queue::InProcessQueue), and the
+//! `affidavit-worker` binary over either transport
+//! ([`FsBroker`](crate::broker::FsBroker) or
+//! [`TcpClient`](crate::tcp::TcpClient)) — because [`JobQueue`] hides
+//! the medium. [`run_worker_with_reconnect`] wraps the loop for the
+//! binary: a queue error (spool directory gone, coordinator socket dead)
+//! triggers a bounded probe-and-backoff reconnect instead of an
+//! immediate crash, and a broker that never comes back is reported as
+//! [`WorkerExit::BrokerLost`] so the process can exit with a distinct
+//! code.
 
 use std::time::Duration;
 
 use crate::job::{process_job, JobOutcome};
 use crate::queue::JobQueue;
+
+/// Exit code of `affidavit-worker` when the broker disappeared and did
+/// not come back within the reconnect budget (distinct from `1`, the
+/// usage/fatal-error code, so supervisors can tell "restart me when the
+/// coordinator returns" from "my invocation is wrong").
+pub const BROKER_LOST_EXIT_CODE: u8 = 3;
 
 /// What a worker did over its lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,19 +34,27 @@ pub struct WorkerStats {
 
 /// Steal and execute jobs until shutdown is requested. An empty queue
 /// without a shutdown request means the coordinator may still be
-/// submitting — the worker naps for `poll` and tries again. Once
-/// shutdown is requested the queue stops handing out work (pending jobs
-/// at that point belong to an aborting run or are redundant duplicates),
-/// so the worker finishes its current job at most and exits.
+/// submitting — the worker naps and tries again, with the nap growing
+/// from `poll` up to `poll × 16` over consecutive empty polls (and
+/// snapping back to `poll` after a successful steal). The backoff keeps
+/// an idle worker from hammering the broker — each empty poll is a
+/// directory scan on the fs transport and two fresh connections on the
+/// tcp transport — at the price of at most `poll × 16` extra latency
+/// picking up late work or noticing shutdown. Once shutdown is
+/// requested the queue stops handing out work (pending jobs at that
+/// point belong to an aborting run or are redundant duplicates), so the
+/// worker finishes its current job at most and exits.
 pub fn run_worker(
     queue: &dyn JobQueue,
     worker_id: &str,
     poll: Duration,
 ) -> Result<WorkerStats, String> {
     let mut stats = WorkerStats::default();
+    let mut idle_naps = 0u32;
     loop {
         match queue.steal(worker_id)? {
             Some(job) => {
+                idle_naps = 0;
                 let result = process_job(&job, worker_id);
                 if matches!(result.outcome, JobOutcome::Failed { .. }) {
                     stats.failed += 1;
@@ -42,7 +63,67 @@ pub fn run_worker(
                 queue.complete(worker_id, &result)?;
             }
             None if queue.shutdown_requested()? => return Ok(stats),
-            None => std::thread::sleep(poll),
+            None => {
+                std::thread::sleep(poll.saturating_mul(1 << idle_naps.min(4)));
+                idle_naps = idle_naps.saturating_add(1);
+            }
+        }
+    }
+}
+
+/// How a resilient worker run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Clean shutdown: the broker requested stop and the queue drained.
+    Completed(WorkerStats),
+    /// The broker vanished (spool directory removed, coordinator socket
+    /// dead) and stayed unreachable through the whole reconnect budget.
+    BrokerLost {
+        /// Probe attempts spent before giving up.
+        attempts: usize,
+        /// The queue error that started the final reconnect sequence.
+        error: String,
+    },
+}
+
+/// [`run_worker`], wrapped in a bounded reconnect loop for real worker
+/// processes. A queue error starts a probe sequence: sleep with
+/// exponential backoff (`poll × 2^attempt`, capped at `poll × 64`), then
+/// ask `probe` whether the broker is reachable again — re-entering the
+/// steal loop as soon as it is. After `max_attempts` failed probes the
+/// worker gives up with [`WorkerExit::BrokerLost`]. Attempts accumulate
+/// over the process lifetime, so a broker that flaps forever (or a
+/// persistent non-transport error) also terminates.
+pub fn run_worker_with_reconnect(
+    queue: &dyn JobQueue,
+    probe: &dyn Fn() -> Result<(), String>,
+    worker_id: &str,
+    poll: Duration,
+    max_attempts: usize,
+) -> WorkerExit {
+    let mut attempts = 0usize;
+    loop {
+        let error = match run_worker(queue, worker_id, poll) {
+            Ok(stats) => return WorkerExit::Completed(stats),
+            Err(error) => error,
+        };
+        eprintln!("affidavit-worker {worker_id}: broker unreachable: {error}");
+        loop {
+            attempts += 1;
+            if attempts > max_attempts {
+                return WorkerExit::BrokerLost {
+                    attempts: attempts - 1,
+                    error,
+                };
+            }
+            std::thread::sleep(poll.saturating_mul(1 << attempts.min(6) as u32));
+            if probe().is_ok() {
+                eprintln!(
+                    "affidavit-worker {worker_id}: broker reachable again \
+                     (attempt {attempts}), resuming"
+                );
+                break;
+            }
         }
     }
 }
@@ -90,6 +171,106 @@ mod tests {
         .unwrap();
         assert_eq!(stats.processed, 3);
         assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn reconnect_gives_up_after_the_attempt_budget() {
+        // A queue whose broker is permanently gone: every steal fails.
+        struct DeadQueue;
+        impl JobQueue for DeadQueue {
+            fn submit(&self, _: &Job) -> Result<(), String> {
+                Err("gone".into())
+            }
+            fn steal(&self, _: &str) -> Result<Option<Job>, String> {
+                Err("spool removed".into())
+            }
+            fn complete(&self, _: &str, _: &crate::job::JobResult) -> Result<(), String> {
+                Err("gone".into())
+            }
+            fn fetch_result(&self, _: u64) -> Result<Option<crate::job::JobResult>, String> {
+                Err("gone".into())
+            }
+            fn request_shutdown(&self) -> Result<(), String> {
+                Err("gone".into())
+            }
+            fn shutdown_requested(&self) -> Result<bool, String> {
+                Err("gone".into())
+            }
+            fn check_health(&self) -> Result<(), String> {
+                Err("gone".into())
+            }
+            fn stats(&self) -> Result<crate::queue::QueueStats, String> {
+                Err("gone".into())
+            }
+        }
+        let exit = run_worker_with_reconnect(
+            &DeadQueue,
+            &|| Err("still gone".to_owned()),
+            "w",
+            Duration::from_millis(1),
+            3,
+        );
+        assert_eq!(
+            exit,
+            WorkerExit::BrokerLost {
+                attempts: 3,
+                error: "spool removed".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn reconnect_resumes_when_the_probe_recovers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A queue that fails twice, then works: the worker must ride out
+        // the outage and still reach a clean shutdown.
+        struct FlakyQueue {
+            inner: InProcessQueue,
+            failures_left: AtomicUsize,
+        }
+        impl JobQueue for FlakyQueue {
+            fn submit(&self, job: &Job) -> Result<(), String> {
+                self.inner.submit(job)
+            }
+            fn steal(&self, worker: &str) -> Result<Option<Job>, String> {
+                if self
+                    .failures_left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    return Err("transient outage".into());
+                }
+                self.inner.steal(worker)
+            }
+            fn complete(&self, worker: &str, r: &crate::job::JobResult) -> Result<(), String> {
+                self.inner.complete(worker, r)
+            }
+            fn fetch_result(&self, id: u64) -> Result<Option<crate::job::JobResult>, String> {
+                self.inner.fetch_result(id)
+            }
+            fn request_shutdown(&self) -> Result<(), String> {
+                self.inner.request_shutdown()
+            }
+            fn shutdown_requested(&self) -> Result<bool, String> {
+                self.inner.shutdown_requested()
+            }
+            fn check_health(&self) -> Result<(), String> {
+                self.inner.check_health()
+            }
+            fn stats(&self) -> Result<crate::queue::QueueStats, String> {
+                self.inner.stats()
+            }
+        }
+        let queue = FlakyQueue {
+            inner: InProcessQueue::new(),
+            failures_left: AtomicUsize::new(2),
+        };
+        queue.inner.submit(&tiny_job(0)).unwrap();
+        queue.inner.request_shutdown().unwrap();
+        // Shutdown is already requested, so after the outage the worker
+        // exits cleanly without processing the abandoned job.
+        let exit = run_worker_with_reconnect(&queue, &|| Ok(()), "w", Duration::from_millis(1), 10);
+        assert_eq!(exit, WorkerExit::Completed(WorkerStats::default()));
     }
 
     #[test]

@@ -79,6 +79,11 @@ fn distributed_profile_matches_local_at_every_worker_count() {
             let (profile, stats) =
                 profile_dirs_distributed(&before, &after, &popts, &dopts).unwrap();
             assert_eq!(stats.jobs, 2, "accounts + static are dispatchable");
+            assert!(
+                stats.steals >= stats.jobs,
+                "every dispatched job is claimed at least once: {stats:?}"
+            );
+            assert_eq!(stats.conflicts, 0, "{stats:?}");
             assert_eq!(canonical(profile), local, "workers={workers} diverged");
         }
     }
