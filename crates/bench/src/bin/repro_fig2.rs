@@ -12,7 +12,7 @@ fn print_table(label: &str, table: &affidavit_table::Table, pool: &affidavit_tab
     let names: Vec<&str> = table.schema().names().collect();
     println!("  {}", names.join(" | "));
     for (_, rec) in table.iter() {
-        let row: Vec<&str> = rec.values().iter().map(|&v| pool.get(v)).collect();
+        let row: Vec<&str> = rec.iter().map(|v| pool.get(v)).collect();
         println!("  {}", row.join(" | "));
     }
 }

@@ -143,6 +143,19 @@ fn main() {
         bench.total_secs_serial,
         bench.total_secs_parallel,
     );
+    println!(
+        "columnar core ({} rows x {} attrs, {} runs): apply row {:.4}s | columnar {:.4}s ({:.2}x) | refine row {:.4}s | columnar {:.4}s ({:.2}x) | deterministic = {}",
+        bench.columnar.rows,
+        bench.columnar.attrs,
+        bench.columnar.runs,
+        bench.columnar.apply_row_major_secs,
+        bench.columnar.apply_columnar_secs,
+        bench.columnar.apply_speedup,
+        bench.columnar.refine_row_major_secs,
+        bench.columnar.refine_columnar_secs,
+        bench.columnar.refine_speedup,
+        bench.columnar.deterministic,
+    );
     if let Some(path) = args.get_str("bench-json") {
         let json = serde_json::to_string_pretty(&bench).expect("serializable");
         std::fs::write(path, json).expect("write bench json");
@@ -416,8 +429,8 @@ fn bench_ingest(
             out.push_str(s);
             out.push('\u{1}');
         }
-        for record in table.records() {
-            for &sym in record.values() {
+        for record in table.rows() {
+            for sym in record.iter() {
                 out.push_str(&sym.0.to_string());
                 out.push(',');
             }
@@ -675,6 +688,184 @@ struct ExtensionBench {
     total_secs_parallel: f64,
     /// Both configurations returned identical explanations and costs.
     deterministic: bool,
+    /// Columnar-vs-row micro-benchmark of the apply and refine inner
+    /// loops over the same instance shape.
+    columnar: ColumnarBench,
+}
+
+/// Micro-benchmark of the two hot inner loops the columnar table core
+/// rewrote — whole-attribute function application (`core::apply`) and
+/// per-attribute partitioning (`blocking::refine`) — against a row-major
+/// mirror of the same table (one `Vec<Sym>` per record, the old layout).
+///
+/// Both paths run single-threaded, so unlike the thread-scaling rows the
+/// speedup is meaningful on any machine, including one hardware thread;
+/// `speedup_valid` is still recorded per `hardware_threads` convention
+/// (layout comparisons do not need parallelism, so it is always true).
+#[derive(serde::Serialize)]
+struct ColumnarBench {
+    /// Records in the benchmarked table.
+    rows: usize,
+    /// Attribute count of the benchmarked table.
+    attrs: usize,
+    /// Timed repetitions averaged per path.
+    runs: usize,
+    /// Hardware threads available on the measuring machine.
+    hardware_threads: usize,
+    /// Mean seconds to apply every attribute's sampled function over the
+    /// whole table, walking row-major records (old layout, per-function
+    /// cross-row memo).
+    apply_row_major_secs: f64,
+    /// Mean seconds for the same transforms as one tight loop per
+    /// contiguous column with a per-column memo.
+    apply_columnar_secs: f64,
+    /// `apply_row_major_secs / apply_columnar_secs`.
+    apply_speedup: f64,
+    /// Mean seconds to partition all records by each attribute's raw
+    /// value, row-major walk.
+    refine_row_major_secs: f64,
+    /// Mean seconds for the same partition scanning each column slice.
+    refine_columnar_secs: f64,
+    /// `refine_row_major_secs / refine_columnar_secs`.
+    refine_speedup: f64,
+    /// True: the comparison is single-threaded in both paths.
+    speedup_valid: bool,
+    /// Both layouts produced identical transforms (resolved to strings)
+    /// and identical partitions on every run.
+    deterministic: bool,
+}
+
+fn bench_columnar(rows: usize, seed: u64, runs: usize) -> ColumnarBench {
+    use affidavit_functions::ApplyScratch;
+    use affidavit_table::{AttrId, FxHashMap, RecordId, ScratchPool, Sym};
+
+    let spec = affidavit_datasets::specs::by_name("adult").expect("dataset exists");
+    let (base, pool) = generate_rows(&spec, rows.min(spec.rows), seed);
+    let bp = Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, seed));
+    let table = &bp.base;
+    let functions = &bp.functions;
+    let arity = table.schema().arity();
+    let n = table.len();
+    // The old layout: one materialized Vec<Sym> per record.
+    let row_major: Vec<Vec<Sym>> = table.rows().map(|r| r.to_vec()).collect();
+
+    let mut apply_row = 0.0f64;
+    let mut apply_col = 0.0f64;
+    let mut refine_row = 0.0f64;
+    let mut refine_col = 0.0f64;
+    let mut deterministic = true;
+
+    for _ in 0..runs {
+        // Apply, row-major: per-function memo shared across rows, rows
+        // walked outer — the shape of the old `transform_table`.
+        let reader = bp.pool.reader();
+        let mut overlay = ScratchPool::new(reader);
+        let mut memos: Vec<affidavit_functions::AppliedFunction> = functions
+            .iter()
+            .cloned()
+            .map(affidavit_functions::AppliedFunction::new)
+            .collect();
+        let started = Instant::now();
+        let mut out_rows: Vec<Vec<Option<Sym>>> = Vec::with_capacity(n);
+        for row in &row_major {
+            let mut out = Vec::with_capacity(arity);
+            for (a, f) in memos.iter_mut().enumerate() {
+                out.push(f.apply(row[a], &mut overlay));
+            }
+            out_rows.push(out);
+        }
+        apply_row += started.elapsed().as_secs_f64();
+        let fp_row: Vec<Option<String>> = out_rows
+            .iter()
+            .flatten()
+            .map(|o| o.map(|s| affidavit_table::Interner::get(&overlay, s).to_owned()))
+            .collect();
+
+        // Apply, columnar: one tight loop per contiguous column slice,
+        // memo keyed per column.
+        let reader = bp.pool.reader();
+        let mut overlay = ScratchPool::new(reader);
+        let mut scratch = ApplyScratch::new();
+        let started = Instant::now();
+        let mut out_cols: Vec<Vec<Option<Sym>>> = Vec::with_capacity(arity);
+        for (a, f) in functions.iter().enumerate() {
+            let mut out = Vec::new();
+            scratch.apply_column(f, table.column(AttrId(a as u32)), &mut overlay, &mut out);
+            out_cols.push(out);
+        }
+        apply_col += started.elapsed().as_secs_f64();
+        let fp_col: Vec<Option<String>> = (0..n)
+            .flat_map(|r| (0..arity).map(move |a| (r, a)))
+            .map(|(r, a)| {
+                out_cols[a][r].map(|s| affidavit_table::Interner::get(&overlay, s).to_owned())
+            })
+            .collect();
+        deterministic &= fp_row == fp_col;
+
+        // Refine, row-major: group records by each attribute's raw value
+        // in first-seen key order, reading `rows[r][a]`.
+        let partition_fp = |groups: &FxHashMap<Sym, Vec<RecordId>>, order: &[Sym]| {
+            order
+                .iter()
+                .map(|k| (k.0, groups[k].len()))
+                .collect::<Vec<_>>()
+        };
+        let mut fps_row = Vec::with_capacity(arity);
+        let started = Instant::now();
+        for a in 0..arity {
+            let mut groups: FxHashMap<Sym, Vec<RecordId>> = FxHashMap::default();
+            let mut order: Vec<Sym> = Vec::new();
+            for (r, row) in row_major.iter().enumerate() {
+                let key = row[a];
+                groups
+                    .entry(key)
+                    .or_insert_with(|| {
+                        order.push(key);
+                        Vec::new()
+                    })
+                    .push(RecordId(r as u32));
+            }
+            fps_row.push(partition_fp(&groups, &order));
+        }
+        refine_row += started.elapsed().as_secs_f64();
+
+        // Refine, columnar: the same partition over the column slice.
+        let mut fps_col = Vec::with_capacity(arity);
+        let started = Instant::now();
+        for a in 0..arity {
+            let col = table.column(AttrId(a as u32));
+            let mut groups: FxHashMap<Sym, Vec<RecordId>> = FxHashMap::default();
+            let mut order: Vec<Sym> = Vec::new();
+            for (r, &key) in col.iter().enumerate() {
+                groups
+                    .entry(key)
+                    .or_insert_with(|| {
+                        order.push(key);
+                        Vec::new()
+                    })
+                    .push(RecordId(r as u32));
+            }
+            fps_col.push(partition_fp(&groups, &order));
+        }
+        refine_col += started.elapsed().as_secs_f64();
+        deterministic &= fps_row == fps_col;
+    }
+
+    let mean = |total: f64| total / runs as f64;
+    ColumnarBench {
+        rows: n,
+        attrs: arity,
+        runs,
+        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        apply_row_major_secs: mean(apply_row),
+        apply_columnar_secs: mean(apply_col),
+        apply_speedup: mean(apply_row) / mean(apply_col).max(1e-12),
+        refine_row_major_secs: mean(refine_row),
+        refine_columnar_secs: mean(refine_col),
+        refine_speedup: mean(refine_row) / mean(refine_col).max(1e-12),
+        speedup_valid: true,
+        deterministic,
+    }
 }
 
 fn bench_extension_phase(rows: usize, seed: u64, runs: usize, threads: usize) -> ExtensionBench {
@@ -723,5 +914,6 @@ fn bench_extension_phase(rows: usize, seed: u64, runs: usize, threads: usize) ->
         total_secs_serial: total_serial,
         total_secs_parallel: total_parallel,
         deterministic: fp_serial == fp_parallel,
+        columnar: bench_columnar(rows, seed, runs),
     }
 }

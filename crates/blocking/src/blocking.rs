@@ -68,8 +68,13 @@ fn split_block<I: Interner>(
     out_blocks: &mut Vec<Block>,
     dead: &mut Vec<RecordId>,
 ) {
+    // One bounds-checked column fetch per table, then contiguous-slice
+    // indexing inside the loop: the per-record apply/intern order is
+    // unchanged, so pool evolution is byte-identical to the row walk.
+    let src_col = source.column(attr);
+    let tgt_col = target.column(attr);
     for &sid in &block.src {
-        let raw = source.value(sid, attr);
+        let raw = src_col[sid.index()];
         match scratch.apply(func, raw, pool) {
             Some(key) => {
                 let entry = groups.entry(key).or_insert_with(|| {
@@ -82,7 +87,7 @@ fn split_block<I: Interner>(
         }
     }
     for &tid in &block.tgt {
-        let key = target.value(tid, attr);
+        let key = tgt_col[tid.index()];
         let entry = groups.entry(key).or_insert_with(|| {
             order.push(key);
             Block::default()

@@ -53,17 +53,19 @@ pub fn overlap_start_attrs(source: &Table, target: &Table, cfg: OverlapConfig) -
         let attr = AttrId(a as u32);
         tgt_index.clear();
         src_count.clear();
-        for (tid, rec) in target.iter() {
-            tgt_index
-                .entry(rec.get(attr.index()))
-                .or_default()
-                .push(tid);
+        // One contiguous column slice per table and attribute; record ids
+        // are the slice positions, so iteration order (and with it every
+        // downstream tie-break) is unchanged.
+        let src_col = source.column(attr);
+        let tgt_col = target.column(attr);
+        for (t, &v) in tgt_col.iter().enumerate() {
+            tgt_index.entry(v).or_default().push(RecordId(t as u32));
         }
-        for (_, rec) in source.iter() {
-            *src_count.entry(rec.get(attr.index())).or_default() += 1;
+        for &v in src_col {
+            *src_count.entry(v).or_default() += 1;
         }
-        for (sid, rec) in source.iter() {
-            let v = rec.get(attr.index());
+        for (i, &v) in src_col.iter().enumerate() {
+            let sid = RecordId(i as u32);
             let Some(tids) = tgt_index.get(&v) else {
                 continue;
             };
@@ -109,11 +111,13 @@ pub fn overlap_start_attrs(source: &Table, target: &Table, cfg: OverlapConfig) -
 
     // Rank attributes by how often their values agree on the pairs.
     let mut agree = vec![0usize; arity];
-    for &(sid, tid, _) in &pairs {
-        #[allow(clippy::needless_range_loop)] // `a` also builds the AttrId
-        for a in 0..arity {
-            let attr = AttrId(a as u32);
-            if source.value(sid, attr) == target.value(tid, attr) {
+    #[allow(clippy::needless_range_loop)] // `a` also builds the AttrId
+    for a in 0..arity {
+        let attr = AttrId(a as u32);
+        let src_col = source.column(attr);
+        let tgt_col = target.column(attr);
+        for &(sid, tid, _) in &pairs {
+            if src_col[sid.index()] == tgt_col[tid.index()] {
                 agree[a] += 1;
             }
         }

@@ -65,7 +65,7 @@ impl Explanation {
         let mut tgt_index: FxHashMap<Box<[Sym]>, (Vec<RecordId>, usize)> = FxHashMap::default();
         for (tid, rec) in instance.target.iter() {
             tgt_index
-                .entry(rec.values().into())
+                .entry(rec.to_vec().into())
                 .or_insert_with(|| (Vec::new(), 0))
                 .0
                 .push(tid);

@@ -100,8 +100,7 @@ impl Restructure {
 fn distinct_column(table: &Table, col: usize) -> Vec<Sym> {
     let mut seen: FxHashSet<Sym> = FxHashSet::default();
     let mut out = Vec::new();
-    for rec in table.records() {
-        let v = rec.get(col);
+    for &v in table.column(AttrId(col as u32)) {
         if seen.insert(v) {
             out.push(v);
         }
@@ -265,7 +264,7 @@ fn concat_columns(table: &Table, a: usize, b: usize, sep: &str, pool: &mut Value
     let schema = Schema::new(names);
     let mut out = Table::with_capacity(schema, table.len());
     let mut buf = String::new();
-    for rec in table.records() {
+    for rec in table.rows() {
         let values: Vec<Sym> = (0..arity)
             .filter(|&c| c != b)
             .map(|c| {
@@ -490,7 +489,7 @@ mod tests {
         // Whatever separator wins, the normalization must reproduce the
         // target column exactly.
         let (s2, _, _) = normalize_arity(&s, &t, &mut pool).expect("normalizable");
-        let merged: Vec<&str> = s2.records().iter().map(|r| pool.get(r.get(0))).collect();
+        let merged: Vec<&str> = s2.column(AttrId(0)).iter().map(|&v| pool.get(v)).collect();
         assert!(merged.iter().all(|v| v.contains(' ')));
     }
 

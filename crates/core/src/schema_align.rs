@@ -13,7 +13,7 @@
 //! The resulting column permutation lets the ordinary Affidavit search run
 //! on snapshots whose schemas no longer line up by name or position.
 
-use affidavit_table::{AttrId, FxHashMap, Record, Sym, Table, ValuePool};
+use affidavit_table::{AttrId, FxHashMap, Sym, Table, ValuePool};
 
 /// A proposed column correspondence.
 #[derive(Debug, Clone)]
@@ -41,8 +41,7 @@ fn profile(table: &Table, col: usize, pool: &ValuePool) -> ColumnProfile {
     let mut numeric = 0usize;
     let mut len_sum = 0usize;
     let mut distinct: affidavit_table::FxHashSet<Sym> = Default::default();
-    for rec in table.records() {
-        let v = rec.get(col);
+    for &v in table.column(AttrId(col as u32)) {
         distinct.insert(v);
         if pool.decimal(v).is_some() {
             numeric += 1;
@@ -58,8 +57,8 @@ fn profile(table: &Table, col: usize, pool: &ValuePool) -> ColumnProfile {
 
 fn histogram(table: &Table, col: usize) -> FxHashMap<Sym, u32> {
     let mut h: FxHashMap<Sym, u32> = FxHashMap::default();
-    for rec in table.records() {
-        *h.entry(rec.get(col)).or_default() += 1;
+    for &v in table.column(AttrId(col as u32)) {
+        *h.entry(v).or_default() += 1;
     }
     h
 }
@@ -146,12 +145,9 @@ impl SchemaAlignment {
     /// column *names*), so an ordinary [`crate::instance::ProblemInstance`]
     /// can be built.
     pub fn reorder_target(&self, target: &Table, source_schema: &affidavit_table::Schema) -> Table {
-        let mut out = Table::with_capacity(source_schema.clone(), target.len());
-        for rec in target.records() {
-            let values: Vec<Sym> = self.mapping.iter().map(|&j| rec.get(j)).collect();
-            out.push(Record::new(values));
-        }
-        out
+        // O(attrs): permute shared column handles, then rename.
+        let keep: Vec<AttrId> = self.mapping.iter().map(|&j| AttrId(j as u32)).collect();
+        target.project(&keep).renamed(source_schema.clone())
     }
 
     /// The permutation as `(source AttrId, target AttrId)` pairs.

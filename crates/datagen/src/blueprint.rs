@@ -12,7 +12,7 @@ use affidavit_core::explanation::Explanation;
 use affidavit_core::instance::ProblemInstance;
 use affidavit_functions::{AppliedFunction, AttrFunction, ValueMap};
 use affidavit_table::{
-    stats::{attribute_stats, distinct_values},
+    stats::{attribute_profiles, attribute_stats},
     AttrId, FxHashSet, Record, RecordId, Sym, Table, ValuePool,
 };
 use rand::rngs::StdRng;
@@ -104,7 +104,9 @@ impl Blueprint {
             "all attributes removed by the cleaning rules"
         );
         let base = base.project(&keep);
-        let stats = attribute_stats(&base, &pool);
+        // One single-pass profile per kept attribute: the sampler needs
+        // both the stats and the first-seen distinct values.
+        let profiles = attribute_profiles(&base, &pool);
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
@@ -127,10 +129,9 @@ impl Blueprint {
             #[allow(clippy::needless_range_loop)] // `a` also builds the AttrId
             for a in 0..arity {
                 if rng.gen_bool(cfg.tau) {
-                    let values = distinct_values(&base, AttrId(a as u32));
                     fns.push(sample_transformation_with(
-                        &values,
-                        &stats[a],
+                        &profiles[a].distinct,
+                        &profiles[a].stats,
                         &mut pool,
                         &mut rng,
                         cfg.extension_kinds,
@@ -375,8 +376,7 @@ mod tests {
         let mut pks: Vec<usize> = gen
             .instance
             .source
-            .records()
-            .iter()
+            .rows()
             .map(|r| {
                 gen.instance
                     .pool

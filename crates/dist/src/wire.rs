@@ -29,7 +29,7 @@ use affidavit_core::ProblemInstance;
 use affidavit_functions::datetime::DateFormat;
 use affidavit_functions::substring::{Segment, TokenProgram};
 use affidavit_functions::{AttrFunction, ValueMap};
-use affidavit_table::{Decimal, Rational, Record, Schema, Sym, Table, ValuePool};
+use affidavit_table::{Decimal, Rational, Schema, Sym, Table, ValuePool};
 use serde::{Deserialize, Serialize, Value};
 
 /// Format discriminator carried by every envelope.
@@ -109,9 +109,8 @@ impl WireInstance {
     pub fn from_instance(instance: &ProblemInstance) -> WireInstance {
         let rows = |table: &Table| {
             table
-                .records()
-                .iter()
-                .map(|r| r.values().iter().map(|s| s.0).collect())
+                .rows()
+                .map(|r| r.iter().map(|s| s.0).collect())
                 .collect()
         };
         WireInstance {
@@ -144,9 +143,12 @@ impl WireInstance {
         }
         let arity = self.schema.len();
         let limit = self.pool.len() as u32;
+        // Build the columns directly: one gather pass per row validates
+        // and transposes into per-attribute buffers, no per-row Record
+        // allocation.
         let decode_table = |rows: &[Vec<u32>], which: &str| -> Result<Table, String> {
-            let mut table =
-                Table::with_capacity(Schema::new(self.schema.iter().cloned()), rows.len());
+            let mut columns: Vec<Vec<Sym>> =
+                (0..arity).map(|_| Vec::with_capacity(rows.len())).collect();
             for (i, row) in rows.iter().enumerate() {
                 if row.len() != arity {
                     return Err(format!(
@@ -159,9 +161,14 @@ impl WireInstance {
                         "{which} row {i} references symbol {bad} outside the pool (len {limit})"
                     ));
                 }
-                table.push(Record::new(row.iter().map(|&s| Sym(s)).collect::<Vec<_>>()));
+                for (col, &s) in columns.iter_mut().zip(row) {
+                    col.push(Sym(s));
+                }
             }
-            Ok(table)
+            Ok(Table::from_columns(
+                Schema::new(self.schema.iter().cloned()),
+                columns,
+            ))
         };
         let source = decode_table(&self.source, "source")?;
         let target = decode_table(&self.target, "target")?;

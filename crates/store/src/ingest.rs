@@ -27,7 +27,7 @@ use std::sync::Arc;
 
 use affidavit_table::csv::{parse_rows_at, CsvChunk, CsvOptions, RowChunker};
 use affidavit_table::{
-    Interner, PoolReader, Record, Schema, ScratchPool, Sym, Table, TableError, ValuePool,
+    Interner, PoolReader, Schema, ScratchPool, Sym, Table, TableError, ValuePool,
 };
 use rayon::prelude::*;
 
@@ -213,11 +213,13 @@ fn ingest<R: BufRead>(
         for out in outs {
             let chunk_row_base = rows_done;
             let remap = pool.absorb(out.base_len, &out.new_strings);
-            for syms in &out.rows {
-                table.push(Record::new(
-                    syms.iter().map(|&s| remap.remap(s)).collect::<Vec<_>>(),
-                ));
-            }
+            // Column-wise absorb: one linear append per attribute, rows
+            // rewritten through the remap as they transpose in. The remap
+            // is a pure lookup, so the traversal order is free to be
+            // column-major without touching pool evolution.
+            table.extend_columnwise(out.rows.len(), |attr, buf| {
+                buf.extend(out.rows.iter().map(|syms| remap.remap(syms[attr.index()])));
+            });
             rows_done += out.rows.len();
             if let Some(err) = out.err {
                 return Err(match err {
@@ -258,8 +260,8 @@ mod tests {
             out.push_str(s);
             out.push('\u{2}');
         }
-        for record in table.records() {
-            for &sym in record.values() {
+        for record in table.rows() {
+            for sym in record.iter() {
                 out.push_str(&sym.0.to_string());
                 out.push(',');
             }

@@ -37,7 +37,7 @@
 //! let mut serial = ValuePool::new();
 //! let reference = affidavit_table::csv::read_str(
 //!     csv, &mut serial, affidavit_table::csv::CsvOptions::default()).unwrap();
-//! assert_eq!(table.records(), reference.records());
+//! assert_eq!(table, reference);
 //! assert_eq!(pool.len(), serial.len());
 //! ```
 

@@ -20,10 +20,9 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
 use crate::error::TableError;
-use crate::record::Record;
 use crate::schema::Schema;
 use crate::table::Table;
-use crate::value::ValuePool;
+use crate::value::{Sym, ValuePool};
 
 /// CSV parsing options.
 #[derive(Debug, Clone, Copy)]
@@ -445,6 +444,7 @@ pub fn read_str(input: &str, pool: &mut ValuePool, opts: CsvOptions) -> Result<T
     let arity = header.fields.len();
     let schema = Schema::new(header.fields);
     let mut table = Table::with_capacity(schema, rows.len());
+    let mut syms: Vec<Sym> = Vec::new();
     for (idx, row) in rows.enumerate() {
         if row.fields.len() != arity {
             return Err(TableError::ArityMismatch {
@@ -454,8 +454,11 @@ pub fn read_str(input: &str, pool: &mut ValuePool, opts: CsvOptions) -> Result<T
                 found: row.fields.len(),
             });
         }
-        let syms: Vec<_> = row.fields.iter().map(|v| pool.intern(v)).collect();
-        table.push(Record::new(syms));
+        // Interning stays row-major (first-appearance order); the table
+        // transposes the row into its columns at this edge.
+        syms.clear();
+        syms.extend(row.fields.iter().map(|v| pool.intern(v)));
+        table.push_row(&syms);
     }
     match trailing {
         Some(err) => Err(err),
@@ -510,6 +513,7 @@ pub fn read_buffered_with<R: BufRead>(
         break (Schema::new(header.fields.clone()), header.fields.len());
     };
     let mut table = Table::new(schema);
+    let mut syms: Vec<Sym> = Vec::new();
     let mut row_idx = 0usize;
     while let Some(chunk) = chunker.next_chunk(chunk_rows)? {
         for row in parse_rows_at(&chunk.text, opts, chunk.first_line)? {
@@ -522,8 +526,9 @@ pub fn read_buffered_with<R: BufRead>(
                     found: row.fields.len(),
                 });
             }
-            let syms: Vec<_> = row.fields.iter().map(|v| pool.intern(v)).collect();
-            table.push(Record::new(syms));
+            syms.clear();
+            syms.extend(row.fields.iter().map(|v| pool.intern(v)));
+            table.push_row(&syms);
         }
     }
     Ok(table)
@@ -555,8 +560,8 @@ pub fn write<W: Write>(
         write_escaped(&mut w, name, opts.separator)?;
     }
     w.write_all(b"\n")?;
-    for record in table.records() {
-        for (i, &sym) in record.values().iter().enumerate() {
+    for record in table.rows() {
+        for (i, sym) in record.iter().enumerate() {
             if i > 0 {
                 w.write_all(&sep)?;
             }
@@ -722,7 +727,7 @@ mod tests {
         let stream: Vec<&str> = pool_stream.iter().map(|(_, s)| s).collect();
         assert_eq!(mem, stream, "interning order must match");
         for (id, r) in t_mem.iter() {
-            assert_eq!(r.values(), t_stream.record(id).values());
+            assert_eq!(r.to_vec().as_slice(), t_stream.record(id).values());
         }
     }
 
@@ -767,7 +772,7 @@ mod tests {
         assert_eq!(t2.len(), t.len());
         for (id, r) in t.iter() {
             let r2 = t2.record(id);
-            for (i, &sym) in r.values().iter().enumerate() {
+            for (i, sym) in r.iter().enumerate() {
                 assert_eq!(pool.get(sym), pool2.get(r2.get(i)));
             }
         }

@@ -11,6 +11,9 @@
 //!   value transformation: `65 / 1000` must yield the *string* `0.065`, not
 //!   `0.06500000000000001`.
 //! * [`Schema`], [`Record`], [`Table`] — relational snapshot representation.
+//!   Tables are column-major: one contiguous `Vec<Sym>` per attribute
+//!   ([`Table::column`]), with zero-copy row views ([`RecordRef`]) so the
+//!   layers above never see the storage orientation.
 //! * [`csv`] — a dependency-free RFC-4180 CSV reader/writer so real datasets
 //!   can be loaded from disk.
 //! * [`stats`] — per-attribute statistics (distinct counts, emptiness,
@@ -52,7 +55,7 @@ pub use fx::{FxHashMap, FxHashSet};
 pub use rational::Rational;
 pub use record::{Record, RecordId};
 pub use schema::{AttrId, Attribute, Schema};
-pub use table::Table;
+pub use table::{Column, ColumnsView, RecordRef, Table};
 pub use value::{
     Interner, PoolReader, ScratchPool, StoreStats, StringStore, Sym, SymRemap, ValuePool,
 };

@@ -5,8 +5,13 @@
 //! (attributes above 0.7 are removed), emptiness (fully empty attributes are
 //! ignored), and whether the column is numeric (so sampled transformations
 //! "fit the domain of the attribute", e.g. no uppercasing on numbers).
+//!
+//! All of it is computed in *one* pass per attribute, straight off the
+//! table's contiguous column ([`Table::column`]): the distinct set, the
+//! first-seen distinct order, and the per-row counters fall out of the same
+//! scan, with string properties evaluated once per distinct symbol.
 
-use crate::fx::FxHashSet;
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::schema::AttrId;
 use crate::table::Table;
 use crate::value::{Sym, ValuePool};
@@ -58,46 +63,72 @@ impl AttrStats {
     }
 }
 
+/// One attribute's single-pass profile: its [`AttrStats`] plus the distinct
+/// values in first-seen order.
+#[derive(Debug, Clone)]
+pub struct AttrProfile {
+    /// The per-row counters and distinct count.
+    pub stats: AttrStats,
+    /// The distinct values, in first-seen (top-to-bottom) order.
+    pub distinct: Vec<Sym>,
+}
+
+/// String properties evaluated once per distinct symbol.
+#[derive(Clone, Copy)]
+struct SymProps {
+    empty: bool,
+    numeric: bool,
+    lowercase: bool,
+}
+
+/// Profile one column slice in a single pass.
+fn profile_column(attr: AttrId, col: &[Sym], pool: &ValuePool) -> AttrProfile {
+    let mut props: FxHashMap<Sym, SymProps> =
+        FxHashMap::with_capacity_and_hasher(64, Default::default());
+    let mut distinct = Vec::new();
+    let (mut empty, mut numeric, mut has_lowercase) = (0usize, 0usize, 0usize);
+    for &sym in col {
+        let p = *props.entry(sym).or_insert_with(|| {
+            distinct.push(sym);
+            let s = pool.get(sym);
+            SymProps {
+                empty: s.is_empty(),
+                numeric: pool.decimal(sym).is_some(),
+                lowercase: s.bytes().any(|b| b.is_ascii_lowercase()),
+            }
+        });
+        empty += p.empty as usize;
+        numeric += p.numeric as usize;
+        has_lowercase += p.lowercase as usize;
+    }
+    AttrProfile {
+        stats: AttrStats {
+            attr,
+            rows: col.len(),
+            distinct: distinct.len(),
+            empty,
+            numeric,
+            has_lowercase,
+        },
+        distinct,
+    }
+}
+
+/// Compute an [`AttrProfile`] for every attribute of `table` — stats and
+/// first-seen distinct values together, one column scan per attribute.
+pub fn attribute_profiles(table: &Table, pool: &ValuePool) -> Vec<AttrProfile> {
+    table
+        .schema()
+        .attr_ids()
+        .map(|attr| profile_column(attr, table.column(attr), pool))
+        .collect()
+}
+
 /// Compute [`AttrStats`] for every attribute of `table`.
 pub fn attribute_stats(table: &Table, pool: &ValuePool) -> Vec<AttrStats> {
-    let arity = table.schema().arity();
-    let mut distinct: Vec<FxHashSet<Sym>> = (0..arity)
-        .map(|_| FxHashSet::with_capacity_and_hasher(64, Default::default()))
-        .collect();
-    let mut empty = vec![0usize; arity];
-    let mut numeric = vec![0usize; arity];
-    let mut has_lower = vec![0usize; arity];
-
-    // Per-symbol property caching: a symbol's emptiness/numericness does not
-    // depend on the row, so evaluate once per distinct symbol.
-    for record in table.records() {
-        for (i, &sym) in record.values().iter().enumerate() {
-            if distinct[i].insert(sym) {
-                // First time this symbol appears in this column: nothing to
-                // do here, per-row counters below still need every row.
-            }
-            let s = pool.get(sym);
-            if s.is_empty() {
-                empty[i] += 1;
-            }
-            if pool.decimal(sym).is_some() {
-                numeric[i] += 1;
-            }
-            if s.bytes().any(|b| b.is_ascii_lowercase()) {
-                has_lower[i] += 1;
-            }
-        }
-    }
-
-    (0..arity)
-        .map(|i| AttrStats {
-            attr: AttrId(i as u32),
-            rows: table.len(),
-            distinct: distinct[i].len(),
-            empty: empty[i],
-            numeric: numeric[i],
-            has_lowercase: has_lower[i],
-        })
+    attribute_profiles(table, pool)
+        .into_iter()
+        .map(|p| p.stats)
         .collect()
 }
 
@@ -105,8 +136,7 @@ pub fn attribute_stats(table: &Table, pool: &ValuePool) -> Vec<AttrStats> {
 pub fn distinct_values(table: &Table, attr: AttrId) -> Vec<Sym> {
     let mut seen = FxHashSet::default();
     let mut out = Vec::new();
-    for record in table.records() {
-        let sym = record.get(attr.index());
+    for &sym in table.column(attr) {
         if seen.insert(sym) {
             out.push(sym);
         }
@@ -159,5 +189,20 @@ mod tests {
         let (t, _) = table();
         let vals = distinct_values(&t, AttrId(1));
         assert_eq!(vals.len(), 2);
+    }
+
+    #[test]
+    fn profile_matches_stats_and_distinct() {
+        let (t, pool) = table();
+        let profiles = attribute_profiles(&t, &pool);
+        let stats = attribute_stats(&t, &pool);
+        for (p, s) in profiles.iter().zip(&stats) {
+            assert_eq!(p.stats.distinct, s.distinct);
+            assert_eq!(p.stats.empty, s.empty);
+            assert_eq!(p.stats.numeric, s.numeric);
+            assert_eq!(p.stats.has_lowercase, s.has_lowercase);
+            assert_eq!(p.distinct, distinct_values(&t, p.stats.attr));
+            assert_eq!(p.distinct.len(), p.stats.distinct);
+        }
     }
 }

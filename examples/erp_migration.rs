@@ -44,7 +44,7 @@ fn main() {
     assert!(failed.is_empty());
     println!("Late-arriving records converted with the learned functions:");
     for (_, rec) in converted.iter() {
-        let row: Vec<&str> = rec.values().iter().map(|&v| instance.pool.get(v)).collect();
+        let row: Vec<&str> = rec.iter().map(|v| instance.pool.get(v)).collect();
         println!("  {}", row.join(" | "));
     }
     // The sentinel date 99991231 is rewritten and Val is rescaled — the

@@ -25,7 +25,7 @@ fn assert_paths_agree(text: &str, chunk_rows: usize) -> (Table, ValuePool) {
         let stream_strings: Vec<&str> = stream_pool.iter().map(|(_, s)| s).collect();
         assert_eq!(mem_strings, stream_strings, "interning order must match");
         for (id, rec) in mem.iter() {
-            assert_eq!(rec.values(), stream.record(id).values());
+            assert_eq!(rec.to_vec().as_slice(), stream.record(id).values());
         }
     }
     (mem, mem_pool)
@@ -105,7 +105,7 @@ proptest! {
         prop_assert_eq!(names, vec!["col a", "col,b", "col\"c"]);
         for (id, rec) in table.iter() {
             let rec2 = table2.record(id);
-            for (i, &sym) in rec.values().iter().enumerate() {
+            for (i, sym) in rec.iter().enumerate() {
                 prop_assert_eq!(pool.get(sym), pool2.get(rec2.get(i)));
             }
         }

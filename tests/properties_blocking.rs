@@ -83,7 +83,7 @@ proptest! {
         let count = |table: &Table| {
             let mut m = std::collections::HashMap::new();
             for (_, r) in table.iter() {
-                *m.entry(r.values().to_vec()).or_insert(0i64) += 1;
+                *m.entry(r.to_vec()).or_insert(0i64) += 1;
             }
             m
         };

@@ -65,11 +65,11 @@ proptest! {
         let t = build(&tgt, &mut pool);
         let mut count = std::collections::HashMap::new();
         for (_, r) in s.iter() {
-            let e = count.entry(r.values().to_vec()).or_insert((0i64, 0i64));
+            let e = count.entry(r.to_vec()).or_insert((0i64, 0i64));
             e.0 += 1;
         }
         for (_, r) in t.iter() {
-            let e = count.entry(r.values().to_vec()).or_insert((0, 0));
+            let e = count.entry(r.to_vec()).or_insert((0, 0));
             e.1 += 1;
         }
         let expected: i64 = count.values().map(|&(a, b)| a.min(b)).sum();

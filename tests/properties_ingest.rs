@@ -54,8 +54,8 @@ fn fingerprint(table: &Table, pool: &ValuePool) -> String {
         out.push_str(s);
         out.push('\u{2}');
     }
-    for record in table.records() {
-        for &sym in record.values() {
+    for record in table.rows() {
+        for sym in record.iter() {
             out.push_str(&sym.0.to_string());
             out.push(',');
         }
