@@ -7,7 +7,7 @@ use affidavit_core::portable::PortableExplanation;
 use affidavit_core::report::{render_report, to_sql};
 use affidavit_core::{Affidavit, AffidavitConfig, ProblemInstance};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
-use affidavit_store::{ingest, IngestOptions, PoolConfig};
+use affidavit_store::{ingest, IngestOptions, PoolBackend, PoolConfig};
 use affidavit_table::{csv, AttrId, Table, ValuePool};
 
 /// Top-level usage text.
@@ -16,13 +16,17 @@ affidavit — explain differences between unaligned table snapshots (EDBT 2020)
 
 USAGE:
   affidavit explain <source.csv> <target.csv> [SEARCH] [INGESTION]
-                    [--align] [--sql TABLE] [--trace] [--save F.json]
+                    [--align] [--sql TABLE] [--trace] [--save F.json] [--stable]
   affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
   affidavit apply   <source.csv> <target.csv> <unseen.csv> [SEARCH] [--out FILE]
   affidavit apply   --explanation F.json <unseen.csv> [--out FILE]
   affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
   affidavit profile <source_dir> <target_dir> [SEARCH] [INGESTION] [DISTRIBUTED]
                     [--align] [--json FILE] [--stable]
+  affidavit serve   [--listen ADDR] [--sessions N]
+  affidavit client  --connect HOST:PORT <source.csv> <target.csv> [SEARCH]
+                    [INGESTION] [--align] [--stable] [--format human|json]
+  affidavit client  --connect HOST:PORT (--ping | --server-stats | --shutdown)
   affidavit help
 
 SEARCH FLAGS (explain, apply, profile):
@@ -83,8 +87,36 @@ DISTRIBUTED FLAGS (profile):
                            (default: 30 seconds).
   --deadline-secs N        Abort the distributed run after N seconds
                            (default: 86400 = 24 h).
-  --stable                 Zero the wall-time column so two runs can be
-                           compared byte for byte (default: off).";
+  --stable                 Zero wall-clock timings in the output so two
+                           runs can be compared byte for byte
+                           (default: off).
+
+SERVICE FLAGS (serve, client):
+  --listen ADDR            serve: bind address of the daemon's listener.
+                           The chosen address is printed on stdout. Bind
+                           a routable address to accept clients from
+                           other machines — trusted networks only: the
+                           protocol carries no authentication yet
+                           (default: 127.0.0.1:0 = loopback with an
+                           OS-chosen port).
+  --sessions N             serve: ingested snapshot pairs kept pinned at
+                           once, keyed by content fingerprint; the
+                           least-recently-used pair is evicted beyond
+                           that (default: 8).
+  --connect HOST:PORT      client: the daemon to dial. One keep-alive
+                           framed connection carries every request; an
+                           unreachable daemon exits with code 3
+                           (default: none — required).
+  --format human|json      client: output format. human prints the same
+                           stdout bytes as the one-shot `explain`; json
+                           prints one JSON object on stdout and NDJSON
+                           diagnostics on stderr (default: human).
+  --ping                   client: liveness probe instead of an explain
+                           (default: off).
+  --server-stats           client: print the daemon's counters instead
+                           of an explain (default: off).
+  --shutdown               client: ask the daemon to exit cleanly
+                           (default: off).";
 
 /// Simple positional + flag splitter.
 struct Parsed<'a> {
@@ -274,9 +306,16 @@ pub fn explain(args: &[String]) -> Result<(), String> {
         );
     }
     println!("{}", render_report(&outcome.explanation, &instance));
+    // --stable zeroes the one nondeterministic byte sequence on stdout,
+    // so two runs (or a run and a served client) diff clean.
+    let duration = if p.has("stable") {
+        std::time::Duration::ZERO
+    } else {
+        outcome.stats.duration
+    };
     println!(
-        "search: {} states polled, {} generated, {:?}",
-        outcome.stats.polled, outcome.stats.states_generated, outcome.stats.duration
+        "search: {} states polled, {} generated, {duration:?}",
+        outcome.stats.polled, outcome.stats.states_generated
     );
     if let Some(trace) = outcome.trace {
         println!("\nsearch tree:\n{}", trace.render());
@@ -396,6 +435,173 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     if let Some(path) = p.flag_value("json") {
         std::fs::write(path, profile.to_json()).map_err(|e| e.to_string())?;
         eprintln!("wrote machine-readable profile to {path}");
+    }
+    Ok(())
+}
+
+/// `affidavit serve`: run the resident profiling daemon until a client
+/// asks it to shut down (`affidavit client --connect ADDR --shutdown`).
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let p = parse(args);
+    if !p.positional.is_empty() {
+        return Err(format!("serve takes no positional arguments\n{USAGE}"));
+    }
+    let sessions: usize = match p.flag_value("sessions") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --sessions {v:?} (pinned snapshot pairs)"))?,
+        None => 8,
+    };
+    let opts = affidavit_serve::ServeOptions {
+        listen: p.flag_value("listen").unwrap_or("127.0.0.1:0").to_owned(),
+        sessions,
+        ..affidavit_serve::ServeOptions::default()
+    };
+    let mut daemon = affidavit_serve::serve(&opts)?;
+    // Scripts capture the chosen port from this line — flush through
+    // pipe buffering before parking.
+    println!("affidavit serve listening on {}", daemon.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    daemon.wait();
+    let stats = daemon.stats();
+    eprintln!(
+        "serve: {} requests over {} connections — {} ingests, {} warm hits, {} evictions",
+        stats.requests, stats.connections, stats.ingests, stats.hits, stats.evictions
+    );
+    Ok(())
+}
+
+/// `affidavit client`: run one request against a resident daemon. The
+/// human-format stdout of an explain is byte-identical to the one-shot
+/// `affidavit explain` under the same flags; an unreachable daemon
+/// exits with code 3 (the broker-lost convention).
+pub fn client(args: &[String]) -> Result<(), crate::Failure> {
+    use affidavit_serve::{ClientError, ServeClient};
+    let p = parse(args);
+    let plain = crate::Failure::from;
+    let fail = |e: ClientError| crate::Failure {
+        code: if matches!(e, ClientError::Lost(_)) {
+            affidavit_dist::BROKER_LOST_EXIT_CODE
+        } else {
+            1
+        },
+        message: e.to_string(),
+    };
+    let Some(addr) = p.flag_value("connect") else {
+        return Err(plain(format!(
+            "client requires --connect HOST:PORT\n{USAGE}"
+        )));
+    };
+    let format = p.flag_value("format").unwrap_or("human");
+    let json = match format {
+        "human" => false,
+        "json" => true,
+        other => {
+            return Err(plain(format!(
+                "unknown --format {other:?} (use human|json)"
+            )))
+        }
+    };
+    // Diagnostics go to stderr: plain text under human, NDJSON under
+    // json — stdout stays reserved for the data itself either way.
+    let diag = |event: &str, detail: &str| {
+        if json {
+            eprintln!(
+                "{{\"level\":\"info\",\"event\":{},\"detail\":{}}}",
+                serde_json::to_string(&event.to_owned()).expect("strings serialize"),
+                serde_json::to_string(&detail.to_owned()).expect("strings serialize"),
+            );
+        } else {
+            eprintln!("{event}: {detail}");
+        }
+    };
+    let remote = ServeClient::new(addr);
+    if p.has("ping") {
+        remote.ping().map_err(fail)?;
+        if json {
+            println!("{{\"status\":\"pong\"}}");
+        } else {
+            println!("pong from {addr}");
+        }
+        return Ok(());
+    }
+    if p.has("server-stats") {
+        let stats = remote.stats().map_err(fail)?;
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string(&stats).expect("stats serialize")
+            );
+        } else {
+            println!(
+                "serve stats: {} requests over {} connections — {} sessions pinned, \
+                 {} ingests, {} warm hits, {} evictions",
+                stats.requests,
+                stats.connections,
+                stats.sessions,
+                stats.ingests,
+                stats.hits,
+                stats.evictions
+            );
+        }
+        return Ok(());
+    }
+    if p.has("shutdown") {
+        remote.shutdown().map_err(fail)?;
+        if json {
+            println!("{{\"status\":\"shutting_down\"}}");
+        } else {
+            println!("server at {addr} is shutting down");
+        }
+        return Ok(());
+    }
+    let [src, tgt] = p.positional[..] else {
+        return Err(plain(format!(
+            "client needs two CSV paths (on the server's filesystem)\n{USAGE}"
+        )));
+    };
+    let cfg = build_config(&p).map_err(plain)?;
+    let (ingest_opts, pool_cfg) = build_ingest(&p, cfg.threads).map_err(plain)?;
+    let spec = affidavit_serve::ExplainSpec {
+        source: src.to_owned(),
+        target: tgt.to_owned(),
+        config: cfg,
+        align: p.has("align"),
+        ingest_chunk_rows: ingest_opts.chunk_rows,
+        pool_backend: match pool_cfg.backend {
+            PoolBackend::Ram => "ram".to_owned(),
+            PoolBackend::Disk => "disk".to_owned(),
+        },
+        pool_budget_bytes: pool_cfg.budget_bytes,
+    };
+    let reply = remote.explain(&spec).map_err(fail)?;
+    diag(
+        "session",
+        if reply.warm {
+            "warm (zero ingestion work)"
+        } else {
+            "cold (ingested on the server)"
+        },
+    );
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&reply).expect("replies serialize")
+        );
+    } else {
+        // Exactly the one-shot `affidavit explain` stdout: the rendered
+        // report, then the search line (timing zeroed under --stable).
+        println!("{}", reply.report);
+        let duration = if p.has("stable") {
+            std::time::Duration::ZERO
+        } else {
+            std::time::Duration::from_millis(reply.millis)
+        };
+        println!(
+            "search: {} states polled, {} generated, {duration:?}",
+            reply.polled, reply.generated
+        );
     }
     Ok(())
 }
@@ -804,6 +1010,13 @@ mod tests {
             "--steal-timeout-secs",
             "--deadline-secs",
             "--stable",
+            "--listen",
+            "--sessions",
+            "--connect",
+            "--format",
+            "--ping",
+            "--server-stats",
+            "--shutdown",
         ] {
             let line_start = USAGE
                 .find(&format!("\n  {flag}"))
@@ -816,6 +1029,55 @@ mod tests {
                 "{flag} must document its default: {description}"
             );
         }
+    }
+
+    #[test]
+    fn client_round_trips_against_a_daemon_and_codes_its_exits() {
+        let dir = std::env::temp_dir().join("affidavit-cli-serve-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("s.csv");
+        let tgt = dir.join("t.csv");
+        std::fs::write(&src, "k,v\na,1000\nb,2000\nc,3000\n").unwrap();
+        std::fs::write(&tgt, "k,v\na,1\nb,2\nc,3\n").unwrap();
+        let mut daemon = affidavit_serve::serve(&affidavit_serve::ServeOptions::default()).unwrap();
+        let addr = daemon.local_addr().to_string();
+        client(&argv(&["--connect", &addr, "--ping"])).unwrap();
+        // A full explain (human and json), twice: the repeat is warm.
+        for format in ["human", "json"] {
+            client(&argv(&[
+                "--connect",
+                &addr,
+                src.to_str().unwrap(),
+                tgt.to_str().unwrap(),
+                "--stable",
+                "--format",
+                format,
+            ]))
+            .unwrap();
+        }
+        client(&argv(&["--connect", &addr, "--server-stats"])).unwrap();
+        let stats = daemon.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.ingests, 1, "the repeat must reuse the session");
+        assert_eq!(stats.hits, 1);
+        // Usage errors are exit code 1; a clean shutdown works; after
+        // it, the daemon is unreachable — exit code 3.
+        assert_eq!(client(&argv(&["--ping"])).unwrap_err().code, 1);
+        let bad = client(&argv(&["--connect", &addr, "--format", "xml"])).unwrap_err();
+        assert_eq!(bad.code, 1);
+        client(&argv(&["--connect", &addr, "--shutdown"])).unwrap();
+        daemon.wait();
+        let lost = client(&argv(&["--connect", &addr, "--ping"])).unwrap_err();
+        assert_eq!(lost.code, affidavit_dist::BROKER_LOST_EXIT_CODE);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(serve(&argv(&["stray-positional"])).is_err());
+        assert!(serve(&argv(&["--sessions", "lots"])).is_err());
+        assert!(serve(&argv(&["--listen", "not-an-address"])).is_err());
     }
 
     #[test]

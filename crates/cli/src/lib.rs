@@ -9,7 +9,8 @@
 //! // with a message that includes it.
 //! affidavit_cli::run(&["help".to_owned()]).unwrap();
 //! let err = affidavit_cli::run(&["frobnicate".to_owned()]).unwrap_err();
-//! assert!(err.contains("USAGE"));
+//! assert!(err.message.contains("USAGE"));
+//! assert_eq!(err.code, 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -18,21 +19,43 @@ pub mod commands;
 
 pub use commands::USAGE;
 
+/// A failed invocation: the message plus the process exit code.
+///
+/// Code `1` covers usage and fatal errors; code `3` means "the serve
+/// daemon is unreachable" (`affidavit client`), mirroring
+/// [`affidavit_dist::BROKER_LOST_EXIT_CODE`] so scripts can tell a lost
+/// server from a bad request the same way worker supervisors do.
+#[derive(Debug)]
+pub struct Failure {
+    /// Human-readable reason, printed to stderr.
+    pub message: String,
+    /// Process exit code.
+    pub code: u8,
+}
+
+impl From<String> for Failure {
+    fn from(message: String) -> Failure {
+        Failure { message, code: 1 }
+    }
+}
+
 /// Dispatch one CLI invocation (everything after the program name).
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), Failure> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err(USAGE.to_owned());
+        return Err(Failure::from(USAGE.to_owned()));
     };
     match cmd.as_str() {
-        "explain" => commands::explain(rest),
-        "diff" => commands::diff(rest),
-        "apply" => commands::apply(rest),
-        "gen" => commands::gen(rest),
-        "profile" => commands::profile(rest),
+        "explain" => commands::explain(rest).map_err(Failure::from),
+        "diff" => commands::diff(rest).map_err(Failure::from),
+        "apply" => commands::apply(rest).map_err(Failure::from),
+        "gen" => commands::gen(rest).map_err(Failure::from),
+        "profile" => commands::profile(rest).map_err(Failure::from),
+        "serve" => commands::serve(rest).map_err(Failure::from),
+        "client" => commands::client(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+        other => Err(Failure::from(format!("unknown command {other:?}\n{USAGE}"))),
     }
 }

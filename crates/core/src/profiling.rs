@@ -16,7 +16,7 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
-use affidavit_store::{ingest, IngestOptions, PoolConfig};
+use affidavit_store::{ingest_pair, IngestOptions, PoolConfig, SnapshotPair};
 use affidavit_table::{Table, ValuePool};
 use serde::{Deserialize, Serialize};
 
@@ -215,24 +215,29 @@ pub fn profile_tables(
     Ok((outcome.explanation, instance, millis))
 }
 
+/// Stage an already-ingested snapshot pair — the hot path of a resident
+/// service, where the pair is a clone of a pinned session rather than a
+/// fresh ingestion. Staging from a pinned clone produces exactly the
+/// instance a cold [`stage_file_pair`] would, so warm results stay
+/// byte-identical to the one-shot CLI.
+pub fn stage_snapshot_pair(
+    pair: SnapshotPair,
+    opts: &ProfileOptions,
+) -> Result<ProblemInstance, String> {
+    stage_tables(pair.source, pair.target, pair.pool, opts)
+}
+
 /// Ingest and stage one table pair from its CSV files — everything the
 /// local profiler does before the search, shared with the distributed
-/// coordinator so failure messages are identical in both modes.
+/// coordinator and the resident service so failure messages are
+/// identical in all modes.
 pub fn stage_file_pair(
     src_path: &Path,
     tgt_path: &Path,
     opts: &ProfileOptions,
 ) -> Result<ProblemInstance, String> {
-    let mut pool = opts
-        .pool
-        .build()
-        .map_err(|e| format!("cannot create {:?} pool backend: {e}", opts.pool.backend))?;
-    let read = |path: &Path, pool: &mut ValuePool| {
-        ingest::read_path(path, pool, &opts.ingest).map_err(|e| format!("{}: {e}", path.display()))
-    };
-    let source = read(src_path, &mut pool)?;
-    let target = read(tgt_path, &mut pool)?;
-    stage_tables(source, target, pool, opts)
+    let pair = ingest_pair(src_path, tgt_path, &opts.ingest, &opts.pool)?;
+    stage_snapshot_pair(pair, opts)
 }
 
 /// Fold a finished search into the per-table summary row. Shared by the

@@ -237,6 +237,24 @@ impl Transport for FsTransport {
         Ok(None)
     }
 
+    fn heartbeat(&self, worker: &str, id: u64) -> Result<(), String> {
+        // The claim file's mtime is the lease clock (see `claim`), so
+        // renewing the lease is touching the file. Best-effort, like the
+        // claim-time touch: a failed (or raced-away) touch degrades to
+        // an early requeue whose duplicate is discarded, never a loss.
+        let prefix = format!("job-{id:08}.");
+        let suffix = format!(".{worker}.json");
+        for name in Self::sorted_entries(&self.claimed())? {
+            if name.starts_with(&prefix) && name.ends_with(&suffix) {
+                let path = self.claimed().join(&name);
+                if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&path) {
+                    let _ = file.set_modified(SystemTime::now());
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn deliver(&self, worker: &str, id: u64, envelope: &str) -> Result<Delivered, String> {
         let final_path = self.result_path(id);
         let read_existing = || {
@@ -597,6 +615,38 @@ mod tests {
             .complete("fast", &dummy_result(9, "fast", "done"))
             .unwrap();
         assert_eq!(broker.recover_stragglers(Duration::ZERO).unwrap(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn heartbeat_renews_the_claim_file_lease() {
+        let root = temp_root("heartbeat");
+        let broker = FsBroker::open(&root).unwrap();
+        broker.submit(&dummy_job(5)).unwrap();
+        let _ = broker.steal("w").unwrap().unwrap();
+        // Backdate the claim file far past the timeout — a straggler by
+        // the lease clock — then heartbeat: the mtime touch renews the
+        // lease, so the requeue pass leaves the job alone.
+        let claimed = root.join("claimed");
+        let backdate = || {
+            for entry in std::fs::read_dir(&claimed).unwrap() {
+                let file = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(entry.unwrap().path())
+                    .unwrap();
+                file.set_modified(SystemTime::now() - Duration::from_secs(60))
+                    .unwrap();
+            }
+        };
+        backdate();
+        broker.transport().heartbeat("w", 5).unwrap();
+        let timeout = Duration::from_secs(30);
+        assert_eq!(broker.recover_stragglers(timeout).unwrap(), 0);
+        // The same backdated claim without a heartbeat is a straggler;
+        // another worker's heartbeat must not renew it either.
+        backdate();
+        broker.transport().heartbeat("other", 5).unwrap();
+        assert_eq!(broker.recover_stragglers(timeout).unwrap(), 1);
         std::fs::remove_dir_all(&root).ok();
     }
 

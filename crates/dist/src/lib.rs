@@ -18,11 +18,14 @@
 //! * [`broker`] — transport #1, the spool directory: real
 //!   `affidavit-worker` child processes claim pending job files by atomic
 //!   rename (exactly one winner — that *is* the work-stealing).
+//! * [`frame`] — the length-prefixed frame codec under every socket
+//!   protocol (this crate's steal loop and the `affidavit-serve` client
+//!   API), with progress-based stall timeouts.
 //! * [`tcp`] — transport #2, sockets: the coordinator binds a listener
-//!   and tracks leases in memory; workers dial `--connect HOST:PORT` with
-//!   one framed request/response exchange per steal, so no shared
-//!   filesystem is needed and a dropped connection mid-job is just a
-//!   straggler.
+//!   and tracks leases in memory; workers dial `--connect HOST:PORT` and
+//!   multiplex framed request/response exchanges over one keep-alive
+//!   connection, so no shared filesystem is needed and a dropped
+//!   connection mid-job is just a straggler.
 //! * [`coordinate`] — the coordinator: results are absorbed **in job-id
 //!   order** with [`SymRemap`](affidavit_table::SymRemap) pool merging,
 //!   so the rendered profile is byte-identical to the single-process run
@@ -78,6 +81,7 @@
 
 pub mod broker;
 pub mod coordinate;
+pub mod frame;
 pub mod job;
 pub mod queue;
 pub mod tcp;
@@ -91,6 +95,9 @@ pub use broker::{
 pub use coordinate::{
     absorb_result, execute_jobs, explain_via, profile_dirs_distributed, DistBackend, DistOptions,
     DistStats, RemoteExplanation,
+};
+pub use frame::{
+    configure_stream, read_frame, write_frame, FrameConfig, FrameRead, MAX_FRAME_BYTES,
 };
 pub use job::{
     decode_job, decode_result, encode_job, encode_result, Job, JobOutcome, JobPayload, JobResult,

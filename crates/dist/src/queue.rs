@@ -58,6 +58,15 @@ pub trait JobQueue: Send + Sync {
     /// [`JobQueue::shutdown_requested`] and otherwise poll again.
     fn steal(&self, worker: &str) -> Result<Option<Job>, String>;
 
+    /// Renew the lease on a stolen job: the worker is alive and still
+    /// computing `id`, so backends with straggler requeues restart the
+    /// lease clock. Best-effort (a missed heartbeat degrades to a
+    /// spurious requeue whose duplicate is discarded); the default is a
+    /// no-op for backends without leases, like [`InProcessQueue`].
+    fn heartbeat(&self, _worker: &str, _id: u64) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Deliver a finished job (worker side). A result for an id that
     /// already has one is compared against the existing result and
     /// discarded; a mismatch — impossible unless the determinism

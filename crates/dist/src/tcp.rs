@@ -4,18 +4,35 @@
 //! [`std::net::TcpListener`], keeps the published queue, the delivered
 //! results and — crucially — the **leases** in coordinator memory, and
 //! serves framed request/response exchanges from any number of workers.
-//! [`TcpClient`] is the worker half: each protocol operation (claim,
-//! deliver, …) is one connection carrying one length-prefixed request
-//! and one length-prefixed response, so a worker that dies mid-job takes
-//! nothing down with it — its lease simply expires on the coordinator
-//! and the job is re-published, exactly the straggler path of the
-//! filesystem transport. The job/result payloads inside the exchanges
-//! are the unchanged `wire.rs` v1 envelopes, opaque to this module.
+//! [`TcpClient`] is the worker half: it holds **one persistent framed
+//! connection** to the coordinator and multiplexes every protocol
+//! operation (claim, deliver, heartbeat, …) over it as one
+//! request/response exchange. A failure on the kept-alive connection —
+//! coordinator restart, an idle-killing middlebox — drops it and retries
+//! the operation once on a fresh dial; a failure on the *fresh* dial
+//! propagates, which is the broker-lost signal the worker's reconnect
+//! loop and exit code 3 are built on. A worker that dies mid-job still
+//! takes nothing down with it: its lease simply expires on the
+//! coordinator and the job is re-published, exactly the straggler path
+//! of the filesystem transport. The job/result payloads inside the
+//! exchanges are the unchanged `wire.rs` v1 envelopes, opaque to this
+//! module.
 //!
-//! Framing: every message is a 4-byte big-endian length followed by that
-//! many bytes of JSON. The JSON is a small tagged request/response
-//! vocabulary (this module's private `Request`/`Response` enums);
-//! oversized or malformed frames fail the exchange, never the broker.
+//! Framing lives in [`crate::frame`] — a 4-byte big-endian length plus
+//! JSON, with **progress-based** stall timeouts so a slow-but-advancing
+//! peer mid-frame is never misread as dead. The JSON here is a small
+//! tagged request/response vocabulary (this module's private
+//! `Request`/`Response` enums); the `affidavit-serve` crate layers its
+//! client-API vocabulary over the same codec. Oversized or malformed
+//! frames fail the exchange, never the broker.
+//!
+//! Retrying an operation after a failure on the cached connection can
+//! execute it twice on the coordinator (the first attempt may have been
+//! applied before the reply was lost). Every operation tolerates that:
+//! an extra publication is claimable exactly once and its eventual
+//! duplicate result is compared-and-discarded, an abandoned extra claim
+//! expires into a requeue, a repeated delivery takes the duplicate path,
+//! and the rest are idempotent reads or sticky flags.
 //!
 //! Both halves implement [`Transport`], so the work-stealing protocol in
 //! [`Broker`](crate::transport::Broker) — encoding, duplicate
@@ -24,72 +41,16 @@
 //! inside `affidavit-worker --connect`.
 
 use std::collections::{BTreeMap, HashMap};
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
+use crate::frame::{configure_stream, read_frame, write_frame, FrameConfig, FrameRead};
 use crate::queue::QueueStats;
 use crate::transport::{requeue_backoff, Claimed, Delivered, Transport};
-
-/// Upper bound on a single frame. Job envelopes carry whole serialized
-/// snapshots, so this is generous; anything larger is a protocol error,
-/// not a payload.
-const MAX_FRAME_BYTES: u32 = 1 << 30;
-
-/// How long one request/response exchange may take on the wire. Searches
-/// run between exchanges, not during them, so this only bounds IO.
-const IO_TIMEOUT: Duration = Duration::from_secs(60);
-
-// ---- framing -------------------------------------------------------------
-
-fn write_frame(stream: &mut TcpStream, text: &str) -> Result<(), String> {
-    let bytes = text.as_bytes();
-    if bytes.len() as u64 > MAX_FRAME_BYTES as u64 {
-        return Err(format!("frame of {} bytes exceeds the limit", bytes.len()));
-    }
-    let len = (bytes.len() as u32).to_be_bytes();
-    stream
-        .write_all(&len)
-        .and_then(|()| stream.write_all(bytes))
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("tcp write: {e}"))
-}
-
-/// Read one frame; `Ok(None)` means the peer closed the connection
-/// cleanly before sending a length.
-fn read_frame(stream: &mut TcpStream) -> Result<Option<String>, String> {
-    let mut len = [0u8; 4];
-    match stream.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(format!("tcp read: {e}")),
-    }
-    let len = u32::from_be_bytes(len);
-    if len > MAX_FRAME_BYTES {
-        return Err(format!("incoming frame of {len} bytes exceeds the limit"));
-    }
-    // Grow the buffer as bytes actually arrive instead of trusting the
-    // untrusted header with one up-front allocation — a peer announcing
-    // a huge frame and then stalling costs the read timeout, not RAM.
-    let mut bytes = Vec::with_capacity((len as usize).min(1 << 20));
-    let mut chunk = [0u8; 64 * 1024];
-    let mut remaining = len as usize;
-    while remaining > 0 {
-        let take = remaining.min(chunk.len());
-        stream
-            .read_exact(&mut chunk[..take])
-            .map_err(|e| format!("tcp read: {e}"))?;
-        bytes.extend_from_slice(&chunk[..take]);
-        remaining -= take;
-    }
-    String::from_utf8(bytes)
-        .map(Some)
-        .map_err(|_| "frame is not valid UTF-8".to_owned())
-}
 
 // ---- the request/response vocabulary -------------------------------------
 
@@ -103,6 +64,10 @@ enum Request {
     Publish { id: u64, envelope: String },
     /// [`Transport::claim`].
     Claim { worker: String },
+    /// [`Transport::heartbeat`]: the worker is alive and still computing
+    /// `id` — restart the lease clock so a legitimately long job is not
+    /// requeued as a straggler.
+    Heartbeat { worker: String, id: u64 },
     /// [`Transport::deliver`].
     Deliver {
         worker: String,
@@ -194,10 +159,18 @@ struct TcpState {
     stop: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct TcpShared {
     state: Mutex<TcpState>,
     accept_shutdown: AtomicBool,
+    /// Accepted connections over the broker's lifetime — with keep-alive
+    /// clients this stays at one per worker process, however many
+    /// operations each performs.
+    connections_served: AtomicUsize,
+    /// Handles to the live keep-alive sockets, so dropping the broker
+    /// can sever parked peers instead of leaving their serve threads
+    /// answering a coordinator that no longer exists.
+    conns: Mutex<Vec<Option<TcpStream>>>,
 }
 
 impl TcpShared {
@@ -205,6 +178,25 @@ impl TcpShared {
         self.state
             .lock()
             .map_err(|_| "tcp broker state poisoned".to_owned())
+    }
+
+    /// Track a connection for shutdown-on-drop; returns its slot.
+    fn register(&self, stream: Option<TcpStream>) -> usize {
+        let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns.push(stream);
+        conns.len() - 1
+    }
+
+    fn deregister(&self, slot: usize) {
+        let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns[slot] = None;
+    }
+
+    fn sever_all(&self) {
+        let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in conns.iter().flatten() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -231,17 +223,18 @@ impl TcpBroker {
         listener
             .set_nonblocking(true)
             .map_err(|e| format!("nonblocking listener: {e}"))?;
-        let shared = Arc::new(TcpShared {
-            state: Mutex::new(TcpState::default()),
-            accept_shutdown: AtomicBool::new(false),
-        });
+        let shared = Arc::new(TcpShared::default());
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::spawn(move || {
             while !accept_shared.accept_shutdown.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
                         let shared = Arc::clone(&accept_shared);
-                        std::thread::spawn(move || serve_connection(stream, &shared));
+                        let slot = shared.register(stream.try_clone().ok());
+                        std::thread::spawn(move || {
+                            serve_connection(stream, &shared);
+                            shared.deregister(slot);
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(1));
@@ -270,11 +263,23 @@ impl TcpBroker {
             .map(|state| state.leases.iter().filter(|l| !l.requeued).count())
             .unwrap_or(0)
     }
+
+    /// Connections the accept loop has served so far. Keep-alive clients
+    /// hold one connection across all their operations, so this counts
+    /// peers (plus reconnects), not requests.
+    pub fn connections_served(&self) -> usize {
+        self.shared.connections_served.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for TcpBroker {
     fn drop(&mut self) {
         self.shared.accept_shutdown.store(true, Ordering::Relaxed);
+        // Sever parked keep-alive peers: their serve threads must not
+        // keep answering for a coordinator that no longer exists (a
+        // worker's next exchange fails, it probes, and the probe's fresh
+        // dial finds the listener gone — the broker-lost path).
+        self.shared.sever_all();
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
@@ -282,19 +287,29 @@ impl Drop for TcpBroker {
 }
 
 /// Serve framed requests on one accepted connection until the peer
-/// closes it. Workers open one connection per operation; keeping the
-/// loop costs nothing and tolerates clients that pipeline.
+/// closes it. Keep-alive clients park between operations; an idle stall
+/// window ([`FrameRead::Idle`]) is normal on such a connection, not a
+/// reason to hang up.
 fn serve_connection(mut stream: TcpStream, shared: &TcpShared) {
-    let _ = stream.set_nodelay(true);
-    // An accepted socket must not inherit the listener's nonblocking
-    // mode (platform-dependent); force blocking with an IO timeout.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let cfg = FrameConfig::default();
+    if configure_stream(&stream, &cfg).is_err() {
+        return;
+    }
+    shared.connections_served.fetch_add(1, Ordering::Relaxed);
     loop {
-        let text = match read_frame(&mut stream) {
-            Ok(Some(text)) => text,
-            Ok(None) | Err(_) => return,
+        let text = match read_frame(&mut stream, &cfg) {
+            Ok(FrameRead::Frame(text)) => text,
+            // A parked keep-alive peer — unless the broker is shutting
+            // down, in which case the thread must wind down too (the
+            // socket is normally severed by `Drop`, this is the backstop
+            // for a connection whose handle could not be cloned).
+            Ok(FrameRead::Idle) => {
+                if shared.accept_shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameRead::Closed) | Err(_) => return,
         };
         let response = match serde_json::from_str::<Request>(&text) {
             Ok(request) => answer(&request, shared),
@@ -303,7 +318,7 @@ fn serve_connection(mut stream: TcpStream, shared: &TcpShared) {
             },
         };
         let encoded = serde_json::to_string(&response).expect("responses are serializable");
-        if write_frame(&mut stream, &encoded).is_err() {
+        if write_frame(&mut stream, &encoded, &cfg).is_err() {
             return;
         }
     }
@@ -341,6 +356,24 @@ fn answer(request: &Request, shared: &TcpShared) -> Response {
                     Response::Job { id, envelope }
                 }
             }
+        }
+        Request::Heartbeat {
+            worker: _worker,
+            id,
+        } => {
+            // Restart the lease clock for every live lease on the id. A
+            // heartbeat for an already-requeued or delivered job finds
+            // nothing to renew — that is fine, the worker's eventual
+            // duplicate delivery is compared-and-discarded as usual.
+            let now = Instant::now();
+            for lease in state
+                .leases
+                .iter_mut()
+                .filter(|l| !l.requeued && l.id == *id)
+            {
+                lease.claimed_at = now;
+            }
+            Response::Ok
         }
         Request::Deliver {
             worker: _worker,
@@ -525,18 +558,29 @@ impl TcpBroker {
 
 // ---- worker side ---------------------------------------------------------
 
-/// The worker half of the TCP transport: every operation dials the
-/// coordinator, sends one framed request, and reads one framed response.
-/// Stateless — a dropped connection loses one exchange, never the run.
+/// The worker half of the TCP transport: one persistent framed
+/// connection to the coordinator, with every operation a single
+/// request/response exchange over it. Clones share the connection (they
+/// are handles to the same keep-alive socket), and a mutex serializes
+/// exchanges, so a worker's steal loop and its heartbeat ticker can use
+/// the same client.
 #[derive(Debug, Clone)]
 pub struct TcpClient {
     addr: String,
+    cfg: FrameConfig,
+    conn: Arc<Mutex<Option<TcpStream>>>,
 }
 
 impl TcpClient {
-    /// A client for the coordinator at `addr` (`HOST:PORT`).
+    /// A client for the coordinator at `addr` (`HOST:PORT`). Dials
+    /// lazily: the first operation establishes the keep-alive
+    /// connection.
     pub fn new(addr: impl Into<String>) -> TcpClient {
-        TcpClient { addr: addr.into() }
+        TcpClient {
+            addr: addr.into(),
+            cfg: FrameConfig::default(),
+            conn: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// The coordinator address this client dials.
@@ -552,22 +596,55 @@ impl TcpClient {
         }
     }
 
+    /// One exchange over the persistent connection. A failure on the
+    /// kept-alive socket may mean it silently went stale (coordinator
+    /// restart, idle-killing middlebox) — drop it and retry the request
+    /// once on a fresh dial. Fresh-dial failures propagate: that is the
+    /// broker-lost signal the reconnect loop (and exit code 3) rely on.
+    /// See the module docs for why a retried request is safe even if the
+    /// first attempt was applied before its reply was lost.
     fn call(&self, request: &Request) -> Result<Response, String> {
+        let encoded = serde_json::to_string(request).expect("requests are serializable");
+        let mut conn = self
+            .conn
+            .lock()
+            .map_err(|_| "tcp client connection poisoned".to_owned())?;
+        if let Some(stream) = conn.as_mut() {
+            match exchange(stream, &encoded, &self.cfg) {
+                Ok(response) => return self.accept(response),
+                Err(_) => *conn = None, // stale keep-alive; retry below
+            }
+        }
         let mut stream = TcpStream::connect(&self.addr)
             .map_err(|e| format!("connecting to broker {}: {e}", self.addr))?;
-        let _ = stream.set_nodelay(true);
-        stream
-            .set_read_timeout(Some(IO_TIMEOUT))
-            .and_then(|()| stream.set_write_timeout(Some(IO_TIMEOUT)))
-            .map_err(|e| format!("socket timeouts: {e}"))?;
-        let encoded = serde_json::to_string(request).expect("requests are serializable");
-        write_frame(&mut stream, &encoded)?;
-        let text = read_frame(&mut stream)?
-            .ok_or_else(|| format!("broker {} closed the connection mid-exchange", self.addr))?;
-        match serde_json::from_str::<Response>(&text).map_err(|e| e.to_string())? {
+        configure_stream(&stream, &self.cfg)?;
+        let response = exchange(&mut stream, &encoded, &self.cfg)?;
+        *conn = Some(stream);
+        self.accept(response)
+    }
+
+    fn accept(&self, response: Response) -> Result<Response, String> {
+        match response {
             Response::Error { message } => Err(format!("broker {}: {message}", self.addr)),
             response => Ok(response),
         }
+    }
+}
+
+/// One framed request/response on an established connection. A client
+/// awaiting its response treats an idle stall window as an error — only
+/// servers park on idle.
+fn exchange(stream: &mut TcpStream, encoded: &str, cfg: &FrameConfig) -> Result<Response, String> {
+    write_frame(stream, encoded, cfg)?;
+    match read_frame(stream, cfg)? {
+        FrameRead::Frame(text) => {
+            serde_json::from_str::<Response>(&text).map_err(|e| e.to_string())
+        }
+        FrameRead::Closed => Err("broker closed the connection mid-exchange".to_owned()),
+        FrameRead::Idle => Err(format!(
+            "broker sent no response within {:?}",
+            cfg.stall_timeout
+        )),
     }
 }
 
@@ -592,6 +669,16 @@ macro_rules! transport_via_requests {
                 decode::claim(self.$dispatch(&Request::Claim {
                     worker: worker.to_owned(),
                 })?)
+            }
+
+            fn heartbeat(&self, worker: &str, id: u64) -> Result<(), String> {
+                decode::unit(
+                    self.$dispatch(&Request::Heartbeat {
+                        worker: worker.to_owned(),
+                        id,
+                    })?,
+                    "heartbeat",
+                )
             }
 
             fn deliver(&self, worker: &str, id: u64, envelope: &str) -> Result<Delivered, String> {
@@ -711,6 +798,94 @@ mod tests {
     }
 
     #[test]
+    fn one_keepalive_connection_serves_many_operations() {
+        let (coordinator, worker) = pair();
+        coordinator.submit(&dummy_job(0)).unwrap();
+        // A representative worker lifetime: probe, steal, heartbeat,
+        // deliver, poll for shutdown — all over the socket.
+        worker.transport().ping().unwrap();
+        assert_eq!(worker.steal("a").unwrap().unwrap().id, 0);
+        worker.transport().heartbeat("a", 0).unwrap();
+        worker.complete("a", &dummy_result(0, "a", "done")).unwrap();
+        assert!(!worker.shutdown_requested().unwrap());
+        assert_eq!(worker.stats().unwrap().steals, 1);
+        // Every operation above shared one accepted connection. (The
+        // coordinator side dispatches in-memory and never dials itself.)
+        assert_eq!(coordinator.transport().connections_served(), 1);
+        // A clone is a handle to the same keep-alive socket.
+        worker.transport().clone().ping().unwrap();
+        assert_eq!(coordinator.transport().connections_served(), 1);
+    }
+
+    #[test]
+    fn stale_keepalive_connection_is_redialed_transparently() {
+        use std::io::Write as _;
+        // A coordinator stand-in that hangs up after every answered
+        // request — the worst-case keep-alive peer. The client must
+        // notice the dead cached connection on the next operation and
+        // retry it once on a fresh dial.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let cfg = FrameConfig::default();
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                configure_stream(&stream, &cfg).unwrap();
+                match read_frame(&mut stream, &cfg).unwrap() {
+                    FrameRead::Frame(_) => {}
+                    other => panic!("expected a request, got {other:?}"),
+                }
+                let ok = serde_json::to_string(&Response::Ok).unwrap();
+                write_frame(&mut stream, &ok, &cfg).unwrap();
+                stream.flush().unwrap();
+                // Hanging up poisons the client's cached connection.
+            }
+        });
+        let client = TcpClient::new(addr.to_string());
+        client.ping().expect("first ping, fresh dial");
+        client
+            .ping()
+            .expect("second ping, redial after stale cache");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn heartbeat_restarts_the_lease_clock() {
+        // Drive the coordinator state directly — no sockets, no sleeps:
+        // the lease age is manipulated by hand so the test is exact.
+        let shared = TcpShared::default();
+        let publish = Request::Publish {
+            id: 5,
+            envelope: "envelope".to_owned(),
+        };
+        assert!(matches!(answer(&publish, &shared), Response::Ok));
+        let claim = Request::Claim {
+            worker: "w".to_owned(),
+        };
+        assert!(matches!(answer(&claim, &shared), Response::Job { .. }));
+        let age = |shared: &TcpShared, by: Duration| {
+            shared.lock().unwrap().leases[0].claimed_at = Instant::now() - by;
+        };
+        // The lease is a minute old — far past a 30s timeout — but a
+        // heartbeat lands before the requeue pass: the clock restarts
+        // and the job is NOT treated as a straggler.
+        age(&shared, Duration::from_secs(60));
+        let beat = Request::Heartbeat {
+            worker: "w".to_owned(),
+            id: 5,
+        };
+        assert!(matches!(answer(&beat, &shared), Response::Ok));
+        let timeout = Duration::from_secs(30);
+        assert_eq!(requeue_pass(&mut shared.lock().unwrap(), timeout), 0);
+        // The same aged lease without a heartbeat is requeued.
+        age(&shared, Duration::from_secs(60));
+        assert_eq!(requeue_pass(&mut shared.lock().unwrap(), timeout), 1);
+        // Heartbeats for requeued (or unknown) ids renew nothing.
+        assert!(matches!(answer(&beat, &shared), Response::Ok));
+        assert_eq!(shared.lock().unwrap().stats.requeues, 1);
+    }
+
+    #[test]
     fn results_roundtrip_and_duplicates_are_checked() {
         let (coordinator, worker) = pair();
         worker.complete("a", &dummy_result(4, "a", "same")).unwrap();
@@ -732,8 +907,8 @@ mod tests {
     fn dropped_worker_lease_expires_and_is_republished() {
         let (coordinator, worker) = pair();
         coordinator.submit(&dummy_job(9)).unwrap();
-        // The worker claims the job and then "dies" — with one exchange
-        // per operation there is nothing else to tear down.
+        // The worker claims the job and then "dies" — the lease is all
+        // the coordinator remembers of it.
         assert_eq!(worker.steal("doomed").unwrap().unwrap().id, 9);
         assert!(worker.steal("other").unwrap().is_none());
         assert_eq!(coordinator.transport().active_leases(), 1);
@@ -787,8 +962,11 @@ mod tests {
         client.ping().expect("coordinator up");
         let addr = coordinator.transport().local_addr().to_string();
         drop(coordinator);
-        // The listener is closed and the port released; the probe the
-        // worker's reconnect loop uses must now fail.
+        // The listener is closed and the port released. The cached
+        // keep-alive connection is dead, the redial finds no listener:
+        // the probe the worker's reconnect loop uses must fail.
+        assert!(client.ping().is_err());
+        // And so must a fresh client's first dial.
         assert!(TcpClient::new(addr).ping().is_err());
     }
 }

@@ -79,6 +79,16 @@ pub trait Transport: Send + Sync {
     /// all pending publications.
     fn claim(&self, worker: &str) -> Result<Option<Claimed>, String>;
 
+    /// Renew the lease on `id`: the worker is alive and still computing,
+    /// so the lease clock restarts and a legitimately long job is not
+    /// requeued as a straggler by [`Transport::requeue_expired`].
+    /// Best-effort — a missed heartbeat degrades to a spurious requeue
+    /// whose duplicate result is compared and discarded, never to lost
+    /// work — so the default is a no-op for media without a cheap renew.
+    fn heartbeat(&self, _worker: &str, _id: u64) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Deliver a result envelope for `id`, ending its leases (worker
     /// side). The first delivery per id wins; later ones return
     /// [`Delivered::Duplicate`] with the stored envelope, leaving it to
@@ -160,6 +170,10 @@ impl<T: Transport> JobQueue for Broker<T> {
             None => Ok(None),
             Some(claimed) => decode_job(&claimed.envelope).map(Some),
         }
+    }
+
+    fn heartbeat(&self, worker: &str, id: u64) -> Result<(), String> {
+        self.transport.heartbeat(worker, id)
     }
 
     fn complete(&self, worker: &str, result: &JobResult) -> Result<(), String> {

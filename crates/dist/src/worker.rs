@@ -17,6 +17,12 @@ use std::time::Duration;
 use crate::job::{process_job, JobOutcome};
 use crate::queue::JobQueue;
 
+/// How often a worker renews the lease on the job it is computing
+/// ([`JobQueue::heartbeat`]). Far below any sensible steal timeout, so a
+/// legitimately long job is never requeued as a straggler while its
+/// worker is alive; jobs shorter than this never heartbeat at all.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_secs(5);
+
 /// Exit code of `affidavit-worker` when the broker disappeared and did
 /// not come back within the reconnect budget (distinct from `1`, the
 /// usage/fatal-error code, so supervisors can tell "restart me when the
@@ -38,8 +44,9 @@ pub struct WorkerStats {
 /// from `poll` up to `poll × 16` over consecutive empty polls (and
 /// snapping back to `poll` after a successful steal). The backoff keeps
 /// an idle worker from hammering the broker — each empty poll is a
-/// directory scan on the fs transport and two fresh connections on the
-/// tcp transport — at the price of at most `poll × 16` extra latency
+/// directory scan on the fs transport and two exchanges on the tcp
+/// transport's keep-alive connection — at the price of at most `poll ×
+/// 16` extra latency
 /// picking up late work or noticing shutdown. Once shutdown is
 /// requested the queue stops handing out work (pending jobs at that
 /// point belong to an aborting run or are redundant duplicates), so the
@@ -55,7 +62,9 @@ pub fn run_worker(
         match queue.steal(worker_id)? {
             Some(job) => {
                 idle_naps = 0;
-                let result = process_job(&job, worker_id);
+                let result = with_heartbeats(queue, worker_id, job.id, HEARTBEAT_INTERVAL, || {
+                    process_job(&job, worker_id)
+                });
                 if matches!(result.outcome, JobOutcome::Failed { .. }) {
                     stats.failed += 1;
                 }
@@ -69,6 +78,38 @@ pub fn run_worker(
             }
         }
     }
+}
+
+/// Run `work` with a lease-renewal ticker beside it: every `interval`
+/// until the closure returns, [`JobQueue::heartbeat`] tells the broker
+/// this worker is alive and still computing `id`. Heartbeats are
+/// best-effort — a failed renewal is ignored, because the worst case (a
+/// spurious straggler requeue) already resolves itself through the
+/// duplicate compare-and-discard path, while failing the job here would
+/// turn a transient broker hiccup into lost work. The ticker exits
+/// promptly when the work finishes: it parks on a channel the closure's
+/// end hangs up.
+fn with_heartbeats<R>(
+    queue: &dyn JobQueue,
+    worker_id: &str,
+    id: u64,
+    interval: Duration,
+    work: impl FnOnce() -> R,
+) -> R {
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        scope.spawn(move || loop {
+            match done_rx.recv_timeout(interval) {
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    let _ = queue.heartbeat(worker_id, id);
+                }
+                _ => return, // sender dropped: the job is done
+            }
+        });
+        let result = work();
+        drop(done_tx);
+        result
+    })
 }
 
 /// How a resilient worker run ended.
@@ -171,6 +212,61 @@ mod tests {
         .unwrap();
         assert_eq!(stats.processed, 3);
         assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn long_jobs_heartbeat_their_lease_and_short_ones_do_not() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Recording {
+            inner: InProcessQueue,
+            beats: AtomicUsize,
+        }
+        impl JobQueue for Recording {
+            fn submit(&self, job: &Job) -> Result<(), String> {
+                self.inner.submit(job)
+            }
+            fn steal(&self, worker: &str) -> Result<Option<Job>, String> {
+                self.inner.steal(worker)
+            }
+            fn heartbeat(&self, _worker: &str, _id: u64) -> Result<(), String> {
+                self.beats.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            fn complete(&self, worker: &str, r: &crate::job::JobResult) -> Result<(), String> {
+                self.inner.complete(worker, r)
+            }
+            fn fetch_result(&self, id: u64) -> Result<Option<crate::job::JobResult>, String> {
+                self.inner.fetch_result(id)
+            }
+            fn request_shutdown(&self) -> Result<(), String> {
+                self.inner.request_shutdown()
+            }
+            fn shutdown_requested(&self) -> Result<bool, String> {
+                self.inner.shutdown_requested()
+            }
+            fn check_health(&self) -> Result<(), String> {
+                self.inner.check_health()
+            }
+            fn stats(&self) -> Result<crate::queue::QueueStats, String> {
+                self.inner.stats()
+            }
+        }
+        let queue = Recording {
+            inner: InProcessQueue::new(),
+            beats: AtomicUsize::new(0),
+        };
+        // A job outliving several intervals renews its lease repeatedly...
+        with_heartbeats(&queue, "w", 7, Duration::from_millis(10), || {
+            std::thread::sleep(Duration::from_millis(55))
+        });
+        let beats = queue.beats.load(Ordering::SeqCst);
+        assert!(beats >= 2, "a 55ms job at a 10ms interval beat {beats}×");
+        // ...and the ticker stops with the job: no further renewals.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(queue.beats.load(Ordering::SeqCst), beats);
+        // A job far shorter than the interval never heartbeats.
+        with_heartbeats(&queue, "w", 8, Duration::from_secs(60), || {});
+        assert_eq!(queue.beats.load(Ordering::SeqCst), beats);
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The resident daemon: accept loop, request handling, pinned sessions.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use affidavit_core::profiling::{stage_snapshot_pair, ProfileOptions};
+use affidavit_core::report::render_report;
+use affidavit_core::Affidavit;
+use affidavit_dist::{configure_stream, read_frame, write_frame, FrameConfig, FrameRead};
+use affidavit_store::{
+    ingest_pair, IngestOptions, PoolBackend, PoolConfig, SessionKey, SessionLru,
+};
+
+use crate::protocol::{ClientRequest, ClientResponse, ExplainSpec, ReportReply, ServeStats};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`"127.0.0.1:0"` = loopback with an OS-chosen port).
+    /// Bind a routable address to accept clients from other machines —
+    /// trusted networks only: the protocol carries no authentication yet.
+    pub listen: String,
+    /// Maximum snapshot pairs pinned at once (LRU beyond that).
+    pub sessions: usize,
+    /// Framing configuration (stall timeout).
+    pub frame: FrameConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: "127.0.0.1:0".to_owned(),
+            sessions: 8,
+            frame: FrameConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ServeShared {
+    sessions: Mutex<SessionLru>,
+    requests: AtomicU64,
+    connections: AtomicU64,
+    shutdown: AtomicBool,
+    frame: FrameConfig,
+    /// Live keep-alive sockets, severed on shutdown so parked clients
+    /// get a hard close instead of a daemon that answers forever.
+    conns: Mutex<Vec<Option<TcpStream>>>,
+}
+
+impl ServeShared {
+    fn register(&self, stream: Option<TcpStream>) -> usize {
+        let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns.push(stream);
+        conns.len() - 1
+    }
+
+    fn deregister(&self, slot: usize) {
+        let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        conns[slot] = None;
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for stream in conns.iter().flatten() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        let (sessions, counters) = match self.sessions.lock() {
+            Ok(lru) => (lru.len() as u64, lru.counters()),
+            Err(_) => (0, Default::default()),
+        };
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            sessions,
+            ingests: counters.ingests,
+            hits: counters.hits,
+            evictions: counters.evictions,
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle shuts the daemon down; a
+/// client's `Shutdown` request does the same from the outside (then
+/// [`ServeHandle::wait`] returns).
+#[derive(Debug)]
+pub struct ServeHandle {
+    shared: Arc<ServeShared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address — what clients dial with `--connect` (the port
+    /// is the OS's pick when the bind address ended in `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's counters right now.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Block until the daemon shuts down (a client's `Shutdown` request
+    /// or [`ServeHandle::shutdown`]).
+    pub fn wait(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Shut the daemon down from this side: stop accepting, sever
+    /// parked clients, join the accept loop.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        self.wait();
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bind the listener and start serving client-API requests in
+/// background threads (one per connection, requests multiplexed over
+/// each keep-alive connection in sequence).
+pub fn serve(opts: &ServeOptions) -> Result<ServeHandle, String> {
+    let listener =
+        TcpListener::bind(&opts.listen).map_err(|e| format!("binding {}: {e}", opts.listen))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local address of {}: {e}", opts.listen))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking listener: {e}"))?;
+    let shared = Arc::new(ServeShared {
+        sessions: Mutex::new(SessionLru::new(opts.sessions)),
+        requests: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        frame: opts.frame,
+        conns: Mutex::new(Vec::new()),
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::spawn(move || {
+        while !accept_shared.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&accept_shared);
+                    let slot = shared.register(stream.try_clone().ok());
+                    std::thread::spawn(move || {
+                        serve_connection(stream, &shared);
+                        shared.deregister(slot);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+    });
+    Ok(ServeHandle {
+        shared,
+        addr,
+        accept: Some(accept),
+    })
+}
+
+/// Serve framed client-API requests on one accepted connection until
+/// the peer closes it (or asks for shutdown). Parked keep-alive clients
+/// idle between requests; an idle stall window is normal, not a hangup.
+fn serve_connection(mut stream: TcpStream, shared: &ServeShared) {
+    let cfg = shared.frame;
+    if configure_stream(&stream, &cfg).is_err() {
+        return;
+    }
+    shared.connections.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let text = match read_frame(&mut stream, &cfg) {
+            Ok(FrameRead::Frame(text)) => text,
+            Ok(FrameRead::Idle) => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameRead::Closed) | Err(_) => return,
+        };
+        let (response, last) = match serde_json::from_str::<ClientRequest>(&text) {
+            Ok(ClientRequest::Shutdown) => (ClientResponse::ShuttingDown, true),
+            Ok(request) => (answer(&request, shared), false),
+            Err(e) => (
+                ClientResponse::Error {
+                    message: format!("malformed request: {e}"),
+                },
+                false,
+            ),
+        };
+        let encoded = serde_json::to_string(&response).expect("responses are serializable");
+        if write_frame(&mut stream, &encoded, &cfg).is_err() {
+            return;
+        }
+        if last {
+            // Acknowledged first, then torn down: the requesting client
+            // gets its frame; every other parked client is severed.
+            shared.begin_shutdown();
+            return;
+        }
+    }
+}
+
+/// Execute one (non-shutdown) request.
+fn answer(request: &ClientRequest, shared: &ServeShared) -> ClientResponse {
+    match request {
+        ClientRequest::Ping => ClientResponse::Pong,
+        ClientRequest::Stats => ClientResponse::StatsReport {
+            stats: shared.stats(),
+        },
+        ClientRequest::Explain { spec } => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            match explain(spec, shared) {
+                Ok(reply) => ClientResponse::Report { reply },
+                Err(message) => ClientResponse::Error { message },
+            }
+        }
+        ClientRequest::Shutdown => unreachable!("handled by the connection loop"),
+    }
+}
+
+/// The explain hot path: pin-or-reuse the ingested snapshot pair, then
+/// run a fresh search over a clone of it. Each request gets its own
+/// search state (`Affidavit::new` per request), so concurrent requests
+/// and warm repeats produce exactly the bytes of a one-shot run.
+fn explain(spec: &ExplainSpec, shared: &ServeShared) -> Result<ReportReply, String> {
+    let backend: PoolBackend = spec.pool_backend.parse()?;
+    let pool_cfg = PoolConfig {
+        backend,
+        budget_bytes: spec.pool_budget_bytes,
+    };
+    let ingest_opts = IngestOptions {
+        chunk_rows: spec.ingest_chunk_rows,
+        threads: spec.config.threads,
+        ..IngestOptions::default()
+    };
+    let src = Path::new(&spec.source);
+    let tgt = Path::new(&spec.target);
+    let key = SessionKey::for_files(src, tgt, &pool_cfg)?;
+    let (pair, warm) = {
+        let mut sessions = shared
+            .sessions
+            .lock()
+            .map_err(|_| "session cache poisoned".to_owned())?;
+        let ingests_before = sessions.counters().ingests;
+        let pair =
+            sessions.get_or_ingest(key, || ingest_pair(src, tgt, &ingest_opts, &pool_cfg))?;
+        (pair, sessions.counters().ingests == ingests_before)
+    };
+    let opts = ProfileOptions {
+        config: spec.config.clone(),
+        align: spec.align,
+        ingest: ingest_opts,
+        pool: pool_cfg,
+    };
+    let mut instance = stage_snapshot_pair(pair, &opts)?;
+    let started = Instant::now();
+    let outcome = Affidavit::new(spec.config.clone()).explain(&mut instance);
+    let millis = started.elapsed().as_millis() as u64;
+    let report = render_report(&outcome.explanation, &instance);
+    // The post-read enforcement hook (satellite of the same PR): a
+    // read-heavy request only ever faults disk-pool segments *in*, so
+    // resident bytes are pushed back under budget between requests.
+    if let Ok(mut sessions) = shared.sessions.lock() {
+        sessions.enforce_budgets();
+    }
+    Ok(ReportReply {
+        report,
+        polled: outcome.stats.polled as u64,
+        generated: outcome.stats.states_generated as u64,
+        millis,
+        warm,
+    })
+}

@@ -20,6 +20,11 @@
 //!   [`Interner`](affidavit_table::Interner) trait and [`ValuePool`] API
 //!   the search already uses. Snapshots larger than RAM flow through the
 //!   unchanged generic search.
+//! * [`fingerprint`] — streaming content fingerprints (FNV-1a 64 +
+//!   length) identifying snapshot files by bytes rather than path.
+//! * [`session`] — pinned ingested [`SnapshotPair`]s for a resident
+//!   service: an LRU keyed by content fingerprint + pool config, so warm
+//!   repeat requests skip ingestion entirely (counter-asserted).
 //!
 //! [`PoolConfig`] selects the backend at the edges (CLI, dataset loader,
 //! profiling) without the inner layers knowing.
@@ -43,18 +48,22 @@
 
 #![warn(missing_docs)]
 
+pub mod fingerprint;
 pub mod ingest;
 pub mod segment;
+pub mod session;
 
 use std::io;
 
 use affidavit_table::ValuePool;
 
+pub use fingerprint::{fingerprint_bytes, fingerprint_file, Fingerprint};
 pub use ingest::IngestOptions;
 pub use segment::{SegmentPool, SegmentPoolConfig};
+pub use session::{ingest_pair, SessionCounters, SessionKey, SessionLru, SnapshotPair};
 
 /// Which storage backend a value pool uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PoolBackend {
     /// Every interned string stays in RAM (the default).
     #[default]

@@ -222,7 +222,7 @@ impl SegmentStore {
 
     /// Evict least-recently-touched loaded segments until the resident
     /// bytes fit the budget (or nothing evictable remains).
-    fn enforce_budget(&mut self) {
+    fn evict_to_budget(&mut self) {
         while self.resident_bytes() > self.budget_bytes {
             let mut victim = None;
             let mut oldest = u64::MAX;
@@ -261,8 +261,15 @@ impl StringStore for SegmentStore {
             off,
             len,
         });
-        self.enforce_budget();
+        self.evict_to_budget();
         index
+    }
+
+    fn enforce_budget(&mut self) {
+        // The explicit post-read hook: appends enforce the budget on
+        // their own, but a read-only pass over a sealed store (the
+        // resident-service hot path) only faults segments in.
+        self.evict_to_budget();
     }
 
     fn get(&self, index: usize) -> &str {
@@ -357,6 +364,13 @@ impl SegmentPool {
         self.pool.store_stats().map_or(0, |s| s.resident_bytes)
     }
 
+    /// Evict cached segments down to the RAM budget — the explicit hook
+    /// for read-heavy workloads over a sealed pool, which fault segments
+    /// in through [`Interner::get`] but (being `&self`) can never evict.
+    pub fn enforce_budget(&mut self) {
+        self.pool.enforce_budget();
+    }
+
     /// String bytes written to spill files so far.
     pub fn spilled_bytes(&self) -> u64 {
         self.pool.store_stats().map_or(0, |s| s.spilled_bytes)
@@ -422,6 +436,40 @@ mod tests {
         assert_eq!(Interner::decimal(&pool, n).unwrap().to_string(), "42.5");
         assert!(Interner::decimal(&pool, s).is_none());
         assert_eq!(Interner::get(&pool, n), "42.5");
+    }
+
+    #[test]
+    fn read_only_workloads_stay_bounded_via_the_explicit_hook() {
+        // Regression: eviction used to run only at `&mut` mutation
+        // points (appends), so a read-heavy pass over a *sealed* pool —
+        // the resident-service hot path — faulted segments in through
+        // `get` and never let go of them.
+        let mut pool = SegmentPool::create(tiny()).unwrap().into_pool();
+        let values: Vec<String> = (0..300).map(|i| format!("value-{i:04}")).collect();
+        let syms: Vec<Sym> = values.iter().map(|v| pool.intern(v)).collect();
+        // A cold clone of the sealed pool, as a session cache would pin.
+        let mut session = pool.clone();
+        for (v, &sym) in values.iter().zip(&syms) {
+            assert_eq!(session.get(sym), v);
+        }
+        let resident = session.store_stats().unwrap().resident_bytes;
+        assert!(
+            resident > 2 * tiny().budget_bytes,
+            "reads alone fault everything in (resident {resident}) — \
+             that is the bug the hook exists for"
+        );
+        session.enforce_budget();
+        let bounded = session.store_stats().unwrap().resident_bytes;
+        assert!(
+            bounded <= tiny().budget_bytes,
+            "post-read enforcement must evict down to the budget \
+             (resident {bounded}, budget {})",
+            tiny().budget_bytes
+        );
+        // The pool still answers every query (re-faulting on demand).
+        for (v, &sym) in values.iter().zip(&syms) {
+            assert_eq!(session.get(sym), v);
+        }
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub trait StringStore: std::fmt::Debug + Send + Sync {
     /// Clone into a new independent store with the same contents.
     fn clone_store(&self) -> Box<dyn StringStore>;
 
+    /// Evict cached data until [`StringStore::resident_bytes`] fits the
+    /// store's RAM budget, if it has one. Stores evict on their own at
+    /// mutation points (appends), but a *read-only* workload over a
+    /// sealed store only ever faults data in — callers holding `&mut`
+    /// access between read bursts invoke this to bound residency. The
+    /// `&mut` receiver is what makes eviction sound: [`StringStore::get`]
+    /// hands out `&str` borrows into cached data, so no such borrow can
+    /// be live here. No-op by default (pure-RAM stores have no budget).
+    fn enforce_budget(&mut self) {}
+
     /// String bytes currently resident in RAM.
     fn resident_bytes(&self) -> usize;
 
@@ -136,6 +146,18 @@ impl ValuePool {
                 store,
                 index: FxHashMap::default(),
             }),
+        }
+    }
+
+    /// Ask the backend [`StringStore`] to evict cached data down to its
+    /// RAM budget (see [`StringStore::enforce_budget`]). No-op for
+    /// RAM-backed pools. Read-heavy holders of a sealed pool — e.g. a
+    /// resident service answering queries against a pinned snapshot —
+    /// call this between read bursts, because reads alone only fault
+    /// data in and would otherwise grow residency without bound.
+    pub fn enforce_budget(&mut self) {
+        if let Some(backend) = self.backend.as_mut() {
+            backend.store.enforce_budget();
         }
     }
 

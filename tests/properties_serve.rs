@@ -1,0 +1,159 @@
+//! Serve-vs-one-shot byte-identity battery.
+//!
+//! The resident daemon's determinism contract: a served explain renders
+//! **exactly** the bytes the one-shot CLI path produces for the same
+//! inputs and configuration — cold or warm, at any thread count, over
+//! either pool backend, under concurrent clients. The battery sweeps
+//! both paper configurations × threads {1, 4} × {ram, disk} pools, then
+//! hammers one spec with 4 concurrent clients, and asserts throughout
+//! (via the daemon's counters) that warm repeats perform zero ingestion
+//! work.
+
+use std::path::{Path, PathBuf};
+
+use affidavit_core::profiling::{stage_file_pair, ProfileOptions};
+use affidavit_core::report::render_report;
+use affidavit_core::{Affidavit, AffidavitConfig};
+use affidavit_serve::{serve, ExplainSpec, ServeClient, ServeOptions};
+use affidavit_store::{IngestOptions, PoolConfig};
+
+/// A snapshot pair with a systematic change (rescaled values), plus some
+/// deletions and insertions so the report has every section.
+fn write_pair(dir: &Path) -> (PathBuf, PathBuf) {
+    std::fs::create_dir_all(dir).unwrap();
+    let src = dir.join("source.csv");
+    let tgt = dir.join("target.csv");
+    let mut s = String::from("k,v,w\n");
+    let mut t = String::from("k,v,w\n");
+    for i in 0..60 {
+        s.push_str(&format!("k{i},{},tag{}\n", i * 1000, i % 7));
+        if i % 11 != 10 {
+            t.push_str(&format!("k{i},{i},tag{}\n", i % 7));
+        }
+    }
+    t.push_str("extra,1,tagx\n");
+    std::fs::write(&src, s).unwrap();
+    std::fs::write(&tgt, t).unwrap();
+    (src, tgt)
+}
+
+fn spec_for(src: &Path, tgt: &Path, config: &str, threads: usize, backend: &str) -> ExplainSpec {
+    let mut cfg = match config {
+        "id" => AffidavitConfig::paper_id(),
+        "overlap" => AffidavitConfig::paper_overlap(),
+        other => panic!("unknown config {other}"),
+    };
+    cfg.threads = threads;
+    ExplainSpec {
+        config: cfg,
+        pool_backend: backend.to_owned(),
+        pool_budget_bytes: 4096, // tiny, so the disk backend actually spills
+        ..ExplainSpec::new(src.to_str().unwrap(), tgt.to_str().unwrap())
+    }
+}
+
+/// The one-shot path for the same spec: ingest + stage + search +
+/// render, exactly what `affidavit explain` runs in-process.
+fn one_shot(spec: &ExplainSpec) -> (String, u64, u64) {
+    let opts = ProfileOptions {
+        config: spec.config.clone(),
+        align: spec.align,
+        ingest: IngestOptions {
+            chunk_rows: spec.ingest_chunk_rows,
+            threads: spec.config.threads,
+            ..IngestOptions::default()
+        },
+        pool: PoolConfig {
+            backend: spec.pool_backend.parse().unwrap(),
+            budget_bytes: spec.pool_budget_bytes,
+        },
+    };
+    let mut instance =
+        stage_file_pair(Path::new(&spec.source), Path::new(&spec.target), &opts).unwrap();
+    let outcome = Affidavit::new(spec.config.clone()).explain(&mut instance);
+    (
+        render_report(&outcome.explanation, &instance),
+        outcome.stats.polled as u64,
+        outcome.stats.states_generated as u64,
+    )
+}
+
+#[test]
+fn served_reports_match_one_shot_across_the_matrix() {
+    let dir = std::env::temp_dir().join("affidavit-serve-battery");
+    std::fs::remove_dir_all(&dir).ok();
+    let (src, tgt) = write_pair(&dir);
+    let mut daemon = serve(&ServeOptions::default()).unwrap();
+    let client = ServeClient::new(daemon.local_addr().to_string());
+
+    let mut requests = 0u64;
+    for config in ["id", "overlap"] {
+        for threads in [1usize, 4] {
+            for backend in ["ram", "disk"] {
+                let spec = spec_for(&src, &tgt, config, threads, backend);
+                let (report, polled, generated) = one_shot(&spec);
+                let reply = client.explain(&spec).unwrap();
+                requests += 1;
+                assert_eq!(
+                    reply.report, report,
+                    "served bytes diverge ({config}, threads {threads}, {backend})"
+                );
+                assert_eq!(reply.polled, polled);
+                assert_eq!(reply.generated, generated);
+                // The session key is content + pool config: the first
+                // request per backend ingests, everything after reuses.
+                assert_eq!(reply.warm, requests > 2, "request {requests} ({backend})");
+            }
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(
+        stats.ingests, 2,
+        "one ingestion per pool backend, every repeat warm"
+    );
+    assert_eq!(stats.hits, 6);
+    assert_eq!(stats.sessions, 2);
+
+    client.shutdown().unwrap();
+    daemon.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_clients_get_identical_bytes_from_one_warm_session() {
+    let dir = std::env::temp_dir().join("affidavit-serve-concurrent");
+    std::fs::remove_dir_all(&dir).ok();
+    let (src, tgt) = write_pair(&dir);
+    let spec = spec_for(&src, &tgt, "id", 1, "ram");
+    let (report, _, _) = one_shot(&spec);
+
+    let mut daemon = serve(&ServeOptions::default()).unwrap();
+    let addr = daemon.local_addr().to_string();
+    // 4 clients × 2 requests each, racing over their own keep-alive
+    // connections. Every reply must carry the same bytes.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let addr = addr.clone();
+            let spec = spec.clone();
+            let report = report.as_str();
+            scope.spawn(move || {
+                let client = ServeClient::new(addr);
+                for _ in 0..2 {
+                    let reply = client.explain(&spec).unwrap();
+                    assert_eq!(reply.report, report);
+                }
+            });
+        }
+    });
+    let client = ServeClient::new(addr);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.ingests, 1, "8 racing requests, one ingestion");
+    assert_eq!(stats.hits, 7);
+    // And a final repeat from a fresh client is still warm.
+    assert!(client.explain(&spec).unwrap().warm);
+    client.shutdown().unwrap();
+    daemon.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
