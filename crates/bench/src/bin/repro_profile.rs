@@ -353,6 +353,24 @@ fn bench_dist(
         deterministic,
         "every transport and worker count must render the single-process profile byte-identically"
     );
+    // Registry regression gate: the deterministic counters this JSON is
+    // built from must equal what the coordinator itself published into
+    // the process-wide metrics registry during the final run.
+    let m = affidavit_obs::metrics();
+    let last = rows.last().expect("at least one measured configuration");
+    for (series, value) in [
+        ("dist_jobs", jobs),
+        ("dist_steals", last.steals),
+        ("dist_stragglers_requeued", last.stragglers_requeued),
+        ("dist_duplicates_discarded", last.duplicates_discarded),
+        ("dist_conflicts", last.conflicts),
+    ] {
+        assert_eq!(
+            m.counter(series),
+            value as u64,
+            "registry {series} must match the final distributed run"
+        );
+    }
     DistBench {
         tables,
         jobs,
@@ -442,6 +460,11 @@ fn bench_ingest(
     let mut timings = [0.0f64; 4];
     let mut fingerprints: Vec<String> = Vec::new();
     let mut spilled = 0u64;
+    // Registry regression gate: `ingest_rows_total` accumulates across
+    // the process, so meter the delta this benchmark's streaming reads
+    // contribute and assert it below.
+    let rows_metered_before = affidavit_obs::metrics().counter("ingest_rows_total");
+    let mut rows_expected = 0u64;
     // Small enough that the distinct-value corpus of the benchmark table
     // cannot fit: the disk run must exercise spill + fault-back paths.
     let disk_budget_bytes = 64 * 1024;
@@ -467,6 +490,7 @@ fn bench_ingest(
             let mut p = ValuePool::new();
             let t = ingest::read_path(&path, &mut p, &opts).expect("stream");
             timings[slot] += started.elapsed().as_secs_f64();
+            rows_expected += t.len() as u64;
             prints.push(fingerprint(&t, &p));
         }
         // (d) streaming into a disk-spilled SegmentPool.
@@ -485,9 +509,15 @@ fn bench_ingest(
         let t = ingest::read_path(&path, &mut p, &opts).expect("disk stream");
         timings[3] += started.elapsed().as_secs_f64();
         spilled = p.store_stats().expect("disk backend").spilled_bytes;
+        rows_expected += t.len() as u64;
         prints.push(fingerprint(&t, &p));
         fingerprints.push(prints.join("\u{3}"));
     }
+    let rows_metered = affidavit_obs::metrics().counter("ingest_rows_total") - rows_metered_before;
+    assert_eq!(
+        rows_metered, rows_expected,
+        "registry ingest_rows_total must meter every streamed record"
+    );
     std::fs::remove_file(&path).ok();
     let deterministic = fingerprints.iter().all(|f| f == &fingerprints[0])
         && fingerprints[0]
@@ -578,6 +608,7 @@ fn bench_frontier(
         let mut discarded = 0usize;
         let mut polled = 0usize;
         let mut expansions = 0usize;
+        let mut last_run = (0usize, 0usize);
         let mut fingerprint = String::new();
         for run in 0..runs {
             let (base, pool) = generate_rows(&spec, rows.min(spec.rows), seed + run as u64);
@@ -594,6 +625,7 @@ fn bench_frontier(
             discarded += out.stats.speculation_discarded;
             polled += out.stats.polled;
             expansions += out.stats.expansions;
+            last_run = (out.stats.polled, out.stats.expansions);
             fingerprint.push_str(&affidavit_core::report::render_report(
                 &out.explanation,
                 &generated.instance,
@@ -612,6 +644,7 @@ fn bench_frontier(
             polled,
             expansions,
             fingerprint,
+            last_run,
         )
     };
 
@@ -621,19 +654,35 @@ fn bench_frontier(
     let mut fingerprints: Vec<String> = Vec::new();
     let mut polled = 0usize;
     let mut expansions = 0usize;
+    let mut last_run = (0usize, 0usize);
     for &w in widths {
-        let (secs, spec_exp, disc, p, e, fp) = solve(w);
+        let (secs, spec_exp, disc, p, e, fp, last) = solve(w);
         total_secs.push(secs);
         speculative_expansions.push(spec_exp);
         speculation_discarded.push(disc);
         polled = p;
         expansions = e;
+        last_run = last;
         fingerprints.push(fp);
     }
     let deterministic = fingerprints.windows(2).all(|w| w[0] == w[1]);
     assert!(
         deterministic,
         "speculative widths must render byte-identical explanations"
+    );
+    // Registry regression gate: the search counters this JSON is built
+    // from must match what the engine itself published into the
+    // process-wide metrics registry during the final solve.
+    let m = affidavit_obs::metrics();
+    assert_eq!(
+        m.counter("search_polled"),
+        last_run.0 as u64,
+        "registry search_polled must match the final solve"
+    );
+    assert_eq!(
+        m.counter("search_expansions"),
+        last_run.1 as u64,
+        "registry search_expansions must match the final solve"
     );
     let speedup_vs_width1 = total_secs
         .iter()

@@ -177,6 +177,7 @@ impl Blocking {
         target: &Table,
         pool: &mut ValuePool,
     ) -> Blocking {
+        let _span = affidavit_obs::span("blocking.refine");
         if self.blocks.len() <= 1 {
             // One block means one worker: the fan-out would only add
             // overhead on the already-hot path.

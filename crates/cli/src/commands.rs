@@ -23,11 +23,15 @@ USAGE:
   affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
   affidavit profile <source_dir> <target_dir> [SEARCH] [INGESTION] [DISTRIBUTED]
                     [--align] [--json FILE] [--stable]
-  affidavit serve   [--listen ADDR] [--sessions N]
+  affidavit serve   [--listen ADDR] [--sessions N] [--max-inflight N]
+                    [--request-deadline-secs N]
   affidavit client  --connect HOST:PORT <source.csv> <target.csv> [SEARCH]
                     [INGESTION] [--align] [--stable] [--format human|json]
-  affidavit client  --connect HOST:PORT (--ping | --server-stats | --shutdown)
+  affidavit client  --connect HOST:PORT (--ping | --server-stats | --metrics
+                    | --shutdown | --pin <source.csv> <target.csv>)
   affidavit help
+
+Every command also accepts the OBSERVABILITY flags below.
 
 SEARCH FLAGS (explain, apply, profile):
   --config id|overlap      Paper configuration: H^id robust search or Hs greedy
@@ -103,6 +107,16 @@ SERVICE FLAGS (serve, client):
                            once, keyed by content fingerprint; the
                            least-recently-used pair is evicted beyond
                            that (default: 8).
+  --max-inflight N         serve: maximum explain/pin requests in flight
+                           at once; further ones are answered with a
+                           clear busy error instead of queuing
+                           (default: 0 = unlimited).
+  --request-deadline-secs N
+                           serve: wall-clock budget per explain request;
+                           an overrunning search is aborted
+                           cooperatively and answered with an error.
+                           Output stays byte-identical for requests that
+                           finish in time (default: 0 = unlimited).
   --connect HOST:PORT      client: the daemon to dial. One keep-alive
                            framed connection carries every request; an
                            unreachable daemon exits with code 3
@@ -115,8 +129,28 @@ SERVICE FLAGS (serve, client):
                            (default: off).
   --server-stats           client: print the daemon's counters instead
                            of an explain (default: off).
+  --metrics                client: print the daemon's metrics registry
+                           as Prometheus-style text instead of an
+                           explain (default: off).
+  --pin SRC TGT            client: ingest and pin a snapshot pair on the
+                           server without searching, so a later explain
+                           of the same pair is a guaranteed warm hit
+                           (default: off).
   --shutdown               client: ask the daemon to exit cleanly
-                           (default: off).";
+                           (default: off).
+
+OBSERVABILITY FLAGS (all commands):
+  --obs-out PATH|-         Write the span/metric event stream as NDJSON
+                           to PATH (appending), or to stderr with `-`.
+                           A pure side channel: stdout stays
+                           byte-identical with or without it. The
+                           AFFIDAVIT_OBS environment variable does the
+                           same without the flag: `1` enables recording,
+                           any other non-empty value is a sink path
+                           (default: off).
+  --obs-summary            Print a per-phase time profile (calls, busy,
+                           wall, max) on stderr when the command
+                           finishes (default: off).";
 
 /// Simple positional + flag splitter.
 struct Parsed<'a> {
@@ -300,9 +334,12 @@ pub fn explain(args: &[String]) -> Result<(), String> {
     };
     let outcome = Affidavit::new(cfg).explain(&mut instance);
     if let Some(stats) = instance.pool.store_stats() {
-        eprintln!(
-            "pool backend: disk — {} bytes spilled, {} bytes resident",
-            stats.spilled_bytes, stats.resident_bytes
+        affidavit_obs::diag(
+            "pool backend",
+            &format!(
+                "disk — {} bytes spilled, {} bytes resident",
+                stats.spilled_bytes, stats.resident_bytes
+            ),
         );
     }
     println!("{}", render_report(&outcome.explanation, &instance));
@@ -416,15 +453,18 @@ pub fn profile(args: &[String]) -> Result<(), String> {
             &opts,
             &dopts,
         )?;
-        eprintln!(
-            "distributed ({transport}): {} jobs over {} workers — {} steals, \
-             {} stragglers requeued, {} duplicates discarded, {} conflicts",
-            stats.jobs,
-            stats.workers,
-            stats.steals,
-            stats.stragglers_requeued,
-            stats.duplicates_discarded,
-            stats.conflicts
+        affidavit_obs::diag(
+            &format!("distributed ({transport})"),
+            &format!(
+                "{} jobs over {} workers — {} steals, {} stragglers requeued, \
+                 {} duplicates discarded, {} conflicts",
+                stats.jobs,
+                stats.workers,
+                stats.steals,
+                stats.stragglers_requeued,
+                stats.duplicates_discarded,
+                stats.conflicts
+            ),
         );
         profile
     };
@@ -452,9 +492,26 @@ pub fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("bad --sessions {v:?} (pinned snapshot pairs)"))?,
         None => 8,
     };
+    let max_inflight: usize = match p.flag_value("max-inflight") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --max-inflight {v:?} (requests, 0 = unlimited)"))?,
+        None => 0,
+    };
+    let request_deadline = match p.flag_value("request-deadline-secs") {
+        Some(v) => {
+            let secs: u64 = v.parse().map_err(|_| {
+                format!("bad --request-deadline-secs {v:?} (seconds, 0 = unlimited)")
+            })?;
+            (secs > 0).then(|| std::time::Duration::from_secs(secs))
+        }
+        None => None,
+    };
     let opts = affidavit_serve::ServeOptions {
         listen: p.flag_value("listen").unwrap_or("127.0.0.1:0").to_owned(),
         sessions,
+        max_inflight,
+        request_deadline,
         ..affidavit_serve::ServeOptions::default()
     };
     let mut daemon = affidavit_serve::serve(&opts)?;
@@ -465,9 +522,12 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     let _ = std::io::stdout().flush();
     daemon.wait();
     let stats = daemon.stats();
-    eprintln!(
-        "serve: {} requests over {} connections — {} ingests, {} warm hits, {} evictions",
-        stats.requests, stats.connections, stats.ingests, stats.hits, stats.evictions
+    affidavit_obs::diag(
+        "serve",
+        &format!(
+            "{} requests over {} connections — {} ingests, {} warm hits, {} evictions",
+            stats.requests, stats.connections, stats.ingests, stats.hits, stats.evictions
+        ),
     );
     Ok(())
 }
@@ -504,18 +564,15 @@ pub fn client(args: &[String]) -> Result<(), crate::Failure> {
         }
     };
     // Diagnostics go to stderr: plain text under human, NDJSON under
-    // json — stdout stays reserved for the data itself either way.
-    let diag = |event: &str, detail: &str| {
-        if json {
-            eprintln!(
-                "{{\"level\":\"info\",\"event\":{},\"detail\":{}}}",
-                serde_json::to_string(&event.to_owned()).expect("strings serialize"),
-                serde_json::to_string(&detail.to_owned()).expect("strings serialize"),
-            );
-        } else {
-            eprintln!("{event}: {detail}");
-        }
-    };
+    // json — stdout stays reserved for the data itself either way. The
+    // rendering lives in the shared obs layer so every crate's stderr
+    // diagnostics speak the same two formats.
+    affidavit_obs::set_diag_format(if json {
+        affidavit_obs::DiagFormat::Ndjson
+    } else {
+        affidavit_obs::DiagFormat::Human
+    });
+    let diag = affidavit_obs::diag;
     let remote = ServeClient::new(addr);
     if p.has("ping") {
         remote.ping().map_err(fail)?;
@@ -547,6 +604,47 @@ pub fn client(args: &[String]) -> Result<(), crate::Failure> {
         }
         return Ok(());
     }
+    if p.has("metrics") {
+        // Prometheus text exposition is already machine-readable, so
+        // both formats print it verbatim.
+        let text = remote.metrics().map_err(fail)?;
+        print!("{text}");
+        return Ok(());
+    }
+    if p.has("pin") {
+        // The splitter hands `--pin SRC TGT` over as flag value SRC plus
+        // positional TGT; `SRC TGT --pin` arrives as two positionals.
+        let (src, tgt) = match (p.flag_value("pin"), &p.positional[..]) {
+            (Some(src), [tgt]) => (src, *tgt),
+            (None, [src, tgt]) => (*src, *tgt),
+            _ => {
+                return Err(plain(format!(
+                    "client --pin needs two CSV paths (on the server's filesystem)\n{USAGE}"
+                )))
+            }
+        };
+        let cfg = build_config(&p).map_err(plain)?;
+        let (ingest_opts, pool_cfg) = build_ingest(&p, cfg.threads).map_err(plain)?;
+        let spec = build_spec(src, tgt, cfg, &p, &ingest_opts, &pool_cfg);
+        let warm = remote.pin(&spec).map_err(fail)?;
+        diag(
+            "session",
+            if warm {
+                "warm (already pinned)"
+            } else {
+                "cold (ingested and pinned on the server)"
+            },
+        );
+        if json {
+            println!("{{\"status\":\"pinned\",\"warm\":{warm}}}");
+        } else {
+            println!(
+                "pinned {src} and {tgt} on {addr} ({})",
+                if warm { "already warm" } else { "cold" }
+            );
+        }
+        return Ok(());
+    }
     if p.has("shutdown") {
         remote.shutdown().map_err(fail)?;
         if json {
@@ -563,18 +661,7 @@ pub fn client(args: &[String]) -> Result<(), crate::Failure> {
     };
     let cfg = build_config(&p).map_err(plain)?;
     let (ingest_opts, pool_cfg) = build_ingest(&p, cfg.threads).map_err(plain)?;
-    let spec = affidavit_serve::ExplainSpec {
-        source: src.to_owned(),
-        target: tgt.to_owned(),
-        config: cfg,
-        align: p.has("align"),
-        ingest_chunk_rows: ingest_opts.chunk_rows,
-        pool_backend: match pool_cfg.backend {
-            PoolBackend::Ram => "ram".to_owned(),
-            PoolBackend::Disk => "disk".to_owned(),
-        },
-        pool_budget_bytes: pool_cfg.budget_bytes,
-    };
+    let spec = build_spec(src, tgt, cfg, &p, &ingest_opts, &pool_cfg);
     let reply = remote.explain(&spec).map_err(fail)?;
     diag(
         "session",
@@ -604,6 +691,29 @@ pub fn client(args: &[String]) -> Result<(), crate::Failure> {
         );
     }
     Ok(())
+}
+
+/// The wire spec for a client `Explain`/`Pin`, from the parsed flags.
+fn build_spec(
+    src: &str,
+    tgt: &str,
+    cfg: AffidavitConfig,
+    p: &Parsed<'_>,
+    ingest_opts: &IngestOptions,
+    pool_cfg: &PoolConfig,
+) -> affidavit_serve::ExplainSpec {
+    affidavit_serve::ExplainSpec {
+        source: src.to_owned(),
+        target: tgt.to_owned(),
+        config: cfg,
+        align: p.has("align"),
+        ingest_chunk_rows: ingest_opts.chunk_rows,
+        pool_backend: match pool_cfg.backend {
+            PoolBackend::Ram => "ram".to_owned(),
+            PoolBackend::Disk => "disk".to_owned(),
+        },
+        pool_budget_bytes: pool_cfg.budget_bytes,
+    }
 }
 
 /// `affidavit diff`: classic key-based comparison.
@@ -1012,11 +1122,17 @@ mod tests {
             "--stable",
             "--listen",
             "--sessions",
+            "--max-inflight",
+            "--request-deadline-secs",
             "--connect",
             "--format",
             "--ping",
             "--server-stats",
+            "--metrics",
+            "--pin",
             "--shutdown",
+            "--obs-out",
+            "--obs-summary",
         ] {
             let line_start = USAGE
                 .find(&format!("\n  {flag}"))
@@ -1061,6 +1177,27 @@ mod tests {
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.ingests, 1, "the repeat must reuse the session");
         assert_eq!(stats.hits, 1);
+        // Pinning the already-explained pair performs zero ingestion
+        // work, and the metrics op answers for both formats.
+        client(&argv(&[
+            "--connect",
+            &addr,
+            "--pin",
+            src.to_str().unwrap(),
+            tgt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let stats = daemon.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.ingests, 1, "a pin of a pinned pair is free");
+        client(&argv(&["--connect", &addr, "--metrics"])).unwrap();
+        assert_eq!(
+            client(&argv(&["--connect", &addr, "--pin"]))
+                .unwrap_err()
+                .code,
+            1,
+            "--pin without paths is a usage error"
+        );
         // Usage errors are exit code 1; a clean shutdown works; after
         // it, the daemon is unreachable — exit code 3.
         assert_eq!(client(&argv(&["--ping"])).unwrap_err().code, 1);
@@ -1078,6 +1215,8 @@ mod tests {
         assert!(serve(&argv(&["stray-positional"])).is_err());
         assert!(serve(&argv(&["--sessions", "lots"])).is_err());
         assert!(serve(&argv(&["--listen", "not-an-address"])).is_err());
+        assert!(serve(&argv(&["--max-inflight", "many"])).is_err());
+        assert!(serve(&argv(&["--request-deadline-secs", "soon"])).is_err());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub fn transform_table(
     table: &Table,
     pool: &mut ValuePool,
 ) -> (Table, Vec<RecordId>) {
+    let _span = affidavit_obs::span("apply.transform");
     let arity = table.schema().arity();
     let rows = table.len();
     if arity == 0 {

@@ -18,6 +18,7 @@ use crate::state::SearchState;
 /// Resolve every open (`∗`/`⊞`) attribute of `state` with greedy value
 /// maps, producing an end state.
 pub(crate) fn finalize(ctx: &mut Ctx<'_>, state: &SearchState) -> SearchState {
+    let _span = affidavit_obs::span("search.finalize");
     let mut current = state.clone();
     loop {
         // Next open attribute, most determined first under the *current*

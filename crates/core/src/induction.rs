@@ -50,6 +50,7 @@ pub fn induce_candidates<I: Interner>(
     params: InductionParams,
     rng: &mut StdRng,
 ) -> Vec<Candidate> {
+    let _span = affidavit_obs::span("induce.candidates");
     // Enumerate targets living in mixed blocks (block index, target id).
     let mut mixed_targets: Vec<(usize, affidavit_table::RecordId)> = Vec::new();
     for (bi, block) in blocking.blocks.iter().enumerate() {

@@ -56,4 +56,4 @@ pub mod trace;
 pub use config::{AffidavitConfig, InitStrategy};
 pub use explanation::Explanation;
 pub use instance::ProblemInstance;
-pub use search::{Affidavit, SearchOutcome};
+pub use search::{Affidavit, DeadlineExceeded, SearchOutcome};

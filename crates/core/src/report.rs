@@ -17,6 +17,7 @@ use crate::instance::ProblemInstance;
 
 /// Render a human-readable report of an explanation.
 pub fn render_report(explanation: &Explanation, instance: &ProblemInstance) -> String {
+    let _span = affidavit_obs::span("report.render");
     let mut out = String::new();
     let arity = instance.arity();
     let _ = writeln!(

@@ -52,6 +52,50 @@ pub struct SearchStats {
     pub speculation_discarded: usize,
 }
 
+impl SearchStats {
+    /// Publish these counters into the process-wide metrics registry
+    /// under the `search_*` series, verbatim. A pure side effect at the
+    /// end of a run; nothing in the search reads the registry back.
+    pub fn publish(&self) {
+        let m = affidavit_obs::metrics();
+        m.set_counter("search_polled", self.polled as u64);
+        m.set_counter("search_expansions", self.expansions as u64);
+        m.set_counter("search_states_generated", self.states_generated as u64);
+        m.set_counter(
+            "search_speculative_expansions",
+            self.speculative_expansions as u64,
+        );
+        m.set_counter(
+            "search_speculation_discarded",
+            self.speculation_discarded as u64,
+        );
+        m.set_gauge("search_end_state_cost", self.end_state_cost);
+        m.set_gauge(
+            "search_hit_expansion_limit",
+            if self.hit_expansion_limit { 1.0 } else { 0.0 },
+        );
+        m.observe("search_duration_micros", self.duration.as_micros() as f64);
+        m.observe(
+            "search_extension_micros",
+            self.extension_time.as_micros() as f64,
+        );
+    }
+}
+
+/// The search overran the wall-clock deadline passed to
+/// [`Affidavit::explain_until`]. A cooperative abort: the driver checks
+/// between iterations, so the partial work is simply dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "search exceeded its deadline")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
 /// The result of a search: explanation, counters, optional trace.
 #[derive(Debug)]
 pub struct SearchOutcome {
@@ -299,17 +343,36 @@ impl Affidavit {
     /// [`AffidavitConfig::paper_id`]'s `threads` / `speculative_width`
     /// docs).
     pub fn explain(&self, instance: &mut ProblemInstance) -> SearchOutcome {
+        self.explain_until(instance, None)
+            .expect("a deadline-free search cannot time out")
+    }
+
+    /// [`Affidavit::explain`] with an optional wall-clock deadline.
+    ///
+    /// The driver checks the deadline between iterations (never inside
+    /// a parallel phase), so an abort is cooperative and prompt at the
+    /// granularity of one expansion batch. `None` never fails.
+    pub fn explain_until(
+        &self,
+        instance: &mut ProblemInstance,
+        deadline: Option<Instant>,
+    ) -> Result<SearchOutcome, DeadlineExceeded> {
         if self.cfg.threads == 1 {
-            return self.explain_inner(instance);
+            return self.explain_inner(instance, deadline);
         }
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(self.cfg.threads)
             .build()
             .expect("thread pool");
-        pool.install(|| self.explain_inner(instance))
+        pool.install(|| self.explain_inner(instance, deadline))
     }
 
-    fn explain_inner(&self, instance: &mut ProblemInstance) -> SearchOutcome {
+    fn explain_inner(
+        &self,
+        instance: &mut ProblemInstance,
+        deadline: Option<Instant>,
+    ) -> Result<SearchOutcome, DeadlineExceeded> {
+        let _span = affidavit_obs::span("search.explain");
         let started = Instant::now();
         let mut ctx = Ctx::new(instance, &self.cfg);
         let mut queue = BoundedLevelQueue::new(self.cfg.queue_width);
@@ -326,6 +389,14 @@ impl Affidavit {
         let width = self.cfg.speculative_width.max(1);
         let mut last_polled: Option<SearchState> = None;
         let end_state = 'search: loop {
+            // Deadline checks sit between iterations only: an abort is
+            // cooperative, and a run that finishes in time never
+            // branches on the clock — output stays deadline-independent.
+            if let Some(limit) = deadline {
+                if Instant::now() >= limit {
+                    return Err(DeadlineExceeded);
+                }
+            }
             // ---- Speculation phase (K-way frontier expansion). ----
             //
             // Drain the next up-to-K poll results, put them straight back
@@ -373,6 +444,7 @@ impl Affidavit {
                     // (potentially record-sized) states are never cloned.
                     let started_ext = Instant::now();
                     let expansions: Vec<StateExpansion> = {
+                        let _span = affidavit_obs::span("search.speculate");
                         let sctx = ctx.search_ctx();
                         let expand = |i: usize| expand_state(&sctx, &spec[i], &alignments[i]);
                         if self.cfg.threads != 1 {
@@ -402,6 +474,7 @@ impl Affidavit {
                     rng_after,
                 }) = speculated
                 {
+                    let _span = affidavit_obs::span("search.reconcile");
                     // Phase 2: reconciliation replay, in exact serial order.
                     let mut expansions = expansions.into_iter();
                     for i in 0..spec_ids.len() {
@@ -429,7 +502,10 @@ impl Affidavit {
                                 ctx.stats.hit_expansion_limit = true;
                                 break 'search finalize(&mut ctx, &state);
                             }
-                            let children = extensions(&mut ctx, &state);
+                            let children = {
+                                let _span = affidavit_obs::span("search.expand");
+                                extensions(&mut ctx, &state)
+                            };
                             last_polled = Some(state);
                             push_children(&mut ctx, &mut queue, &mut visited, children);
                             continue 'search;
@@ -490,7 +566,10 @@ impl Affidavit {
                 ctx.stats.hit_expansion_limit = true;
                 break finalize(&mut ctx, &state);
             }
-            let children = extensions(&mut ctx, &state);
+            let children = {
+                let _span = affidavit_obs::span("search.expand");
+                extensions(&mut ctx, &state)
+            };
             last_polled = Some(state);
             push_children(&mut ctx, &mut queue, &mut visited, children);
         };
@@ -502,11 +581,12 @@ impl Affidavit {
         let explanation = Explanation::from_functions(functions, ctx.instance);
         let mut stats = ctx.stats;
         stats.duration = started.elapsed();
-        SearchOutcome {
+        stats.publish();
+        Ok(SearchOutcome {
             explanation,
             stats,
             trace: ctx.trace,
-        }
+        })
     }
 }
 
@@ -699,6 +779,35 @@ mod tests {
             "a width-4 run on a multi-state frontier must speculate"
         );
         assert!(out.stats.speculation_discarded <= out.stats.speculative_expansions);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_cooperatively() {
+        let mut inst = noisy_instance();
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = Affidavit::new(AffidavitConfig::paper_id())
+            .explain_until(&mut inst, Some(past))
+            .unwrap_err();
+        assert_eq!(err, DeadlineExceeded);
+    }
+
+    #[test]
+    fn generous_deadline_matches_the_deadline_free_run() {
+        let fingerprint = |deadline: Option<Instant>| {
+            let mut inst = noisy_instance();
+            let out = Affidavit::new(AffidavitConfig::paper_id())
+                .explain_until(&mut inst, deadline)
+                .expect("an hour is plenty");
+            (
+                format!("{:?}", out.explanation.functions),
+                out.stats.polled,
+                out.stats.expansions,
+            )
+        };
+        assert_eq!(
+            fingerprint(None),
+            fingerprint(Some(Instant::now() + Duration::from_secs(3600)))
+        );
     }
 
     #[test]

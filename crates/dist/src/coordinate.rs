@@ -129,6 +129,21 @@ impl DistStats {
         self.stragglers_requeued = counters.requeues;
         self.conflicts = counters.conflicts;
     }
+
+    /// Publish these counters into the process-wide metrics registry
+    /// under the `dist_*` series, verbatim.
+    pub fn publish(&self) {
+        let m = affidavit_obs::metrics();
+        m.set_counter("dist_jobs", self.jobs as u64);
+        m.set_counter("dist_workers", self.workers as u64);
+        m.set_counter("dist_steals", self.steals as u64);
+        m.set_counter(
+            "dist_duplicates_discarded",
+            self.duplicates_discarded as u64,
+        );
+        m.set_counter("dist_stragglers_requeued", self.stragglers_requeued as u64);
+        m.set_counter("dist_conflicts", self.conflicts as u64);
+    }
 }
 
 /// Run `jobs` to completion and return all results keyed by job id.
@@ -140,6 +155,10 @@ pub fn execute_jobs(
     jobs: Vec<Job>,
     opts: &DistOptions,
 ) -> Result<(BTreeMap<u64, JobResult>, DistStats), String> {
+    let _span = affidavit_obs::span_with(
+        "dist.execute",
+        vec![("jobs".to_owned(), jobs.len().to_string())],
+    );
     let workers = opts.workers.max(1);
     let mut stats = DistStats {
         jobs: jobs.len(),
@@ -147,6 +166,7 @@ pub fn execute_jobs(
         ..DistStats::default()
     };
     if jobs.is_empty() {
+        stats.publish();
         return Ok((BTreeMap::new(), stats));
     }
     let manifest: Vec<u64> = jobs.iter().map(|j| j.id).collect();
@@ -178,6 +198,7 @@ pub fn execute_jobs(
             // shutdown) have all been compared once the threads joined.
             queue.check_health()?;
             stats.absorb_queue(queue.stats()?);
+            stats.publish();
             Ok((results, stats))
         }
         DistBackend::ChildProcesses {
@@ -216,6 +237,7 @@ pub fn execute_jobs(
             let endpoint = WorkerEndpoint::Spool(root.clone());
             let results = run_fleet(&broker, &bin, &endpoint, workers, jobs, &manifest, opts)?;
             stats.absorb_queue(broker.stats()?);
+            stats.publish();
             if owned {
                 std::fs::remove_dir_all(&root).ok();
             }
@@ -227,6 +249,7 @@ pub fn execute_jobs(
             let endpoint = WorkerEndpoint::Tcp(broker.transport().local_addr().to_string());
             let results = run_fleet(&broker, &bin, &endpoint, workers, jobs, &manifest, opts)?;
             stats.absorb_queue(broker.stats()?);
+            stats.publish();
             Ok((results, stats))
         }
     }
@@ -262,6 +285,7 @@ fn run_fleet<T: Transport>(
             // window.
             if last_recovery.elapsed() >= opts.steal_timeout {
                 last_recovery = Instant::now();
+                let _span = affidavit_obs::span("dist.requeue");
                 queue.transport().requeue_expired(opts.steal_timeout)?;
             }
             if children.iter_mut().all(|c| c.try_finished()) {

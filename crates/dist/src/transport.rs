@@ -162,10 +162,13 @@ impl<T: Transport> Broker<T> {
 
 impl<T: Transport> JobQueue for Broker<T> {
     fn submit(&self, job: &Job) -> Result<(), String> {
+        let _span =
+            affidavit_obs::span_with("dist.publish", vec![("job".to_owned(), job.id.to_string())]);
         self.transport.publish(job.id, &encode_job(job))
     }
 
     fn steal(&self, worker: &str) -> Result<Option<Job>, String> {
+        let _span = affidavit_obs::span("dist.claim");
         match self.transport.claim(worker)? {
             None => Ok(None),
             Some(claimed) => decode_job(&claimed.envelope).map(Some),
@@ -177,6 +180,10 @@ impl<T: Transport> JobQueue for Broker<T> {
     }
 
     fn complete(&self, worker: &str, result: &JobResult) -> Result<(), String> {
+        let _span = affidavit_obs::span_with(
+            "dist.deliver",
+            vec![("job".to_owned(), result.id.to_string())],
+        );
         let envelope = encode_result(result);
         match self.transport.deliver(worker, result.id, &envelope)? {
             Delivered::Accepted => Ok(()),

@@ -12,7 +12,7 @@
 //! [`WorkerExit::BrokerLost`] so the process can exit with a distinct
 //! code.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::job::{process_job, JobOutcome};
 use crate::queue::JobQueue;
@@ -62,6 +62,14 @@ pub fn run_worker(
         match queue.steal(worker_id)? {
             Some(job) => {
                 idle_naps = 0;
+                let _span = affidavit_obs::span_with(
+                    "worker.job",
+                    vec![
+                        ("worker".to_owned(), worker_id.to_owned()),
+                        ("job".to_owned(), job.id.to_string()),
+                        ("name".to_owned(), job.name.clone()),
+                    ],
+                );
                 let result = with_heartbeats(queue, worker_id, job.id, HEARTBEAT_INTERVAL, || {
                     process_job(&job, worker_id)
                 });
@@ -97,11 +105,31 @@ fn with_heartbeats<R>(
     work: impl FnOnce() -> R,
 ) -> R {
     let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let started = Instant::now();
     std::thread::scope(|scope| {
         scope.spawn(move || loop {
             match done_rx.recv_timeout(interval) {
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                     let _ = queue.heartbeat(worker_id, id);
+                    // Each renewal doubles as a progress beacon: a point
+                    // event in the local stream, plus a diagnostic line
+                    // on stderr (inherited by the coordinator for child
+                    // workers) when observability is on.
+                    if affidavit_obs::enabled() {
+                        let elapsed = started.elapsed().as_secs();
+                        affidavit_obs::point(
+                            "worker.heartbeat",
+                            vec![
+                                ("worker".to_owned(), worker_id.to_owned()),
+                                ("job".to_owned(), id.to_string()),
+                                ("elapsed_secs".to_owned(), elapsed.to_string()),
+                            ],
+                        );
+                        affidavit_obs::diag(
+                            "worker.heartbeat",
+                            &format!("worker={worker_id} job={id} elapsed={elapsed}s"),
+                        );
+                    }
                 }
                 _ => return, // sender dropped: the job is done
             }

@@ -104,6 +104,7 @@ fn interned_entries<I: Interner>(pool: &mut I) -> Vec<AttrFunction> {
 /// The whole corpus (built fresh; callers usually go through
 /// [`corpus_candidates`], which filters by example).
 pub fn full_corpus<I: Interner>(pool: &mut I) -> Vec<AttrFunction> {
+    let _span = affidavit_obs::span("induce.corpus");
     let mut out = fixed_entries();
     out.extend(interned_entries(pool));
     out

@@ -76,6 +76,23 @@ impl ServeClient {
         }
     }
 
+    /// Ingest and pin one snapshot pair on the daemon without running a
+    /// search. Returns true when the pair was already pinned.
+    pub fn pin(&self, spec: &ExplainSpec) -> Result<bool, ClientError> {
+        match self.call(&ClientRequest::Pin { spec: spec.clone() })? {
+            ClientResponse::Pinned { warm } => Ok(warm),
+            other => Err(unexpected("pin", &other)),
+        }
+    }
+
+    /// Read the daemon's metrics registry as Prometheus-style text.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        match self.call(&ClientRequest::Metrics)? {
+            ClientResponse::MetricsReport { text } => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
     /// Read the daemon's counters.
     pub fn stats(&self) -> Result<ServeStats, ClientError> {
         match self.call(&ClientRequest::Stats)? {

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use affidavit_core::profiling::{stage_snapshot_pair, ProfileOptions};
 use affidavit_core::report::render_report;
-use affidavit_core::Affidavit;
+use affidavit_core::{Affidavit, DeadlineExceeded};
 use affidavit_dist::{configure_stream, read_frame, write_frame, FrameConfig, FrameRead};
 use affidavit_store::{
     ingest_pair, IngestOptions, PoolBackend, PoolConfig, SessionKey, SessionLru,
@@ -27,6 +27,14 @@ pub struct ServeOptions {
     pub sessions: usize,
     /// Framing configuration (stall timeout).
     pub frame: FrameConfig,
+    /// Maximum `Explain`/`Pin` requests in flight at once; further ones
+    /// are rejected with a clear busy error instead of queuing. `0` =
+    /// unlimited.
+    pub max_inflight: usize,
+    /// Wall-clock budget per `Explain` request; an overrunning search is
+    /// aborted cooperatively and answered with an error. `None` =
+    /// unlimited.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServeOptions {
@@ -35,6 +43,8 @@ impl Default for ServeOptions {
             listen: "127.0.0.1:0".to_owned(),
             sessions: 8,
             frame: FrameConfig::default(),
+            max_inflight: 0,
+            request_deadline: None,
         }
     }
 }
@@ -49,9 +59,39 @@ struct ServeShared {
     /// Live keep-alive sockets, severed on shutdown so parked clients
     /// get a hard close instead of a daemon that answers forever.
     conns: Mutex<Vec<Option<TcpStream>>>,
+    max_inflight: usize,
+    request_deadline: Option<Duration>,
+    inflight: AtomicU64,
+    busy_rejections: AtomicU64,
+    deadline_expirations: AtomicU64,
+}
+
+/// RAII inflight slot: acquired before the expensive half of a request,
+/// released however the request ends.
+#[derive(Debug)]
+struct InflightSlot<'a>(&'a ServeShared);
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl ServeShared {
+    /// Claim an inflight slot, or explain why the daemon is busy.
+    fn admit(&self) -> Result<InflightSlot<'_>, String> {
+        let now = self.inflight.fetch_add(1, Ordering::Relaxed);
+        let slot = InflightSlot(self); // released on error too
+        if self.max_inflight > 0 && now >= self.max_inflight as u64 {
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(format!(
+                "busy: {} requests already in flight (limit {})",
+                now, self.max_inflight
+            ));
+        }
+        Ok(slot)
+    }
+
     fn register(&self, stream: Option<TcpStream>) -> usize {
         let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
         conns.push(stream);
@@ -84,6 +124,34 @@ impl ServeShared {
             evictions: counters.evictions,
             connections: self.connections.load(Ordering::Relaxed),
         }
+    }
+
+    /// Publish one stats snapshot plus the limit counters into the
+    /// process-wide registry, then render the whole registry. The serve
+    /// series mirror [`ServeStats`] (and therefore `SessionCounters`)
+    /// verbatim.
+    fn render_metrics(&self) -> String {
+        let stats = self.stats();
+        let m = affidavit_obs::metrics();
+        m.set_counter("serve_requests_total", stats.requests);
+        m.set_gauge("serve_sessions", stats.sessions as f64);
+        m.set_counter("serve_ingests_total", stats.ingests);
+        m.set_counter("serve_hits_total", stats.hits);
+        m.set_counter("serve_evictions_total", stats.evictions);
+        m.set_counter("serve_connections_total", stats.connections);
+        m.set_gauge(
+            "serve_inflight",
+            self.inflight.load(Ordering::Relaxed) as f64,
+        );
+        m.set_counter(
+            "serve_busy_rejections_total",
+            self.busy_rejections.load(Ordering::Relaxed),
+        );
+        m.set_counter(
+            "serve_deadline_expirations_total",
+            self.deadline_expirations.load(Ordering::Relaxed),
+        );
+        m.render_prometheus()
     }
 }
 
@@ -150,6 +218,11 @@ pub fn serve(opts: &ServeOptions) -> Result<ServeHandle, String> {
         shutdown: AtomicBool::new(false),
         frame: opts.frame,
         conns: Mutex::new(Vec::new()),
+        max_inflight: opts.max_inflight,
+        request_deadline: opts.request_deadline,
+        inflight: AtomicU64::new(0),
+        busy_rejections: AtomicU64::new(0),
+        deadline_expirations: AtomicU64::new(0),
     });
     let accept_shared = Arc::clone(&shared);
     let accept = std::thread::spawn(move || {
@@ -222,15 +295,34 @@ fn serve_connection(mut stream: TcpStream, shared: &ServeShared) {
 
 /// Execute one (non-shutdown) request.
 fn answer(request: &ClientRequest, shared: &ServeShared) -> ClientResponse {
+    let op = match request {
+        ClientRequest::Ping => "ping",
+        ClientRequest::Explain { .. } => "explain",
+        ClientRequest::Pin { .. } => "pin",
+        ClientRequest::Stats => "stats",
+        ClientRequest::Metrics => "metrics",
+        ClientRequest::Shutdown => "shutdown",
+    };
+    let _span = affidavit_obs::span_with("serve.request", vec![("op".to_owned(), op.to_owned())]);
     match request {
         ClientRequest::Ping => ClientResponse::Pong,
         ClientRequest::Stats => ClientResponse::StatsReport {
             stats: shared.stats(),
         },
+        ClientRequest::Metrics => ClientResponse::MetricsReport {
+            text: shared.render_metrics(),
+        },
         ClientRequest::Explain { spec } => {
             shared.requests.fetch_add(1, Ordering::Relaxed);
-            match explain(spec, shared) {
+            match shared.admit().and_then(|_slot| explain(spec, shared)) {
                 Ok(reply) => ClientResponse::Report { reply },
+                Err(message) => ClientResponse::Error { message },
+            }
+        }
+        ClientRequest::Pin { spec } => {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            match shared.admit().and_then(|_slot| pin(spec, shared)) {
+                Ok(warm) => ClientResponse::Pinned { warm },
                 Err(message) => ClientResponse::Error { message },
             }
         }
@@ -243,6 +335,62 @@ fn answer(request: &ClientRequest, shared: &ServeShared) -> ClientResponse {
 /// search state (`Affidavit::new` per request), so concurrent requests
 /// and warm repeats produce exactly the bytes of a one-shot run.
 fn explain(spec: &ExplainSpec, shared: &ServeShared) -> Result<ReportReply, String> {
+    let deadline = shared
+        .request_deadline
+        .map(|budget| Instant::now() + budget);
+    let (pair, warm, opts) = staged_pair(spec, shared)?;
+    let mut instance = {
+        let _span = affidavit_obs::span("serve.stage");
+        stage_snapshot_pair(pair, &opts)?
+    };
+    let started = Instant::now();
+    let outcome = {
+        let _span = affidavit_obs::span("serve.search");
+        Affidavit::new(spec.config.clone())
+            .explain_until(&mut instance, deadline)
+            .map_err(|DeadlineExceeded| {
+                shared.deadline_expirations.fetch_add(1, Ordering::Relaxed);
+                format!(
+                    "request exceeded its deadline ({:?})",
+                    shared.request_deadline.unwrap_or_default()
+                )
+            })?
+    };
+    let millis = started.elapsed().as_millis() as u64;
+    let _span = affidavit_obs::span("serve.respond");
+    let report = render_report(&outcome.explanation, &instance);
+    // The post-read enforcement hook: a read-heavy request only ever
+    // faults disk-pool segments *in*, so resident bytes are pushed back
+    // under budget between requests.
+    if let Ok(mut sessions) = shared.sessions.lock() {
+        sessions.enforce_budgets();
+    }
+    Ok(ReportReply {
+        report,
+        polled: outcome.stats.polled as u64,
+        generated: outcome.stats.states_generated as u64,
+        millis,
+        warm,
+    })
+}
+
+/// Pre-warm the session cache: ingest and pin without searching.
+/// Returns whether the pair was already pinned.
+fn pin(spec: &ExplainSpec, shared: &ServeShared) -> Result<bool, String> {
+    let (_pair, warm, _opts) = staged_pair(spec, shared)?;
+    if let Ok(mut sessions) = shared.sessions.lock() {
+        sessions.enforce_budgets();
+    }
+    Ok(warm)
+}
+
+/// The session hot path shared by `Explain` and `Pin`: key the pair by
+/// file content + pool configuration and pin-or-reuse it. `warm` is
+/// true when the request performed zero ingestion work.
+fn staged_pair(
+    spec: &ExplainSpec,
+    shared: &ServeShared,
+) -> Result<(affidavit_store::SnapshotPair, bool, ProfileOptions), String> {
     let backend: PoolBackend = spec.pool_backend.parse()?;
     let pool_cfg = PoolConfig {
         backend,
@@ -266,28 +414,60 @@ fn explain(spec: &ExplainSpec, shared: &ServeShared) -> Result<ReportReply, Stri
             sessions.get_or_ingest(key, || ingest_pair(src, tgt, &ingest_opts, &pool_cfg))?;
         (pair, sessions.counters().ingests == ingests_before)
     };
+    affidavit_obs::point("serve.session", vec![("warm".to_owned(), warm.to_string())]);
     let opts = ProfileOptions {
         config: spec.config.clone(),
         align: spec.align,
         ingest: ingest_opts,
         pool: pool_cfg,
     };
-    let mut instance = stage_snapshot_pair(pair, &opts)?;
-    let started = Instant::now();
-    let outcome = Affidavit::new(spec.config.clone()).explain(&mut instance);
-    let millis = started.elapsed().as_millis() as u64;
-    let report = render_report(&outcome.explanation, &instance);
-    // The post-read enforcement hook (satellite of the same PR): a
-    // read-heavy request only ever faults disk-pool segments *in*, so
-    // resident bytes are pushed back under budget between requests.
-    if let Ok(mut sessions) = shared.sessions.lock() {
-        sessions.enforce_budgets();
+    Ok((pair, warm, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_with_limit(max_inflight: usize) -> ServeShared {
+        ServeShared {
+            sessions: Mutex::new(SessionLru::new(2)),
+            requests: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            frame: FrameConfig::default(),
+            conns: Mutex::new(Vec::new()),
+            max_inflight,
+            request_deadline: None,
+            inflight: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            deadline_expirations: AtomicU64::new(0),
+        }
     }
-    Ok(ReportReply {
-        report,
-        polled: outcome.stats.polled as u64,
-        generated: outcome.stats.states_generated as u64,
-        millis,
-        warm,
-    })
+
+    #[test]
+    fn the_inflight_gate_admits_to_the_limit_and_releases_on_drop() {
+        let shared = shared_with_limit(2);
+        let a = shared.admit().expect("slot 1 of 2");
+        let _b = shared.admit().expect("slot 2 of 2");
+        let err = shared.admit().expect_err("slot 3 must be rejected");
+        assert!(err.contains("busy"), "{err}");
+        assert!(err.contains("limit 2"), "{err}");
+        assert_eq!(shared.busy_rejections.load(Ordering::Relaxed), 1);
+        // The rejected attempt released its provisional slot, and a
+        // finished request frees capacity for the next admission.
+        assert_eq!(shared.inflight.load(Ordering::Relaxed), 2);
+        drop(a);
+        let _c = shared.admit().expect("freed slot is reusable");
+        assert_eq!(shared.inflight.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn an_unlimited_gate_never_rejects() {
+        let shared = shared_with_limit(0);
+        let slots: Vec<_> = (0..64).map(|_| shared.admit().unwrap()).collect();
+        assert_eq!(shared.inflight.load(Ordering::Relaxed), 64);
+        assert_eq!(shared.busy_rejections.load(Ordering::Relaxed), 0);
+        drop(slots);
+        assert_eq!(shared.inflight.load(Ordering::Relaxed), 0);
+    }
 }

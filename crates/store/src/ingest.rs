@@ -122,16 +122,21 @@ pub fn read_stream<R: BufRead>(
     pool: &mut ValuePool,
     opts: &IngestOptions,
 ) -> Result<Table, TableError> {
+    let _span = affidavit_obs::span("ingest.stream");
     let threads = effective_threads(opts.threads);
     if threads <= 1 {
         // The serial case *is* the table crate's streaming reader; one
-        // canonical implementation, no scratch/absorb overhead.
-        return affidavit_table::csv::read_buffered_with(
+        // canonical implementation, no scratch/absorb overhead. It still
+        // meters `ingest_rows_total`: the series counts records streamed
+        // through this entry point, not a particular worker topology.
+        let table = affidavit_table::csv::read_buffered_with(
             reader,
             pool,
             opts.csv,
             opts.chunk_rows.max(1),
-        );
+        )?;
+        affidavit_obs::metrics().add_counter("ingest_rows_total", table.len() as u64);
+        return Ok(table);
     }
     let tp = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
@@ -200,6 +205,7 @@ fn ingest<R: BufRead>(
         // Phase 1 (parallel, read-only): parse + intern each chunk against
         // the frozen pool.
         let outs: Vec<ChunkOut> = {
+            let _span = affidavit_obs::span("ingest.parse");
             let reader = pool.reader();
             let work = |chunk: &CsvChunk| process_chunk(chunk, reader, arity, csv);
             if threads > 1 && batch.len() > 1 {
@@ -208,8 +214,10 @@ fn ingest<R: BufRead>(
                 batch.iter().map(work).collect()
             }
         };
+        affidavit_obs::metrics().add_counter("ingest_chunks_total", outs.len() as u64);
         // Phase 2 (sequential, chunk order): absorb each worker's new
         // strings, rewrite its rows through the remap, append.
+        let _span = affidavit_obs::span("ingest.absorb");
         for out in outs {
             let chunk_row_base = rows_done;
             let remap = pool.absorb(out.base_len, &out.new_strings);
@@ -242,6 +250,7 @@ fn ingest<R: BufRead>(
             return Err(err);
         }
     }
+    affidavit_obs::metrics().add_counter("ingest_rows_total", rows_done as u64);
     Ok(table)
 }
 

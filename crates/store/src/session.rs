@@ -117,6 +117,17 @@ pub struct SessionCounters {
     pub evictions: u64,
 }
 
+impl SessionCounters {
+    /// Publish these counters into the process-wide metrics registry
+    /// under the `session_*` series, verbatim.
+    pub fn publish(&self) {
+        let m = affidavit_obs::metrics();
+        m.set_counter("session_ingests_total", self.ingests);
+        m.set_counter("session_hits_total", self.hits);
+        m.set_counter("session_evictions_total", self.evictions);
+    }
+}
+
 #[derive(Debug)]
 struct SessionEntry {
     pair: SnapshotPair,
@@ -157,9 +168,14 @@ impl SessionLru {
         if let Some(entry) = self.entries.get_mut(&key) {
             entry.last_used = self.tick;
             self.counters.hits += 1;
+            self.counters.publish();
+            affidavit_obs::point("session.hit", Vec::new());
             return Ok(entry.pair.clone());
         }
-        let pair = ingest()?;
+        let pair = {
+            let _span = affidavit_obs::span("session.ingest");
+            ingest()?
+        };
         self.counters.ingests += 1;
         if self.entries.len() >= self.capacity {
             let victim = self
@@ -179,6 +195,7 @@ impl SessionLru {
                 last_used: self.tick,
             },
         );
+        self.counters.publish();
         Ok(pair)
     }
 

@@ -13,6 +13,8 @@
 //!   problem instances (job queue, filesystem broker, worker processes).
 //! * [`serve`] — the resident explain daemon: framed client API over
 //!   pinned, fingerprint-keyed snapshot sessions.
+//! * [`obs`] — unified tracing, metrics and phase profiling: a pure
+//!   side channel (output bytes are identical with it on or off).
 //! * [`datagen`] — the §5.1 synthetic problem-instance protocol.
 //! * [`datasets`] — evaluation dataset generators and the Figure 1 example.
 //! * [`baselines`] — keyed diff, exact solver, similarity linker, 3-SAT
@@ -41,6 +43,7 @@ pub use affidavit_datagen as datagen;
 pub use affidavit_datasets as datasets;
 pub use affidavit_dist as dist;
 pub use affidavit_functions as functions;
+pub use affidavit_obs as obs;
 pub use affidavit_serve as serve;
 pub use affidavit_store as store;
 pub use affidavit_table as table;

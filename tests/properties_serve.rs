@@ -121,6 +121,116 @@ fn served_reports_match_one_shot_across_the_matrix() {
 }
 
 #[test]
+fn pin_prewarms_a_session_without_searching() {
+    let dir = std::env::temp_dir().join("affidavit-serve-pin");
+    std::fs::remove_dir_all(&dir).ok();
+    let (src, tgt) = write_pair(&dir);
+    let spec = spec_for(&src, &tgt, "id", 1, "ram");
+    let mut daemon = serve(&ServeOptions::default()).unwrap();
+    let client = ServeClient::new(daemon.local_addr().to_string());
+
+    // A cold pin ingests; no search runs, so no hit is recorded.
+    assert!(!client.pin(&spec).unwrap(), "first pin must be cold");
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.ingests, stats.hits), (1, 0), "pin must not search");
+    assert_eq!(stats.sessions, 1);
+
+    // The pre-warmed explain is a guaranteed session hit …
+    let reply = client.explain(&spec).unwrap();
+    assert!(reply.warm, "explain after pin must reuse the pinned pair");
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.ingests, stats.hits), (1, 1));
+
+    // … and re-pinning the same pair is free.
+    assert!(client.pin(&spec).unwrap(), "repeat pin must be warm");
+    assert_eq!(client.stats().unwrap().ingests, 1);
+
+    client.shutdown().unwrap();
+    daemon.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn the_metrics_op_mirrors_the_session_counters() {
+    let dir = std::env::temp_dir().join("affidavit-serve-metrics");
+    std::fs::remove_dir_all(&dir).ok();
+    let (src, tgt) = write_pair(&dir);
+    let spec = spec_for(&src, &tgt, "id", 1, "ram");
+    let mut daemon = serve(&ServeOptions::default()).unwrap();
+    let client = ServeClient::new(daemon.local_addr().to_string());
+
+    client.explain(&spec).unwrap();
+    client.explain(&spec).unwrap();
+    let stats = client.stats().unwrap();
+    let text = client.metrics().unwrap();
+
+    // Prometheus-style exposition: typed, one sample line per series,
+    // and the serve series equal the daemon's own counters exactly.
+    assert!(
+        text.contains("# TYPE serve_requests_total counter"),
+        "{text}"
+    );
+    for (series, value) in [
+        ("serve_requests_total", stats.requests),
+        ("serve_ingests_total", stats.ingests),
+        ("serve_hits_total", stats.hits),
+        ("serve_evictions_total", stats.evictions),
+        ("serve_busy_rejections_total", 0),
+        ("serve_deadline_expirations_total", 0),
+    ] {
+        let line = format!("{series} {value}");
+        assert!(
+            text.lines().any(|l| l == line),
+            "expected `{line}` in:\n{text}"
+        );
+    }
+    assert!(text.lines().any(|l| l == "serve_sessions 1"), "{text}");
+    // The searches the daemon ran published into the same registry.
+    assert!(text.contains("search_polled"), "{text}");
+
+    client.shutdown().unwrap();
+    daemon.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn an_expired_request_deadline_is_a_clean_rejection() {
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join("affidavit-serve-deadline");
+    std::fs::remove_dir_all(&dir).ok();
+    let (src, tgt) = write_pair(&dir);
+    let spec = spec_for(&src, &tgt, "id", 1, "ram");
+    let opts = ServeOptions {
+        request_deadline: Some(Duration::ZERO),
+        ..ServeOptions::default()
+    };
+    let mut daemon = serve(&opts).unwrap();
+    let client = ServeClient::new(daemon.local_addr().to_string());
+
+    // A zero budget expires before the first search iteration: the
+    // request is answered with an error, not a hang or a partial report.
+    let err = client.explain(&spec).expect_err("deadline must expire");
+    match err {
+        affidavit_serve::ClientError::Rejected(message) => {
+            assert!(message.contains("deadline"), "{message}");
+        }
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+    // The daemon survives, and the deadline only aborted the search:
+    // ingestion had already pinned the pair, so a pin (which never
+    // searches) is warm and unaffected by the same deadline.
+    let stats = daemon.stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.ingests, 1, "the aborted request still ingested");
+    assert!(client.pin(&spec).unwrap());
+
+    client.shutdown().unwrap();
+    daemon.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn concurrent_clients_get_identical_bytes_from_one_warm_session() {
     let dir = std::env::temp_dir().join("affidavit-serve-concurrent");
     std::fs::remove_dir_all(&dir).ok();
