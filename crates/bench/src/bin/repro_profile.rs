@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use affidavit_bench::args::Args;
+use affidavit_bench::speedup;
 use affidavit_core::profiling::{profile_dirs, ProfileOptions, TableOutcome};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datasets::specs::all_specs;
@@ -229,6 +230,41 @@ fn main() {
         std::fs::write(path, json).expect("write frontier bench json");
         println!("wrote {path}");
     }
+
+    // Incremental re-profiling benchmark: a snapshot-pair corpus profiled
+    // through `delta::profile_dirs_delta` at increasing dirty fractions.
+    // The spliced profile must stay byte-identical (timing stripped) to
+    // the from-scratch `profile_dirs` at every fraction, redo work must
+    // scale with the dirty fraction, and a fully clean rerun must redo
+    // nothing.
+    let delta_tables = args.get_or("delta-tables", 40usize);
+    let delta_rows = args.get_or("delta-rows", 60usize);
+    let delta = bench_delta(delta_tables, delta_rows, seed, align);
+    println!(
+        "\nincremental re-profiling ({} tables, {} row cap): full profile {:.3}s",
+        delta.tables, delta.rows_cap, delta.full_profile_secs
+    );
+    for (i, &f) in delta.dirty_fractions.iter().enumerate() {
+        println!(
+            "  {:>5.1}% dirty ({:>2} tables edited): {:.3}s ({:.2}x vs full) | {}/{} blocks redone | {} pairs spliced, {} redone, {} fallbacks",
+            f * 100.0,
+            delta.dirty_tables[i],
+            delta.delta_secs[i],
+            delta.speedup_vs_full[i],
+            delta.blocks_redone[i],
+            delta.blocks_total[i],
+            delta.pairs_spliced[i],
+            delta.pairs_redone[i],
+            delta.fallbacks[i],
+        );
+    }
+    println!("  deterministic = {}", delta.deterministic);
+    if args.get_str("bench-json").is_some() || args.get_str("delta-json").is_some() {
+        let path = args.get_str("delta-json").unwrap_or("BENCH_delta.json");
+        let json = serde_json::to_string_pretty(&delta).expect("serializable");
+        std::fs::write(path, json).expect("write delta bench json");
+        println!("wrote {path}");
+    }
 }
 
 /// One measured (transport, worker-count) configuration of the
@@ -375,8 +411,8 @@ fn bench_dist(
         tables,
         jobs,
         rows,
-        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        hardware_threads: speedup::hardware_threads(),
+        speedup_valid: speedup::warn_if_invalid(),
         deterministic,
     }
 }
@@ -538,7 +574,7 @@ fn bench_ingest(
         runs,
         threads,
         chunk_rows,
-        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        hardware_threads: speedup::hardware_threads(),
         serial_read_str_secs: serial,
         stream_secs_serial: stream1,
         stream_secs_parallel: stream_n,
@@ -547,7 +583,7 @@ fn bench_ingest(
         disk_backend_secs: disk,
         disk_budget_bytes,
         disk_spilled_bytes: spilled,
-        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        speedup_valid: speedup::warn_if_invalid(),
         deterministic,
     }
 }
@@ -693,7 +729,7 @@ fn bench_frontier(
         attrs: spec.attrs,
         runs,
         threads,
-        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        hardware_threads: speedup::hardware_threads(),
         widths: widths.to_vec(),
         total_secs,
         speedup_vs_width1,
@@ -701,7 +737,7 @@ fn bench_frontier(
         speculation_discarded,
         polled: polled / runs.max(1),
         expansions: expansions / runs.max(1),
-        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        speedup_valid: speedup::warn_if_invalid(),
         deterministic,
     }
 }
@@ -905,13 +941,214 @@ fn bench_columnar(rows: usize, seed: u64, runs: usize) -> ColumnarBench {
         rows: n,
         attrs: arity,
         runs,
-        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        hardware_threads: speedup::hardware_threads(),
         apply_row_major_secs: mean(apply_row),
         apply_columnar_secs: mean(apply_col),
         apply_speedup: mean(apply_row) / mean(apply_col).max(1e-12),
         refine_row_major_secs: mean(refine_row),
         refine_columnar_secs: mean(refine_col),
         refine_speedup: mean(refine_row) / mean(refine_col).max(1e-12),
+        speedup_valid: true,
+        deterministic,
+    }
+}
+
+/// Incremental re-profiling measurement, serialized into
+/// `BENCH_delta.json` at the repo root. One snapshot-pair corpus is
+/// re-profiled through the `--delta` manifest at each dirty fraction
+/// (the first `⌈f·N⌉` target tables get one appended row); the indexed
+/// vectors line up with `dirty_fractions`. Every delta run must render
+/// byte-identically (timing stripped) to a from-scratch `profile_dirs`
+/// over the same edited directories, `blocks_redone` must be 0 at a 0%
+/// dirty fraction and non-decreasing across fractions.
+#[derive(serde::Serialize)]
+struct DeltaBench {
+    /// Table pairs in the corpus.
+    tables: usize,
+    /// Row cap per generated table.
+    rows_cap: usize,
+    /// Hardware threads available on the measuring machine.
+    hardware_threads: usize,
+    /// Wall-clock seconds for one from-scratch profile of the pristine
+    /// corpus (the baseline every delta run is compared against).
+    full_profile_secs: f64,
+    /// The dirty fractions measured.
+    dirty_fractions: Vec<f64>,
+    /// Target tables actually edited at each fraction (`⌈f·N⌉`).
+    dirty_tables: Vec<usize>,
+    /// Fingerprint groups seen at each fraction.
+    blocks_total: Vec<u64>,
+    /// Groups spliced from the manifest at each fraction.
+    blocks_reused: Vec<u64>,
+    /// Groups that re-entered the search at each fraction — ≈0 when
+    /// nothing is dirty, scaling with the dirty fraction.
+    blocks_redone: Vec<u64>,
+    /// Pairs spliced without a search at each fraction.
+    pairs_spliced: Vec<u64>,
+    /// Pairs that re-entered the search at each fraction.
+    pairs_redone: Vec<u64>,
+    /// Broken-manifest fallbacks at each fraction (must be 0: plain data
+    /// dirt is a redo, not a fallback).
+    fallbacks: Vec<u64>,
+    /// Wall-clock seconds of the delta run at each fraction.
+    delta_secs: Vec<f64>,
+    /// `full_profile_secs / delta_secs[i]`.
+    speedup_vs_full: Vec<f64>,
+    /// True: splice-vs-search is not a thread-scaling comparison, so the
+    /// ratio is meaningful on any machine, including one hardware thread
+    /// (recorded per the `hardware_threads` convention).
+    speedup_valid: bool,
+    /// Every delta run rendered byte-identically (timing stripped) to
+    /// the from-scratch profile of the same edited directories.
+    deterministic: bool,
+}
+
+fn bench_delta(tables: usize, rows_cap: usize, seed: u64, align: bool) -> DeltaBench {
+    use affidavit_core::delta::{default_profile_state, profile_dirs_delta};
+
+    let canonical = |mut p: affidavit_core::profiling::SnapshotProfile| {
+        p.strip_timing();
+        format!("{}\n{}", p.render(), p.to_json())
+    };
+    let copy_dir = |from: &std::path::Path, to: &std::path::Path| {
+        std::fs::create_dir_all(to).expect("copy dir");
+        for entry in std::fs::read_dir(from).expect("read dir") {
+            let entry = entry.expect("dir entry");
+            std::fs::copy(entry.path(), to.join(entry.file_name())).expect("copy file");
+        }
+    };
+
+    let root = std::env::temp_dir().join(format!("affidavit-bench-delta-{seed}"));
+    std::fs::remove_dir_all(&root).ok();
+    let before = root.join("before");
+    let pristine = root.join("after-pristine");
+    std::fs::create_dir_all(&before).expect("temp dir");
+    std::fs::create_dir_all(&pristine).expect("temp dir");
+
+    let specs = all_specs();
+    for i in 0..tables {
+        let spec = &specs[i % specs.len()];
+        let s = seed.wrapping_add(0xDE17A).wrapping_add(i as u64);
+        let rows = spec.rows.min(rows_cap);
+        let (base, pool) = generate_rows(spec, rows, s);
+        let generated = Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, s)).materialize_full();
+        let name = format!("{}_{i:03}", spec.name);
+        for (dir, table) in [
+            (&before, &generated.instance.source),
+            (&pristine, &generated.instance.target),
+        ] {
+            csv::write_path(
+                dir.join(format!("{name}.csv")),
+                table,
+                &generated.instance.pool,
+                csv::CsvOptions::default(),
+            )
+            .expect("write snapshot CSV");
+        }
+    }
+
+    let opts = ProfileOptions {
+        align,
+        ..ProfileOptions::default()
+    };
+    let started = Instant::now();
+    profile_dirs(&before, &pristine, &opts).expect("full profile");
+    let full_profile_secs = started.elapsed().as_secs_f64();
+    // Seed the manifest with one pristine delta run (a full redo); the
+    // manifest lands at the default in-directory state path, so copying
+    // the directory below carries it along.
+    profile_dirs_delta(&before, &pristine, &opts, &default_profile_state(&pristine))
+        .expect("seed manifest");
+
+    let fractions = [0.0f64, 0.001, 0.01, 0.1, 1.0];
+    let mut dirty_tables = Vec::new();
+    let mut blocks_total = Vec::new();
+    let mut blocks_reused = Vec::new();
+    let mut blocks_redone = Vec::new();
+    let mut pairs_spliced = Vec::new();
+    let mut pairs_redone = Vec::new();
+    let mut fallbacks = Vec::new();
+    let mut delta_secs = Vec::new();
+    let mut speedup_vs_full = Vec::new();
+    let mut deterministic = true;
+    for &fraction in &fractions {
+        let dirty = ((fraction * tables as f64).ceil() as usize).min(tables);
+        // A fresh copy of the pristine target directory, seeded manifest
+        // included; `before` is shared (sources never change here).
+        let after = root.join(format!("after-{}", (fraction * 1000.0) as u64));
+        copy_dir(&pristine, &after);
+        // Edit the first `dirty` target tables (stem order): append a
+        // duplicate of the last data row — a row insert the explanation
+        // must newly account for, so the pair cannot be spliced.
+        let mut stems: Vec<PathBuf> = std::fs::read_dir(&after)
+            .expect("read dir")
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "csv"))
+            .collect();
+        stems.sort();
+        for path in stems.iter().take(dirty) {
+            let text = std::fs::read_to_string(path).expect("read target CSV");
+            let last = text.lines().last().expect("a data row").to_owned();
+            let mut edited = text;
+            if !edited.ends_with('\n') {
+                edited.push('\n');
+            }
+            edited.push_str(&last);
+            edited.push('\n');
+            std::fs::write(path, edited).expect("write edited CSV");
+        }
+        let started = Instant::now();
+        let (profile, stats) =
+            profile_dirs_delta(&before, &after, &opts, &default_profile_state(&after))
+                .expect("delta profile");
+        let secs = started.elapsed().as_secs_f64();
+        let scratch = profile_dirs(&before, &after, &opts).expect("from-scratch profile");
+        deterministic &= canonical(profile) == canonical(scratch);
+        if dirty == 0 {
+            assert_eq!(
+                stats.blocks_redone, 0,
+                "a clean rerun must splice every pair without redoing a block"
+            );
+        }
+        assert_eq!(
+            stats.pairs_redone, dirty as u64,
+            "exactly the edited pairs must re-enter the search"
+        );
+        assert_eq!(stats.fallbacks, 0, "plain data dirt must not be a fallback");
+        dirty_tables.push(dirty);
+        blocks_total.push(stats.blocks_total);
+        blocks_reused.push(stats.blocks_reused);
+        blocks_redone.push(stats.blocks_redone);
+        pairs_spliced.push(stats.pairs_spliced);
+        pairs_redone.push(stats.pairs_redone);
+        fallbacks.push(stats.fallbacks);
+        delta_secs.push(secs);
+        speedup_vs_full.push(full_profile_secs / secs.max(1e-12));
+    }
+    assert!(
+        blocks_redone.windows(2).all(|w| w[0] <= w[1]),
+        "redone blocks must be non-decreasing in the dirty fraction: {blocks_redone:?}"
+    );
+    assert!(
+        deterministic,
+        "every delta run must render the from-scratch profile byte-identically"
+    );
+    std::fs::remove_dir_all(&root).ok();
+    DeltaBench {
+        tables,
+        rows_cap,
+        hardware_threads: speedup::hardware_threads(),
+        full_profile_secs,
+        dirty_fractions: fractions.to_vec(),
+        dirty_tables,
+        blocks_total,
+        blocks_reused,
+        blocks_redone,
+        pairs_spliced,
+        pairs_redone,
+        fallbacks,
+        delta_secs,
+        speedup_vs_full,
         speedup_valid: true,
         deterministic,
     }
@@ -955,11 +1192,11 @@ fn bench_extension_phase(rows: usize, seed: u64, runs: usize, threads: usize) ->
         attrs: spec.attrs,
         runs,
         threads,
-        hardware_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        hardware_threads: speedup::hardware_threads(),
         extension_secs_serial: ext_serial,
         extension_secs_parallel: ext_parallel,
         extension_speedup: ext_serial / ext_parallel.max(1e-12),
-        speedup_valid: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        speedup_valid: speedup::warn_if_invalid(),
         total_secs_serial: total_serial,
         total_secs_parallel: total_parallel,
         deterministic: fp_serial == fp_parallel,

@@ -31,5 +31,6 @@
 pub mod args;
 pub mod harness;
 pub mod report;
+pub mod speedup;
 
 pub use harness::{run_cell, CellResult, ConfigKind};

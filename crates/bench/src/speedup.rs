@@ -1,0 +1,87 @@
+//! Parallel-speedup validity for the benchmark JSON artifacts.
+//!
+//! Every `BENCH_*.json` that reports a thread-scaling ratio carries a
+//! `hardware_threads` / `speedup_valid` pair so a reader can tell a real
+//! slowdown from measurement noise on a machine that cannot physically
+//! run two threads at once. The repro binaries all derive both fields
+//! from this module (instead of each re-querying
+//! `std::thread::available_parallelism()` inline), and
+//! [`warn_if_invalid`] prints one explicit stderr warning on such hosts
+//! so a CI log shows *why* the speedup columns are flat.
+
+use std::sync::Once;
+
+/// Hardware threads available on the measuring machine, as reported by
+/// `std::thread::available_parallelism()` (1 when the query fails).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// True when this host can physically exhibit parallel speedup.
+pub fn speedup_valid() -> bool {
+    speedup_valid_for(hardware_threads())
+}
+
+/// The predicate behind [`speedup_valid`], split out so it is unit
+/// testable without depending on the host the tests run on: a speedup
+/// ratio is only meaningful with more than one hardware thread.
+pub fn speedup_valid_for(hardware_threads: usize) -> bool {
+    hardware_threads > 1
+}
+
+/// The warning for a host whose speedup columns are noise, or `None`
+/// when the measurement is valid. Names `available_parallelism()`
+/// explicitly so the log points at the actual signal consulted.
+pub fn invalid_speedup_warning(hardware_threads: usize) -> Option<String> {
+    if speedup_valid_for(hardware_threads) {
+        return None;
+    }
+    Some(format!(
+        "warning: std::thread::available_parallelism() reports {hardware_threads} hardware \
+         thread(s); parallel speedup ratios in this run are measurement noise \
+         (speedup_valid = false in the emitted JSON)"
+    ))
+}
+
+/// Print [`invalid_speedup_warning`] to stderr — once per process, no
+/// matter how many benchmarks a binary runs. Returns the validity so
+/// callers can thread it straight into their JSON structs.
+pub fn warn_if_invalid() -> bool {
+    static ONCE: Once = Once::new();
+    let threads = hardware_threads();
+    if let Some(warning) = invalid_speedup_warning(threads) {
+        ONCE.call_once(|| eprintln!("{warning}"));
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_single_hardware_thread_invalidates_speedup() {
+        assert!(!speedup_valid_for(1));
+        assert!(speedup_valid_for(2));
+        assert!(speedup_valid_for(64));
+    }
+
+    #[test]
+    fn the_warning_names_the_parallelism_query() {
+        let warning = invalid_speedup_warning(1).expect("1 thread must warn");
+        assert!(
+            warning.contains("available_parallelism()"),
+            "the warning must name the signal it consulted: {warning}"
+        );
+        assert!(warning.contains("speedup_valid = false"), "{warning}");
+        assert_eq!(invalid_speedup_warning(2), None);
+        assert_eq!(invalid_speedup_warning(8), None);
+    }
+
+    #[test]
+    fn host_queries_are_consistent() {
+        assert_eq!(speedup_valid(), speedup_valid_for(hardware_threads()));
+        assert!(hardware_threads() >= 1);
+    }
+}

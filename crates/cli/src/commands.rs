@@ -15,18 +15,19 @@ pub const USAGE: &str = "\
 affidavit — explain differences between unaligned table snapshots (EDBT 2020)
 
 USAGE:
-  affidavit explain <source.csv> <target.csv> [SEARCH] [INGESTION]
+  affidavit explain <source.csv> <target.csv> [SEARCH] [INGESTION] [INCREMENTAL]
                     [--align] [--sql TABLE] [--trace] [--save F.json] [--stable]
   affidavit diff    <source.csv> <target.csv> --key COL[,COL...]
   affidavit apply   <source.csv> <target.csv> <unseen.csv> [SEARCH] [--out FILE]
   affidavit apply   --explanation F.json <unseen.csv> [--out FILE]
   affidavit gen     <dataset> [--eta F] [--tau F] [--rows N] [--seed N] --out-dir DIR
   affidavit profile <source_dir> <target_dir> [SEARCH] [INGESTION] [DISTRIBUTED]
-                    [--align] [--json FILE] [--stable]
+                    [INCREMENTAL] [--align] [--json FILE] [--stable]
   affidavit serve   [--listen ADDR] [--sessions N] [--max-inflight N]
                     [--request-deadline-secs N]
   affidavit client  --connect HOST:PORT <source.csv> <target.csv> [SEARCH]
-                    [INGESTION] [--align] [--stable] [--format human|json]
+                    [INGESTION] [INCREMENTAL] [--align] [--stable]
+                    [--format human|json]
   affidavit client  --connect HOST:PORT (--ping | --server-stats | --metrics
                     | --shutdown | --pin <source.csv> <target.csv>)
   affidavit help
@@ -62,6 +63,22 @@ INGESTION FLAGS (explain, profile):
                            budget below.
   --pool-budget-bytes N    RAM budget for the disk backend's resident string
                            bytes, in bytes (default: 67108864 = 64 MiB).
+
+INCREMENTAL FLAGS (explain, profile, client):
+  --delta                  Reuse the previous run's results for unchanged
+                           table pairs: block fingerprints are diffed
+                           against the run's manifest, clean pairs splice
+                           their stored report, and only dirty pairs
+                           re-enter the search. Output is byte-identical
+                           to a from-scratch run; a broken or stale
+                           manifest falls back to a full redo, never a
+                           wrong answer (default: off).
+  --delta-state DIR        Directory holding the delta manifest. On the
+                           client this names a directory on the server
+                           (default: a sibling of the target —
+                           <target.csv>.affidavit-delta.json for explain,
+                           <target_dir>/.affidavit-delta.json for
+                           profile).
 
 DISTRIBUTED FLAGS (profile):
   --workers N              Fan table pairs out to N affidavit-worker child
@@ -276,6 +293,44 @@ pub fn explain(args: &[String]) -> Result<(), String> {
     };
     let cfg = build_config(&p)?;
     let (ingest_opts, pool_cfg) = build_ingest(&p, cfg.threads)?;
+    if p.has("delta-state") && !p.has("delta") {
+        return Err("--delta-state requires --delta".to_owned());
+    }
+    if p.has("delta") {
+        // A spliced run performs no fresh search, so the flags that
+        // expose search internals cannot be answered from the manifest.
+        for flag in ["trace", "sql", "save"] {
+            if p.has(flag) {
+                return Err(format!(
+                    "--{flag} does not combine with --delta (a spliced run performs no fresh search)"
+                ));
+            }
+        }
+        let opts = affidavit_core::profiling::ProfileOptions {
+            config: cfg,
+            align: p.has("align"),
+            ingest: ingest_opts,
+            pool: pool_cfg,
+        };
+        let state = match p.flag_value("delta-state") {
+            Some(dir) => Path::new(dir).join("explain.affidavit-delta.json"),
+            None => affidavit_core::delta::default_explain_state(Path::new(tgt)),
+        };
+        let outcome =
+            affidavit_core::delta::explain_delta(Path::new(src), Path::new(tgt), &opts, &state)?;
+        affidavit_obs::diag("delta", &outcome.stats.summary());
+        println!("{}", outcome.report);
+        let duration = if p.has("stable") {
+            std::time::Duration::ZERO
+        } else {
+            outcome.duration
+        };
+        println!(
+            "search: {} states polled, {} generated, {duration:?}",
+            outcome.polled, outcome.generated
+        );
+        return Ok(());
+    }
     let mut pool = pool_cfg.build().map_err(|e| e.to_string())?;
     let mut instance = if p.has("align") {
         // §6 future work: align renamed/reordered target columns by
@@ -399,6 +454,14 @@ pub fn profile(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("bad --{name} {v:?} (seconds)")),
         }
     };
+    if p.has("delta-state") && !p.has("delta") {
+        return Err("--delta-state requires --delta".to_owned());
+    }
+    if p.has("delta") && workers > 0 {
+        return Err(
+            "--delta does not combine with --workers (incremental state is per-process)".to_owned(),
+        );
+    }
     let mut profile = if workers == 0 {
         for flag in [
             "transport",
@@ -413,7 +476,22 @@ pub fn profile(args: &[String]) -> Result<(), String> {
                 ));
             }
         }
-        affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?
+        if p.has("delta") {
+            let state = match p.flag_value("delta-state") {
+                Some(dir) => Path::new(dir).join("profile.affidavit-delta.json"),
+                None => affidavit_core::delta::default_profile_state(Path::new(tgt_dir)),
+            };
+            let (profile, stats) = affidavit_core::delta::profile_dirs_delta(
+                Path::new(src_dir),
+                Path::new(tgt_dir),
+                &opts,
+                &state,
+            )?;
+            affidavit_obs::diag("delta", &stats.summary());
+            profile
+        } else {
+            affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?
+        }
     } else {
         let transport = p.flag_value("transport").unwrap_or("fs");
         let backend = match transport {
@@ -713,6 +791,8 @@ fn build_spec(
             PoolBackend::Disk => "disk".to_owned(),
         },
         pool_budget_bytes: pool_cfg.budget_bytes,
+        delta: p.has("delta"),
+        delta_state: p.flag_value("delta-state").map(str::to_owned),
     }
 }
 
@@ -1113,6 +1193,8 @@ mod tests {
             "--ingest-chunk-rows",
             "--pool-backend",
             "--pool-budget-bytes",
+            "--delta",
+            "--delta-state",
             "--workers",
             "--transport",
             "--listen",
@@ -1249,6 +1331,84 @@ mod tests {
         let err = profile(&argv(&[d, d, "--workers", "2", "--listen", "127.0.0.1:0"])).unwrap_err();
         assert!(err.contains("--transport tcp"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_flags_validate_and_round_trip() {
+        let dir = std::env::temp_dir().join("affidavit-cli-delta-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("s.csv");
+        let tgt = dir.join("t.csv");
+        std::fs::write(&src, "k,v\na,1000\nb,2000\nc,3000\n").unwrap();
+        std::fs::write(&tgt, "k,v\na,1\nb,2\nc,3\n").unwrap();
+        let (s, t) = (src.to_str().unwrap(), tgt.to_str().unwrap());
+        // Flag validation: search-internal flags and orphaned state.
+        let err = explain(&argv(&[s, t, "--delta", "--trace"])).unwrap_err();
+        assert!(err.contains("--trace"), "{err}");
+        let err = explain(&argv(&[s, t, "--delta-state", "/tmp/x"])).unwrap_err();
+        assert!(err.contains("requires --delta"), "{err}");
+        let err = profile(&argv(&[s, t, "--delta", "--workers", "2"])).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        // A run then a re-run: the manifest lands in --delta-state.
+        let state = dir.join("state");
+        let state_s = state.to_str().unwrap().to_owned();
+        explain(&argv(&[
+            s,
+            t,
+            "--delta",
+            "--delta-state",
+            &state_s,
+            "--stable",
+        ]))
+        .unwrap();
+        assert!(state.join("explain.affidavit-delta.json").is_file());
+        explain(&argv(&[
+            s,
+            t,
+            "--delta",
+            "--delta-state",
+            &state_s,
+            "--stable",
+        ]))
+        .unwrap();
+        // Without --delta-state the manifest is a sibling of the target.
+        explain(&argv(&[s, t, "--delta"])).unwrap();
+        assert!(dir.join("t.csv.affidavit-delta.json").is_file());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_delta_round_trips_through_the_cli() {
+        let root = std::env::temp_dir().join("affidavit-cli-profile-delta-test");
+        std::fs::remove_dir_all(&root).ok();
+        let src = root.join("v1");
+        let tgt = root.join("v2");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(&tgt).unwrap();
+        std::fs::write(src.join("a.csv"), "k,v\nx,1000\ny,2000\nz,3000\n").unwrap();
+        std::fs::write(tgt.join("a.csv"), "k,v\nx,1\ny,2\nz,3\n").unwrap();
+        let json1 = root.join("p1.json");
+        let json2 = root.join("p2.json");
+        let args = |json: &Path| {
+            argv(&[
+                src.to_str().unwrap(),
+                tgt.to_str().unwrap(),
+                "--delta",
+                "--stable",
+                "--json",
+                json.to_str().unwrap(),
+            ])
+        };
+        profile(&args(&json1)).unwrap();
+        assert!(tgt.join(".affidavit-delta.json").is_file());
+        profile(&args(&json2)).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&json1).unwrap(),
+            std::fs::read_to_string(&json2).unwrap(),
+            "a clean --delta re-run must reproduce the profile byte for byte"
+        );
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

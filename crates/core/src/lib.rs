@@ -36,6 +36,7 @@
 pub mod apply;
 pub mod config;
 pub mod cost;
+pub mod delta;
 pub mod explanation;
 pub mod extend;
 pub mod finalize;

@@ -12,6 +12,11 @@
 //! (merged/split columns), renamed or reordered columns through
 //! [`crate::schema_align::align_schemas`] — both opt-in via
 //! [`ProfileOptions::align`].
+//!
+//! Re-profiling the same directories after a small edit can skip the
+//! clean pairs entirely: [`crate::delta::profile_dirs_delta`] splices
+//! unchanged tables from a fingerprinted manifest with output bytes
+//! identical to [`profile_dirs`].
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};

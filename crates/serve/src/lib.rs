@@ -24,7 +24,10 @@
 //! ([`Affidavit::new`](affidavit_core::Affidavit) per request) over a
 //! clone of the pinned pair, so the rendered report is byte-identical to
 //! the one-shot CLI under the same flags — warm or cold, at any client
-//! concurrency.
+//! concurrency. Requests with `delta: true` go through the incremental
+//! engine ([`affidavit_core::delta`]) over the same pinned sessions:
+//! clean pairs splice from the manifest, dirty ones search, and the
+//! bytes match the one-shot `--delta` path either way.
 //!
 //! ```
 //! use affidavit_serve::{serve, ExplainSpec, ServeClient, ServeOptions};

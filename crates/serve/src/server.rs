@@ -335,6 +335,9 @@ fn answer(request: &ClientRequest, shared: &ServeShared) -> ClientResponse {
 /// search state (`Affidavit::new` per request), so concurrent requests
 /// and warm repeats produce exactly the bytes of a one-shot run.
 fn explain(spec: &ExplainSpec, shared: &ServeShared) -> Result<ReportReply, String> {
+    if spec.delta {
+        return explain_delta_served(spec, shared);
+    }
     let deadline = shared
         .request_deadline
         .map(|budget| Instant::now() + budget);
@@ -374,6 +377,45 @@ fn explain(spec: &ExplainSpec, shared: &ServeShared) -> Result<ReportReply, Stri
     })
 }
 
+/// The incremental explain path (`spec.delta`): splice the answer from
+/// the pair's `--delta` manifest when its fingerprints still match,
+/// staging through the pinned-session cache only when the raw tier
+/// misses. A spliced reply is always `warm` (zero search work); a redo
+/// is `warm` exactly when the session cache was. The request deadline is
+/// deliberately not enforced here: a dirty pair's redo must stay
+/// byte-identical to the one-shot `--delta` CLI, which has no deadline.
+fn explain_delta_served(spec: &ExplainSpec, shared: &ServeShared) -> Result<ReportReply, String> {
+    let opts = profile_options(spec)?;
+    let state = match &spec.delta_state {
+        Some(dir) => Path::new(dir).join("explain.affidavit-delta.json"),
+        None => affidavit_core::delta::default_explain_state(Path::new(&spec.target)),
+    };
+    let warm_session = std::cell::Cell::new(false);
+    let outcome = affidavit_core::delta::explain_delta_with(
+        Path::new(&spec.source),
+        Path::new(&spec.target),
+        &opts,
+        &state,
+        &mut || {
+            let (pair, warm, sopts) = staged_pair(spec, shared)?;
+            warm_session.set(warm);
+            let _span = affidavit_obs::span("serve.stage");
+            stage_snapshot_pair(pair, &sopts)
+        },
+    )?;
+    if let Ok(mut sessions) = shared.sessions.lock() {
+        sessions.enforce_budgets();
+    }
+    affidavit_obs::diag("delta", &outcome.stats.summary());
+    Ok(ReportReply {
+        report: outcome.report,
+        polled: outcome.polled,
+        generated: outcome.generated,
+        millis: outcome.duration.as_millis() as u64,
+        warm: outcome.spliced || warm_session.get(),
+    })
+}
+
 /// Pre-warm the session cache: ingest and pin without searching.
 /// Returns whether the pair was already pinned.
 fn pin(spec: &ExplainSpec, shared: &ServeShared) -> Result<bool, String> {
@@ -391,16 +433,8 @@ fn staged_pair(
     spec: &ExplainSpec,
     shared: &ServeShared,
 ) -> Result<(affidavit_store::SnapshotPair, bool, ProfileOptions), String> {
-    let backend: PoolBackend = spec.pool_backend.parse()?;
-    let pool_cfg = PoolConfig {
-        backend,
-        budget_bytes: spec.pool_budget_bytes,
-    };
-    let ingest_opts = IngestOptions {
-        chunk_rows: spec.ingest_chunk_rows,
-        threads: spec.config.threads,
-        ..IngestOptions::default()
-    };
+    let opts = profile_options(spec)?;
+    let (ingest_opts, pool_cfg) = (opts.ingest, opts.pool);
     let src = Path::new(&spec.source);
     let tgt = Path::new(&spec.target);
     let key = SessionKey::for_files(src, tgt, &pool_cfg)?;
@@ -415,13 +449,28 @@ fn staged_pair(
         (pair, sessions.counters().ingests == ingests_before)
     };
     affidavit_obs::point("serve.session", vec![("warm".to_owned(), warm.to_string())]);
-    let opts = ProfileOptions {
+    Ok((pair, warm, opts))
+}
+
+/// Translate a wire spec into the staging options the profiling layer
+/// uses — shared by the fresh-search and delta explain paths.
+fn profile_options(spec: &ExplainSpec) -> Result<ProfileOptions, String> {
+    let backend: PoolBackend = spec.pool_backend.parse()?;
+    let pool_cfg = PoolConfig {
+        backend,
+        budget_bytes: spec.pool_budget_bytes,
+    };
+    let ingest_opts = IngestOptions {
+        chunk_rows: spec.ingest_chunk_rows,
+        threads: spec.config.threads,
+        ..IngestOptions::default()
+    };
+    Ok(ProfileOptions {
         config: spec.config.clone(),
         align: spec.align,
         ingest: ingest_opts,
         pool: pool_cfg,
-    };
-    Ok((pair, warm, opts))
+    })
 }
 
 #[cfg(test)]

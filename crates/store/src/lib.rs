@@ -22,6 +22,8 @@
 //!   unchanged generic search.
 //! * [`fingerprint`] — streaming content fingerprints (FNV-1a 64 +
 //!   length) identifying snapshot files by bytes rather than path.
+//! * [`manifest`] — atomic (write-temp-then-rename) persistence for the
+//!   incremental re-profiling manifests of `--delta` runs.
 //! * [`session`] — pinned ingested [`SnapshotPair`]s for a resident
 //!   service: an LRU keyed by content fingerprint + pool config, so warm
 //!   repeat requests skip ingestion entirely (counter-asserted).
@@ -50,6 +52,7 @@
 
 pub mod fingerprint;
 pub mod ingest;
+pub mod manifest;
 pub mod segment;
 pub mod session;
 
@@ -57,7 +60,7 @@ use std::io;
 
 use affidavit_table::ValuePool;
 
-pub use fingerprint::{fingerprint_bytes, fingerprint_file, Fingerprint};
+pub use fingerprint::{fingerprint_bytes, fingerprint_file, Fingerprint, Fnv};
 pub use ingest::IngestOptions;
 pub use segment::{SegmentPool, SegmentPoolConfig};
 pub use session::{ingest_pair, SessionCounters, SessionKey, SessionLru, SnapshotPair};

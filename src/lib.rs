@@ -8,7 +8,9 @@
 //!   CSV interning, disk-backed value pools).
 //! * [`functions`] — transformation meta functions and induction.
 //! * [`blocking`] — blocking indices, random alignments, overlap matching.
-//! * [`core`] — the Affidavit search algorithm (Algorithm 1).
+//! * [`core`] — the Affidavit search algorithm (Algorithm 1), plus
+//!   incremental re-profiling (`core::delta`: fingerprinted block
+//!   reuse with from-scratch byte identity).
 //! * [`dist`] — distributed work-stealing profiling over serialized
 //!   problem instances (job queue, filesystem broker, worker processes).
 //! * [`serve`] — the resident explain daemon: framed client API over

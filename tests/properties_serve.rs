@@ -231,6 +231,70 @@ fn an_expired_request_deadline_is_a_clean_rejection() {
 }
 
 #[test]
+fn served_delta_splices_warm_sessions_and_stays_byte_identical() {
+    let dir = std::env::temp_dir().join("affidavit-serve-delta");
+    std::fs::remove_dir_all(&dir).ok();
+    let (src, tgt) = write_pair(&dir);
+    let plain = spec_for(&src, &tgt, "id", 1, "ram");
+    let delta_spec = ExplainSpec {
+        delta: true,
+        ..plain.clone()
+    };
+    let metric = |text: &str, series: &str| -> u64 {
+        text.lines()
+            .find_map(|l| {
+                l.strip_prefix(&format!("{series} "))
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(0)
+    };
+
+    let (report, polled, generated) = one_shot(&plain);
+    let mut daemon = serve(&ServeOptions::default()).unwrap();
+    let client = ServeClient::new(daemon.local_addr().to_string());
+
+    // Pre-warm the session, then run the first --delta explain: no
+    // manifest yet, so it redoes — but over the pinned pair, and with
+    // bytes identical to the one-shot path.
+    assert!(!client.pin(&delta_spec).unwrap());
+    let cold = client.explain(&delta_spec).unwrap();
+    assert_eq!(cold.report, report);
+    assert_eq!((cold.polled, cold.generated), (polled, generated));
+    assert!(cold.warm, "the pre-warmed session must be reused");
+
+    // The repeat splices from the manifest the redo just wrote: same
+    // bytes, and the registry proves blocks were reused, not re-searched.
+    let spliced = client.explain(&delta_spec).unwrap();
+    assert_eq!(spliced.report, report);
+    assert_eq!((spliced.polled, spliced.generated), (polled, generated));
+    assert!(spliced.warm);
+    let text = client.metrics().unwrap();
+    assert!(
+        metric(&text, "delta_blocks_reused_total") > 0,
+        "the spliced repeat must reuse fingerprinted blocks:\n{text}"
+    );
+    assert!(metric(&text, "delta_pairs_spliced_total") > 0, "{text}");
+    assert_eq!(metric(&text, "delta_fallbacks_total"), 0, "{text}");
+
+    // Edit the target: the delta rerun redoes and must stay
+    // byte-identical to a from-scratch one-shot over the edited pair.
+    let mut edited = std::fs::read_to_string(&tgt).unwrap();
+    edited.push_str("fresh,5,tagz\n");
+    std::fs::write(&tgt, edited).unwrap();
+    let (report2, polled2, generated2) = one_shot(&plain);
+    assert_ne!(report2, report, "the edit must change the explanation");
+    let redone = client.explain(&delta_spec).unwrap();
+    assert_eq!(redone.report, report2);
+    assert_eq!((redone.polled, redone.generated), (polled2, generated2));
+    let text = client.metrics().unwrap();
+    assert!(metric(&text, "delta_pairs_redone_total") > 0, "{text}");
+
+    client.shutdown().unwrap();
+    daemon.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn concurrent_clients_get_identical_bytes_from_one_warm_session() {
     let dir = std::env::temp_dir().join("affidavit-serve-concurrent");
     std::fs::remove_dir_all(&dir).ok();
