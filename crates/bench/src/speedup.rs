@@ -39,7 +39,8 @@ pub fn invalid_speedup_warning(hardware_threads: usize) -> Option<String> {
     Some(format!(
         "warning: std::thread::available_parallelism() reports {hardware_threads} hardware \
          thread(s); parallel speedup ratios in this run are measurement noise \
-         (speedup_valid = false in the emitted JSON)"
+         (speedup_valid = false in the emitted JSON). `--threads 0` and `--workers 0` \
+         autosize to this same count, so they buy nothing on this host either"
     ))
 }
 
@@ -75,6 +76,10 @@ mod tests {
             "the warning must name the signal it consulted: {warning}"
         );
         assert!(warning.contains("speedup_valid = false"), "{warning}");
+        // The autosizing flags resolve to the same query, so the warning
+        // names them too.
+        assert!(warning.contains("--threads 0"), "{warning}");
+        assert!(warning.contains("--workers 0"), "{warning}");
         assert_eq!(invalid_speedup_warning(2), None);
         assert_eq!(invalid_speedup_warning(8), None);
     }

@@ -24,7 +24,7 @@ USAGE:
   affidavit profile <source_dir> <target_dir> [SEARCH] [INGESTION] [DISTRIBUTED]
                     [INCREMENTAL] [--align] [--json FILE] [--stable]
   affidavit serve   [--listen ADDR] [--sessions N] [--max-inflight N]
-                    [--request-deadline-secs N]
+                    [--request-deadline-secs N] [--expansion-workers N]
   affidavit client  --connect HOST:PORT <source.csv> <target.csv> [SEARCH]
                     [INGESTION] [INCREMENTAL] [--align] [--stable]
                     [--format human|json]
@@ -81,10 +81,27 @@ INCREMENTAL FLAGS (explain, profile, client):
                            profile).
 
 DISTRIBUTED FLAGS (profile):
-  --workers N              Fan table pairs out to N affidavit-worker child
-                           processes over a work-stealing job broker
-                           (default: 0 = profile in-process). The report is
+  --workers N              Fan work out to N workers over a work-stealing
+                           job broker (default: 0 — profile in-process
+                           under --steal pairs, one worker per hardware
+                           thread under --steal expansions). The report is
                            byte-identical at every worker count.
+  --steal pairs|expansions Unit of work the workers steal (default:
+                           pairs). pairs publishes whole table pairs as
+                           jobs to affidavit-worker child processes.
+                           expansions profiles in-process but publishes
+                           the speculation driver's K-way frontier
+                           batches (--speculative-width) to the broker,
+                           where fleet workers — in-process threads
+                           without --transport, affidavit-worker
+                           processes with it — expand them side by side;
+                           serial replay keeps the report byte-identical
+                           to --workers 0 on every transport.
+  --expansion-batch N      Expansions leased per job under --steal
+                           expansions: the driver's K-way batch is
+                           chunked into jobs of this many frontier
+                           states (default: 4; 0 = the whole batch as
+                           one job).
   --transport fs|tcp       Broker transport for --workers (default: fs).
                            fs claims jobs by atomic rename in a spool
                            directory; tcp serves framed steals from a
@@ -134,6 +151,12 @@ SERVICE FLAGS (serve, client):
                            cooperatively and answered with an error.
                            Output stays byte-identical for requests that
                            finish in time (default: 0 = unlimited).
+  --expansion-workers N    serve: attach an in-process expansion-stealing
+                           fleet of N worker threads to every explain's
+                           speculation driver; 0 = one per hardware
+                           thread. Output stays byte-identical with or
+                           without the fleet (default: off — expansions
+                           stay on the request's own thread pool).
   --connect HOST:PORT      client: the daemon to dial. One keep-alive
                            framed connection carries every request; an
                            unreachable daemon exits with code 3
@@ -311,6 +334,7 @@ pub fn explain(args: &[String]) -> Result<(), String> {
             align: p.has("align"),
             ingest: ingest_opts,
             pool: pool_cfg,
+            executor: None,
         };
         let state = match p.flag_value("delta-state") {
             Some(dir) => Path::new(dir).join("explain.affidavit-delta.json"),
@@ -433,16 +457,17 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     };
     let config = build_config(&p)?;
     let (ingest_opts, pool_cfg) = build_ingest(&p, config.threads)?;
-    let opts = affidavit_core::profiling::ProfileOptions {
+    let mut opts = affidavit_core::profiling::ProfileOptions {
         config,
         align: p.has("align"),
         ingest: ingest_opts,
         pool: pool_cfg,
+        executor: None,
     };
     let workers: usize = match p.flag_value("workers") {
         Some(v) => v
             .parse()
-            .map_err(|_| format!("bad --workers {v:?} (worker child processes, 0 = in-process)"))?,
+            .map_err(|_| format!("bad --workers {v:?} (workers, 0 = in-process / autosize)"))?,
         None => 0,
     };
     let secs_flag = |name: &str, default: u64| -> Result<std::time::Duration, String> {
@@ -462,7 +487,103 @@ pub fn profile(args: &[String]) -> Result<(), String> {
             "--delta does not combine with --workers (incremental state is per-process)".to_owned(),
         );
     }
-    let mut profile = if workers == 0 {
+    let steal = p.flag_value("steal").unwrap_or("pairs");
+    if !matches!(steal, "pairs" | "expansions") {
+        return Err(format!("unknown --steal {steal:?} (use pairs|expansions)"));
+    }
+    if steal != "expansions" && p.has("expansion-batch") {
+        return Err("--expansion-batch only applies to --steal expansions".to_owned());
+    }
+    if steal == "expansions" && p.has("delta") {
+        return Err(
+            "--delta does not combine with --steal expansions (spliced pairs perform no \
+             fresh search to steal from)"
+                .to_owned(),
+        );
+    }
+    let mut profile = if steal == "expansions" {
+        // The profile itself runs in-process; only the speculation
+        // driver's frontier batches go over the broker.
+        let backend = match p.flag_value("transport") {
+            None => {
+                for flag in ["listen", "broker"] {
+                    if p.has(flag) {
+                        return Err(format!(
+                            "--{flag} needs --transport; without one the expansion \
+                             fleet runs in-process worker threads"
+                        ));
+                    }
+                }
+                affidavit_dist::DistBackend::InProcess
+            }
+            Some("fs") => {
+                if p.has("listen") {
+                    return Err("--listen only applies to --transport tcp".to_owned());
+                }
+                affidavit_dist::DistBackend::ChildProcesses {
+                    broker_dir: p.flag_value("broker").map(std::path::PathBuf::from),
+                    worker_bin: None,
+                }
+            }
+            Some("tcp") => {
+                if p.has("broker") {
+                    return Err(
+                        "--broker is the fs transport's spool; with --transport tcp use --listen"
+                            .to_owned(),
+                    );
+                }
+                affidavit_dist::DistBackend::Tcp {
+                    listen: p.flag_value("listen").map(str::to_owned),
+                    worker_bin: None,
+                }
+            }
+            Some(other) => return Err(format!("unknown --transport {other:?} (use fs|tcp)")),
+        };
+        let mut fleet_opts = affidavit_dist::ExpansionFleetOptions {
+            workers,
+            backend,
+            ..affidavit_dist::ExpansionFleetOptions::default()
+        };
+        if let Some(v) = p.flag_value("expansion-batch") {
+            fleet_opts.batch = v.parse().map_err(|_| {
+                format!("bad --expansion-batch {v:?} (expansions per job, 0 = whole batch)")
+            })?;
+        }
+        if p.has("steal-timeout-secs") {
+            fleet_opts.steal_timeout = secs_flag("steal-timeout-secs", 30)?;
+        }
+        if p.has("deadline-secs") {
+            fleet_opts.deadline = secs_flag("deadline-secs", 120)?;
+        }
+        let fleet = std::sync::Arc::new(affidavit_dist::ExpansionFleet::new(fleet_opts)?);
+        if let Some(addr) = fleet.tcp_addr() {
+            // Scripts attach elastic workers from this line.
+            affidavit_obs::diag(
+                "expansion fleet",
+                &format!(
+                    "tcp coordinator on {addr} — extra workers can dial in with \
+                     `affidavit-worker --connect {addr}`"
+                ),
+            );
+        }
+        let transport = p.flag_value("transport").unwrap_or("in-process");
+        let fleet_workers = fleet.workers();
+        opts.executor =
+            Some(fleet.clone() as std::sync::Arc<dyn affidavit_core::ExpansionExecutor>);
+        let profile =
+            affidavit_core::profiling::profile_dirs(Path::new(src_dir), Path::new(tgt_dir), &opts)?;
+        opts.executor = None;
+        let stats = fleet.stats().unwrap_or_default();
+        affidavit_obs::diag(
+            &format!("expansion stealing ({transport})"),
+            &format!(
+                "{fleet_workers} workers — {} expansion jobs stolen, {} stragglers \
+                 requeued, {} duplicates discarded, {} conflicts",
+                stats.steals, stats.requeues, stats.duplicates_discarded, stats.conflicts
+            ),
+        );
+        profile
+    } else if workers == 0 {
         for flag in [
             "transport",
             "listen",
@@ -585,11 +706,18 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         }
         None => None,
     };
+    let expansion_workers = match p.flag_value("expansion-workers") {
+        Some(v) => Some(v.parse().map_err(|_| {
+            format!("bad --expansion-workers {v:?} (fleet threads, 0 = one per hardware thread)")
+        })?),
+        None => None,
+    };
     let opts = affidavit_serve::ServeOptions {
         listen: p.flag_value("listen").unwrap_or("127.0.0.1:0").to_owned(),
         sessions,
         max_inflight,
         request_deadline,
+        expansion_workers,
         ..affidavit_serve::ServeOptions::default()
     };
     let mut daemon = affidavit_serve::serve(&opts)?;
@@ -1196,6 +1324,8 @@ mod tests {
             "--delta",
             "--delta-state",
             "--workers",
+            "--steal",
+            "--expansion-batch",
             "--transport",
             "--listen",
             "--broker",
@@ -1206,6 +1336,7 @@ mod tests {
             "--sessions",
             "--max-inflight",
             "--request-deadline-secs",
+            "--expansion-workers",
             "--connect",
             "--format",
             "--ping",
@@ -1330,7 +1461,71 @@ mod tests {
         assert!(err.contains("--listen"), "{err}");
         let err = profile(&argv(&[d, d, "--workers", "2", "--listen", "127.0.0.1:0"])).unwrap_err();
         assert!(err.contains("--transport tcp"), "{err}");
+        // Expansion-stealing flag validation.
+        let err = profile(&argv(&[d, d, "--steal", "rows"])).unwrap_err();
+        assert!(err.contains("pairs|expansions"), "{err}");
+        let err = profile(&argv(&[d, d, "--expansion-batch", "4"])).unwrap_err();
+        assert!(err.contains("--steal expansions"), "{err}");
+        let err = profile(&argv(&[d, d, "--steal", "expansions", "--delta"])).unwrap_err();
+        assert!(err.contains("--delta"), "{err}");
+        let err = profile(&argv(&[
+            d,
+            d,
+            "--steal",
+            "expansions",
+            "--listen",
+            "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--transport"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn profile_steals_expansions_in_process() {
+        // `--steal expansions` over in-process fleet threads writes the
+        // same machine-readable profile as the plain local run.
+        let root = std::env::temp_dir().join("affidavit-cli-steal-exp-test");
+        std::fs::remove_dir_all(&root).ok();
+        let src = root.join("v1");
+        let tgt = root.join("v2");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::create_dir_all(&tgt).unwrap();
+        std::fs::write(src.join("a.csv"), "k,v\nx,1000\ny,2000\nz,3000\n").unwrap();
+        std::fs::write(tgt.join("a.csv"), "k,v\nx,1\ny,2\nz,3\n").unwrap();
+        let (s, t) = (src.to_str().unwrap(), tgt.to_str().unwrap());
+        let local = root.join("local.json");
+        let stolen = root.join("stolen.json");
+        profile(&argv(&[
+            s,
+            t,
+            "--stable",
+            "--json",
+            local.to_str().unwrap(),
+        ]))
+        .unwrap();
+        profile(&argv(&[
+            s,
+            t,
+            "--stable",
+            "--steal",
+            "expansions",
+            "--workers",
+            "2",
+            "--speculative-width",
+            "4",
+            "--expansion-batch",
+            "1",
+            "--json",
+            stolen.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&local).unwrap(),
+            std::fs::read_to_string(&stolen).unwrap(),
+            "expansion stealing must not change the profile"
+        );
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

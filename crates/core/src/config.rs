@@ -88,6 +88,14 @@ pub struct AffidavitConfig {
     /// explanation are byte-identical to `speculative_width = 1`.
     /// `1` (the default) disables speculation; `0` is treated as `1`.
     pub speculative_width: usize,
+    /// Minimum number of records (live sources + targets) in the head
+    /// frontier state's blocking before the driver speculates ahead of
+    /// the serial poll order. Below it a K-way batch costs more in
+    /// discarded sibling work and cache pressure than the serial loop —
+    /// the frontier-level analogue of `parallel_min_records`. Gated
+    /// iterations run the exact width-1 code path, so results are
+    /// identical either way; purely a scheduling knob.
+    pub speculation_min_records: usize,
 }
 
 impl Default for AffidavitConfig {
@@ -117,6 +125,7 @@ impl AffidavitConfig {
             parallel_min_records: 4096,
             threads: 1,
             speculative_width: 1,
+            speculation_min_records: 4096,
         }
     }
 
@@ -163,6 +172,33 @@ impl AffidavitConfig {
         self.speculative_width = width;
         self
     }
+
+    /// Set the minimum head-state record count for speculative fan-out
+    /// (builder style); `0` speculates on every frontier, whatever its
+    /// size. Results are identical at every setting.
+    pub fn with_speculation_min_records(mut self, records: usize) -> AffidavitConfig {
+        self.speculation_min_records = records;
+        self
+    }
+
+    /// The worker-thread count this configuration resolves to: `threads`
+    /// itself, or — when `threads == 0` ("one per hardware thread") —
+    /// [`std::thread::available_parallelism`].
+    pub fn effective_threads(&self) -> usize {
+        resolve_parallelism(self.threads)
+    }
+}
+
+/// Resolve a `0 = autosize` parallelism knob (`--threads 0`,
+/// `--workers 0`) to [`std::thread::available_parallelism`], falling back
+/// to `1` when the hardware cannot be queried.
+pub fn resolve_parallelism(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -189,5 +225,19 @@ mod tests {
     #[should_panic]
     fn alpha_out_of_range_panics() {
         let _ = AffidavitConfig::paper_id().with_alpha(1.5);
+    }
+
+    #[test]
+    fn zero_threads_resolve_to_the_hardware() {
+        assert_eq!(resolve_parallelism(3), 3);
+        let auto = resolve_parallelism(0);
+        assert!(auto >= 1);
+        assert_eq!(
+            AffidavitConfig::paper_id()
+                .with_threads(0)
+                .effective_threads(),
+            auto
+        );
+        assert_eq!(AffidavitConfig::paper_id().effective_threads(), 1);
     }
 }

@@ -34,7 +34,7 @@ use crate::search::Affidavit;
 
 /// Options for a profiling run. The default uses the paper's robust
 /// `H^id` configuration with no schema repair.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ProfileOptions {
     /// Search configuration used for every table.
     pub config: AffidavitConfig,
@@ -46,6 +46,33 @@ pub struct ProfileOptions {
     pub ingest: IngestOptions,
     /// Pool backend for each table pair (RAM or disk-spilled segments).
     pub pool: PoolConfig,
+    /// Expansion-stealing executor attached to every table's search
+    /// (`None` — the default — expands on the local thread pool only).
+    pub executor: Option<std::sync::Arc<dyn crate::expansion::ExpansionExecutor>>,
+}
+
+impl std::fmt::Debug for ProfileOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileOptions")
+            .field("config", &self.config)
+            .field("align", &self.align)
+            .field("ingest", &self.ingest)
+            .field("pool", &self.pool)
+            .field("executor", &self.executor.is_some())
+            .finish()
+    }
+}
+
+impl ProfileOptions {
+    /// The per-table solver these options configure: the search config
+    /// plus the expansion executor, if one is attached.
+    fn solver(&self) -> Affidavit {
+        let solver = Affidavit::new(self.config.clone());
+        match &self.executor {
+            Some(executor) => solver.with_expansion_executor(executor.clone()),
+            None => solver,
+        }
+    }
 }
 
 /// The per-table result of a profiling run.
@@ -215,7 +242,7 @@ pub fn profile_tables(
 ) -> Result<(Explanation, ProblemInstance, u64), String> {
     let mut instance = stage_tables(source, target, pool, opts)?;
     let started = std::time::Instant::now();
-    let outcome = Affidavit::new(opts.config.clone()).explain(&mut instance);
+    let outcome = opts.solver().explain(&mut instance);
     let millis = started.elapsed().as_millis() as u64;
     Ok((outcome.explanation, instance, millis))
 }
@@ -367,7 +394,7 @@ fn profile_file_pair(src_path: &Path, tgt_path: &Path, opts: &ProfileOptions) ->
         Err(reason) => return TableOutcome::Failed { reason },
     };
     let started = std::time::Instant::now();
-    let outcome = Affidavit::new(opts.config.clone()).explain(&mut instance);
+    let outcome = opts.solver().explain(&mut instance);
     let millis = started.elapsed().as_millis() as u64;
     outcome_for(&outcome.explanation, &instance, millis)
 }

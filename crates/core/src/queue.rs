@@ -175,6 +175,16 @@ impl BoundedLevelQueue {
         }
     }
 
+    /// The state the next [`poll`] would return, without removing it —
+    /// lets the driver size up the head of the frontier (e.g. the
+    /// speculation fan-out gate) without touching the queue.
+    ///
+    /// [`poll`]: BoundedLevelQueue::poll
+    pub fn peek(&self) -> Option<&SearchState> {
+        self.poll_position()
+            .map(|(level, idx)| &self.levels[level][idx])
+    }
+
     /// Peek at the cheapest cost without removing.
     pub fn min_cost(&self) -> Option<f64> {
         self.levels
@@ -342,6 +352,18 @@ mod tests {
         assert_eq!(batch_ids, vec![5, 3, 2, 6]);
         // The remainder still polls identically.
         assert_eq!(a.poll().unwrap().id, b.poll().unwrap().id);
+    }
+
+    #[test]
+    fn peek_matches_poll_without_removing() {
+        let mut q = BoundedLevelQueue::new(5);
+        assert!(q.peek().is_none());
+        q.push(state(1, 1, 9.0));
+        q.push(state(2, 2, 3.0));
+        assert_eq!(q.peek().unwrap().id, 2);
+        assert_eq!(q.len(), 2, "peek must not remove");
+        assert_eq!(q.poll().unwrap().id, 2);
+        assert_eq!(q.peek().unwrap().id, 1);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rayon::prelude::*;
 
 use crate::config::{AffidavitConfig, InitStrategy};
 use crate::cost::state_cost;
+use crate::expansion::{ExpansionExecutor, ExpansionRequest};
 use crate::explanation::Explanation;
 use crate::extend::{
     consume_state_expansion, expand_state, extensions, make_child, StateExpansion,
@@ -311,15 +312,39 @@ fn push_children(
 }
 
 /// The Affidavit search algorithm.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct Affidavit {
     cfg: AffidavitConfig,
+    executor: Option<Arc<dyn ExpansionExecutor>>,
+}
+
+impl std::fmt::Debug for Affidavit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Affidavit")
+            .field("cfg", &self.cfg)
+            .field("executor", &self.executor.is_some())
+            .finish()
+    }
 }
 
 impl Affidavit {
     /// Create a solver with the given configuration.
     pub fn new(cfg: AffidavitConfig) -> Affidavit {
-        Affidavit { cfg }
+        Affidavit {
+            cfg,
+            executor: None,
+        }
+    }
+
+    /// Attach a remote phase-1 executor (builder style): speculated
+    /// K-way batches are offered to `executor` — a worker fleet stealing
+    /// expansion jobs from a broker queue — before the local thread pool.
+    /// A declined batch (`None`) falls back to the local path, and the
+    /// serial-replay reconciliation consumes either source identically,
+    /// so results are byte-identical with or without an executor.
+    pub fn with_expansion_executor(mut self, executor: Arc<dyn ExpansionExecutor>) -> Affidavit {
+        self.executor = Some(executor);
+        self
     }
 
     /// The configuration in use.
@@ -357,11 +382,13 @@ impl Affidavit {
         instance: &mut ProblemInstance,
         deadline: Option<Instant>,
     ) -> Result<SearchOutcome, DeadlineExceeded> {
-        if self.cfg.threads == 1 {
+        // `threads == 0` autosizes to the hardware (`--threads 0`).
+        let threads = self.cfg.effective_threads();
+        if threads == 1 && self.cfg.threads == 1 {
             return self.explain_inner(instance, deadline);
         }
         let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.cfg.threads)
+            .num_threads(threads)
             .build()
             .expect("thread pool");
         pool.install(|| self.explain_inner(instance, deadline))
@@ -405,7 +432,19 @@ impl Affidavit {
             // batch concurrently against the frozen context, then replay
             // serial polls, consuming each cached expansion only when its
             // state really is the next poll.
-            if width > 1 && queue.len() > 1 {
+            //
+            // The fan-out gate mirrors `parallel_min_records` one level
+            // up: below `speculation_min_records` the head state's
+            // expansion is too cheap to amortize the discarded-sibling
+            // work, so the iteration takes the serial path — which is
+            // byte-identical anyway.
+            let speculation_pays = || {
+                queue.peek().is_some_and(|head| {
+                    head.blocking.live_sources() + head.blocking.total_targets()
+                        >= self.cfg.speculation_min_records
+                })
+            };
+            if width > 1 && queue.len() > 1 && speculation_pays() {
                 let (batch, receipt) = queue.poll_batch(width);
                 // Never expand past an end state: polling it ends the
                 // search, so later siblings' turns cannot come.
@@ -445,12 +484,47 @@ impl Affidavit {
                     let started_ext = Instant::now();
                     let expansions: Vec<StateExpansion> = {
                         let _span = affidavit_obs::span("search.speculate");
-                        let sctx = ctx.search_ctx();
-                        let expand = |i: usize| expand_state(&sctx, &spec[i], &alignments[i]);
-                        if self.cfg.threads != 1 {
-                            (0..spec.len()).into_par_iter().map(expand).collect()
-                        } else {
-                            (0..spec.len()).map(expand).collect()
+                        // Offer the batch to the remote executor first; a
+                        // declined (or malformed) batch falls back to the
+                        // local pool. Expansions are pure, so the two
+                        // sources are interchangeable byte-for-byte.
+                        let remote = self.executor.as_ref().and_then(|executor| {
+                            let requests: Vec<ExpansionRequest> = spec
+                                .iter()
+                                .zip(&alignments)
+                                .map(|(st, al)| ExpansionRequest {
+                                    state: st.clone(),
+                                    alignment: al.clone(),
+                                })
+                                .collect();
+                            executor
+                                .expand_batch(ctx.instance, &self.cfg, &requests)
+                                .filter(|r| r.len() == requests.len())
+                                .map(|r| {
+                                    r.into_iter()
+                                        .map(StateExpansion::from_portable)
+                                        .collect::<Vec<_>>()
+                                })
+                        });
+                        match remote {
+                            Some(expansions) => expansions,
+                            None => {
+                                let sctx = ctx.search_ctx();
+                                let expand = |i: usize| {
+                                    let t = Instant::now();
+                                    let exp = expand_state(&sctx, &spec[i], &alignments[i]);
+                                    affidavit_obs::metrics().observe(
+                                        "search_expansion_micros",
+                                        t.elapsed().as_micros() as f64,
+                                    );
+                                    exp
+                                };
+                                if self.cfg.threads != 1 {
+                                    (0..spec.len()).into_par_iter().map(expand).collect()
+                                } else {
+                                    (0..spec.len()).map(expand).collect()
+                                }
+                            }
                         }
                     };
                     ctx.stats.extension_time += started_ext.elapsed();
@@ -748,6 +822,7 @@ mod tests {
                 .with_threads(threads)
                 .with_speculative_width(width);
             cfg.parallel_min_records = 0; // force the fan-out paths
+            cfg.speculation_min_records = 0; // tiny instance: open the gate
             let out = Affidavit::new(cfg).explain(&mut inst);
             (
                 format!("{:?}", out.explanation.functions),
@@ -772,13 +847,128 @@ mod tests {
     #[test]
     fn speculation_reports_its_extra_work() {
         let mut inst = noisy_instance();
-        let out = Affidavit::new(AffidavitConfig::paper_id().with_speculative_width(4))
-            .explain(&mut inst);
+        let cfg = AffidavitConfig::paper_id()
+            .with_speculative_width(4)
+            .with_speculation_min_records(0);
+        let out = Affidavit::new(cfg).explain(&mut inst);
         assert!(
             out.stats.speculative_expansions > 0,
             "a width-4 run on a multi-state frontier must speculate"
         );
         assert!(out.stats.speculation_discarded <= out.stats.speculative_expansions);
+    }
+
+    #[test]
+    fn fanout_gate_suppresses_speculation_below_the_floor() {
+        // The default `speculation_min_records` (4096) dwarfs this ~66
+        // record instance: a width-4 run must take the serial path on
+        // every iteration — no speculative work, identical output.
+        let run = |width: usize| {
+            let mut inst = noisy_instance();
+            let out = Affidavit::new(AffidavitConfig::paper_id().with_speculative_width(width))
+                .explain(&mut inst);
+            (
+                format!("{:?}", out.explanation.functions),
+                out.stats.polled,
+                out.stats.expansions,
+                out.stats.states_generated,
+                out.stats.speculative_expansions,
+            )
+        };
+        let serial = run(1);
+        let gated = run(4);
+        assert_eq!(gated.4, 0, "a gated run performs zero speculative work");
+        assert_eq!(serial, gated);
+    }
+
+    #[test]
+    fn expansion_executor_results_are_absorbed_byte_identically() {
+        use crate::expansion::{expand_portable, ExpansionRequest, PortableExpansion};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// An executor that recomputes every request from first
+        /// principles via `expand_portable` — exactly what a worker
+        /// process does after decoding the wire job.
+        struct Recompute {
+            batches: AtomicUsize,
+        }
+        impl ExpansionExecutor for Recompute {
+            fn expand_batch(
+                &self,
+                instance: &ProblemInstance,
+                cfg: &AffidavitConfig,
+                batch: &[ExpansionRequest],
+            ) -> Option<Vec<PortableExpansion>> {
+                self.batches.fetch_add(1, Ordering::SeqCst);
+                Some(
+                    batch
+                        .iter()
+                        .map(|req| expand_portable(instance, cfg, req))
+                        .collect(),
+                )
+            }
+        }
+
+        let fingerprint = |executor: Option<Arc<Recompute>>| {
+            let mut inst = noisy_instance();
+            let cfg = AffidavitConfig::paper_id()
+                .with_trace()
+                .with_speculative_width(4)
+                .with_speculation_min_records(0);
+            let mut solver = Affidavit::new(cfg);
+            if let Some(ex) = executor {
+                solver = solver.with_expansion_executor(ex);
+            }
+            let out = solver.explain(&mut inst);
+            (
+                format!("{:?}", out.explanation.functions),
+                out.explanation.core_size(),
+                out.stats.polled,
+                out.stats.expansions,
+                out.stats.states_generated,
+                out.stats.end_state_cost.to_bits(),
+                out.trace.expect("trace enabled").render(),
+            )
+        };
+        let local = fingerprint(None);
+        let executor = Arc::new(Recompute {
+            batches: AtomicUsize::new(0),
+        });
+        let remote = fingerprint(Some(executor.clone()));
+        assert!(
+            executor.batches.load(Ordering::SeqCst) > 0,
+            "the executor must have been offered at least one batch"
+        );
+        assert_eq!(local, remote);
+    }
+
+    #[test]
+    fn a_declining_executor_falls_back_to_the_local_path() {
+        struct Decline;
+        impl ExpansionExecutor for Decline {
+            fn expand_batch(
+                &self,
+                _instance: &ProblemInstance,
+                _cfg: &AffidavitConfig,
+                _batch: &[ExpansionRequest],
+            ) -> Option<Vec<crate::expansion::PortableExpansion>> {
+                None
+            }
+        }
+        let mut inst = noisy_instance();
+        let cfg = AffidavitConfig::paper_id()
+            .with_speculative_width(4)
+            .with_speculation_min_records(0);
+        let out = Affidavit::new(cfg.clone())
+            .with_expansion_executor(Arc::new(Decline))
+            .explain(&mut inst);
+        let mut inst2 = noisy_instance();
+        let base = Affidavit::new(cfg).explain(&mut inst2);
+        assert_eq!(
+            format!("{:?}", out.explanation.functions),
+            format!("{:?}", base.explanation.functions)
+        );
+        assert_eq!(out.stats.polled, base.stats.polled);
     }
 
     #[test]

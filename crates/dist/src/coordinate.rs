@@ -64,7 +64,8 @@ pub enum DistBackend {
 /// Knobs of a distributed run.
 #[derive(Debug, Clone)]
 pub struct DistOptions {
-    /// Worker count (threads or child processes). `0` is treated as `1`.
+    /// Worker count (threads or child processes). `0` autosizes to one
+    /// per hardware thread ([`std::thread::available_parallelism`]).
     pub workers: usize,
     /// Transport and worker placement.
     pub backend: DistBackend,
@@ -159,7 +160,7 @@ pub fn execute_jobs(
         "dist.execute",
         vec![("jobs".to_owned(), jobs.len().to_string())],
     );
-    let workers = opts.workers.max(1);
+    let workers = affidavit_core::resolve_parallelism(opts.workers);
     let mut stats = DistStats {
         jobs: jobs.len(),
         workers,
@@ -389,6 +390,9 @@ pub fn absorb_result(
     let (new_strings, functions, core, deleted, inserted, polled, expansions, millis) =
         match &result.outcome {
             JobOutcome::Failed { reason } => return Err(reason.clone()),
+            JobOutcome::Expanded { .. } => {
+                return Err("expected an explanation result, got an expansion batch".to_owned())
+            }
             JobOutcome::Explained {
                 new_strings,
                 functions,

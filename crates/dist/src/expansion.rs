@@ -1,0 +1,490 @@
+//! Expansion stealing: the speculation driver's K-way frontier batches
+//! published to the work-stealing broker.
+//!
+//! [`ExpansionFleet`] implements the engine's
+//! [`ExpansionExecutor`] seam over the same queue/transport stack that
+//! carries whole-snapshot profiling jobs: the driver's speculated batch
+//! is chunked into [`JobPayload::Expansion`] jobs, published, and stolen
+//! by whichever workers are attached — local threads over an
+//! [`InProcessQueue`], `affidavit-worker` child processes over a spool
+//! directory or a TCP listener, or both at once (the TCP accept loop
+//! admits workers attaching mid-run, and the lease/requeue protocol
+//! absorbs workers leaving).
+//!
+//! Because phase-1 expansion is a pure function of `(instance, config,
+//! request)`, nothing here can perturb the search: the fleet either
+//! returns byte-identical expansions in request order or declines the
+//! batch (`None`), in which case the driver expands locally. Declines
+//! are the universal failure mode — transport down, deadline exceeded, a
+//! malformed result — so a degraded fleet costs wall time, never
+//! correctness.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use affidavit_core::{
+    resolve_parallelism, AffidavitConfig, ExpansionExecutor, ExpansionRequest, PortableExpansion,
+    ProblemInstance,
+};
+
+use crate::broker::{spawn_workers, worker_binary, FsBroker, WorkerEndpoint, WorkerHandle};
+use crate::coordinate::DistBackend;
+use crate::job::{Job, JobOutcome, JobPayload, JobResult};
+use crate::queue::{InProcessQueue, JobQueue, QueueStats};
+use crate::tcp::TcpBroker;
+use crate::transport::Broker;
+use crate::wire::{WireExpansion, WireInstance};
+
+/// Knobs of an expansion-stealing fleet.
+#[derive(Debug, Clone)]
+pub struct ExpansionFleetOptions {
+    /// Worker count (threads or child processes). `0` — the default —
+    /// autosizes to one per hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    pub workers: usize,
+    /// Transport and worker placement (same vocabulary as profiling
+    /// jobs).
+    pub backend: DistBackend,
+    /// Expansions leased per job (`--expansion-batch`): the driver's
+    /// K-way batch is chunked into jobs of this many requests. `0` means
+    /// "the whole batch as one job".
+    pub batch: usize,
+    /// Claims older than this without a result are re-published for
+    /// other workers to steal (covers workers killed mid-lease).
+    pub steal_timeout: Duration,
+    /// Per-batch cap: past it the batch is declined and the driver
+    /// expands locally.
+    pub deadline: Duration,
+    /// Coordinator/worker polling nap.
+    pub poll: Duration,
+}
+
+impl Default for ExpansionFleetOptions {
+    fn default() -> ExpansionFleetOptions {
+        ExpansionFleetOptions {
+            workers: 0,
+            backend: DistBackend::InProcess,
+            batch: 4,
+            steal_timeout: Duration::from_secs(30),
+            deadline: Duration::from_secs(120),
+            poll: Duration::from_millis(1),
+        }
+    }
+}
+
+enum FleetQueue {
+    InProcess {
+        queue: Arc<InProcessQueue>,
+        threads: Vec<std::thread::JoinHandle<Result<crate::worker::WorkerStats, String>>>,
+    },
+    Fs {
+        broker: FsBroker,
+        root: PathBuf,
+        owned: bool,
+        children: Vec<WorkerHandle>,
+    },
+    Tcp {
+        broker: Broker<TcpBroker>,
+        children: Vec<WorkerHandle>,
+    },
+}
+
+impl FleetQueue {
+    fn queue(&self) -> &dyn JobQueue {
+        match self {
+            FleetQueue::InProcess { queue, .. } => &**queue,
+            FleetQueue::Fs { broker, .. } => broker,
+            FleetQueue::Tcp { broker, .. } => broker,
+        }
+    }
+
+    fn requeue_expired(&self, timeout: Duration) -> Result<usize, String> {
+        use crate::transport::Transport;
+        match self {
+            // In-process workers are threads of this very process: they
+            // cannot be killed mid-lease, so there is nothing to requeue.
+            FleetQueue::InProcess { .. } => Ok(0),
+            FleetQueue::Fs { broker, .. } => broker.transport().requeue_expired(timeout),
+            FleetQueue::Tcp { broker, .. } => broker.transport().requeue_expired(timeout),
+        }
+    }
+}
+
+/// A persistent expansion-stealing fleet, attachable to any number of
+/// searches via
+/// [`Affidavit::with_expansion_executor`](affidavit_core::Affidavit::with_expansion_executor).
+///
+/// Workers are spawned once at construction and survive across
+/// speculation batches; [`Drop`] winds them down. On the TCP backend,
+/// externally started `affidavit-worker --connect` processes may attach
+/// to [`tcp_addr`](ExpansionFleet::tcp_addr) at any time and steal from
+/// the same queue as the fleet's own workers.
+pub struct ExpansionFleet {
+    opts: ExpansionFleetOptions,
+    queue: FleetQueue,
+    next_id: AtomicU64,
+    workers: usize,
+}
+
+impl std::fmt::Debug for ExpansionFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExpansionFleet")
+            .field("workers", &self.workers)
+            .field("batch", &self.opts.batch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExpansionFleet {
+    /// Spawn the fleet: `workers` threads (in-process backend) or
+    /// `affidavit-worker` child processes (spool / TCP backends), all
+    /// idle-polling the queue until the first batch arrives.
+    pub fn new(opts: ExpansionFleetOptions) -> Result<ExpansionFleet, String> {
+        let workers = resolve_parallelism(opts.workers);
+        let queue = match &opts.backend {
+            DistBackend::InProcess => {
+                let queue = Arc::new(InProcessQueue::new());
+                let threads = (0..workers)
+                    .map(|w| {
+                        let queue = Arc::clone(&queue);
+                        let poll = opts.poll;
+                        std::thread::spawn(move || {
+                            crate::worker::run_worker(&*queue, &format!("spec-{w}"), poll)
+                        })
+                    })
+                    .collect();
+                FleetQueue::InProcess { queue, threads }
+            }
+            DistBackend::ChildProcesses {
+                broker_dir,
+                worker_bin,
+            } => {
+                static RUN: AtomicU64 = AtomicU64::new(0);
+                let (root, owned) = match broker_dir {
+                    Some(dir) => (dir.clone(), false),
+                    None => {
+                        let nanos = std::time::SystemTime::now()
+                            .duration_since(std::time::UNIX_EPOCH)
+                            .map(|d| d.as_nanos())
+                            .unwrap_or(0);
+                        let dir = std::env::temp_dir().join(format!(
+                            "affidavit-spec-{}-{}-{nanos}",
+                            std::process::id(),
+                            RUN.fetch_add(1, Ordering::Relaxed)
+                        ));
+                        (dir, true)
+                    }
+                };
+                let bin = match worker_bin {
+                    Some(path) => path.clone(),
+                    None => worker_binary()?,
+                };
+                let broker = FsBroker::open(&root)?;
+                broker.ensure_fresh()?;
+                let endpoint = WorkerEndpoint::Spool(root.clone());
+                let children = spawn_workers(&bin, &endpoint, workers, opts.poll)?;
+                FleetQueue::Fs {
+                    broker,
+                    root,
+                    owned,
+                    children,
+                }
+            }
+            DistBackend::Tcp { listen, worker_bin } => {
+                let bin = match worker_bin {
+                    Some(path) => path.clone(),
+                    None => worker_binary()?,
+                };
+                let broker =
+                    Broker::new(TcpBroker::bind(listen.as_deref().unwrap_or("127.0.0.1:0"))?);
+                let endpoint = WorkerEndpoint::Tcp(broker.transport().local_addr().to_string());
+                let children = spawn_workers(&bin, &endpoint, workers, opts.poll)?;
+                FleetQueue::Tcp { broker, children }
+            }
+        };
+        Ok(ExpansionFleet {
+            opts,
+            queue,
+            next_id: AtomicU64::new(0),
+            workers,
+        })
+    }
+
+    /// A fleet with default options over the given backend.
+    pub fn with_backend(backend: DistBackend, workers: usize) -> Result<ExpansionFleet, String> {
+        ExpansionFleet::new(ExpansionFleetOptions {
+            backend,
+            workers,
+            ..ExpansionFleetOptions::default()
+        })
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The TCP listener address (for externally attaching workers), if
+    /// the fleet runs on the TCP backend.
+    pub fn tcp_addr(&self) -> Option<String> {
+        match &self.queue {
+            FleetQueue::Tcp { broker, .. } => Some(broker.transport().local_addr().to_string()),
+            _ => None,
+        }
+    }
+
+    /// Steal-loop counters accumulated over the fleet's lifetime.
+    pub fn stats(&self) -> Result<QueueStats, String> {
+        self.queue.queue().stats()
+    }
+
+    fn run_batch(
+        &self,
+        instance: &ProblemInstance,
+        cfg: &AffidavitConfig,
+        batch: &[ExpansionRequest],
+    ) -> Result<Vec<PortableExpansion>, String> {
+        let _span = affidavit_obs::span_with(
+            "dist.expansion_batch",
+            vec![("requests".to_owned(), batch.len().to_string())],
+        );
+        let started = Instant::now();
+        let wire_instance = WireInstance::from_instance(instance);
+        let src_rows = instance.source.len();
+        let tgt_rows = instance.target.len();
+        let chunk = if self.opts.batch == 0 {
+            batch.len().max(1)
+        } else {
+            self.opts.batch
+        };
+        let queue = self.queue.queue();
+        // One job per chunk, ids unique across the fleet's lifetime so a
+        // straggler result from an abandoned batch can never be absorbed
+        // as a later batch's.
+        let mut manifest: Vec<(u64, usize)> = Vec::new();
+        for (i, requests) in batch.chunks(chunk).enumerate() {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let job = Job {
+                id,
+                name: format!("expansion-{id}"),
+                payload: JobPayload::Expansion {
+                    instance: wire_instance.clone(),
+                    config: cfg.clone(),
+                    batch: requests.iter().map(WireExpansion::from_request).collect(),
+                },
+            };
+            queue.submit(&job)?;
+            manifest.push((id, i * chunk));
+        }
+        let deadline = started + self.opts.deadline;
+        let mut results: BTreeMap<u64, JobResult> = BTreeMap::new();
+        let mut last_requeue = Instant::now();
+        while results.len() < manifest.len() {
+            let mut fetched_new = false;
+            for &(id, _) in &manifest {
+                if let std::collections::btree_map::Entry::Vacant(slot) = results.entry(id) {
+                    if let Some(result) = queue.fetch_result(id)? {
+                        slot.insert(result);
+                        fetched_new = true;
+                        affidavit_obs::metrics().observe(
+                            "dist_expansion_rtt_micros",
+                            started.elapsed().as_micros() as f64,
+                        );
+                    }
+                }
+            }
+            if fetched_new {
+                queue.check_health()?;
+                continue;
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "expansion batch exceeded its deadline with {}/{} results",
+                    results.len(),
+                    manifest.len()
+                ));
+            }
+            if last_requeue.elapsed() >= self.opts.steal_timeout {
+                last_requeue = Instant::now();
+                self.queue.requeue_expired(self.opts.steal_timeout)?;
+            }
+            std::thread::sleep(self.opts.poll);
+        }
+        let mut expansions: Vec<PortableExpansion> = Vec::with_capacity(batch.len());
+        for &(id, _) in &manifest {
+            let result = results.get(&id).expect("all results fetched above");
+            match &result.outcome {
+                JobOutcome::Expanded {
+                    expansions: wire, ..
+                } => {
+                    for w in wire {
+                        expansions.push(w.to_portable(src_rows, tgt_rows)?);
+                    }
+                }
+                JobOutcome::Failed { reason } => {
+                    return Err(format!("expansion job {id} failed: {reason}"))
+                }
+                JobOutcome::Explained { .. } => {
+                    return Err(format!(
+                        "expansion job {id} came back as an explanation result"
+                    ))
+                }
+            }
+        }
+        if expansions.len() != batch.len() {
+            return Err(format!(
+                "expansion batch returned {} results for {} requests",
+                expansions.len(),
+                batch.len()
+            ));
+        }
+        Ok(expansions)
+    }
+}
+
+impl ExpansionExecutor for ExpansionFleet {
+    fn expand_batch(
+        &self,
+        instance: &ProblemInstance,
+        cfg: &AffidavitConfig,
+        batch: &[ExpansionRequest],
+    ) -> Option<Vec<PortableExpansion>> {
+        if batch.is_empty() {
+            return Some(Vec::new());
+        }
+        match self.run_batch(instance, cfg, batch) {
+            Ok(expansions) => Some(expansions),
+            Err(reason) => {
+                // Declining is always safe: the driver falls back to its
+                // local phase-1 path and the search stays byte-identical.
+                affidavit_obs::metrics().add_counter("dist_expansion_declined", 1);
+                affidavit_obs::diag("dist.expansion_declined", &reason);
+                None
+            }
+        }
+    }
+}
+
+impl Drop for ExpansionFleet {
+    fn drop(&mut self) {
+        // Wind down whatever half of the fleet is still alive; errors are
+        // moot — the queue is going away with us.
+        self.queue.queue().request_shutdown().ok();
+        match &mut self.queue {
+            FleetQueue::InProcess { threads, .. } => {
+                for handle in threads.drain(..) {
+                    handle.join().ok();
+                }
+            }
+            FleetQueue::Fs {
+                children,
+                root,
+                owned,
+                ..
+            } => {
+                for child in children.iter_mut() {
+                    child.wait().ok();
+                }
+                if *owned {
+                    std::fs::remove_dir_all(&*root).ok();
+                }
+            }
+            FleetQueue::Tcp { children, .. } => {
+                for child in children.iter_mut() {
+                    child.wait().ok();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use affidavit_core::Affidavit;
+    use affidavit_table::{Schema, Table, ValuePool};
+
+    fn instance() -> ProblemInstance {
+        let mut pool = ValuePool::new();
+        let s = Table::from_rows(
+            Schema::new(["k", "Val", "Unit"]),
+            &mut pool,
+            (0..40).map(|i| vec![format!("k{i}"), format!("{}", (i + 1) * 1000), "usd".into()]),
+        );
+        let t = Table::from_rows(
+            Schema::new(["k", "Val", "Unit"]),
+            &mut pool,
+            (0..40).map(|i| vec![format!("k{i}"), format!("{}", i + 1), "USD".into()]),
+        );
+        ProblemInstance::new(s, t, pool).unwrap()
+    }
+
+    fn spec_config() -> AffidavitConfig {
+        AffidavitConfig::paper_id()
+            .with_trace()
+            .with_speculative_width(4)
+            .with_speculation_min_records(0)
+    }
+
+    #[test]
+    fn in_process_fleet_reproduces_the_local_search_exactly() {
+        let cfg = spec_config();
+        let mut base = instance();
+        let baseline = Affidavit::new(cfg.clone()).explain(&mut base);
+
+        let fleet = ExpansionFleet::new(ExpansionFleetOptions {
+            workers: 2,
+            ..ExpansionFleetOptions::default()
+        })
+        .unwrap();
+        let mut inst = instance();
+        let stolen = Affidavit::new(cfg)
+            .with_expansion_executor(Arc::new(fleet))
+            .explain(&mut inst);
+
+        assert_eq!(
+            format!("{:?}", stolen.explanation),
+            format!("{:?}", baseline.explanation)
+        );
+        assert_eq!(stolen.stats.polled, baseline.stats.polled);
+        assert_eq!(stolen.stats.expansions, baseline.stats.expansions);
+        assert_eq!(
+            format!("{:?}", stolen.trace),
+            format!("{:?}", baseline.trace)
+        );
+        // The pools grew identically — symbol numbering is part of the
+        // byte-identity contract.
+        let a: Vec<&str> = base.pool.iter().map(|(_, s)| s).collect();
+        let b: Vec<&str> = inst.pool.iter().map(|(_, s)| s).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn the_fleet_is_reusable_across_searches() {
+        let fleet = Arc::new(
+            ExpansionFleet::new(ExpansionFleetOptions {
+                workers: 2,
+                batch: 1,
+                ..ExpansionFleetOptions::default()
+            })
+            .unwrap(),
+        );
+        let cfg = spec_config();
+        let mut first = instance();
+        let mut second = instance();
+        let a = Affidavit::new(cfg.clone())
+            .with_expansion_executor(fleet.clone() as Arc<dyn ExpansionExecutor>)
+            .explain(&mut first);
+        let b = Affidavit::new(cfg)
+            .with_expansion_executor(fleet as Arc<dyn ExpansionExecutor>)
+            .explain(&mut second);
+        assert_eq!(
+            format!("{:?}", a.explanation),
+            format!("{:?}", b.explanation)
+        );
+        assert_eq!(a.stats.polled, b.stats.polled);
+    }
+}

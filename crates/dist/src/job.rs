@@ -14,11 +14,11 @@
 
 use std::time::Instant;
 
-use affidavit_core::{Affidavit, AffidavitConfig};
+use affidavit_core::{expand_portable, Affidavit, AffidavitConfig};
 use affidavit_table::Sym;
 use serde::{Deserialize, Serialize};
 
-use crate::wire::{seal, unseal, WireFunction, WireInstance};
+use crate::wire::{seal, unseal, WireExpansion, WireExpansionResult, WireFunction, WireInstance};
 
 /// One stealable unit of work.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +45,19 @@ pub enum JobPayload {
         /// parallelism and frontier speculation are configured from the
         /// coordinator.
         config: AffidavitConfig,
+    },
+    /// Compute a batch of speculated frontier expansions (the phase-1
+    /// half of the speculation engine) over a serialized instance. The
+    /// instance is the coordinator's pool prefix at speculation time;
+    /// every request in the batch is expanded against it independently.
+    Expansion {
+        /// The serialized problem instance (frozen pool prefix).
+        instance: WireInstance,
+        /// The search configuration — expansion is byte-identical at
+        /// every thread count, so this only tunes worker-side scheduling.
+        config: AffidavitConfig,
+        /// The leased batch of expansion requests, in driver batch order.
+        batch: Vec<WireExpansion>,
     },
 }
 
@@ -91,6 +104,18 @@ pub enum JobOutcome {
         /// nondeterministic field; strip it before byte comparisons).
         millis: u64,
     },
+    /// A batch of frontier expansions finished. Each result is the pure
+    /// [`expand_portable`] value for the
+    /// matching request — byte-identical to what the coordinator's own
+    /// phase 1 would have computed, so duplicates and stragglers degrade
+    /// to wasted work, never to nondeterminism.
+    Expanded {
+        /// One expansion per request, in request order.
+        expansions: Vec<WireExpansionResult>,
+        /// Worker-side wall time in milliseconds (the only
+        /// nondeterministic field; strip it before byte comparisons).
+        millis: u64,
+    },
     /// The job could not be executed (malformed instance, version skew…).
     Failed {
         /// Human-readable reason.
@@ -124,6 +149,11 @@ pub fn decode_result(text: &str) -> Result<JobResult, String> {
 pub fn process_job(job: &Job, worker: &str) -> JobResult {
     let outcome = match &job.payload {
         JobPayload::Explain { instance, config } => run_explain(instance, config),
+        JobPayload::Expansion {
+            instance,
+            config,
+            batch,
+        } => run_expansion(instance, config, batch),
     };
     JobResult {
         id: job.id,
@@ -154,6 +184,39 @@ fn run_explain(wire: &WireInstance, config: &AffidavitConfig) -> JobOutcome {
         polled: outcome.stats.polled as u64,
         expansions: outcome.stats.expansions as u64,
         millis,
+    }
+}
+
+fn run_expansion(
+    wire: &WireInstance,
+    config: &AffidavitConfig,
+    batch: &[WireExpansion],
+) -> JobOutcome {
+    let instance = match wire.decode() {
+        Ok(instance) => instance,
+        Err(reason) => return JobOutcome::Failed { reason },
+    };
+    // One expansion at a time, each internally sequential: expansion jobs
+    // are already the unit of fleet-level parallelism, so nested fan-out
+    // inside a worker process would only oversubscribe it. Byte-identity
+    // does not depend on this — expansion is pure at every thread count.
+    let mut config = config.clone();
+    config.threads = 1;
+    let src_rows = instance.source.len();
+    let tgt_rows = instance.target.len();
+    let started = Instant::now();
+    let mut expansions = Vec::with_capacity(batch.len());
+    for request in batch {
+        let request = match request.to_request(instance.pool.len(), src_rows, tgt_rows) {
+            Ok(request) => request,
+            Err(reason) => return JobOutcome::Failed { reason },
+        };
+        let expansion = expand_portable(&instance, &config, &request);
+        expansions.push(WireExpansionResult::from_portable(&expansion));
+    }
+    JobOutcome::Expanded {
+        expansions,
+        millis: started.elapsed().as_millis() as u64,
     }
 }
 
@@ -219,7 +282,9 @@ mod tests {
     #[test]
     fn malformed_instance_fails_soft() {
         let mut job = tiny_job(0);
-        let JobPayload::Explain { instance, .. } = &mut job.payload;
+        let JobPayload::Explain { instance, .. } = &mut job.payload else {
+            unreachable!("tiny_job builds an explain job");
+        };
         instance.source[0][0] = 10_000;
         let result = process_job(&job, "w0");
         assert!(matches!(result.outcome, JobOutcome::Failed { .. }));

@@ -31,6 +31,12 @@
 //!   so the rendered profile is byte-identical to the single-process run
 //!   at every worker count and on every transport
 //!   (`tests/properties_dist.rs`, `tests/properties_transport.rs`).
+//! * [`expansion`] — expansion stealing: the speculation driver's K-way
+//!   frontier batches published to the same queue as wire version 2
+//!   expansion jobs, computed by local threads and remote
+//!   `affidavit-worker` processes stealing side by side, reconciled by
+//!   the driver's serial replay into byte-identical reports
+//!   (`tests/properties_expansion_steal.rs`).
 //!
 //! Determinism does not depend on the queue: every job result is a pure
 //! function of the job bytes (the engine underneath is byte-identical at
@@ -81,6 +87,7 @@
 
 pub mod broker;
 pub mod coordinate;
+pub mod expansion;
 pub mod frame;
 pub mod job;
 pub mod queue;
@@ -96,6 +103,7 @@ pub use coordinate::{
     absorb_result, execute_jobs, explain_via, profile_dirs_distributed, DistBackend, DistOptions,
     DistStats, RemoteExplanation,
 };
+pub use expansion::{ExpansionFleet, ExpansionFleetOptions};
 pub use frame::{
     configure_stream, read_frame, write_frame, FrameConfig, FrameRead, MAX_FRAME_BYTES,
 };

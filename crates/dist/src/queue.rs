@@ -197,8 +197,10 @@ impl JobQueue for InProcessQueue {
 pub(crate) fn strip_nondeterminism(result: &JobResult) -> String {
     let mut stripped = result.clone();
     stripped.worker = String::new();
-    if let crate::job::JobOutcome::Explained { millis, .. } = &mut stripped.outcome {
-        *millis = 0;
+    match &mut stripped.outcome {
+        crate::job::JobOutcome::Explained { millis, .. }
+        | crate::job::JobOutcome::Expanded { millis, .. } => *millis = 0,
+        crate::job::JobOutcome::Failed { .. } => {}
     }
     encode_result(&stripped)
 }

@@ -19,24 +19,36 @@
 //!   [`AttrFunction`] with its interned parameters as raw pool indices
 //!   and its exact numerics (`i128`, [`Decimal`]) as strings, since JSON
 //!   numbers cannot carry them losslessly.
+//! * [`WireExpansion`] / [`WireExpansionResult`] (version 2) — one
+//!   speculated frontier expansion as stealable work: the polled
+//!   [`WireState`] plus its pre-drawn alignment on the way out, the
+//!   [portable expansion](affidavit_core::expansion) on the way back.
+//!   Costs cross the wire as stringified `f64::to_bits` — byte-identity
+//!   of the search depends on them, and JSON float printing does not.
 //!
 //! The format is covered by round-trip tests and a golden-bytes fixture
 //! (`tests/properties_dist.rs`): accidental changes to field names, field
 //! order or numeric encodings fail CI instead of stranding deployed
 //! workers.
 
-use affidavit_core::ProblemInstance;
+use affidavit_blocking::{Block, Blocking};
+use affidavit_core::state::{Assignment, SearchState};
+use affidavit_core::{
+    ExpansionRequest, PortableAttrExpansion, PortableChild, PortableExpansion, ProblemInstance,
+};
 use affidavit_functions::datetime::DateFormat;
 use affidavit_functions::substring::{Segment, TokenProgram};
 use affidavit_functions::{AttrFunction, ValueMap};
-use affidavit_table::{Decimal, Rational, Schema, Sym, Table, ValuePool};
+use affidavit_table::{Decimal, Rational, RecordId, Schema, Sym, Table, ValuePool};
 use serde::{Deserialize, Serialize, Value};
 
 /// Format discriminator carried by every envelope.
 pub const WIRE_FORMAT: &str = "affidavit-dist";
 
-/// Version of the wire vocabulary this build speaks.
-pub const WIRE_VERSION: u64 = 1;
+/// Version of the wire vocabulary this build speaks. Version 2 added the
+/// expansion-job vocabulary ([`WireExpansion`], [`WireExpansionResult`])
+/// and the `speculation_min_records` configuration field.
+pub const WIRE_VERSION: u64 = 2;
 
 /// The self-describing outer wrapper of every wire message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -443,6 +455,323 @@ impl WireFunction {
     }
 }
 
+/// A blocking result Φ^H on the wire: per-block source/target record ids
+/// plus the dead sources. Record ids are row indices into the job's
+/// [`WireInstance`] — globally valid, no remapping needed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireBlocking {
+    /// Per-block `(source_rows, target_rows)`, in block order.
+    pub blocks: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Source rows excluded by partial function application.
+    pub dead_src: Vec<u32>,
+}
+
+impl WireBlocking {
+    /// Serialize a blocking.
+    pub fn from_blocking(b: &Blocking) -> WireBlocking {
+        WireBlocking {
+            blocks: b
+                .blocks
+                .iter()
+                .map(|blk| {
+                    (
+                        blk.src.iter().map(|r| r.0).collect(),
+                        blk.tgt.iter().map(|r| r.0).collect(),
+                    )
+                })
+                .collect(),
+            dead_src: b.dead_src.iter().map(|r| r.0).collect(),
+        }
+    }
+
+    /// Rebuild the blocking, validating every record id against the
+    /// snapshot row counts (a malformed id would panic deep inside
+    /// refinement instead of failing the job soft).
+    pub fn to_blocking(&self, src_rows: usize, tgt_rows: usize) -> Result<Blocking, String> {
+        let check = |ids: &[u32], limit: usize, side: &str| -> Result<Vec<RecordId>, String> {
+            ids.iter()
+                .map(|&r| {
+                    if (r as usize) < limit {
+                        Ok(RecordId(r))
+                    } else {
+                        Err(format!(
+                            "{side} record {r} outside the snapshot ({limit} rows)"
+                        ))
+                    }
+                })
+                .collect()
+        };
+        Ok(Blocking {
+            blocks: self
+                .blocks
+                .iter()
+                .map(|(src, tgt)| {
+                    Ok(Block {
+                        src: check(src, src_rows, "source")?,
+                        tgt: check(tgt, tgt_rows, "target")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            dead_src: check(&self.dead_src, src_rows, "source")?,
+        })
+    }
+}
+
+/// One attribute slot of a [`WireState`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WireAssignment {
+    /// `∗` — still undecided.
+    Undecided,
+    /// `⊞` — marked map-suited.
+    MapMarked,
+    /// A concrete assigned function.
+    Assigned {
+        /// The assigned function, symbol-indexed against the job's pool.
+        func: WireFunction,
+    },
+}
+
+/// A frontier search state on the wire. Function symbols index the job's
+/// [`WireInstance`] pool; the cost ships as stringified `f64::to_bits`
+/// because byte-identity of the search depends on it surviving exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireState {
+    /// Per-attribute assignments, in schema order.
+    pub assignments: Vec<WireAssignment>,
+    /// The state's blocking Φ^H.
+    pub blocking: WireBlocking,
+    /// The state's cost as stringified `f64::to_bits`.
+    pub cost: String,
+    /// The driver-assigned state id (seeds the per-attribute RNG).
+    pub id: u64,
+    /// The parent state's id, if any.
+    pub parent: Option<u64>,
+}
+
+impl WireState {
+    /// Serialize a search state.
+    pub fn from_state(state: &SearchState) -> WireState {
+        WireState {
+            assignments: state
+                .assignments
+                .iter()
+                .map(|a| match a {
+                    Assignment::Undecided => WireAssignment::Undecided,
+                    Assignment::MapMarked => WireAssignment::MapMarked,
+                    Assignment::Assigned(f) => WireAssignment::Assigned {
+                        func: WireFunction::from_attr(f),
+                    },
+                })
+                .collect(),
+            blocking: WireBlocking::from_blocking(&state.blocking),
+            cost: state.cost.to_bits().to_string(),
+            id: state.id as u64,
+            parent: state.parent.map(|p| p as u64),
+        }
+    }
+
+    /// Rebuild the state, validating function symbols against `pool_len`
+    /// and record ids against the snapshot row counts.
+    pub fn to_state(
+        &self,
+        pool_len: usize,
+        src_rows: usize,
+        tgt_rows: usize,
+    ) -> Result<SearchState, String> {
+        Ok(SearchState {
+            assignments: self
+                .assignments
+                .iter()
+                .map(|a| {
+                    Ok(match a {
+                        WireAssignment::Undecided => Assignment::Undecided,
+                        WireAssignment::MapMarked => Assignment::MapMarked,
+                        WireAssignment::Assigned { func } => {
+                            Assignment::Assigned(func.to_attr(pool_len)?)
+                        }
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            blocking: std::sync::Arc::new(self.blocking.to_blocking(src_rows, tgt_rows)?),
+            cost: f64::from_bits(parse_bits(&self.cost)?),
+            id: self.id as usize,
+            parent: self.parent.map(|p| p as usize),
+        })
+    }
+}
+
+/// One speculated frontier expansion as stealable work (version 2): the
+/// polled state plus the alignment the driver pre-drew for it — the only
+/// driver-RNG input of phase 1, shipped as drawn pairs so the wire format
+/// stays engine-version independent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireExpansion {
+    /// The frontier state to expand.
+    pub state: WireState,
+    /// The pre-drawn `(source_row, target_row)` alignment, in draw order.
+    pub alignment: Vec<(u32, u32)>,
+}
+
+impl WireExpansion {
+    /// Serialize an expansion request.
+    pub fn from_request(request: &ExpansionRequest) -> WireExpansion {
+        WireExpansion {
+            state: WireState::from_state(&request.state),
+            alignment: request.alignment.iter().map(|&(s, t)| (s.0, t.0)).collect(),
+        }
+    }
+
+    /// Rebuild the request, validating symbols and record ids.
+    pub fn to_request(
+        &self,
+        pool_len: usize,
+        src_rows: usize,
+        tgt_rows: usize,
+    ) -> Result<ExpansionRequest, String> {
+        let pair = |&(s, t): &(u32, u32)| -> Result<(RecordId, RecordId), String> {
+            if s as usize >= src_rows || t as usize >= tgt_rows {
+                return Err(format!("alignment pair ({s}, {t}) outside the snapshots"));
+            }
+            Ok((RecordId(s), RecordId(t)))
+        };
+        Ok(ExpansionRequest {
+            state: self.state.to_state(pool_len, src_rows, tgt_rows)?,
+            alignment: self
+                .alignment
+                .iter()
+                .map(pair)
+                .collect::<Result<Vec<_>, String>>()?,
+        })
+    }
+}
+
+/// One candidate child of a [`WireAttrExpansion`]: symbols below the
+/// part's `base_len` reference the job's pool, symbols at or above it
+/// index into the part's `new_strings`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireChild {
+    /// The candidate function, in job symbol coordinates.
+    pub func: WireFunction,
+    /// The blocking refined under the function.
+    pub blocking: WireBlocking,
+    /// The child's cost as stringified `f64::to_bits`.
+    pub cost: String,
+    /// Whether the candidate beat its greedy-map benchmark.
+    pub kept: bool,
+}
+
+impl WireChild {
+    fn from_portable(child: &PortableChild) -> WireChild {
+        WireChild {
+            func: WireFunction::from_attr(&child.func),
+            blocking: WireBlocking::from_blocking(&child.blocking),
+            cost: child.cost.to_bits().to_string(),
+            kept: child.kept,
+        }
+    }
+
+    fn to_portable(
+        &self,
+        pool_len: usize,
+        src_rows: usize,
+        tgt_rows: usize,
+    ) -> Result<PortableChild, String> {
+        Ok(PortableChild {
+            func: self.func.to_attr(pool_len)?,
+            blocking: self.blocking.to_blocking(src_rows, tgt_rows)?,
+            cost: f64::from_bits(parse_bits(&self.cost)?),
+            kept: self.kept,
+        })
+    }
+}
+
+/// Everything phase 1 produced for one attribute of one state, on the
+/// wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireAttrExpansion {
+    /// The expanded attribute index.
+    pub attr: u64,
+    /// Pool length the expansion was frozen at: symbols below it are the
+    /// job pool's, symbols at `base_len + i` mean `new_strings[i]`.
+    pub base_len: u64,
+    /// Strings interned past `base_len`, in interning order — the driver
+    /// absorbs the whole list; pool growth order is part of the
+    /// byte-identity contract.
+    pub new_strings: Vec<String>,
+    /// The greedy-map benchmark child.
+    pub greedy: WireChild,
+    /// All ranked candidates, in rank order.
+    pub ranked: Vec<WireChild>,
+}
+
+/// A completed expansion on the wire — the
+/// [`PortableExpansion`] a worker
+/// computed for one [`WireExpansion`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireExpansionResult {
+    /// Per-attribute expansions, in processed order.
+    pub parts: Vec<WireAttrExpansion>,
+    /// Whether any ranked candidate beat its greedy benchmark.
+    pub any_kept: bool,
+}
+
+impl WireExpansionResult {
+    /// Serialize a portable expansion.
+    pub fn from_portable(expansion: &PortableExpansion) -> WireExpansionResult {
+        WireExpansionResult {
+            parts: expansion
+                .parts
+                .iter()
+                .map(|p| WireAttrExpansion {
+                    attr: p.attr as u64,
+                    base_len: p.base_len as u64,
+                    new_strings: p.new_strings.iter().map(|s| s.to_string()).collect(),
+                    greedy: WireChild::from_portable(&p.greedy),
+                    ranked: p.ranked.iter().map(WireChild::from_portable).collect(),
+                })
+                .collect(),
+            any_kept: expansion.any_kept,
+        }
+    }
+
+    /// Rebuild the portable expansion, validating each part's function
+    /// symbols against `base_len + new_strings` and its record ids
+    /// against the snapshot row counts.
+    pub fn to_portable(
+        &self,
+        src_rows: usize,
+        tgt_rows: usize,
+    ) -> Result<PortableExpansion, String> {
+        Ok(PortableExpansion {
+            parts: self
+                .parts
+                .iter()
+                .map(|p| {
+                    let pool_len = p.base_len as usize + p.new_strings.len();
+                    Ok(PortableAttrExpansion {
+                        attr: p.attr as usize,
+                        base_len: p.base_len as usize,
+                        new_strings: p.new_strings.iter().map(|s| s.as_str().into()).collect(),
+                        greedy: p.greedy.to_portable(pool_len, src_rows, tgt_rows)?,
+                        ranked: p
+                            .ranked
+                            .iter()
+                            .map(|c| c.to_portable(pool_len, src_rows, tgt_rows))
+                            .collect::<Result<Vec<_>, String>>()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            any_kept: self.any_kept,
+        })
+    }
+}
+
+fn parse_bits(cost: &str) -> Result<u64, String> {
+    cost.parse::<u64>()
+        .map_err(|_| format!("bad cost bits {cost:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,7 +835,7 @@ mod tests {
         assert!(unseal(&text, "result").unwrap_err().contains("expected"));
         let alien = text.replace("affidavit-dist", "other-format");
         assert!(unseal(&alien, "job").unwrap_err().contains("format"));
-        let future = text.replace("\"version\":1", "\"version\":2");
+        let future = text.replace("\"version\":2", "\"version\":3");
         assert!(unseal(&future, "job")
             .unwrap_err()
             .contains("unsupported wire version"));
@@ -556,5 +885,142 @@ mod tests {
         let wire = WireFunction::Constant { value: 7 };
         assert!(wire.to_attr(7).is_err());
         assert!(wire.to_attr(8).is_ok());
+    }
+
+    #[test]
+    fn expansion_requests_roundtrip_exactly() {
+        let instance = sample_instance();
+        let state = SearchState {
+            assignments: vec![
+                Assignment::Assigned(AttrFunction::Identity),
+                Assignment::Undecided,
+            ],
+            blocking: std::sync::Arc::new(Blocking::root(&instance.source, &instance.target)),
+            cost: 1.5,
+            id: 7,
+            parent: Some(2),
+        };
+        let request = ExpansionRequest {
+            state,
+            alignment: vec![(RecordId(0), RecordId(1)), (RecordId(1), RecordId(0))],
+        };
+        let wire = WireExpansion::from_request(&request);
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: WireExpansion = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, wire);
+        let rebuilt = back.to_request(instance.pool.len(), 2, 2).unwrap();
+        assert_eq!(rebuilt.state.cost.to_bits(), request.state.cost.to_bits());
+        assert_eq!(rebuilt.state.id, 7);
+        assert_eq!(rebuilt.state.parent, Some(2));
+        assert_eq!(rebuilt.alignment, request.alignment);
+        assert_eq!(
+            rebuilt.state.blocking.blocks.len(),
+            request.state.blocking.blocks.len()
+        );
+        assert_eq!(
+            WireExpansion::from_request(&rebuilt),
+            wire,
+            "re-encoding is a fixed point"
+        );
+    }
+
+    #[test]
+    fn expansion_decode_checks_record_and_symbol_bounds() {
+        let instance = sample_instance();
+        let state = SearchState {
+            assignments: vec![Assignment::Undecided, Assignment::Undecided],
+            blocking: std::sync::Arc::new(Blocking::root(&instance.source, &instance.target)),
+            cost: 0.0,
+            id: 0,
+            parent: None,
+        };
+        let request = ExpansionRequest {
+            state,
+            alignment: vec![(RecordId(0), RecordId(0))],
+        };
+        let wire = WireExpansion::from_request(&request);
+
+        let mut bad_record = wire.clone();
+        bad_record.state.blocking.blocks[0].0[0] = 99;
+        assert!(bad_record
+            .to_request(instance.pool.len(), 2, 2)
+            .unwrap_err()
+            .contains("outside the snapshot"));
+
+        let mut bad_align = wire.clone();
+        bad_align.alignment[0] = (0, 99);
+        assert!(bad_align
+            .to_request(instance.pool.len(), 2, 2)
+            .unwrap_err()
+            .contains("alignment pair"));
+
+        let mut bad_sym = wire.clone();
+        bad_sym.state.assignments[0] = WireAssignment::Assigned {
+            func: WireFunction::Constant { value: 999 },
+        };
+        assert!(bad_sym
+            .to_request(instance.pool.len(), 2, 2)
+            .unwrap_err()
+            .contains("outside the worker pool"));
+
+        let mut bad_cost = wire;
+        bad_cost.state.cost = "not-bits".to_owned();
+        assert!(bad_cost
+            .to_request(instance.pool.len(), 2, 2)
+            .unwrap_err()
+            .contains("bad cost bits"));
+    }
+
+    #[test]
+    fn expansion_results_roundtrip_with_exact_costs() {
+        // A cost with no finite decimal representation must survive the
+        // wire bit-for-bit.
+        let cost = 0.1f64 + 0.2f64;
+        let mut pool = ValuePool::new();
+        let child = PortableChild {
+            func: AttrFunction::Constant(pool.intern("k $")),
+            blocking: Blocking {
+                blocks: vec![Block {
+                    src: vec![RecordId(0)],
+                    tgt: vec![RecordId(1)],
+                }],
+                dead_src: vec![RecordId(1)],
+            },
+            cost,
+            kept: true,
+        };
+        let expansion = PortableExpansion {
+            parts: vec![PortableAttrExpansion {
+                attr: 1,
+                base_len: pool.len(),
+                new_strings: vec!["fresh".into()],
+                greedy: PortableChild {
+                    kept: false,
+                    ..child.clone()
+                },
+                ranked: vec![child],
+            }],
+            any_kept: true,
+        };
+        let wire = WireExpansionResult::from_portable(&expansion);
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: WireExpansionResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, wire);
+        let rebuilt = back.to_portable(2, 2).unwrap();
+        assert_eq!(rebuilt.parts[0].ranked[0].cost.to_bits(), cost.to_bits());
+        assert_eq!(rebuilt.parts[0].new_strings, expansion.parts[0].new_strings);
+        assert!(rebuilt.any_kept);
+        assert_eq!(
+            WireExpansionResult::from_portable(&rebuilt),
+            wire,
+            "re-encoding is a fixed point"
+        );
+
+        // A function symbol past base_len + new_strings is rejected.
+        let mut bad = wire;
+        bad.parts[0].ranked[0].func = WireFunction::Constant {
+            value: (pool.len() + 1) as u32,
+        };
+        assert!(bad.to_portable(2, 2).is_err());
     }
 }

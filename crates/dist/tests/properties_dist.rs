@@ -19,6 +19,7 @@ use affidavit_core::profiling::{profile_dirs, ProfileOptions, SnapshotProfile};
 use affidavit_core::{AffidavitConfig, ProblemInstance};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datasets::synth::generate_rows;
+use affidavit_dist::wire::WireExpansion;
 use affidavit_dist::{
     decode_job, encode_job, profile_dirs_distributed, DistBackend, DistOptions, Job, JobPayload,
     WireInstance,
@@ -184,7 +185,9 @@ fn child_processes_survive_straggler_requeue_pressure() {
 // ---- wire-format stability ----------------------------------------------
 
 /// The fixture instance: small, covers quoting-sensitive strings, and is
-/// pinned byte-for-byte in `tests/fixtures/job_v1.json`.
+/// pinned byte-for-byte in `tests/fixtures/job_v2.json`. Regenerate the
+/// fixtures (after a deliberate format change plus version bump) with
+/// `REGEN_FIXTURES=1 cargo test -p affidavit-dist --test properties_dist`.
 fn fixture_job() -> Job {
     let mut pool = ValuePool::new();
     let s = Table::from_rows(
@@ -216,22 +219,108 @@ fn wire_roundtrip_is_a_fixed_point() {
     assert_eq!(encode_job(&back), text);
 }
 
+/// The fixture expansion job: the same instance with a one-assignment
+/// frontier state, pinned in `tests/fixtures/expansion_v2.json`.
+fn fixture_expansion_job() -> Job {
+    let JobPayload::Explain { instance, config } = fixture_job().payload else {
+        unreachable!("fixture_job builds an explain job");
+    };
+    let decoded = instance.decode().unwrap();
+    let state = affidavit_core::state::SearchState {
+        assignments: vec![
+            affidavit_core::state::Assignment::Assigned(
+                affidavit_functions::AttrFunction::Identity,
+            ),
+            affidavit_core::state::Assignment::Undecided,
+        ],
+        blocking: std::sync::Arc::new(affidavit_blocking::Blocking::root(
+            &decoded.source,
+            &decoded.target,
+        )),
+        cost: 1.5,
+        id: 7,
+        parent: Some(2),
+    };
+    let request = affidavit_core::ExpansionRequest {
+        state,
+        alignment: vec![
+            (affidavit_table::RecordId(0), affidavit_table::RecordId(0)),
+            (affidavit_table::RecordId(1), affidavit_table::RecordId(1)),
+        ],
+    };
+    Job {
+        id: 43,
+        name: "fixture-expansion".to_owned(),
+        payload: JobPayload::Expansion {
+            instance,
+            config,
+            batch: vec![WireExpansion::from_request(&request)],
+        },
+    }
+}
+
+/// Pin (or, under `REGEN_FIXTURES=1`, rewrite) one golden fixture.
+/// Returns the canonical bytes the rest of the test should decode — the
+/// pinned fixture normally, the fresh encoding when regenerating (the
+/// compiled-in `include_str!` is stale until the next build).
+fn check_golden(path_in_crate: &str, expected: &str, encoded: &str) -> String {
+    if std::env::var("REGEN_FIXTURES").is_ok() {
+        let path = format!("{}/tests/{path_in_crate}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, format!("{encoded}\n")).unwrap();
+        return encoded.to_owned();
+    }
+    assert_eq!(
+        encoded,
+        expected.trim_end(),
+        "wire bytes of {path_in_crate} changed without a version bump"
+    );
+    expected.trim_end().to_owned()
+}
+
 #[test]
 fn golden_bytes_are_stable() {
     // If this test fails you have changed the wire format: bump
     // WIRE_VERSION, regenerate the fixture, and make decode reject (or
     // migrate) the old version explicitly. Silent format drift strands
     // deployed workers.
-    let expected = include_str!("fixtures/job_v1.json");
-    assert_eq!(
-        encode_job(&fixture_job()),
-        expected.trim_end(),
-        "wire bytes changed without a version bump"
+    let expected = check_golden(
+        "fixtures/job_v2.json",
+        include_str!("fixtures/job_v2.json"),
+        &encode_job(&fixture_job()),
     );
-    let job = decode_job(expected.trim_end()).unwrap();
+    let job = decode_job(&expected).unwrap();
     assert_eq!(job.id, 42);
-    let JobPayload::Explain { instance, config } = &job.payload;
+    let JobPayload::Explain { instance, config } = &job.payload else {
+        panic!("fixture is an explain job");
+    };
     assert_eq!(instance.schema, vec!["Val", "Unit"]);
     assert_eq!(config.beta, 2);
     assert!(instance.decode().is_ok());
+}
+
+#[test]
+fn golden_expansion_bytes_are_stable() {
+    let expected = check_golden(
+        "fixtures/expansion_v2.json",
+        include_str!("fixtures/expansion_v2.json"),
+        &encode_job(&fixture_expansion_job()),
+    );
+    let job = decode_job(&expected).unwrap();
+    assert_eq!(job.id, 43);
+    let JobPayload::Expansion {
+        instance, batch, ..
+    } = &job.payload
+    else {
+        panic!("fixture is an expansion job");
+    };
+    let decoded = instance.decode().unwrap();
+    let request = batch[0]
+        .to_request(
+            decoded.pool.len(),
+            decoded.source.len(),
+            decoded.target.len(),
+        )
+        .unwrap();
+    assert_eq!(request.state.id, 7);
+    assert_eq!(request.alignment.len(), 2);
 }

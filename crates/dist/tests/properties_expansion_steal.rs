@@ -1,0 +1,184 @@
+//! Expansion-stealing byte-identity battery (ISSUE 10 acceptance).
+//!
+//! The speculation driver publishes its K-way frontier batches to an
+//! [`ExpansionFleet`] instead of the local thread pool; fleet workers —
+//! in-process threads, spool-claiming child processes, or TCP-dialing
+//! child processes — steal and expand them, and the driver's serial
+//! replay absorbs whatever arrives. The invariant under test: the
+//! rendered report, the search trace, and the `polled` /
+//! `states_generated` counters are **byte-identical to the width-1
+//! local search** at every
+//!
+//! > (transport {in-process, fs, tcp} × workers {0, 1, 2, 4} ×
+//! > speculative width {1, 4} × both paper configurations)
+//!
+//! point, with `workers == 0` autosizing to `available_parallelism`.
+//! A second test attaches an extra worker to a *live* TCP fleet
+//! mid-sequence (the elastic-fleet path) and re-asserts identity.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use affidavit_core::{
+    Affidavit, AffidavitConfig, ExpansionExecutor, InitStrategy, ProblemInstance,
+};
+use affidavit_datagen::blueprint::{Blueprint, GenConfig};
+use affidavit_datasets::synth::generate_rows;
+use affidavit_dist::{
+    spawn_workers, DistBackend, ExpansionFleet, ExpansionFleetOptions, WorkerEndpoint,
+};
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_affidavit-worker"))
+}
+
+/// A synthetically transformed instance small enough to sweep the whole
+/// matrix but noisy enough that both paper configurations search a
+/// multi-state frontier.
+fn instance() -> ProblemInstance {
+    let spec = affidavit_datasets::by_name("iris").expect("dataset exists");
+    let (base, pool) = generate_rows(&spec, spec.rows.min(40), 0xED87);
+    Blueprint::new(base, pool, GenConfig::new(0.3, 0.3, 0xED87))
+        .materialize_full()
+        .instance
+}
+
+fn config(init: InitStrategy, width: usize) -> AffidavitConfig {
+    let mut cfg = match init {
+        InitStrategy::Overlap => AffidavitConfig::paper_overlap(),
+        _ => AffidavitConfig::paper_id(),
+    };
+    cfg.trace = true;
+    cfg.speculative_width = width;
+    // Open the fan-out gate: this instance sits far below the default
+    // floor, and the battery is about the stolen path, not the gate.
+    cfg.speculation_min_records = 0;
+    cfg
+}
+
+/// Every output surface the reconciliation protocol pins: report bytes,
+/// trace bytes, poll/expansion/generation counters, end-state cost bits.
+fn fingerprint(cfg: AffidavitConfig, executor: Option<Arc<dyn ExpansionExecutor>>) -> String {
+    let mut inst = instance();
+    let mut solver = Affidavit::new(cfg);
+    if let Some(executor) = executor {
+        solver = solver.with_expansion_executor(executor);
+    }
+    let out = solver.explain(&mut inst);
+    format!(
+        "{}\n===\n{}\n===\n{}|{}|{}|{}",
+        affidavit_core::report::render_report(&out.explanation, &inst),
+        out.trace.expect("trace requested").render(),
+        out.stats.polled,
+        out.stats.expansions,
+        out.stats.states_generated,
+        out.stats.end_state_cost.to_bits(),
+    )
+}
+
+fn backend(transport: &str) -> DistBackend {
+    match transport {
+        "in-process" => DistBackend::InProcess,
+        "fs" => DistBackend::ChildProcesses {
+            broker_dir: None,
+            worker_bin: Some(worker_bin()),
+        },
+        "tcp" => DistBackend::Tcp {
+            listen: None,
+            worker_bin: Some(worker_bin()),
+        },
+        other => unreachable!("unknown transport {other}"),
+    }
+}
+
+#[test]
+fn stolen_searches_are_byte_identical_across_the_full_matrix() {
+    // Guards against a vacuous pass: every transport must actually steal
+    // expansion jobs somewhere in the sweep (width-1 legs publish none).
+    let mut steals: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for init in [InitStrategy::Id, InitStrategy::Overlap] {
+        let baseline = fingerprint(config(init, 1), None);
+        for transport in ["in-process", "fs", "tcp"] {
+            for workers in [0usize, 1, 2, 4] {
+                // One fleet serves both widths: reuse across searches is
+                // part of the contract (the CLI and serve daemon hold one
+                // fleet for a whole profile / process lifetime).
+                let fleet = Arc::new(
+                    ExpansionFleet::new(ExpansionFleetOptions {
+                        workers,
+                        backend: backend(transport),
+                        batch: 2,
+                        ..ExpansionFleetOptions::default()
+                    })
+                    .expect("fleet construction"),
+                );
+                assert!(
+                    fleet.workers() >= 1,
+                    "workers = 0 must autosize to at least one worker"
+                );
+                for width in [1usize, 4] {
+                    let got = fingerprint(
+                        config(init, width),
+                        Some(fleet.clone() as Arc<dyn ExpansionExecutor>),
+                    );
+                    assert_eq!(
+                        baseline, got,
+                        "divergence at ({transport} × workers {workers} × width {width} × {init:?})"
+                    );
+                }
+                *steals.entry(transport).or_default() += fleet.stats().expect("live queue").steals;
+            }
+        }
+    }
+    for transport in ["in-process", "fs", "tcp"] {
+        assert!(
+            steals[transport] > 0,
+            "no expansion jobs were ever stolen over {transport} — the sweep passed vacuously"
+        );
+    }
+}
+
+#[test]
+fn an_extra_worker_attaches_to_a_live_tcp_fleet() {
+    let baseline = fingerprint(config(InitStrategy::Id, 1), None);
+    let fleet = Arc::new(
+        ExpansionFleet::new(ExpansionFleetOptions {
+            workers: 1,
+            backend: backend("tcp"),
+            batch: 1,
+            ..ExpansionFleetOptions::default()
+        })
+        .expect("tcp fleet"),
+    );
+    let first = fingerprint(
+        config(InitStrategy::Id, 4),
+        Some(fleet.clone() as Arc<dyn ExpansionExecutor>),
+    );
+    assert_eq!(baseline, first, "stolen search before the attach");
+
+    // Elastic attach: dial a fresh worker into the already-running
+    // coordinator; the next search's expansion jobs are stolen by
+    // whichever of the two gets there first — identical bytes either way.
+    let addr = fleet.tcp_addr().expect("tcp fleets expose their listener");
+    let extra = spawn_workers(
+        &worker_bin(),
+        &WorkerEndpoint::Tcp(addr),
+        1,
+        Duration::from_millis(1),
+    )
+    .expect("attach an extra worker");
+    let second = fingerprint(
+        config(InitStrategy::Id, 4),
+        Some(fleet.clone() as Arc<dyn ExpansionExecutor>),
+    );
+    assert_eq!(baseline, second, "stolen search after the attach");
+
+    // Fleet shutdown also releases the attached worker (the broker's
+    // shutdown marker reaches every dialed-in worker, not just spawned
+    // children).
+    drop(fleet);
+    for mut worker in extra {
+        worker.wait().ok();
+    }
+}

@@ -20,17 +20,22 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
+use affidavit_blocking::Blocking;
 use affidavit_core::profiling::{profile_dirs, ProfileOptions, SnapshotProfile};
 use affidavit_core::report::render_report;
-use affidavit_core::{Affidavit, AffidavitConfig, ProblemInstance};
+use affidavit_core::state::{Assignment, SearchState};
+use affidavit_core::{
+    expand_portable, Affidavit, AffidavitConfig, ExpansionRequest, ProblemInstance,
+};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datasets::synth::generate_rows;
+use affidavit_dist::wire::{WireExpansion, WireExpansionResult};
 use affidavit_dist::{
     absorb_result, profile_dirs_distributed, spawn_workers, Broker, DistBackend, DistOptions, Job,
-    JobPayload, JobQueue, TcpBroker, TcpClient, Transport, WireInstance, WorkerEndpoint,
-    BROKER_LOST_EXIT_CODE,
+    JobOutcome, JobPayload, JobQueue, TcpBroker, TcpClient, Transport, WireInstance,
+    WorkerEndpoint, BROKER_LOST_EXIT_CODE,
 };
-use affidavit_table::{csv, Schema, Table, ValuePool};
+use affidavit_table::{csv, RecordId, Schema, Table, ValuePool};
 
 /// Build a pair of snapshot directories: three synthetically transformed
 /// tables, one unchanged table, one dropped, one created, one malformed
@@ -275,6 +280,149 @@ fn killed_tcp_worker_lease_expires_and_the_job_is_republished() {
         render_report(&remote.explanation, &instance),
         local_report,
         "the report after fault injection must be byte-identical to the local run"
+    );
+    let stats = coordinator.stats().unwrap();
+    assert!(stats.requeues >= 1, "{stats:?}");
+    assert_eq!(stats.conflicts, 0, "{stats:?}");
+}
+
+/// One real (multi-request) expansion-job lease plus the expansion
+/// results a healthy worker must produce for it, computed locally.
+fn expansion_job(id: u64) -> (Job, String) {
+    let (instance, _) = search_job(id);
+    let root = std::sync::Arc::new(Blocking::root(&instance.source, &instance.target));
+    let state = |sid: usize| SearchState {
+        assignments: vec![Assignment::Undecided; 3],
+        blocking: root.clone(),
+        cost: 0.0,
+        id: sid,
+        parent: None,
+    };
+    let requests = [
+        ExpansionRequest {
+            state: state(0),
+            alignment: vec![
+                (RecordId(0), RecordId(0)),
+                (RecordId(1), RecordId(1)),
+                (RecordId(2), RecordId(2)),
+            ],
+        },
+        ExpansionRequest {
+            state: state(1),
+            alignment: vec![(RecordId(3), RecordId(3)), (RecordId(4), RecordId(4))],
+        },
+    ];
+    // The reference: what phase 1 computes for this batch locally. The
+    // worker pins threads = 1 internally, but expansion is pure at every
+    // thread count, so the un-pinned config is the honest comparison.
+    let config = AffidavitConfig::paper_id();
+    let expected: Vec<_> = requests
+        .iter()
+        .map(|r| WireExpansionResult::from_portable(&expand_portable(&instance, &config, r)))
+        .collect();
+    let job = Job {
+        id,
+        name: "expansion-fault-injection".to_owned(),
+        payload: JobPayload::Expansion {
+            instance: WireInstance::from_instance(&instance),
+            config,
+            batch: requests.iter().map(WireExpansion::from_request).collect(),
+        },
+    };
+    (job, serde_json::to_string(&expected).unwrap())
+}
+
+#[test]
+fn killed_tcp_worker_mid_expansion_lease_loses_no_expansions() {
+    let (job, expected_json) = expansion_job(0);
+
+    let coordinator = Broker::new(TcpBroker::bind("127.0.0.1:0").unwrap());
+    let addr = coordinator.transport().local_addr().to_string();
+    coordinator.submit(&job).unwrap();
+
+    // A ghost claims the expansion lease and never delivers — from the
+    // coordinator's perspective a worker SIGKILLed mid-expansion.
+    let ghost = Broker::new(TcpClient::new(addr.clone()));
+    assert_eq!(ghost.steal("ghost").unwrap().unwrap().id, 0);
+    assert_eq!(coordinator.transport().active_leases(), 1);
+    assert!(coordinator.fetch_result(0).unwrap().is_none());
+
+    // The lease expires and the batch is re-published — exactly once
+    // (the v2 envelope rides the same lease ledger as v1 explain jobs).
+    assert_eq!(
+        coordinator
+            .transport()
+            .requeue_expired(Duration::ZERO)
+            .unwrap(),
+        1
+    );
+    assert_eq!(
+        coordinator
+            .transport()
+            .requeue_expired(Duration::ZERO)
+            .unwrap(),
+        0
+    );
+
+    // Escalate to a real SIGKILL: a child process claims the re-published
+    // batch and is killed while it holds the lease.
+    let mut doomed = spawn_workers(
+        &worker_bin(),
+        &WorkerEndpoint::Tcp(addr.clone()),
+        1,
+        Duration::from_millis(1),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while coordinator.stats().unwrap().steals < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert!(
+        coordinator.stats().unwrap().steals >= 2,
+        "child never stole the expansion batch"
+    );
+    doomed[0].kill();
+    drop(doomed);
+
+    // If the kill landed mid-lease, the lease expires and a healthy
+    // worker replays the whole batch; if the child won the race, the
+    // results are already in. Either way: the same expansion bytes.
+    if coordinator.fetch_result(0).unwrap().is_none() {
+        assert_eq!(
+            coordinator
+                .transport()
+                .requeue_expired(Duration::ZERO)
+                .unwrap(),
+            1,
+            "the killed child's expansion lease must expire"
+        );
+        let healthy = spawn_workers(
+            &worker_bin(),
+            &WorkerEndpoint::Tcp(addr),
+            1,
+            Duration::from_millis(1),
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while coordinator.fetch_result(0).unwrap().is_none() {
+            assert!(Instant::now() < deadline, "healthy worker never delivered");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        coordinator.request_shutdown().unwrap();
+        drop(healthy);
+    } else {
+        coordinator.request_shutdown().unwrap();
+    }
+
+    coordinator.check_health().unwrap();
+    let result = coordinator.fetch_result(0).unwrap().unwrap();
+    let JobOutcome::Expanded { expansions, .. } = result.outcome else {
+        panic!("expansion job failed after fault injection: {result:?}");
+    };
+    assert_eq!(
+        serde_json::to_string(&expansions).unwrap(),
+        expected_json,
+        "the expansion batch after fault injection must be byte-identical to the local phase 1"
     );
     let stats = coordinator.stats().unwrap();
     assert!(stats.requeues >= 1, "{stats:?}");

@@ -83,6 +83,7 @@ fn opts_for(seed: u64) -> ProfileOptions {
         align: false,
         ingest: IngestOptions::default(),
         pool,
+        executor: None,
     }
 }
 

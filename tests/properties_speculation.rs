@@ -105,6 +105,7 @@ fn config(init: InitStrategy, threads: usize, width: usize) -> AffidavitConfig {
     // Force the fan-out paths even on these small instances so the
     // parallel engine itself is what the assertions cover.
     cfg.parallel_min_records = 0;
+    cfg.speculation_min_records = 0;
     cfg.threads = threads;
     cfg.speculative_width = width;
     cfg
