@@ -46,6 +46,11 @@ SEARCH FLAGS (explain, apply, profile):
   --speculative-width K    Frontier states expanded speculatively per driver
                            iteration (default: 1 = speculation off). Results
                            are byte-identical at every width.
+  --speculation-min-records N
+                           Smallest source+target record count worth
+                           speculating on (default: 4096). Below it the
+                           driver expands one state at a time; 0 speculates
+                           on every instance.
   --trace                  Record and print the search tree (default: off).
   --corpus                 Also draw candidates from the built-in function
                            corpus (default: off; induction only).
@@ -294,6 +299,11 @@ fn build_config(p: &Parsed<'_>) -> Result<AffidavitConfig, String> {
     if let Some(width) = p.flag_value("speculative-width") {
         cfg.speculative_width = width.parse().map_err(|_| {
             format!("bad --speculative-width {width:?} (frontier states expanded per iteration)")
+        })?;
+    }
+    if let Some(min) = p.flag_value("speculation-min-records") {
+        cfg.speculation_min_records = min.parse().map_err(|_| {
+            format!("bad --speculation-min-records {min:?} (record count, or 0 for always)")
         })?;
     }
     if p.has("trace") {
@@ -1318,6 +1328,7 @@ mod tests {
             "--seed",
             "--threads",
             "--speculative-width",
+            "--speculation-min-records",
             "--ingest-chunk-rows",
             "--pool-backend",
             "--pool-budget-bytes",
@@ -1439,6 +1450,8 @@ mod tests {
         let d = dir.to_str().unwrap();
         let err = profile(&argv(&[d, d, "--workers", "many"])).unwrap_err();
         assert!(err.contains("--workers"), "{err}");
+        let err = profile(&argv(&[d, d, "--speculation-min-records", "lots"])).unwrap_err();
+        assert!(err.contains("--speculation-min-records"), "{err}");
         let err = profile(&argv(&[d, d, "--broker", "/tmp/spool"])).unwrap_err();
         assert!(err.contains("--workers"), "{err}");
         // Transport flags without a distributed run, or crossed between
@@ -1514,6 +1527,10 @@ mod tests {
             "2",
             "--speculative-width",
             "4",
+            // The gate would otherwise keep this tiny fixture local and
+            // the test would compare two identical local runs.
+            "--speculation-min-records",
+            "0",
             "--expansion-batch",
             "1",
             "--json",

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use affidavit_core::{
@@ -32,11 +32,11 @@ use affidavit_core::{
 
 use crate::broker::{spawn_workers, worker_binary, FsBroker, WorkerEndpoint, WorkerHandle};
 use crate::coordinate::DistBackend;
-use crate::job::{Job, JobOutcome, JobPayload, JobResult};
+use crate::job::{is_instance_miss, Job, JobOutcome, JobPayload, JobResult};
 use crate::queue::{InProcessQueue, JobQueue, QueueStats};
 use crate::tcp::TcpBroker;
 use crate::transport::Broker;
-use crate::wire::{WireExpansion, WireInstance};
+use crate::wire::{instance_digest, WireExpansion, WireInstance, WireInstanceSpec};
 
 /// Knobs of an expansion-stealing fleet.
 #[derive(Debug, Clone)]
@@ -127,6 +127,113 @@ pub struct ExpansionFleet {
     queue: FleetQueue,
     next_id: AtomicU64,
     workers: usize,
+    /// Bases already shipped to the fleet's workers, most recently used
+    /// last — the coordinator half of the content-addressed instance
+    /// protocol (see [`WireInstanceSpec`]).
+    shipped: Mutex<Vec<ShippedBase>>,
+}
+
+/// How many shipped bases the coordinator tracks. Matches the worker
+/// side ([`InstanceCache::CAPACITY`](crate::job::InstanceCache)), so a
+/// base the coordinator still plans around is one its steady workers
+/// still hold.
+const SHIPPED_BASES: usize = crate::job::InstanceCache::CAPACITY;
+
+/// One content-addressed instance the fleet has shipped inline: enough
+/// to recognize a later snapshot of the same search — tables identical,
+/// pool grown append-only — without re-serializing anything.
+#[derive(Debug)]
+struct ShippedBase {
+    /// [`instance_digest`] of the shipped [`WireInstance`].
+    digest: String,
+    /// Fingerprint of schema + both tables' symbol matrices.
+    tables_hash: u64,
+    /// Pool length at ship time.
+    pool_len: usize,
+    /// Fingerprint of the first `pool_len` pool strings.
+    pool_hash: u64,
+}
+
+/// What `plan_shipment` decided for one batch: which digest to reference
+/// and whether the base must ride along inline.
+struct ShipPlan {
+    digest: String,
+    /// Pool length of the shipped base — the split point for inline
+    /// re-ships after a worker cache miss.
+    base_pool_len: usize,
+    /// `Some` on first sight of the instance (ship inline, workers cache
+    /// it); `None` when workers are expected to hold the base already.
+    base: Option<WireInstance>,
+    /// Pool strings interned past the base since it shipped.
+    extra: Vec<String>,
+}
+
+impl ShipPlan {
+    fn spec(&self) -> WireInstanceSpec {
+        match &self.base {
+            Some(instance) => WireInstanceSpec::Inline {
+                digest: self.digest.clone(),
+                instance: instance.clone(),
+                extra_pool: self.extra.clone(),
+            },
+            None => WireInstanceSpec::Cached {
+                digest: self.digest.clone(),
+                extra_pool: self.extra.clone(),
+            },
+        }
+    }
+}
+
+/// The current instance serialized and split at the shipped base's pool
+/// length: `(base, extra)` such that the base digests to the plan's
+/// digest and `extra` is this batch's pool delta. Built lazily, only
+/// when a worker reports a cache miss and needs an inline re-ship.
+fn split_at_base(instance: &ProblemInstance, base_pool_len: usize) -> (WireInstance, Vec<String>) {
+    let mut base = WireInstance::from_instance(instance);
+    let extra = base.pool.split_off(base_pool_len);
+    (base, extra)
+}
+
+/// 64-bit FNV-1a, streamed. Hand-rolled for the same reason as
+/// [`instance_digest`]: the standard library's hashers are randomly
+/// keyed per process, and these fingerprints index a cross-batch cache.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &byte in bytes {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fingerprint of the first `len` pool strings, order-sensitive.
+fn hash_pool_prefix(instance: &ProblemInstance, len: usize) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for (_, s) in instance.pool.iter().take(len) {
+        fnv1a(&mut hash, s.as_bytes());
+        fnv1a(&mut hash, &[0xff]); // separator: ("ab","c") ≠ ("a","bc")
+    }
+    hash
+}
+
+/// Fingerprint of schema names and both tables' symbol matrices — the
+/// parts of an instance that are frozen for the whole search (only the
+/// pool grows).
+fn hash_tables(instance: &ProblemInstance) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for name in instance.schema().names() {
+        fnv1a(&mut hash, name.as_bytes());
+        fnv1a(&mut hash, &[0xff]);
+    }
+    for table in [&instance.source, &instance.target] {
+        fnv1a(&mut hash, &(table.len() as u64).to_le_bytes());
+        for row in table.rows() {
+            for sym in row.iter() {
+                fnv1a(&mut hash, &sym.0.to_le_bytes());
+            }
+        }
+    }
+    hash
 }
 
 impl std::fmt::Debug for ExpansionFleet {
@@ -210,6 +317,7 @@ impl ExpansionFleet {
             queue,
             next_id: AtomicU64::new(0),
             workers,
+            shipped: Mutex::new(Vec::new()),
         })
     }
 
@@ -241,6 +349,61 @@ impl ExpansionFleet {
         self.queue.queue().stats()
     }
 
+    /// Decide how this batch names its instance: reuse a shipped base
+    /// (digest + appended pool delta) when the tables match one and the
+    /// pool still extends its prefix, otherwise serialize and register a
+    /// fresh base to ship inline. The delta stays honest because the
+    /// driver's pool is append-only during a search; once it outgrows
+    /// the base by more than a quarter (floor 64 strings), re-basing is
+    /// cheaper than repeating the delta on every job.
+    fn plan_shipment(&self, instance: &ProblemInstance) -> ShipPlan {
+        let tables = hash_tables(instance);
+        let pool_len = instance.pool.len();
+        let mut shipped = self.shipped.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = shipped.iter().position(|b| b.tables_hash == tables) {
+            let base = &shipped[pos];
+            let extendable = pool_len >= base.pool_len
+                && hash_pool_prefix(instance, base.pool_len) == base.pool_hash;
+            let delta_small = pool_len - base.pool_len.min(pool_len) <= (base.pool_len / 4).max(64);
+            if extendable && delta_small {
+                let extra = instance
+                    .pool
+                    .iter()
+                    .skip(base.pool_len)
+                    .map(|(_, s)| s.to_owned())
+                    .collect();
+                let plan = ShipPlan {
+                    digest: base.digest.clone(),
+                    base_pool_len: base.pool_len,
+                    base: None,
+                    extra,
+                };
+                let entry = shipped.remove(pos);
+                shipped.push(entry); // freshen LRU position
+                return plan;
+            }
+            // Same tables but a foreign or outgrown pool: re-base.
+            shipped.remove(pos);
+        }
+        let wire = WireInstance::from_instance(instance);
+        let digest = instance_digest(&wire);
+        shipped.push(ShippedBase {
+            digest: digest.clone(),
+            tables_hash: tables,
+            pool_len,
+            pool_hash: hash_pool_prefix(instance, pool_len),
+        });
+        if shipped.len() > SHIPPED_BASES {
+            shipped.remove(0);
+        }
+        ShipPlan {
+            digest,
+            base_pool_len: pool_len,
+            base: Some(wire),
+            extra: Vec::new(),
+        }
+    }
+
     fn run_batch(
         &self,
         instance: &ProblemInstance,
@@ -251,8 +414,30 @@ impl ExpansionFleet {
             "dist.expansion_batch",
             vec![("requests".to_owned(), batch.len().to_string())],
         );
+        let mut manifest: Vec<ManifestEntry> = Vec::new();
+        let outcome = self.drive_batch(instance, cfg, batch, &mut manifest);
+        // Win or lose, the queue owes us nothing further for these ids:
+        // forget every job this batch published, so the persistent fleet
+        // (the serve daemon holds one for its whole lifetime) retains no
+        // per-batch results and a declined batch's jobs are withdrawn
+        // instead of computed behind the driver's back.
+        let queue = self.queue.queue();
+        for entry in &manifest {
+            if let Err(reason) = queue.forget(entry.id) {
+                affidavit_obs::diag("dist.expansion_forget", &reason);
+            }
+        }
+        outcome
+    }
+
+    fn drive_batch(
+        &self,
+        instance: &ProblemInstance,
+        cfg: &AffidavitConfig,
+        batch: &[ExpansionRequest],
+        manifest: &mut Vec<ManifestEntry>,
+    ) -> Result<Vec<PortableExpansion>, String> {
         let started = Instant::now();
-        let wire_instance = WireInstance::from_instance(instance);
         let src_rows = instance.source.len();
         let tgt_rows = instance.target.len();
         let chunk = if self.opts.batch == 0 {
@@ -261,40 +446,82 @@ impl ExpansionFleet {
             self.opts.batch
         };
         let queue = self.queue.queue();
+        let plan = self.plan_shipment(instance);
         // One job per chunk, ids unique across the fleet's lifetime so a
         // straggler result from an abandoned batch can never be absorbed
         // as a later batch's.
-        let mut manifest: Vec<(u64, usize)> = Vec::new();
         for (i, requests) in batch.chunks(chunk).enumerate() {
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             let job = Job {
                 id,
                 name: format!("expansion-{id}"),
                 payload: JobPayload::Expansion {
-                    instance: wire_instance.clone(),
+                    instance: plan.spec(),
                     config: cfg.clone(),
                     batch: requests.iter().map(WireExpansion::from_request).collect(),
                 },
             };
             queue.submit(&job)?;
-            manifest.push((id, i * chunk));
+            manifest.push(ManifestEntry {
+                id,
+                offset: i * chunk,
+                len: requests.len(),
+                submitted: Instant::now(),
+            });
         }
         let deadline = started + self.opts.deadline;
         let mut results: BTreeMap<u64, JobResult> = BTreeMap::new();
         let mut last_requeue = Instant::now();
+        // Built lazily on the first worker cache miss: the current
+        // instance split at the shipped base, so the inline re-ship both
+        // warms the cold worker's cache under the batch's digest and
+        // carries this batch's pool delta.
+        let mut inline_fallback: Option<(WireInstance, Vec<String>)> = None;
         while results.len() < manifest.len() {
             let mut fetched_new = false;
-            for &(id, _) in &manifest {
-                if let std::collections::btree_map::Entry::Vacant(slot) = results.entry(id) {
-                    if let Some(result) = queue.fetch_result(id)? {
-                        slot.insert(result);
-                        fetched_new = true;
-                        affidavit_obs::metrics().observe(
-                            "dist_expansion_rtt_micros",
-                            started.elapsed().as_micros() as f64,
-                        );
-                    }
+            for entry in manifest.iter_mut() {
+                if results.contains_key(&entry.id) {
+                    continue;
                 }
+                let Some(result) = queue.fetch_result(entry.id)? else {
+                    continue;
+                };
+                fetched_new = true;
+                if is_instance_miss(&result) {
+                    // A cold worker (fresh attach, restart, eviction)
+                    // stole a digest-only job. Withdraw the id and
+                    // re-ship the same chunk inline — under a fresh id,
+                    // because the miss result is already stored under
+                    // this one and first-delivery-wins would pin it.
+                    queue.forget(entry.id)?;
+                    let (base, extra) = inline_fallback
+                        .get_or_insert_with(|| split_at_base(instance, plan.base_pool_len));
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    let requests = &batch[entry.offset..entry.offset + entry.len];
+                    let job = Job {
+                        id,
+                        name: format!("expansion-{id}"),
+                        payload: JobPayload::Expansion {
+                            instance: WireInstanceSpec::Inline {
+                                digest: plan.digest.clone(),
+                                instance: base.clone(),
+                                extra_pool: extra.clone(),
+                            },
+                            config: cfg.clone(),
+                            batch: requests.iter().map(WireExpansion::from_request).collect(),
+                        },
+                    };
+                    queue.submit(&job)?;
+                    affidavit_obs::metrics().add_counter("dist_expansion_inline_reships", 1);
+                    entry.id = id;
+                    entry.submitted = Instant::now();
+                    continue;
+                }
+                affidavit_obs::metrics().observe(
+                    "dist_expansion_rtt_micros",
+                    entry.submitted.elapsed().as_micros() as f64,
+                );
+                results.insert(entry.id, result);
             }
             if fetched_new {
                 queue.check_health()?;
@@ -314,8 +541,8 @@ impl ExpansionFleet {
             std::thread::sleep(self.opts.poll);
         }
         let mut expansions: Vec<PortableExpansion> = Vec::with_capacity(batch.len());
-        for &(id, _) in &manifest {
-            let result = results.get(&id).expect("all results fetched above");
+        for entry in manifest.iter() {
+            let result = results.get(&entry.id).expect("all results fetched above");
             match &result.outcome {
                 JobOutcome::Expanded {
                     expansions: wire, ..
@@ -325,11 +552,12 @@ impl ExpansionFleet {
                     }
                 }
                 JobOutcome::Failed { reason } => {
-                    return Err(format!("expansion job {id} failed: {reason}"))
+                    return Err(format!("expansion job {} failed: {reason}", entry.id))
                 }
                 JobOutcome::Explained { .. } => {
                     return Err(format!(
-                        "expansion job {id} came back as an explanation result"
+                        "expansion job {} came back as an explanation result",
+                        entry.id
                     ))
                 }
             }
@@ -343,6 +571,17 @@ impl ExpansionFleet {
         }
         Ok(expansions)
     }
+}
+
+/// One published chunk of the current batch: where its requests live in
+/// the driver's batch and when its (current) job id was submitted — the
+/// submit timestamp backs the per-job `dist_expansion_rtt_micros`
+/// observation and is reset when a cache miss re-ships the chunk.
+struct ManifestEntry {
+    id: u64,
+    offset: usize,
+    len: usize,
+    submitted: Instant,
 }
 
 impl ExpansionExecutor for ExpansionFleet {
@@ -486,5 +725,115 @@ mod tests {
             format!("{:?}", b.explanation)
         );
         assert_eq!(a.stats.polled, b.stats.polled);
+    }
+
+    #[test]
+    fn a_persistent_fleet_retains_no_results_between_batches() {
+        let fleet = Arc::new(
+            ExpansionFleet::new(ExpansionFleetOptions {
+                workers: 2,
+                batch: 1,
+                ..ExpansionFleetOptions::default()
+            })
+            .unwrap(),
+        );
+        let cfg = spec_config();
+        let mut first = instance();
+        let mut second = instance();
+        Affidavit::new(cfg.clone())
+            .with_expansion_executor(fleet.clone() as Arc<dyn ExpansionExecutor>)
+            .explain(&mut first);
+        Affidavit::new(cfg)
+            .with_expansion_executor(fleet.clone() as Arc<dyn ExpansionExecutor>)
+            .explain(&mut second);
+        // The fleet outlives both searches (the serve daemon holds one
+        // for its whole lifetime): every absorbed batch must have been
+        // forgotten, or results pile up until the daemon OOMs.
+        let FleetQueue::InProcess { queue, .. } = &fleet.queue else {
+            panic!("in-process fleet expected");
+        };
+        assert_eq!(queue.retained_results(), 0);
+        assert_eq!(queue.pending_jobs(), 0);
+    }
+
+    #[test]
+    fn a_declined_batch_withdraws_its_jobs() {
+        let cfg = spec_config();
+        let mut base = instance();
+        let baseline = Affidavit::new(cfg.clone()).explain(&mut base);
+
+        // A zero deadline declines (almost) every batch, driving the
+        // decline path: jobs are published, the deadline trips, and the
+        // driver expands locally.
+        let fleet = Arc::new(
+            ExpansionFleet::new(ExpansionFleetOptions {
+                workers: 2,
+                deadline: Duration::ZERO,
+                ..ExpansionFleetOptions::default()
+            })
+            .unwrap(),
+        );
+        let mut inst = instance();
+        let stolen = Affidavit::new(cfg)
+            .with_expansion_executor(fleet.clone() as Arc<dyn ExpansionExecutor>)
+            .explain(&mut inst);
+        assert_eq!(
+            format!("{:?}", stolen.explanation),
+            format!("{:?}", baseline.explanation)
+        );
+        assert_eq!(stolen.stats.polled, baseline.stats.polled);
+        // Declined batches withdraw their jobs: nothing left for workers
+        // to chew on, no result retained for the abandoned ids.
+        let FleetQueue::InProcess { queue, .. } = &fleet.queue else {
+            panic!("in-process fleet expected");
+        };
+        assert_eq!(queue.pending_jobs(), 0);
+        assert_eq!(queue.retained_results(), 0);
+    }
+
+    #[test]
+    fn shipment_plans_reuse_bases_and_carry_pool_deltas() {
+        let fleet = ExpansionFleet::new(ExpansionFleetOptions {
+            workers: 1,
+            ..ExpansionFleetOptions::default()
+        })
+        .unwrap();
+        let mut inst = instance();
+
+        // First sight: the base ships inline.
+        let first = fleet.plan_shipment(&inst);
+        assert!(first.base.is_some());
+        assert!(first.extra.is_empty());
+
+        // Same instance again: digest-only, no delta.
+        let second = fleet.plan_shipment(&inst);
+        assert_eq!(second.digest, first.digest);
+        assert!(second.base.is_none());
+        assert!(second.extra.is_empty());
+
+        // The pool grew append-only (as it does during a search): still
+        // digest-only, with the new strings riding as the delta.
+        inst.pool.intern("speculated-value");
+        let third = fleet.plan_shipment(&inst);
+        assert_eq!(third.digest, first.digest);
+        assert!(third.base.is_none());
+        assert_eq!(third.extra, vec!["speculated-value".to_owned()]);
+
+        // A different instance (other tables) re-bases under a new digest.
+        let mut other_pool = ValuePool::new();
+        let s = Table::from_rows(
+            Schema::new(["k", "Val", "Unit"]),
+            &mut other_pool,
+            (0..4).map(|i| vec![format!("x{i}"), format!("{i}"), "eur".into()]),
+        );
+        let t = Table::from_rows(
+            Schema::new(["k", "Val", "Unit"]),
+            &mut other_pool,
+            (0..4).map(|i| vec![format!("x{i}"), format!("{}", i * 2), "EUR".into()]),
+        );
+        let other = ProblemInstance::new(s, t, other_pool).unwrap();
+        let fourth = fleet.plan_shipment(&other);
+        assert_ne!(fourth.digest, first.digest);
+        assert!(fourth.base.is_some());
     }
 }

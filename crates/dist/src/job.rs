@@ -18,7 +18,25 @@ use affidavit_core::{expand_portable, Affidavit, AffidavitConfig};
 use affidavit_table::Sym;
 use serde::{Deserialize, Serialize};
 
-use crate::wire::{seal, unseal, WireExpansion, WireExpansionResult, WireFunction, WireInstance};
+use crate::wire::{
+    seal, unseal, WireExpansion, WireExpansionResult, WireFunction, WireInstance, WireInstanceSpec,
+};
+
+/// Reason prefix of the [`JobOutcome::Failed`] a worker returns when an
+/// expansion job references an instance digest it does not hold (fresh
+/// attach, restart, cache eviction). The coordinator recognizes the
+/// prefix and re-ships that chunk inline under a fresh job id; every
+/// other `Failed` reason declines the batch.
+pub const INSTANCE_MISS_PREFIX: &str = "instance-cache-miss: ";
+
+/// Whether a result is a worker-side instance-cache miss — expected
+/// whenever a cold worker steals a digest-only job, and resolved by the
+/// coordinator re-shipping inline. Duplicate comparison must treat these
+/// as always-discardable: a cold and a warm worker racing on a requeued
+/// id legitimately produce different bytes.
+pub fn is_instance_miss(result: &JobResult) -> bool {
+    matches!(&result.outcome, JobOutcome::Failed { reason } if reason.starts_with(INSTANCE_MISS_PREFIX))
+}
 
 /// One stealable unit of work.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,8 +69,9 @@ pub enum JobPayload {
     /// instance is the coordinator's pool prefix at speculation time;
     /// every request in the batch is expanded against it independently.
     Expansion {
-        /// The serialized problem instance (frozen pool prefix).
-        instance: WireInstance,
+        /// The problem instance — inline with a content digest on first
+        /// sight, by digest plus pool delta afterwards.
+        instance: WireInstanceSpec,
         /// The search configuration — expansion is byte-identical at
         /// every thread count, so this only tunes worker-side scheduling.
         config: AffidavitConfig,
@@ -143,17 +162,67 @@ pub fn decode_result(text: &str) -> Result<JobResult, String> {
     JobResult::from_value(&unseal(text, "result")?).map_err(|e| e.to_string())
 }
 
+/// A worker's bounded store of content-addressed instances, so a fleet's
+/// digest-only expansion jobs decode without the instance crossing the
+/// transport again. One per worker loop; [`JobPayload::Expansion`] jobs
+/// shipped inline warm it. Eviction is least-recently-used with a small
+/// cap — a worker serves one coordinator, which itself tracks at most a
+/// handful of live bases.
+#[derive(Debug, Default)]
+pub struct InstanceCache {
+    /// `(digest, instance)`, least recently used first.
+    entries: Vec<(String, WireInstance)>,
+}
+
+impl InstanceCache {
+    /// How many bases a worker retains. Matches the coordinator side
+    /// ([`ExpansionFleet`](crate::expansion::ExpansionFleet) tracks the
+    /// same number of shipped bases), so a worker serving one fleet
+    /// never misses on a digest the fleet still considers live.
+    pub const CAPACITY: usize = 8;
+
+    /// The cached base for `digest`, freshening its LRU position.
+    pub fn get(&mut self, digest: &str) -> Option<&WireInstance> {
+        let pos = self.entries.iter().position(|(d, _)| d == digest)?;
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        Some(&self.entries.last().expect("just pushed").1)
+    }
+
+    /// Store (or freshen) a base under its digest.
+    pub fn put(&mut self, digest: &str, instance: &WireInstance) {
+        if let Some(pos) = self.entries.iter().position(|(d, _)| d == digest) {
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry);
+            return;
+        }
+        if self.entries.len() >= Self::CAPACITY {
+            self.entries.remove(0);
+        }
+        self.entries.push((digest.to_owned(), instance.clone()));
+    }
+}
+
 /// Execute a job. Never panics on malformed input — decode errors come
 /// back as [`JobOutcome::Failed`] so the coordinator does not hang waiting
-/// for a result that will never arrive.
+/// for a result that will never arrive. A fresh [`InstanceCache`] is used,
+/// so digest-only expansion jobs fail with [`INSTANCE_MISS_PREFIX`]; the
+/// worker loop threads a persistent cache through
+/// [`process_job_with_cache`].
 pub fn process_job(job: &Job, worker: &str) -> JobResult {
+    process_job_with_cache(job, worker, &mut InstanceCache::default())
+}
+
+/// [`process_job`] with a caller-owned instance cache (the worker loop's,
+/// surviving across jobs).
+pub fn process_job_with_cache(job: &Job, worker: &str, cache: &mut InstanceCache) -> JobResult {
     let outcome = match &job.payload {
         JobPayload::Explain { instance, config } => run_explain(instance, config),
         JobPayload::Expansion {
             instance,
             config,
             batch,
-        } => run_expansion(instance, config, batch),
+        } => run_expansion(instance, config, batch, cache),
     };
     JobResult {
         id: job.id,
@@ -188,11 +257,30 @@ fn run_explain(wire: &WireInstance, config: &AffidavitConfig) -> JobOutcome {
 }
 
 fn run_expansion(
-    wire: &WireInstance,
+    spec: &WireInstanceSpec,
     config: &AffidavitConfig,
     batch: &[WireExpansion],
+    cache: &mut InstanceCache,
 ) -> JobOutcome {
-    let instance = match wire.decode() {
+    let decoded = match spec {
+        WireInstanceSpec::Inline {
+            digest,
+            instance,
+            extra_pool,
+        } => {
+            cache.put(digest, instance);
+            instance.decode_with_extra(extra_pool)
+        }
+        WireInstanceSpec::Cached { digest, extra_pool } => match cache.get(digest) {
+            Some(base) => base.decode_with_extra(extra_pool),
+            None => {
+                return JobOutcome::Failed {
+                    reason: format!("{INSTANCE_MISS_PREFIX}{digest}"),
+                }
+            }
+        },
+    };
+    let instance = match decoded {
         Ok(instance) => instance,
         Err(reason) => return JobOutcome::Failed { reason },
     };
@@ -277,6 +365,94 @@ mod tests {
         let a = strip(process_job(&job, "w0"));
         let b = strip(process_job(&job, "w1"));
         assert_eq!(a, b, "a stolen-then-duplicated job must be pure waste");
+    }
+
+    #[test]
+    fn digest_only_jobs_miss_cold_caches_and_hit_warm_ones() {
+        let JobPayload::Explain { instance, config } = tiny_job(0).payload else {
+            unreachable!("tiny_job builds an explain job");
+        };
+        let digest = crate::wire::instance_digest(&instance);
+        let decoded = instance.decode().unwrap();
+        let state = affidavit_core::state::SearchState {
+            assignments: vec![
+                affidavit_core::state::Assignment::Undecided,
+                affidavit_core::state::Assignment::Undecided,
+            ],
+            blocking: std::sync::Arc::new(affidavit_blocking::Blocking::root(
+                &decoded.source,
+                &decoded.target,
+            )),
+            cost: 0.0,
+            id: 0,
+            parent: None,
+        };
+        let request = affidavit_core::ExpansionRequest {
+            state,
+            alignment: vec![(affidavit_table::RecordId(0), affidavit_table::RecordId(0))],
+        };
+        let job_with = |spec: WireInstanceSpec| Job {
+            id: 1,
+            name: "spec".to_owned(),
+            payload: JobPayload::Expansion {
+                instance: spec,
+                config: config.clone(),
+                batch: vec![WireExpansion::from_request(&request)],
+            },
+        };
+        let mut cache = InstanceCache::default();
+        // Cold cache + digest-only job: the distinguished soft failure.
+        let miss = process_job_with_cache(
+            &job_with(WireInstanceSpec::Cached {
+                digest: digest.clone(),
+                extra_pool: Vec::new(),
+            }),
+            "w0",
+            &mut cache,
+        );
+        assert!(is_instance_miss(&miss), "{:?}", miss.outcome);
+        // An inline job warms the cache...
+        let inline = process_job_with_cache(
+            &job_with(WireInstanceSpec::Inline {
+                digest: digest.clone(),
+                instance: instance.clone(),
+                extra_pool: Vec::new(),
+            }),
+            "w0",
+            &mut cache,
+        );
+        assert!(matches!(inline.outcome, JobOutcome::Expanded { .. }));
+        // ...after which the same digest-only job succeeds, byte-identically.
+        let hit = process_job_with_cache(
+            &job_with(WireInstanceSpec::Cached {
+                digest,
+                extra_pool: Vec::new(),
+            }),
+            "w0",
+            &mut cache,
+        );
+        assert!(!is_instance_miss(&hit));
+        assert_eq!(
+            crate::queue::strip_nondeterminism(&hit),
+            crate::queue::strip_nondeterminism(&inline)
+        );
+    }
+
+    #[test]
+    fn the_instance_cache_is_bounded_and_lru() {
+        let JobPayload::Explain { instance, .. } = tiny_job(0).payload else {
+            unreachable!("tiny_job builds an explain job");
+        };
+        let mut cache = InstanceCache::default();
+        for i in 0..InstanceCache::CAPACITY {
+            cache.put(&format!("d{i}"), &instance);
+        }
+        // Freshen d0, then overflow: d1 (now the least recent) is evicted.
+        assert!(cache.get("d0").is_some());
+        cache.put("one-too-many", &instance);
+        assert!(cache.get("d1").is_none());
+        assert!(cache.get("d0").is_some());
+        assert!(cache.get("one-too-many").is_some());
     }
 
     #[test]

@@ -32,8 +32,10 @@
 //!   at every worker count and on every transport
 //!   (`tests/properties_dist.rs`, `tests/properties_transport.rs`).
 //! * [`expansion`] — expansion stealing: the speculation driver's K-way
-//!   frontier batches published to the same queue as wire version 2
-//!   expansion jobs, computed by local threads and remote
+//!   frontier batches published to the same queue as wire version 3
+//!   expansion jobs (instances content-addressed by digest, shipped
+//!   inline once and referenced thereafter), computed by local threads
+//!   and remote
 //!   `affidavit-worker` processes stealing side by side, reconciled by
 //!   the driver's serial replay into byte-identical reports
 //!   (`tests/properties_expansion_steal.rs`).
@@ -108,12 +110,15 @@ pub use frame::{
     configure_stream, read_frame, write_frame, FrameConfig, FrameRead, MAX_FRAME_BYTES,
 };
 pub use job::{
-    decode_job, decode_result, encode_job, encode_result, Job, JobOutcome, JobPayload, JobResult,
+    decode_job, decode_result, encode_job, encode_result, is_instance_miss, InstanceCache, Job,
+    JobOutcome, JobPayload, JobResult,
 };
 pub use queue::{InProcessQueue, JobQueue, QueueStats};
 pub use tcp::{TcpBroker, TcpClient};
 pub use transport::{requeue_backoff, Broker, Claimed, Delivered, Transport};
-pub use wire::{WireFunction, WireInstance, WIRE_FORMAT, WIRE_VERSION};
+pub use wire::{
+    instance_digest, WireFunction, WireInstance, WireInstanceSpec, WIRE_FORMAT, WIRE_VERSION,
+};
 pub use worker::{
     run_worker, run_worker_with_reconnect, WorkerExit, WorkerStats, BROKER_LOST_EXIT_CODE,
 };

@@ -84,6 +84,10 @@ enum Request {
     },
     /// [`Transport::fetch`].
     Fetch { id: u64 },
+    /// [`Transport::forget`]: retire `id` — drop its pending
+    /// publications, leases and stored delivery, and discard any later
+    /// delivery for it.
+    Forget { id: u64 },
     /// [`Transport::requeue_expired`] (timeout in milliseconds).
     Requeue { base_timeout_ms: u64 },
     /// [`Transport::stop`].
@@ -157,6 +161,28 @@ struct TcpState {
     conflicts: Vec<String>,
     stats: QueueStats,
     stop: bool,
+    /// Retired-id tracking, compacted: every id below `retired_floor` is
+    /// retired, plus the (small, non-contiguous) set above it. Job ids
+    /// are monotonic per coordinator and every id is eventually
+    /// forgotten, so the floor advances and the set stays near-empty —
+    /// O(1) memory over a daemon's lifetime.
+    retired_floor: u64,
+    retired: std::collections::BTreeSet<u64>,
+}
+
+impl TcpState {
+    fn is_retired(&self, id: u64) -> bool {
+        id < self.retired_floor || self.retired.contains(&id)
+    }
+
+    fn retire(&mut self, id: u64) {
+        if id >= self.retired_floor {
+            self.retired.insert(id);
+        }
+        while self.retired.remove(&self.retired_floor) {
+            self.retired_floor += 1;
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -256,6 +282,17 @@ impl TcpBroker {
         self.addr
     }
 
+    /// Results currently held — delivered but not yet forgotten. A
+    /// well-behaved coordinator drives this back to zero after every
+    /// batch; the probe exists so tests (and operators embedding the
+    /// broker) can assert it.
+    pub fn retained_results(&self) -> usize {
+        self.shared
+            .lock()
+            .map(|state| state.results.len())
+            .unwrap_or(0)
+    }
+
     /// Leases currently outstanding (claimed, no delivery yet).
     pub fn active_leases(&self) -> usize {
         self.shared
@@ -343,7 +380,15 @@ fn answer(request: &Request, shared: &TcpShared) -> Response {
             if state.stop {
                 return Response::Empty;
             }
-            match state.pending.pop_first() {
+            // Skip (and drop) publications of retired ids: their
+            // coordinator has already withdrawn the work.
+            let next = loop {
+                match state.pending.pop_first() {
+                    Some(((id, _), _)) if state.is_retired(id) => continue,
+                    other => break other,
+                }
+            };
+            match next {
                 None => Response::Empty,
                 Some(((id, _sub), envelope)) => {
                     state.leases.push(Lease {
@@ -380,6 +425,12 @@ fn answer(request: &Request, shared: &TcpShared) -> Response {
             id,
             envelope,
         } => {
+            if state.is_retired(*id) {
+                // A late delivery for withdrawn work: accept-and-drop,
+                // so the worker moves on and nothing is stored.
+                state.leases.retain(|lease| lease.id != *id);
+                return Response::Accepted;
+            }
             if let Some(existing) = state.results.get(id) {
                 return Response::Duplicate {
                     existing: existing.clone(),
@@ -413,6 +464,13 @@ fn answer(request: &Request, shared: &TcpShared) -> Response {
             },
             None => Response::NotFound,
         },
+        Request::Forget { id } => {
+            state.pending.retain(|(job_id, _), _| job_id != id);
+            state.leases.retain(|lease| lease.id != *id);
+            state.results.remove(id);
+            state.retire(*id);
+            Response::Ok
+        }
         Request::Requeue { base_timeout_ms } => {
             let count = requeue_pass(&mut state, Duration::from_millis(*base_timeout_ms));
             Response::Requeued {
@@ -714,6 +772,10 @@ macro_rules! transport_via_requests {
                 decode::fetch(self.$dispatch(&Request::Fetch { id })?)
             }
 
+            fn forget(&self, id: u64) -> Result<(), String> {
+                decode::unit(self.$dispatch(&Request::Forget { id })?, "forget")
+            }
+
             fn requeue_expired(&self, base_timeout: Duration) -> Result<usize, String> {
                 decode::requeued(self.$dispatch(&Request::Requeue {
                     base_timeout_ms: base_timeout.as_millis() as u64,
@@ -944,6 +1006,32 @@ mod tests {
             coordinator.fetch_result(9).unwrap().unwrap().worker,
             "other"
         );
+    }
+
+    #[test]
+    fn forget_retires_ids_on_both_halves() {
+        let (coordinator, worker) = pair();
+        coordinator.submit(&dummy_job(0)).unwrap();
+        coordinator.submit(&dummy_job(1)).unwrap();
+        // Forgetting a pending job withdraws it before any worker sees it.
+        coordinator.forget(0).unwrap();
+        assert_eq!(worker.steal("w").unwrap().unwrap().id, 1);
+        assert!(worker.steal("w").unwrap().is_none());
+        // An in-flight job forgotten mid-compute: the late delivery is
+        // accept-and-dropped, its lease is gone, nothing is retained.
+        coordinator.forget(1).unwrap();
+        worker.complete("w", &dummy_result(1, "w", "late")).unwrap();
+        assert!(coordinator.fetch_result(1).unwrap().is_none());
+        assert_eq!(coordinator.transport().active_leases(), 0);
+        assert_eq!(coordinator.transport().retained_results(), 0);
+        assert!(coordinator.check_health().is_ok());
+        // Absorb-then-forget over the socket path too.
+        coordinator.submit(&dummy_job(2)).unwrap();
+        assert_eq!(worker.steal("w").unwrap().unwrap().id, 2);
+        worker.complete("w", &dummy_result(2, "w", "done")).unwrap();
+        assert!(coordinator.fetch_result(2).unwrap().is_some());
+        worker.forget(2).unwrap();
+        assert_eq!(coordinator.transport().retained_results(), 0);
     }
 
     #[test]

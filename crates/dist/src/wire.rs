@@ -25,6 +25,11 @@
 //!   [portable expansion](affidavit_core::expansion) on the way back.
 //!   Costs cross the wire as stringified `f64::to_bits` — byte-identity
 //!   of the search depends on them, and JSON float printing does not.
+//! * [`WireInstanceSpec`] (version 3) — how an expansion job names its
+//!   instance: inline on first sight (content-addressed by
+//!   [`instance_digest`]), by digest plus an appended pool delta on
+//!   every later job, so the instance crosses the transport once per
+//!   fleet attachment instead of once per job.
 //!
 //! The format is covered by round-trip tests and a golden-bytes fixture
 //! (`tests/properties_dist.rs`): accidental changes to field names, field
@@ -47,8 +52,11 @@ pub const WIRE_FORMAT: &str = "affidavit-dist";
 
 /// Version of the wire vocabulary this build speaks. Version 2 added the
 /// expansion-job vocabulary ([`WireExpansion`], [`WireExpansionResult`])
-/// and the `speculation_min_records` configuration field.
-pub const WIRE_VERSION: u64 = 2;
+/// and the `speculation_min_records` configuration field. Version 3 made
+/// expansion jobs reference their instance through [`WireInstanceSpec`] —
+/// by content digest with an appended pool delta, shipped inline only on
+/// first sight or after a worker-side cache miss.
+pub const WIRE_VERSION: u64 = 3;
 
 /// The self-describing outer wrapper of every wire message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -143,8 +151,19 @@ impl WireInstance {
     /// has no duplicate strings (which would shift symbol numbering) and
     /// that every row has the schema's arity and only in-range symbols.
     pub fn decode(&self) -> Result<ProblemInstance, String> {
-        let mut pool = ValuePool::with_capacity(self.pool.len());
-        for (i, s) in self.pool.iter().enumerate() {
+        self.decode_with_extra(&[])
+    }
+
+    /// [`WireInstance::decode`], with `extra` appended to the pool after
+    /// the shipped prefix. The coordinator's pool only grows during a
+    /// search, so a later batch over the same tables is exactly this base
+    /// plus an appended delta — re-interning `extra` in order reproduces
+    /// the coordinator's current symbol numbering without re-shipping the
+    /// base. Rows may only reference the base prefix (they were encoded
+    /// against it); the extras exist for expansion requests and results.
+    pub fn decode_with_extra(&self, extra: &[String]) -> Result<ProblemInstance, String> {
+        let mut pool = ValuePool::with_capacity(self.pool.len() + extra.len());
+        for (i, s) in self.pool.iter().chain(extra).enumerate() {
             let sym = pool.intern(s);
             if sym.index() != i {
                 return Err(format!(
@@ -186,6 +205,68 @@ impl WireInstance {
         let target = decode_table(&self.target, "target")?;
         ProblemInstance::new(source, target, pool).map_err(|e| e.to_string())
     }
+}
+
+/// How an expansion job names its [`WireInstance`] (version 3).
+///
+/// The instance is by far the heaviest part of an expansion job, and the
+/// speculation driver publishes jobs every iteration — so the fleet ships
+/// the instance once, content-addressed by [`instance_digest`], and later
+/// jobs carry only the digest plus the pool strings interned since ship
+/// time (the coordinator's pool is append-only during a search). A worker
+/// that has never seen the digest — attached mid-run, restarted, cache
+/// evicted — fails the job with the
+/// [`INSTANCE_MISS_PREFIX`](crate::job::INSTANCE_MISS_PREFIX) reason, and
+/// the coordinator re-ships that chunk inline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "ship", rename_all = "snake_case")]
+pub enum WireInstanceSpec {
+    /// The full base instance rides along (first sight of these tables,
+    /// or a re-ship after a worker cache miss). The worker caches it
+    /// under `digest` before decoding.
+    Inline {
+        /// Content address of `instance` ([`instance_digest`]).
+        digest: String,
+        /// The base instance: tables plus the pool prefix at first ship.
+        instance: WireInstance,
+        /// Pool strings the coordinator interned past the base, in
+        /// interning order.
+        extra_pool: Vec<String>,
+    },
+    /// The worker is expected to hold the base under `digest` already.
+    Cached {
+        /// Content address of the base instance.
+        digest: String,
+        /// Pool strings the coordinator interned past the base, in
+        /// interning order.
+        extra_pool: Vec<String>,
+    },
+}
+
+impl WireInstanceSpec {
+    /// The content digest this spec references.
+    pub fn digest(&self) -> &str {
+        match self {
+            WireInstanceSpec::Inline { digest, .. } | WireInstanceSpec::Cached { digest, .. } => {
+                digest
+            }
+        }
+    }
+}
+
+/// Stable content address of a serialized instance: 64-bit FNV-1a over
+/// its canonical JSON encoding, rendered as 16 hex digits. Hand-rolled
+/// because the digest crosses process boundaries — the standard library's
+/// hashers are randomly keyed per process, so their values are not valid
+/// cache keys on another machine.
+pub fn instance_digest(instance: &WireInstance) -> String {
+    let encoded = serde_json::to_string(instance).expect("instances are serializable");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in encoded.as_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 /// An [`AttrFunction`] on the wire: interned parameters as raw pool
@@ -810,6 +891,35 @@ mod tests {
     }
 
     #[test]
+    fn decode_with_extra_extends_the_pool_in_order() {
+        let instance = sample_instance();
+        let wire = WireInstance::from_instance(&instance);
+        let base_len = wire.base_len();
+        let extra = vec!["brand-new".to_owned(), "also-new".to_owned()];
+        let back = wire.decode_with_extra(&extra).unwrap();
+        assert_eq!(back.pool.len(), base_len + 2);
+        assert_eq!(back.pool.get(Sym(base_len as u32)), "brand-new");
+        assert_eq!(back.pool.get(Sym(base_len as u32 + 1)), "also-new");
+        // An extra duplicating a base string would shift numbering — reject.
+        let dup = vec![wire.pool[0].clone()];
+        assert!(wire
+            .decode_with_extra(&dup)
+            .unwrap_err()
+            .contains("duplicates"));
+    }
+
+    #[test]
+    fn instance_digests_are_stable_and_content_sensitive() {
+        let wire = WireInstance::from_instance(&sample_instance());
+        let digest = instance_digest(&wire);
+        assert_eq!(digest.len(), 16);
+        assert_eq!(digest, instance_digest(&wire.clone()), "deterministic");
+        let mut grown = wire.clone();
+        grown.pool.push("more".to_owned());
+        assert_ne!(digest, instance_digest(&grown));
+    }
+
+    #[test]
     fn decode_rejects_malformed_instances() {
         let instance = sample_instance();
         let wire = WireInstance::from_instance(&instance);
@@ -835,7 +945,7 @@ mod tests {
         assert!(unseal(&text, "result").unwrap_err().contains("expected"));
         let alien = text.replace("affidavit-dist", "other-format");
         assert!(unseal(&alien, "job").unwrap_err().contains("format"));
-        let future = text.replace("\"version\":2", "\"version\":3");
+        let future = text.replace("\"version\":3", "\"version\":4");
         assert!(unseal(&future, "job")
             .unwrap_err()
             .contains("unsupported wire version"));

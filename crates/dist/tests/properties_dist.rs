@@ -19,7 +19,7 @@ use affidavit_core::profiling::{profile_dirs, ProfileOptions, SnapshotProfile};
 use affidavit_core::{AffidavitConfig, ProblemInstance};
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datasets::synth::generate_rows;
-use affidavit_dist::wire::WireExpansion;
+use affidavit_dist::wire::{instance_digest, WireExpansion, WireInstanceSpec};
 use affidavit_dist::{
     decode_job, encode_job, profile_dirs_distributed, DistBackend, DistOptions, Job, JobPayload,
     WireInstance,
@@ -220,7 +220,7 @@ fn wire_roundtrip_is_a_fixed_point() {
 }
 
 /// The fixture expansion job: the same instance with a one-assignment
-/// frontier state, pinned in `tests/fixtures/expansion_v2.json`.
+/// frontier state, pinned in `tests/fixtures/expansion_v3.json`.
 fn fixture_expansion_job() -> Job {
     let JobPayload::Explain { instance, config } = fixture_job().payload else {
         unreachable!("fixture_job builds an explain job");
@@ -252,7 +252,11 @@ fn fixture_expansion_job() -> Job {
         id: 43,
         name: "fixture-expansion".to_owned(),
         payload: JobPayload::Expansion {
-            instance,
+            instance: WireInstanceSpec::Inline {
+                digest: instance_digest(&instance),
+                instance,
+                extra_pool: Vec::new(),
+            },
             config,
             batch: vec![WireExpansion::from_request(&request)],
         },
@@ -284,8 +288,8 @@ fn golden_bytes_are_stable() {
     // migrate) the old version explicitly. Silent format drift strands
     // deployed workers.
     let expected = check_golden(
-        "fixtures/job_v2.json",
-        include_str!("fixtures/job_v2.json"),
+        "fixtures/job_v3.json",
+        include_str!("fixtures/job_v3.json"),
         &encode_job(&fixture_job()),
     );
     let job = decode_job(&expected).unwrap();
@@ -301,8 +305,8 @@ fn golden_bytes_are_stable() {
 #[test]
 fn golden_expansion_bytes_are_stable() {
     let expected = check_golden(
-        "fixtures/expansion_v2.json",
-        include_str!("fixtures/expansion_v2.json"),
+        "fixtures/expansion_v3.json",
+        include_str!("fixtures/expansion_v3.json"),
         &encode_job(&fixture_expansion_job()),
     );
     let job = decode_job(&expected).unwrap();
@@ -313,6 +317,16 @@ fn golden_expansion_bytes_are_stable() {
     else {
         panic!("fixture is an expansion job");
     };
+    let WireInstanceSpec::Inline {
+        digest,
+        instance,
+        extra_pool,
+    } = instance
+    else {
+        panic!("fixture ships its instance inline");
+    };
+    assert_eq!(digest, &instance_digest(instance));
+    assert!(extra_pool.is_empty());
     let decoded = instance.decode().unwrap();
     let request = batch[0]
         .to_request(

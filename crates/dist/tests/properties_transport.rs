@@ -29,7 +29,7 @@ use affidavit_core::{
 };
 use affidavit_datagen::blueprint::{Blueprint, GenConfig};
 use affidavit_datasets::synth::generate_rows;
-use affidavit_dist::wire::{WireExpansion, WireExpansionResult};
+use affidavit_dist::wire::{instance_digest, WireExpansion, WireExpansionResult, WireInstanceSpec};
 use affidavit_dist::{
     absorb_result, profile_dirs_distributed, spawn_workers, Broker, DistBackend, DistOptions, Job,
     JobOutcome, JobPayload, JobQueue, TcpBroker, TcpClient, Transport, WireInstance,
@@ -324,7 +324,14 @@ fn expansion_job(id: u64) -> (Job, String) {
         id,
         name: "expansion-fault-injection".to_owned(),
         payload: JobPayload::Expansion {
-            instance: WireInstance::from_instance(&instance),
+            instance: {
+                let wire = WireInstance::from_instance(&instance);
+                WireInstanceSpec::Inline {
+                    digest: instance_digest(&wire),
+                    instance: wire,
+                    extra_pool: Vec::new(),
+                }
+            },
             config,
             batch: requests.iter().map(WireExpansion::from_request).collect(),
         },
